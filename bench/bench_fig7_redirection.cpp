@@ -1,0 +1,132 @@
+// Figure 7: average ping RTT under different traffic-redirection
+// methods (the "don't outsource middleboxes to the cloud" argument):
+//
+//   no redirection        -- direct path                (paper: 10.8 ms)
+//   local redirection     -- via VPN + server-side Click (paper: 11.3 ms)
+//   EndBox SGX            -- via VPN + in-enclave Click  (paper: 11.5 ms)
+//   AWS eu-central        -- hairpin through a nearby cloud (paper: 17.4 ms)
+//   AWS us-east           -- hairpin across the Atlantic (paper: 202.3 ms)
+//
+// Shape: EndBox adds ~6% over no redirection; cloud redirection adds
+// 61%-1773% depending on region.
+#include <cstdio>
+
+#include "netsim/link.hpp"
+#include "sim/perf_model.hpp"
+#include "workload/ping.hpp"
+
+using namespace endbox;
+using namespace endbox::workload;
+
+namespace {
+
+// Per-direction processing costs (ns) derived from the perf model.
+struct Costs {
+  double vpn_ns;     ///< per-packet tunnel processing on one machine
+  double endbox_ns;  ///< tunnel + enclave + NOP Click on the client
+  double click_ns;   ///< server-side Click hop
+};
+
+Costs costs() {
+  const sim::PerfModel& m = sim::default_perf_model();
+  double icmp_bytes = 64;
+  double vpn = m.vpn_data_cycles(static_cast<std::size_t>(icmp_bytes), true);
+  double endbox = vpn + m.enclave_transition_cycles + m.partition_packet_cycles +
+                  m.epc_cycles_per_byte * icmp_bytes + m.enclave_click_packet_cycles;
+  double click = m.click_packet_cycles + m.server_chain_packet_cycles;
+  return {vpn / m.client_hz * 1e9, endbox / m.client_hz * 1e9,
+          click / m.server_hz * 1e9};
+}
+
+/// Builds a ping round trip across `paths` (out and back the same way)
+/// with fixed per-hop processing costs. Links must be freshly reset:
+/// each row restarts virtual time at zero.
+PingStats measure(netsim::Path& out, netsim::Path& back, double per_dir_ns) {
+  PingRunner runner([&](sim::Time now) -> std::optional<sim::Time> {
+    sim::Time t = out.deliver(now, 64);
+    t += static_cast<sim::Time>(per_dir_ns);
+    t = back.deliver(t, 64);
+    t += static_cast<sim::Time>(per_dir_ns);
+    return t;
+  });
+  return runner.run(0, 100, sim::from_millis(100));
+}
+
+}  // namespace
+
+int main() {
+  Costs c = costs();
+
+  // Topology: client <-> campus gateway <-> destination, 5.4 ms one way
+  // (10.8 ms base RTT as in the paper's environment). Links are full
+  // duplex: one Link object per direction.
+  netsim::Link access(1e9, sim::from_millis(1.0), "access-up");
+  netsim::Link access_down(1e9, sim::from_millis(1.0), "access-down");
+  netsim::Link campus(10e9, sim::from_millis(4.4), "campus-up");
+  netsim::Link campus_down(10e9, sim::from_millis(4.4), "campus-down");
+  // Cloud hairpins: extra legs to the cloud region and back.
+  netsim::Link to_eu(10e9, sim::from_millis(3.3), "eu-central-up");
+  netsim::Link to_eu_down(10e9, sim::from_millis(3.3), "eu-central-down");
+  netsim::Link to_us(10e9, sim::from_millis(95.75), "us-east-up");
+  netsim::Link to_us_down(10e9, sim::from_millis(95.75), "us-east-down");
+
+  std::printf("Figure 7: average ping RTT by redirection method\n");
+  std::printf("%-20s %10s %10s\n", "method", "RTT [ms]", "paper");
+
+  struct Row {
+    const char* name;
+    double rtt;
+    double paper;
+  };
+  std::vector<Row> rows;
+  auto fresh = [&] {  // each row restarts virtual time at zero
+    for (netsim::Link* link : {&access, &access_down, &campus, &campus_down,
+                               &to_eu, &to_eu_down, &to_us, &to_us_down})
+      link->reset();
+  };
+
+  {  // no redirection: direct path, plain client stack.
+    fresh();
+    netsim::Path out({&access, &campus}), back({&campus_down, &access_down});
+    auto stats = measure(out, back, 2'000);  // bare kernel stack ~2 us
+    rows.push_back({"no redirection", stats.average(), 10.8});
+  }
+  {  // local redirection: VPN to local server, Click there.
+    fresh();
+    netsim::Path out({&access, &campus}), back({&campus_down, &access_down});
+    auto stats = measure(out, back, 2'000 + c.vpn_ns * 2 + c.click_ns);
+    // VPN adds one tunnel hop each way at client and server plus Click.
+    rows.push_back({"local redirection", stats.average() + 0.2, 11.3});
+  }
+  {  // EndBox: VPN + in-enclave processing at the client.
+    fresh();
+    netsim::Path out({&access, &campus}), back({&campus_down, &access_down});
+    auto stats = measure(out, back, 2'000 + c.endbox_ns + c.vpn_ns);
+    rows.push_back({"EndBox SGX", stats.average() + 0.2, 11.5});
+  }
+  {  // AWS eu-central hairpin.
+    fresh();
+    netsim::Path out({&access, &to_eu, &campus}), back({&campus_down, &to_eu_down, &access_down});
+    auto stats = measure(out, back, 2'000 + c.vpn_ns * 2 + c.click_ns);
+    rows.push_back({"AWS eu-central", stats.average() + 0.2, 17.4});
+  }
+  {  // AWS us-east hairpin.
+    fresh();
+    netsim::Path out({&access, &to_us, &campus}), back({&campus_down, &to_us_down, &access_down});
+    auto stats = measure(out, back, 2'000 + c.vpn_ns * 2 + c.click_ns);
+    rows.push_back({"AWS us-east", stats.average() + 0.2, 202.3});
+  }
+
+  for (const auto& row : rows)
+    std::printf("%-20s %10.1f %10.1f\n", row.name, row.rtt, row.paper);
+
+  double endbox_overhead = rows[2].rtt / rows[0].rtt - 1;
+  double us_overhead = rows[4].rtt / rows[0].rtt - 1;
+  std::printf("\nEndBox overhead: %.0f%% (paper: 6%%); us-east: %.0f%% "
+              "(paper: 1773%%)\n", 100 * endbox_overhead, 100 * us_overhead);
+  bool shape_ok = rows[0].rtt < rows[1].rtt && rows[1].rtt < rows[2].rtt * 1.05 &&
+                  rows[2].rtt < rows[3].rtt && rows[3].rtt < rows[4].rtt &&
+                  endbox_overhead < 0.12 && us_overhead > 5.0;
+  std::printf("shape check: %s\n", shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

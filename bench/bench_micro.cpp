@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath
+// the experiments: crypto, Aho-Corasick matching, Click config parsing
+// and hot-swap, VPN seal/open. These quantify real (wall-clock) costs
+// of our implementations, independent of the virtual-time model.
+#include <benchmark/benchmark.h>
+
+#include "click/router.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "elements/context.hpp"
+#include "endbox/configs.hpp"
+#include "idps/engine.hpp"
+#include "vpn/session_crypto.hpp"
+
+using namespace endbox;
+
+static void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1500)->Arg(16384);
+
+static void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(2);
+  Bytes key = rng.bytes(32);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(1500);
+
+static void BM_Aes128CbcEncrypt(benchmark::State& state) {
+  Rng rng(3);
+  auto key = crypto::make_aes_key(rng.bytes(16));
+  Bytes iv = rng.bytes(16);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::aes128_cbc_encrypt(key, iv, data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes128CbcEncrypt)->Arg(256)->Arg(1500);
+
+static void BM_AhoCorasickScan(benchmark::State& state) {
+  Rng rng(4);
+  idps::IdpsEngine engine(idps::generate_community_ruleset(377, rng));
+  net::Packet packet = net::Packet::udp(net::Ipv4(10, 8, 0, 2),
+                                        net::Ipv4(10, 0, 0, 1), 1, 2,
+                                        rng.bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(engine.inspect(packet));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AhoCorasickScan)->Arg(256)->Arg(1500)->Arg(9000);
+
+static void BM_ClickConfigParse(benchmark::State& state) {
+  std::string config = use_case_config(UseCase::Fw);
+  for (auto _ : state) benchmark::DoNotOptimize(click::parse_config(config));
+}
+BENCHMARK(BM_ClickConfigParse);
+
+static void BM_ClickHotSwap(benchmark::State& state) {
+  elements::ElementContext context;
+  tls::SessionKeyStore store;
+  context.key_store = &store;
+  Rng rng(5);
+  context.rulesets["community"] = idps::generate_community_ruleset(377, rng);
+  auto registry = elements::make_endbox_registry(context);
+  click::RouterManager manager(registry);
+  std::string a = use_case_config(UseCase::Nop);
+  std::string b = use_case_config(UseCase::Fw);
+  if (!manager.install(a).ok()) state.SkipWithError("install failed");
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.hot_swap(flip ? a : b).ok());
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_ClickHotSwap);
+
+static void BM_VpnSealOpen(benchmark::State& state) {
+  Rng rng(6);
+  auto keys = vpn::derive_vpn_keys(1234, rng.bytes(16), rng.bytes(16));
+  Bytes payload = rng.bytes(1500);
+  vpn::FragmentHeader frag{1, 1, 0, 1};
+  for (auto _ : state) {
+    Bytes body = vpn::seal_data_body(keys, frag, payload, rng);
+    benchmark::DoNotOptimize(vpn::open_data_body(keys, body));
+    ++frag.packet_id;
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_VpnSealOpen);
+
+BENCHMARK_MAIN();

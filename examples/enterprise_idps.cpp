@@ -1,0 +1,73 @@
+// Enterprise scenario (paper section II-A, scenario 1): a company runs
+// client-side IDPS + TLS inspection on employee machines.
+//
+// Demonstrates:
+//   - encrypted (hidden) IDPS rules: employees cannot read the rule set
+//   - TLS session-key forwarding: malware inside HTTPS is caught at the
+//     client without any MITM proxy or custom root certificate
+//   - client-to-client QoS flagging: intra-company traffic is scanned
+//     exactly once
+//
+// Build & run:  ./build/examples/enterprise_idps
+#include <cstdio>
+
+#include "endbox/testbed.hpp"
+#include "tls/session.hpp"
+
+using namespace endbox;
+
+int main() {
+  Testbed bed(Setup::EndBoxSgx, UseCase::TlsIdps);
+  std::size_t alice = bed.add_client();
+  std::size_t bob = bed.add_client();
+  std::printf("[setup]  two employees attested and connected; IDPS rules are\n");
+  std::printf("         distributed encrypted (%zu bytes of ciphertext)\n",
+               bed.bundle().payload.size());
+
+  // --- HTTPS inspection on Alice's machine ------------------------------
+  auto& client = bed.endbox_client(alice);
+  tls::TlsClient browser(bed.rng());
+  tls::TlsServer website(bed.rng());
+  browser.set_key_export_hook([&](const tls::SessionKeys& keys) {
+    client.forward_tls_key(keys);  // the one-line OpenSSL change
+  });
+  auto sh = website.accept(browser.start_handshake(), to_bytes("pm"));
+  browser.finish_handshake(*sh, to_bytes("pm"));
+  std::printf("[alice]  browser negotiated %s; keys forwarded to the enclave\n",
+              tls::version_name(browser.negotiated_version()).c_str());
+
+  auto send_https = [&](const std::string& content, const char* label) {
+    auto record = browser.send(to_bytes(content));
+    net::Packet packet =
+        net::Packet::tcp(net::Ipv4(10, 8, 0, 2), net::Ipv4(93, 184, 216, 34),
+                         40000, 443, 0, 0, 0x18, record.serialize());
+    packet.flow_hint = static_cast<std::uint32_t>(browser.keys().session_id);
+    auto sent = client.send_packet(std::move(packet), bed.clock().now());
+    bool accepted = sent.ok() && sent->accepted;
+    std::printf("[alice]  HTTPS upload (%s): %s\n", label,
+                accepted ? "allowed" : "BLOCKED inside the enclave");
+  };
+  send_https("quarterly report attached", "benign");
+  // Plant a real community-rule pattern inside the TLS payload.
+  std::string evil = "download ";
+  const auto& rule = bed.community_rules()[2];
+  evil.append(rule.contents[0].bytes.begin(), rule.contents[0].bytes.end());
+  send_https(evil, "exfiltration attempt");
+
+  // --- Client-to-client: scanned once, not twice -------------------------
+  auto sent = client.send_packet(
+      net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 8, 0, 3), 4000, 4000,
+                       Bytes(800, 'd')),
+      bed.clock().now());
+  auto handled = bed.server().handle_wire(sent->wire[0], bed.clock().now());
+  auto& in = std::get<vpn::VpnServer::PacketIn>(handled->event);
+  auto sealed = bed.server().seal_packet(static_cast<std::uint32_t>(bob + 1),
+                                         in.ip_packet, bed.clock().now());
+  auto received = bed.endbox_client(bob).receive_wire(sealed.wire[0], bed.clock().now());
+  std::printf("[bob]    intra-company packet delivered; Click bypassed via QoS "
+              "flag: %s\n",
+              bed.endbox_client(bob).enclave().click_bypassed_ingress() > 0 ? "yes"
+                                                                            : "no");
+  (void)received;
+  return 0;
+}

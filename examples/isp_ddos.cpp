@@ -1,0 +1,67 @@
+// ISP scenario (paper section II-A, scenario 2): a provider deploys
+// EndBox on customer machines to rate-limit DDoS traffic at its source.
+//
+// Demonstrates:
+//   - plaintext (inspectable) configuration: customers may read rules
+//   - ISP-mode integrity-only traffic protection (optimisation IV-A)
+//   - TrustedSplitter shaping a flood down to the configured rate using
+//     sampled SGX trusted time
+//
+// Build & run:  ./build/examples/isp_ddos
+#include <cstdio>
+
+#include "elements/splitters.hpp"
+#include "endbox/testbed.hpp"
+
+using namespace endbox;
+
+int main() {
+  Testbed bed(Setup::EndBoxSgx, UseCase::Ddos);
+  std::size_t customer = bed.add_client();
+  auto& client = bed.endbox_client(customer);
+
+  // The ISP ships a DDoS config tuned for residential uplinks: 20 Mbps
+  // shaping rate with a 2 Mbit burst allowance.
+  auto v3 = bed.server().publish_config(
+      3,
+      "from_device :: FromDevice; to_device :: ToDevice;"
+      "ids :: IDSMatcher(RULESET community);"
+      "limiter :: TrustedSplitter(RATE 20e6, SAMPLE 500000, BURST 2e6);"
+      "from_device -> ids -> limiter -> to_device;"
+      "ids[1] -> [1]to_device; limiter[1] -> [1]to_device;",
+      /*encrypt=*/false, 0, bed.clock().now());
+  if (!v3.ok() || !client.install_config(*v3, bed.clock().now()).ok()) {
+    std::fprintf(stderr, "config roll-out failed\n");
+    return 1;
+  }
+
+  std::printf("[isp]    customer attested; DDoS config distributed in plaintext\n");
+  std::printf("         (customers can inspect: %s...)\n",
+              use_case_config(UseCase::Ddos).substr(0, 52).c_str());
+
+  // --- Flood: a bot on the customer machine fires identical packets ------
+  const auto* limiter = dynamic_cast<const elements::TrustedSplitter*>(
+      client.enclave().router()->find("limiter"));
+  std::uint64_t forwarded = 0, shaped = 0;
+  for (int i = 0; i < 3000; ++i) {
+    net::Packet packet = net::Packet::udp(net::Ipv4(10, 8, 0, 2),
+                                          net::Ipv4(10, 0, 0, 9), 4444, 80,
+                                          Bytes(1400, 0x41));
+    auto sent = client.send_packet(std::move(packet), bed.clock().now());
+    if (sent.ok() && sent->accepted) ++forwarded;
+    else ++shaped;
+  }
+  std::printf("[client] flood of 3000 packets: %llu forwarded, %llu shaped off\n",
+              static_cast<unsigned long long>(forwarded),
+              static_cast<unsigned long long>(shaped));
+  std::printf("         trusted-time reads: %llu (sampled 1 per %llu packets)\n",
+              static_cast<unsigned long long>(limiter->time_calls()),
+              static_cast<unsigned long long>(limiter->sample_interval()));
+  if (shaped == 0) {
+    std::fprintf(stderr, "expected the splitter to shape the flood\n");
+    return 1;
+  }
+  std::printf("[isp]    the flood never reached the ISP backbone: it was\n");
+  std::printf("         rate-limited on the customer's own CPU.\n");
+  return 0;
+}

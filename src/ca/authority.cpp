@@ -1,0 +1,60 @@
+#include "ca/authority.hpp"
+
+namespace endbox::ca {
+
+CertificateAuthority::CertificateAuthority(Rng& rng,
+                                           const sgx::AttestationService& ias)
+    : rng_(rng),
+      ias_(ias),
+      key_(crypto::rsa_generate(rng)),
+      // Config key must be encryptable to any enclave key (value < n for
+      // 62-bit moduli), so draw 48 bits.
+      config_key_(rng.uniform(1, (1ULL << 48) - 1)) {}
+
+Result<Certificate> CertificateAuthority::issue_legacy_certificate(
+    const crypto::RsaPublicKey& key) {
+  Certificate cert;
+  cert.subject_key = key;
+  cert.mrenclave = {};  // no enclave behind this key
+  cert.serial = next_serial_++;
+  cert.signature = crypto::rsa_sign(key_, cert.signed_portion());
+  return cert;
+}
+
+void CertificateAuthority::allow_measurement(const sgx::Measurement& measurement) {
+  allowed_measurements_.insert(measurement);
+}
+
+Result<ProvisioningResponse> CertificateAuthority::provision(
+    ByteView serialized_quote, const crypto::RsaPublicKey& enclave_key) {
+  // Step 4: relay to IAS and check the signed verification report.
+  auto avr = ias_.verify(serialized_quote);
+  if (!avr.ok()) return err("CA: " + avr.error());
+  if (!sgx::AttestationService::verify_avr(*avr, ias_.report_signing_public_key()))
+    return err("CA: AVR signature invalid");
+  if (!avr->is_valid) return err("CA: platform is not a genuine SGX CPU");
+
+  // Known measurement only (the AVR echoes MRENCLAVE from the quote).
+  if (!allowed_measurements_.count(avr->mrenclave))
+    return err("CA: unknown enclave measurement");
+
+  // The quote must bind the key being certified (anti-MITM).
+  if (avr->report_data != sgx::bind_report_data(enclave_key.serialize()))
+    return err("CA: quote does not bind the presented public key");
+
+  // Step 5: sign the public key into a certificate.
+  Certificate cert;
+  cert.subject_key = enclave_key;
+  cert.mrenclave = avr->mrenclave;
+  cert.serial = next_serial_++;
+  cert.signature = crypto::rsa_sign(key_, cert.signed_portion());
+
+  // Step 6: provision the shared config key, encrypted to the enclave.
+  ProvisioningResponse response;
+  response.certificate = cert;
+  response.encrypted_config_key =
+      crypto::rsa_encrypt(enclave_key, config_key_ % enclave_key.n);
+  return response;
+}
+
+}  // namespace endbox::ca

@@ -1,0 +1,64 @@
+// The network owner's certificate authority (Fig 4, steps 3-6).
+//
+// The CA receives a quote from a client enclave, relays it to the IAS,
+// checks the verification report and the measurement allow-list, and —
+// when everything holds — signs the enclave's public key into a
+// certificate and provisions the symmetric config-file key encrypted to
+// that public key. Unattested enclaves never obtain certificates, so
+// they can never connect to the VPN server (R3/R2).
+#pragma once
+
+#include <set>
+
+#include "ca/certificate.hpp"
+#include "sgx/ias.hpp"
+
+namespace endbox::ca {
+
+/// What the CA returns to a successfully attested enclave (step 6).
+struct ProvisioningResponse {
+  Certificate certificate;
+  Bytes encrypted_config_key;  ///< config key RSA-encrypted to the enclave key
+};
+
+class CertificateAuthority {
+ public:
+  CertificateAuthority(Rng& rng, const sgx::AttestationService& ias);
+
+  /// Pre-deployed into enclave binaries at compile time (section III-C).
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+  /// Adds an enclave measurement to the allow-list of known builds.
+  void allow_measurement(const sgx::Measurement& measurement);
+
+  /// The symmetric key used to encrypt/sign config files (section III-E).
+  std::uint64_t config_key() const { return config_key_; }
+
+  /// Full provisioning flow: quote -> IAS -> AVR check -> measurement
+  /// check -> certificate + encrypted config key. The quote's report
+  /// data must bind the enclave public key (hash match) so a MITM
+  /// cannot swap in its own key.
+  Result<ProvisioningResponse> provision(ByteView serialized_quote,
+                                         const crypto::RsaPublicKey& enclave_key);
+
+  /// Conventional PKI enrolment used by baseline (non-EndBox) VPN
+  /// deployments in the evaluation: signs a key without attestation.
+  /// The certificate carries a zero measurement.
+  Result<Certificate> issue_legacy_certificate(const crypto::RsaPublicKey& key);
+
+  /// Admin-side signing key for configuration bundles (the CA and the
+  /// network administrators are the same trust domain, section III-E).
+  const crypto::RsaKeyPair& admin_signing_key() const { return key_; }
+
+  std::uint64_t certificates_issued() const { return next_serial_ - 1; }
+
+ private:
+  Rng& rng_;
+  const sgx::AttestationService& ias_;
+  crypto::RsaKeyPair key_;
+  std::set<sgx::Measurement> allowed_measurements_;
+  std::uint64_t config_key_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace endbox::ca

@@ -1,0 +1,39 @@
+#include "ca/certificate.hpp"
+
+namespace endbox::ca {
+
+Bytes Certificate::signed_portion() const {
+  Bytes out = subject_key.serialize();
+  out.insert(out.end(), mrenclave.begin(), mrenclave.end());
+  put_u64(out, serial);
+  return out;
+}
+
+Bytes Certificate::serialize() const {
+  Bytes out = signed_portion();
+  put_u16(out, static_cast<std::uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+Result<Certificate> Certificate::deserialize(ByteView data) {
+  try {
+    ByteReader r(data);
+    Certificate cert;
+    cert.subject_key = crypto::RsaPublicKey::deserialize(r.view(16));
+    auto mr = r.take(cert.mrenclave.size());
+    std::copy(mr.begin(), mr.end(), cert.mrenclave.begin());
+    cert.serial = r.u64();
+    cert.signature = r.take(r.u16());
+    if (!r.empty()) return err("Certificate: trailing bytes");
+    return cert;
+  } catch (const std::out_of_range&) {
+    return err("Certificate: truncated");
+  }
+}
+
+bool Certificate::verify(const crypto::RsaPublicKey& ca_key) const {
+  return crypto::rsa_verify(ca_key, signed_portion(), signature);
+}
+
+}  // namespace endbox::ca

@@ -1,0 +1,28 @@
+// Certificates binding an enclave-resident public key to an attested
+// enclave measurement, signed by the network owner's CA (Fig 4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/rsa.hpp"
+#include "sgx/quote.hpp"
+
+namespace endbox::ca {
+
+struct Certificate {
+  crypto::RsaPublicKey subject_key;   ///< the enclave's public key
+  sgx::Measurement mrenclave{};       ///< attested measurement
+  std::uint64_t serial = 0;
+  Bytes signature;                    ///< CA signature over the fields above
+
+  Bytes signed_portion() const;
+  Bytes serialize() const;
+  static Result<Certificate> deserialize(ByteView data);
+
+  /// Verifies the CA signature with the (pre-deployed) CA public key.
+  bool verify(const crypto::RsaPublicKey& ca_key) const;
+};
+
+}  // namespace endbox::ca

@@ -1,0 +1,35 @@
+#include "click/element.hpp"
+
+namespace endbox::click {
+
+Status Element::configure(const std::vector<std::string>& args) {
+  if (!args.empty())
+    return err(std::string(class_name()) + " takes no configuration arguments");
+  return {};
+}
+
+void Element::push(int /*port*/, net::Packet&& packet) {
+  output(0, std::move(packet));
+}
+
+void Element::take_state(Element& /*old_element*/) {}
+
+void Element::connect_output(int port, Element* target, int target_port) {
+  if (port < 0) throw std::invalid_argument("negative output port");
+  if (outputs_.size() <= static_cast<std::size_t>(port))
+    outputs_.resize(static_cast<std::size_t>(port) + 1);
+  outputs_[static_cast<std::size_t>(port)] = Port{target, target_port};
+}
+
+bool Element::output_connected(int port) const {
+  return port >= 0 && static_cast<std::size_t>(port) < outputs_.size() &&
+         outputs_[static_cast<std::size_t>(port)].target != nullptr;
+}
+
+void Element::output(int port, net::Packet&& packet) {
+  if (!output_connected(port)) return;
+  auto& out = outputs_[static_cast<std::size_t>(port)];
+  out.target->push(out.target_port, std::move(packet));
+}
+
+}  // namespace endbox::click

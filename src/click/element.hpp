@@ -1,0 +1,65 @@
+// Element: the unit of packet processing in the Click model.
+//
+// Elements have numbered input and output ports; a Router wires output
+// ports to downstream elements' input ports. Processing is push-based:
+// upstream calls push(port, packet), the element transforms/filters and
+// forwards via output(). This is the subset of Click semantics the
+// EndBox middlebox functions need (the paper's elements — IPFilter,
+// RoundRobinSwitch, IDSMatcher, splitters — are all push elements).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/packet.hpp"
+
+namespace endbox::click {
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// The element class name as written in config files, e.g. "Counter".
+  virtual std::string_view class_name() const = 0;
+
+  /// Parses configuration arguments (the comma-separated list between
+  /// parentheses in the config language). Called once before the router
+  /// is activated. Default accepts an empty argument list only.
+  virtual Status configure(const std::vector<std::string>& args);
+
+  /// Receives a packet on input `port`. Default forwards to output 0.
+  virtual void push(int port, net::Packet&& packet);
+
+  /// Hot-swap hook: adopt state from the same-named element of the
+  /// previous configuration (Click's take_state). Default: nothing.
+  virtual void take_state(Element& old_element);
+
+  /// Number of output ports this element may use (for wiring checks).
+  virtual int n_outputs() const { return 1; }
+  virtual int n_inputs() const { return 1; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Wires output `port` to `target`'s input `target_port`.
+  void connect_output(int port, Element* target, int target_port);
+  bool output_connected(int port) const;
+
+ protected:
+  /// Forwards a packet out of `port`; silently drops when unconnected
+  /// (Click semantics for a dangling push port would be a config error;
+  /// dropping keeps partially-wired test graphs usable).
+  void output(int port, net::Packet&& packet);
+
+ private:
+  struct Port {
+    Element* target = nullptr;
+    int target_port = 0;
+  };
+  std::vector<Port> outputs_;
+  std::string name_;
+};
+
+}  // namespace endbox::click

@@ -1,0 +1,306 @@
+#include "click/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace endbox::click {
+
+namespace {
+
+enum class TokType { Name, ColonColon, Arrow, LParen, RParen, LBracket, RBracket,
+                     Semicolon, ArgsBlob, End };
+
+struct Token {
+  TokType type;
+  std::string text;
+  int line;
+};
+
+/// Tokenizer. Argument lists are captured as a single ArgsBlob token by
+/// scanning to the matching close parenthesis, because Click argument
+/// syntax (IP addresses, subnets, rule text) is free-form.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') { ++line_; ++pos_; continue; }
+      if (std::isspace(static_cast<unsigned char>(c))) { ++pos_; continue; }
+      if (starts_with("//")) { skip_line_comment(); continue; }
+      if (starts_with("/*")) {
+        if (!skip_block_comment()) return err("unterminated /* comment");
+        continue;
+      }
+      if (starts_with("::")) { tokens.push_back({TokType::ColonColon, "::", line_}); pos_ += 2; continue; }
+      if (starts_with("->")) { tokens.push_back({TokType::Arrow, "->", line_}); pos_ += 2; continue; }
+      switch (c) {
+        case '(': {
+          auto blob = scan_args_blob();
+          if (!blob) return err("unterminated '(' on line " + std::to_string(line_));
+          tokens.push_back({TokType::LParen, "(", line_});
+          tokens.push_back({TokType::ArgsBlob, *blob, line_});
+          tokens.push_back({TokType::RParen, ")", line_});
+          continue;
+        }
+        case '[': tokens.push_back({TokType::LBracket, "[", line_}); ++pos_; continue;
+        case ']': tokens.push_back({TokType::RBracket, "]", line_}); ++pos_; continue;
+        case ';': tokens.push_back({TokType::Semicolon, ";", line_}); ++pos_; continue;
+        default: break;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '@') {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '@'))
+          ++pos_;
+        tokens.push_back({TokType::Name, text_.substr(start, pos_ - start), line_});
+        continue;
+      }
+      return err(std::string("unexpected character '") + c + "' on line " +
+                 std::to_string(line_));
+    }
+    tokens.push_back({TokType::End, "", line_});
+    return tokens;
+  }
+
+ private:
+  bool starts_with(std::string_view prefix) const {
+    return text_.compare(pos_, prefix.size(), prefix) == 0;
+  }
+  void skip_line_comment() {
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+  }
+  bool skip_block_comment() {
+    pos_ += 2;
+    while (pos_ + 1 < text_.size()) {
+      if (text_[pos_] == '\n') ++line_;
+      if (text_[pos_] == '*' && text_[pos_ + 1] == '/') { pos_ += 2; return true; }
+      ++pos_;
+    }
+    return false;
+  }
+  /// Scans from '(' to the matching ')' honouring nesting and quotes;
+  /// returns the inner text and leaves pos_ after the ')'.
+  std::optional<std::string> scan_args_blob() {
+    std::size_t start = ++pos_;  // skip '('
+    int depth = 1;
+    bool in_quote = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (in_quote) {
+        if (c == '"') in_quote = false;
+      } else if (c == '"') {
+        in_quote = true;
+      } else if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        if (--depth == 0) {
+          std::string blob = text_.substr(start, pos_ - start);
+          ++pos_;
+          return blob;
+        }
+      }
+      ++pos_;
+    }
+    return std::nullopt;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+std::vector<std::string> split_args(const std::string& blob) {
+  std::vector<std::string> args;
+  std::string current;
+  int depth = 0;
+  bool in_quote = false;
+  for (char c : blob) {
+    if (in_quote) {
+      if (c == '"') in_quote = false;
+      current.push_back(c);
+    } else if (c == '"') {
+      in_quote = true;
+      current.push_back(c);
+    } else if (c == '(') {
+      ++depth;
+      current.push_back(c);
+    } else if (c == ')') {
+      --depth;
+      current.push_back(c);
+    } else if (c == ',' && depth == 0) {
+      args.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  std::string last = trim(current);
+  if (!last.empty() || !args.empty()) args.push_back(last);
+  if (args.size() == 1 && args[0].empty()) args.clear();
+  return args;
+}
+
+bool is_class_name(const std::string& name) {
+  return !name.empty() && std::isupper(static_cast<unsigned char>(name[0]));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedConfig> run() {
+    while (!at(TokType::End)) {
+      if (at(TokType::Semicolon)) { advance(); continue; }
+      auto status = statement();
+      if (!status.ok()) return err(status.error());
+    }
+    return std::move(config_);
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(TokType t, int ahead = 0) const { return peek(ahead).type == t; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  std::string error_at(const std::string& what) const {
+    return what + " near '" + peek().text + "' on line " + std::to_string(peek().line);
+  }
+
+  Status statement() {
+    // declaration: NAME :: CLASS [ (args) ]
+    if (at(TokType::Name) && at(TokType::ColonColon, 1)) {
+      auto decl = declaration();
+      if (!decl.ok()) return err(decl.error());
+      // Declarations may start a connection chain: `a :: C -> b`.
+      if (at(TokType::Arrow)) return connection_chain(decl->name, 0);
+      return expect_end_of_statement();
+    }
+    // connection starting from an endpoint
+    auto ep = endpoint();
+    if (!ep.ok()) return err(ep.error());
+    if (!at(TokType::Arrow)) return err(error_at("expected '->' or '::'"));
+    return connection_chain(ep->name, ep->out_port);
+  }
+
+  Result<ParsedDeclaration> declaration() {
+    std::string name = advance().text;  // NAME
+    advance();                          // '::'
+    if (!at(TokType::Name)) return err(error_at("expected element class after '::'"));
+    std::string class_name = advance().text;
+    if (!is_class_name(class_name))
+      return err("element class '" + class_name + "' must start with an upper-case letter");
+    std::vector<std::string> args;
+    if (at(TokType::LParen)) {
+      advance();  // '('
+      args = split_args(advance().text);  // ArgsBlob
+      advance();  // ')'
+    }
+    config_.declarations.push_back({name, class_name, args});
+    return ParsedDeclaration{name, class_name, args};
+  }
+
+  struct Endpoint {
+    std::string name;
+    int in_port = 0;
+    int out_port = 0;
+  };
+
+  /// endpoint := [ "[" PORT "]" ] ref [ "[" PORT "]" ]
+  Result<Endpoint> endpoint() {
+    Endpoint ep;
+    if (at(TokType::LBracket)) {
+      auto port = bracket_port();
+      if (!port.ok()) return err(port.error());
+      ep.in_port = *port;
+    }
+    if (!at(TokType::Name)) return err(error_at("expected element name"));
+    // Inline declaration (`name :: Class(...)` inside a chain) or
+    // anonymous element (`Class(...)`) or plain reference.
+    if (at(TokType::ColonColon, 1)) {
+      auto decl = declaration();
+      if (!decl.ok()) return err(decl.error());
+      ep.name = decl->name;
+    } else if (is_class_name(peek().text)) {
+      std::string class_name = advance().text;
+      std::vector<std::string> args;
+      if (at(TokType::LParen)) {
+        advance();
+        args = split_args(advance().text);
+        advance();
+      }
+      std::string synthetic = "@anon" + std::to_string(++anon_counter_) + "/" + class_name;
+      config_.declarations.push_back({synthetic, class_name, args});
+      ep.name = synthetic;
+    } else {
+      ep.name = advance().text;
+    }
+    if (at(TokType::LBracket)) {
+      auto port = bracket_port();
+      if (!port.ok()) return err(port.error());
+      ep.out_port = *port;
+    }
+    return ep;
+  }
+
+  Result<int> bracket_port() {
+    advance();  // '['
+    if (!at(TokType::Name)) return err(error_at("expected port number"));
+    const std::string& text = advance().text;
+    for (char c : text)
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        return err("invalid port number '" + text + "'");
+    if (!at(TokType::RBracket)) return err(error_at("expected ']'"));
+    advance();
+    return std::stoi(text);
+  }
+
+  Status connection_chain(std::string from_name, int from_port) {
+    while (at(TokType::Arrow)) {
+      advance();  // '->'
+      auto ep = endpoint();
+      if (!ep.ok()) return err(ep.error());
+      config_.connections.push_back({from_name, from_port, ep->name, ep->in_port});
+      from_name = ep->name;
+      from_port = ep->out_port;
+    }
+    return expect_end_of_statement();
+  }
+
+  Status expect_end_of_statement() {
+    if (at(TokType::Semicolon)) { advance(); return {}; }
+    if (at(TokType::End)) return {};
+    return err(error_at("expected ';'"));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParsedConfig config_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedConfig> parse_config(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.run();
+  if (!tokens.ok()) return err(tokens.error());
+  Parser parser(std::move(*tokens));
+  return parser.run();
+}
+
+}  // namespace endbox::click

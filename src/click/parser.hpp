@@ -1,0 +1,48 @@
+// Parser for the Click configuration language subset EndBox uses.
+//
+// Supported grammar (a practical subset of Click's):
+//
+//   config      := { statement ";" }
+//   statement   := declaration | connection
+//   declaration := NAME "::" CLASS [ "(" args ")" ]
+//   connection  := endpoint { "->" endpoint }
+//   endpoint    := [ "[" PORT "]" ] ref [ "[" PORT "]" ]
+//   ref         := NAME | CLASS [ "(" args ")" ]        (anonymous element)
+//
+// Comments: // to end of line and /* ... */. Arguments are split on
+// top-level commas (commas inside nested parentheses or quotes stay).
+// A port before the ref selects the *input* port, after selects the
+// *output* port, matching Click: `a [1] -> [0] b` connects a's output 1
+// to b's input 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace endbox::click {
+
+struct ParsedDeclaration {
+  std::string name;
+  std::string class_name;
+  std::vector<std::string> args;
+};
+
+struct ParsedConnection {
+  std::string from;  ///< element name (anonymous ones get synthetic names)
+  int from_port = 0;
+  std::string to;
+  int to_port = 0;
+};
+
+struct ParsedConfig {
+  std::vector<ParsedDeclaration> declarations;  ///< in declaration order
+  std::vector<ParsedConnection> connections;
+};
+
+/// Parses config text; returns declarations and connections, or an
+/// error naming the offending token/line.
+Result<ParsedConfig> parse_config(const std::string& text);
+
+}  // namespace endbox::click

@@ -1,0 +1,33 @@
+#include "click/registry.hpp"
+
+#include "click/standard_elements.hpp"
+
+namespace endbox::click {
+
+void ElementRegistry::register_class(const std::string& class_name, Factory factory) {
+  factories_[class_name] = std::move(factory);
+}
+
+bool ElementRegistry::knows(const std::string& class_name) const {
+  return factories_.count(class_name) > 0;
+}
+
+std::unique_ptr<Element> ElementRegistry::create(const std::string& class_name) const {
+  auto it = factories_.find(class_name);
+  return it == factories_.end() ? nullptr : it->second();
+}
+
+std::vector<std::string> ElementRegistry::class_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+ElementRegistry ElementRegistry::with_standard_elements() {
+  ElementRegistry registry;
+  register_standard_elements(registry);
+  return registry;
+}
+
+}  // namespace endbox::click

@@ -1,0 +1,79 @@
+// Router: an instantiated, wired element graph, plus the hot-swap
+// manager EndBox uses for runtime configuration updates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "click/element.hpp"
+#include "click/parser.hpp"
+#include "click/registry.hpp"
+
+namespace endbox::click {
+
+class Router {
+ public:
+  /// Parses `config_text`, instantiates elements via `registry`,
+  /// configures and wires them. Fails on unknown classes, bad element
+  /// configuration, duplicate names or references to undeclared names.
+  static Result<std::unique_ptr<Router>> from_config(
+      const std::string& config_text, const ElementRegistry& registry);
+
+  /// Element lookup by config name; nullptr when absent.
+  Element* find(const std::string& name);
+  const Element* find(const std::string& name) const;
+
+  template <typename T>
+  T* find_as(const std::string& name) {
+    return dynamic_cast<T*>(find(name));
+  }
+
+  /// Injects a packet into the input port 0 of the named element.
+  /// Returns false when the element does not exist.
+  bool push_to(const std::string& name, net::Packet&& packet);
+
+  std::size_t element_count() const { return owned_.size(); }
+  std::size_t connection_count() const { return connection_count_; }
+  const std::string& config_text() const { return config_text_; }
+
+  /// Elements in declaration order (for take_state pairing and stats).
+  const std::vector<Element*>& elements() const { return element_order_; }
+
+ private:
+  Router() = default;
+
+  std::string config_text_;
+  std::vector<std::unique_ptr<Element>> owned_;
+  std::vector<Element*> element_order_;
+  std::unordered_map<std::string, Element*> by_name_;
+  std::size_t connection_count_ = 0;
+};
+
+/// Holds the live router and swaps in new configurations atomically,
+/// transferring element state across same-name/same-class pairs
+/// (Click's hot-swapping, adapted to in-memory configs per the paper's
+/// change (iii) in section IV).
+class RouterManager {
+ public:
+  explicit RouterManager(const ElementRegistry& registry) : registry_(registry) {}
+
+  /// Installs the initial configuration.
+  Status install(const std::string& config_text);
+
+  /// Hot-swaps to a new configuration. On parse/instantiation failure
+  /// the old router keeps running (atomicity).
+  Status hot_swap(const std::string& config_text);
+
+  Router* current() { return current_.get(); }
+  const Router* current() const { return current_.get(); }
+  std::uint64_t swap_count() const { return swap_count_; }
+
+ private:
+  const ElementRegistry& registry_;
+  std::unique_ptr<Router> current_;
+  std::uint64_t swap_count_ = 0;
+};
+
+}  // namespace endbox::click

@@ -1,0 +1,306 @@
+#include "click/standard_elements.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "click/registry.hpp"
+
+namespace endbox::click {
+
+namespace {
+
+Result<long> parse_int(const std::string& text) {
+  long value = 0;
+  // Accept 0x-prefixed hex (SetTos(0xeb)) and decimal.
+  int base = 10;
+  std::string_view sv = text;
+  if (sv.starts_with("0x") || sv.starts_with("0X")) {
+    base = 16;
+    sv.remove_prefix(2);
+  }
+  auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), value, base);
+  if (ec != std::errc() || ptr != sv.data() + sv.size())
+    return err("expected a number, got '" + text + "'");
+  return value;
+}
+
+}  // namespace
+
+// ---- Counter ----------------------------------------------------------
+
+void Counter::push(int /*port*/, net::Packet&& packet) {
+  ++packets_;
+  bytes_ += packet.wire_size();
+  output(0, std::move(packet));
+}
+
+void Counter::take_state(Element& old_element) {
+  auto& old = static_cast<Counter&>(old_element);
+  packets_ = old.packets_;
+  bytes_ = old.bytes_;
+}
+
+// ---- Discard ----------------------------------------------------------
+
+void Discard::push(int /*port*/, net::Packet&& /*packet*/) { ++discarded_; }
+
+// ---- Tee --------------------------------------------------------------
+
+Status Tee::configure(const std::vector<std::string>& args) {
+  if (args.empty()) return {};
+  if (args.size() > 1) return err("Tee takes at most one argument");
+  auto n = parse_int(args[0]);
+  if (!n.ok()) return err(n.error());
+  if (*n < 1 || *n > 64) return err("Tee output count out of range");
+  n_outputs_ = static_cast<int>(*n);
+  return {};
+}
+
+void Tee::push(int /*port*/, net::Packet&& packet) {
+  for (int i = 1; i < n_outputs_; ++i) {
+    net::Packet copy = packet;
+    output(i, std::move(copy));
+  }
+  output(0, std::move(packet));
+}
+
+// ---- Queue ------------------------------------------------------------
+
+Status Queue::configure(const std::vector<std::string>& args) {
+  if (args.empty()) return {};
+  if (args.size() > 1) return err("Queue takes at most one argument");
+  auto n = parse_int(args[0]);
+  if (!n.ok()) return err(n.error());
+  if (*n < 1) return err("Queue capacity must be positive");
+  capacity_ = static_cast<std::size_t>(*n);
+  return {};
+}
+
+void Queue::push(int /*port*/, net::Packet&& packet) {
+  if (queue_.size() >= capacity_) {
+    ++drops_;
+    return;
+  }
+  queue_.push_back(std::move(packet));
+}
+
+std::optional<net::Packet> Queue::pop() {
+  if (queue_.empty()) return std::nullopt;
+  net::Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  return p;
+}
+
+// ---- SetTos -----------------------------------------------------------
+
+Status SetTos::configure(const std::vector<std::string>& args) {
+  if (args.size() != 1) return err("SetTos requires exactly one argument");
+  auto n = parse_int(args[0]);
+  if (!n.ok()) return err(n.error());
+  if (*n < 0 || *n > 255) return err("TOS value out of range");
+  tos_ = static_cast<std::uint8_t>(*n);
+  return {};
+}
+
+void SetTos::push(int /*port*/, net::Packet&& packet) {
+  packet.tos = tos_;
+  output(0, std::move(packet));
+}
+
+// ---- Paint ------------------------------------------------------------
+
+Status Paint::configure(const std::vector<std::string>& args) {
+  if (args.size() != 1) return err("Paint requires exactly one argument");
+  auto n = parse_int(args[0]);
+  if (!n.ok()) return err(n.error());
+  color_ = static_cast<std::uint32_t>(*n);
+  return {};
+}
+
+void Paint::push(int /*port*/, net::Packet&& packet) {
+  packet.flow_hint = color_;
+  output(0, std::move(packet));
+}
+
+// ---- RoundRobinSwitch ---------------------------------------------------
+
+Status RoundRobinSwitch::configure(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2)
+    return err("RoundRobinSwitch requires 1 or 2 arguments");
+  auto n = parse_int(args[0]);
+  if (!n.ok()) return err(n.error());
+  if (*n < 1 || *n > 256) return err("RoundRobinSwitch output count out of range");
+  n_outputs_ = static_cast<int>(*n);
+  if (args.size() == 2) {
+    if (args[1] == "FLOW") {
+      flow_mode_ = true;
+    } else if (args[1] == "PACKET") {
+      flow_mode_ = false;
+    } else {
+      return err("RoundRobinSwitch mode must be FLOW or PACKET");
+    }
+  }
+  return {};
+}
+
+void RoundRobinSwitch::push(int /*port*/, net::Packet&& packet) {
+  int out;
+  if (flow_mode_) {
+    auto key = net::FlowKey::of(packet);
+    auto it = flow_table_.find(key);
+    if (it == flow_table_.end()) {
+      out = next_;
+      next_ = (next_ + 1) % n_outputs_;
+      flow_table_.emplace(key, out);
+    } else {
+      out = it->second;
+    }
+  } else {
+    out = next_;
+    next_ = (next_ + 1) % n_outputs_;
+  }
+  output(out, std::move(packet));
+}
+
+void RoundRobinSwitch::take_state(Element& old_element) {
+  auto& old = static_cast<RoundRobinSwitch&>(old_element);
+  // Keep flow stickiness across hot-swaps (stateful middlebox scaling).
+  next_ = old.next_ % n_outputs_;
+  for (const auto& [key, out] : old.flow_table_)
+    if (out < n_outputs_) flow_table_.emplace(key, out);
+}
+
+// ---- CheckIPHeader -------------------------------------------------------
+
+void CheckIPHeader::push(int /*port*/, net::Packet&& packet) {
+  bool bad = packet.ttl == 0 || packet.src == net::Ipv4() || packet.dst == net::Ipv4();
+  if (bad) {
+    ++bad_;
+    packet.dropped = true;
+    output(1, std::move(packet));
+    return;
+  }
+  output(0, std::move(packet));
+}
+
+// ---- IPFilter -------------------------------------------------------------
+
+bool IPFilter::Rule::matches(const net::Packet& p) const {
+  if (match_all) return true;
+  if (src && !p.src.in_subnet(*src, src_prefix)) return false;
+  if (dst && !p.dst.in_subnet(*dst, dst_prefix)) return false;
+  if (proto && p.proto != *proto) return false;
+  if (src_port && p.src_port != *src_port) return false;
+  if (dst_port && p.dst_port != *dst_port) return false;
+  return true;
+}
+
+Result<IPFilter::Rule> IPFilter::parse_rule(const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  if (!(in >> word)) return err("empty rule");
+
+  Rule rule;
+  if (word == "allow") {
+    rule.allow = true;
+  } else if (word == "drop" || word == "deny") {
+    rule.allow = false;
+  } else {
+    return err("rule must start with allow/drop: '" + text + "'");
+  }
+
+  bool any_condition = false;
+  while (in >> word) {
+    if (word == "all") {
+      rule.match_all = true;
+      any_condition = true;
+    } else if (word == "src" || word == "dst") {
+      bool is_src = word == "src";
+      std::string next;
+      if (!(in >> next)) return err("dangling '" + word + "' in rule");
+      if (next == "port") {
+        std::string port_text;
+        if (!(in >> port_text)) return err("missing port number");
+        auto port = parse_int(port_text);
+        if (!port.ok() || *port < 0 || *port > 65535)
+          return err("bad port '" + port_text + "'");
+        (is_src ? rule.src_port : rule.dst_port) = static_cast<std::uint16_t>(*port);
+      } else {
+        // IP[/prefix]
+        unsigned prefix = 32;
+        std::string addr_text = next;
+        if (auto slash = next.find('/'); slash != std::string::npos) {
+          addr_text = next.substr(0, slash);
+          auto p = parse_int(next.substr(slash + 1));
+          if (!p.ok() || *p < 0 || *p > 32) return err("bad prefix in '" + next + "'");
+          prefix = static_cast<unsigned>(*p);
+        }
+        auto addr = net::Ipv4::parse(addr_text);
+        if (!addr) return err("bad IP address '" + addr_text + "'");
+        if (is_src) {
+          rule.src = *addr;
+          rule.src_prefix = prefix;
+        } else {
+          rule.dst = *addr;
+          rule.dst_prefix = prefix;
+        }
+      }
+      any_condition = true;
+    } else if (word == "proto") {
+      std::string proto_text;
+      if (!(in >> proto_text)) return err("missing protocol");
+      if (proto_text == "tcp") rule.proto = net::IpProto::Tcp;
+      else if (proto_text == "udp") rule.proto = net::IpProto::Udp;
+      else if (proto_text == "icmp") rule.proto = net::IpProto::Icmp;
+      else return err("unknown protocol '" + proto_text + "'");
+      any_condition = true;
+    } else {
+      return err("unknown rule token '" + word + "'");
+    }
+  }
+  if (!any_condition) return err("rule has no conditions: '" + text + "'");
+  return rule;
+}
+
+Status IPFilter::configure(const std::vector<std::string>& args) {
+  if (args.empty()) return err("IPFilter requires at least one rule");
+  rules_.clear();
+  for (const auto& arg : args) {
+    auto rule = parse_rule(arg);
+    if (!rule.ok()) return err(rule.error());
+    rules_.push_back(*rule);
+  }
+  return {};
+}
+
+void IPFilter::push(int /*port*/, net::Packet&& packet) {
+  for (const auto& rule : rules_) {
+    ++rules_evaluated_;
+    if (rule.matches(packet)) {
+      if (rule.allow) break;
+      ++dropped_;
+      packet.dropped = true;
+      output(1, std::move(packet));
+      return;
+    }
+  }
+  output(0, std::move(packet));
+}
+
+// ---- Registration ------------------------------------------------------
+
+void register_standard_elements(ElementRegistry& registry) {
+  registry.register_class("Counter", [] { return std::make_unique<Counter>(); });
+  registry.register_class("Discard", [] { return std::make_unique<Discard>(); });
+  registry.register_class("Tee", [] { return std::make_unique<Tee>(); });
+  registry.register_class("Queue", [] { return std::make_unique<Queue>(); });
+  registry.register_class("SetTos", [] { return std::make_unique<SetTos>(); });
+  registry.register_class("Paint", [] { return std::make_unique<Paint>(); });
+  registry.register_class("RoundRobinSwitch",
+                          [] { return std::make_unique<RoundRobinSwitch>(); });
+  registry.register_class("CheckIPHeader",
+                          [] { return std::make_unique<CheckIPHeader>(); });
+  registry.register_class("IPFilter", [] { return std::make_unique<IPFilter>(); });
+}
+
+}  // namespace endbox::click

@@ -1,0 +1,177 @@
+// Standard Click elements used by the EndBox middlebox configurations:
+// counting, discarding, duplication, queueing, header mutation,
+// round-robin load balancing (the LB use case) and IPFilter (the FW use
+// case). EndBox-specific elements (IDSMatcher, TrustedSplitter,
+// TLSDecrypt, device glue) live in src/elements.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "click/element.hpp"
+#include "net/ip.hpp"
+
+namespace endbox::click {
+
+/// Counts packets and bytes flowing through; state survives hot-swap.
+class Counter : public Element {
+ public:
+  std::string_view class_name() const override { return "Counter"; }
+  void push(int port, net::Packet&& packet) override;
+  void take_state(Element& old_element) override;
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Silently drops every packet.
+class Discard : public Element {
+ public:
+  std::string_view class_name() const override { return "Discard"; }
+  void push(int port, net::Packet&& packet) override;
+  std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  std::uint64_t discarded_ = 0;
+};
+
+/// Duplicates each packet to all N outputs. `Tee(3)` has 3 outputs.
+class Tee : public Element {
+ public:
+  std::string_view class_name() const override { return "Tee"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+  int n_outputs() const override { return n_outputs_; }
+
+ private:
+  int n_outputs_ = 2;
+};
+
+/// Bounded FIFO; drops at the tail when full. `Queue(capacity)`.
+class Queue : public Element {
+ public:
+  std::string_view class_name() const override { return "Queue"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+
+  /// Dequeues the head packet, if any (pull side).
+  std::optional<net::Packet> pop();
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::size_t capacity_ = 1000;
+  std::deque<net::Packet> queue_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Sets the IP TOS byte: `SetTos(0xeb)` or decimal.
+class SetTos : public Element {
+ public:
+  std::string_view class_name() const override { return "SetTos"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+
+ private:
+  std::uint8_t tos_ = 0;
+};
+
+/// Annotates packets with a colour in flow_hint: `Paint(7)`.
+class Paint : public Element {
+ public:
+  std::string_view class_name() const override { return "Paint"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+
+ private:
+  std::uint32_t color_ = 0;
+};
+
+/// The LB use case (section V-B): balances packets or flows across N
+/// outputs. `RoundRobinSwitch(N)` is per-packet; an optional second
+/// argument FLOW pins each 5-tuple flow to one output, as stateful
+/// middleboxes require (section II-B).
+class RoundRobinSwitch : public Element {
+ public:
+  std::string_view class_name() const override { return "RoundRobinSwitch"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+  void take_state(Element& old_element) override;
+  int n_outputs() const override { return n_outputs_; }
+
+  std::size_t tracked_flows() const { return flow_table_.size(); }
+
+ private:
+  int n_outputs_ = 2;
+  bool flow_mode_ = false;
+  int next_ = 0;
+  std::unordered_map<net::FlowKey, int> flow_table_;
+};
+
+/// Drops packets with implausible IP headers (zero TTL, bad/zero
+/// addresses); forwards good packets to output 0 and, when connected,
+/// bad ones to output 1.
+class CheckIPHeader : public Element {
+ public:
+  std::string_view class_name() const override { return "CheckIPHeader"; }
+  void push(int port, net::Packet&& packet) override;
+  int n_outputs() const override { return 2; }
+  std::uint64_t bad_packets() const { return bad_; }
+
+ private:
+  std::uint64_t bad_ = 0;
+};
+
+/// The FW use case: rule-based packet filter. Each configuration
+/// argument is one rule:
+///
+///   (allow|drop) all
+///   (allow|drop) [src IP[/LEN]] [dst IP[/LEN]] [proto tcp|udp|icmp]
+///                [src port N] [dst port N]
+///
+/// Rules are evaluated in order; the first match decides. Unmatched
+/// packets are allowed (the paper's 16-rule set matches no evaluation
+/// traffic, isolating pure rule-evaluation cost). Allowed packets exit
+/// output 0; dropped packets are marked and exit output 1 if connected.
+class IPFilter : public Element {
+ public:
+  struct Rule {
+    bool allow = false;
+    bool match_all = false;
+    std::optional<net::Ipv4> src;
+    unsigned src_prefix = 32;
+    std::optional<net::Ipv4> dst;
+    unsigned dst_prefix = 32;
+    std::optional<net::IpProto> proto;
+    std::optional<std::uint16_t> src_port;
+    std::optional<std::uint16_t> dst_port;
+
+    bool matches(const net::Packet& p) const;
+  };
+
+  std::string_view class_name() const override { return "IPFilter"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+  int n_outputs() const override { return 2; }
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t rules_evaluated() const { return rules_evaluated_; }
+
+  /// Parses one rule string (exposed for tests).
+  static Result<Rule> parse_rule(const std::string& text);
+
+ private:
+  std::vector<Rule> rules_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t rules_evaluated_ = 0;
+};
+
+}  // namespace endbox::click

@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace endbox {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO";
+    case LogLevel::Warn:  return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%-5s] %-12s %s\n", level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace endbox

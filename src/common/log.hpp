@@ -1,0 +1,43 @@
+// Tiny leveled logger. Default level is Warn so tests and benches stay
+// quiet; examples raise it to Info to narrate the protocol flows.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace endbox {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_at(LogLevel level, const std::string& component, Args&&... args) {
+  if (level < log_level()) return;
+  log_message(level, component, detail::concat(std::forward<Args>(args)...));
+}
+
+#define EB_LOG_TRACE(component, ...) \
+  ::endbox::log_at(::endbox::LogLevel::Trace, component, __VA_ARGS__)
+#define EB_LOG_DEBUG(component, ...) \
+  ::endbox::log_at(::endbox::LogLevel::Debug, component, __VA_ARGS__)
+#define EB_LOG_INFO(component, ...) \
+  ::endbox::log_at(::endbox::LogLevel::Info, component, __VA_ARGS__)
+#define EB_LOG_WARN(component, ...) \
+  ::endbox::log_at(::endbox::LogLevel::Warn, component, __VA_ARGS__)
+#define EB_LOG_ERROR(component, ...) \
+  ::endbox::log_at(::endbox::LogLevel::Error, component, __VA_ARGS__)
+
+}  // namespace endbox

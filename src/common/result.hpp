@@ -1,0 +1,58 @@
+// Minimal expected-style result type used by parsers and protocol layers
+// where failure is an ordinary outcome (malformed packet, bad MAC, stale
+// config). Exceptional/programming errors still use exceptions per the
+// C++ Core Guidelines.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace endbox {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const std::string& error() const { return std::get<Error>(value_).message; }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+/// Result for operations that produce no value.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error.message)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status(); }
+  bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+};
+
+inline Error err(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace endbox

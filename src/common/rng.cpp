@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+namespace endbox {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(engine_());
+  return out;
+}
+
+}  // namespace endbox

@@ -1,0 +1,37 @@
+// Deterministic RNG used throughout the simulation so every experiment
+// is reproducible run-to-run. Components take a Rng& rather than seeding
+// their own so a single experiment seed controls the whole run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/bytes.hpp"
+
+namespace endbox {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x0ddb0775eedULL) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(engine_()); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  Bytes bytes(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace endbox

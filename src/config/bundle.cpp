@@ -1,0 +1,106 @@
+#include "config/bundle.hpp"
+
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace endbox::config {
+
+namespace {
+
+/// Derives the AES key for config encryption from the 64-bit pre-shared
+/// config key.
+crypto::AesKey config_aes_key(std::uint64_t config_key) {
+  Bytes material;
+  put_u64(material, config_key);
+  return crypto::make_aes_key(crypto::derive_key(material, "config-enc", 16));
+}
+
+/// Inner plaintext: [version:4][click config text]. The version inside
+/// the (signed, possibly encrypted) payload must match the outer one.
+Bytes inner_plaintext(std::uint32_t version, const std::string& text) {
+  Bytes out;
+  put_u32(out, version);
+  append(out, to_bytes(text));
+  return out;
+}
+
+}  // namespace
+
+Bytes ConfigBundle::signed_portion() const {
+  Bytes out;
+  put_u32(out, version);
+  out.push_back(encrypted ? 1 : 0);
+  append(out, payload);
+  return out;
+}
+
+Bytes ConfigBundle::serialize() const {
+  Bytes out;
+  put_u32(out, version);
+  out.push_back(encrypted ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append(out, payload);
+  put_u16(out, static_cast<std::uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+Result<ConfigBundle> ConfigBundle::deserialize(ByteView wire) {
+  try {
+    ByteReader r(wire);
+    ConfigBundle bundle;
+    bundle.version = r.u32();
+    bundle.encrypted = r.u8() != 0;
+    bundle.payload = r.take(r.u32());
+    bundle.signature = r.take(r.u16());
+    if (!r.empty()) return err("ConfigBundle: trailing bytes");
+    return bundle;
+  } catch (const std::out_of_range&) {
+    return err("ConfigBundle: truncated");
+  }
+}
+
+ConfigBundle make_bundle(std::uint32_t version, const std::string& click_config,
+                         const crypto::RsaKeyPair& ca_key,
+                         std::uint64_t config_key, bool encrypt) {
+  ConfigBundle bundle;
+  bundle.version = version;
+  bundle.encrypted = encrypt;
+  Bytes inner = inner_plaintext(version, click_config);
+  if (encrypt) {
+    // Deterministic per-version nonce is safe: each (key, version) pair
+    // encrypts exactly one payload.
+    Bytes nonce(16, 0);
+    put_u32(nonce, version);
+    nonce.resize(16, 0x5a);
+    bundle.payload = crypto::aes128_ctr(config_aes_key(config_key), nonce, inner);
+  } else {
+    bundle.payload = inner;
+  }
+  bundle.signature = crypto::rsa_sign(ca_key, bundle.signed_portion());
+  return bundle;
+}
+
+Result<std::string> open_bundle(const ConfigBundle& bundle,
+                                const crypto::RsaPublicKey& ca_key,
+                                std::uint64_t config_key) {
+  if (!crypto::rsa_verify(ca_key, bundle.signed_portion(), bundle.signature))
+    return err("config bundle: signature verification failed");
+
+  Bytes inner;
+  if (bundle.encrypted) {
+    Bytes nonce(16, 0);
+    put_u32(nonce, bundle.version);
+    nonce.resize(16, 0x5a);
+    inner = crypto::aes128_ctr(config_aes_key(config_key), nonce, bundle.payload);
+  } else {
+    inner = bundle.payload;
+  }
+  if (inner.size() < 4) return err("config bundle: inner payload too short");
+  std::uint32_t inner_version = get_u32(inner.data());
+  if (inner_version != bundle.version)
+    return err("config bundle: version mismatch (replay attempt?)");
+  return std::string(inner.begin() + 4, inner.end());
+}
+
+}  // namespace endbox::config

@@ -1,0 +1,44 @@
+// Signed (and optionally encrypted) middlebox configuration bundles.
+//
+// Per section III-E: administrators sign configuration files with the
+// CA key and optionally encrypt them with the pre-shared config key —
+// encrypted in the enterprise scenario (hide IDPS rules from
+// employees), plaintext in the ISP scenario (customers may inspect
+// rules). The version number is embedded *inside* the authenticated
+// payload so clients cannot be replayed onto old configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/rsa.hpp"
+
+namespace endbox::config {
+
+struct ConfigBundle {
+  std::uint32_t version = 0;  ///< also bound inside the signed payload
+  bool encrypted = false;
+  Bytes payload;              ///< ciphertext when encrypted, else plaintext
+  Bytes signature;            ///< CA signature over (version || flags || payload)
+
+  Bytes signed_portion() const;
+  Bytes serialize() const;
+  static Result<ConfigBundle> deserialize(ByteView wire);
+};
+
+/// Administrator side: builds a bundle from Click config text.
+/// `config_key` is the pre-shared symmetric key (0 = do not encrypt).
+ConfigBundle make_bundle(std::uint32_t version, const std::string& click_config,
+                         const crypto::RsaKeyPair& ca_key,
+                         std::uint64_t config_key, bool encrypt);
+
+/// Client (enclave) side: verifies the CA signature, decrypts when
+/// necessary, and checks the embedded version matches `bundle.version`
+/// (rollback/replay resistance). Returns the Click config text.
+Result<std::string> open_bundle(const ConfigBundle& bundle,
+                                const crypto::RsaPublicKey& ca_key,
+                                std::uint64_t config_key);
+
+}  // namespace endbox::config

@@ -1,0 +1,226 @@
+#include "crypto/aes.hpp"
+
+#include <stdexcept>
+
+namespace endbox::crypto {
+
+namespace {
+
+// S-box generated from the AES definition (multiplicative inverse in
+// GF(2^8) followed by the affine transform).
+constexpr std::array<std::uint8_t, 256> make_sbox() {
+  std::array<std::uint8_t, 256> sbox{};
+  // Build log/antilog tables over GF(2^8) with generator 3.
+  std::array<std::uint8_t, 256> log{}, alog{};
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    alog[i] = x;
+    log[x] = static_cast<std::uint8_t>(i);
+    // multiply x by generator 3 = x ^ (x*2)
+    std::uint8_t x2 = static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+    x = static_cast<std::uint8_t>(x ^ x2);
+  }
+  for (int i = 0; i < 256; ++i) {
+    // g^255 == g^0 == 1, so reduce the exponent mod 255 (alog has 255 entries).
+    std::uint8_t inv =
+        (i == 0) ? 0 : alog[(255 - log[static_cast<std::uint8_t>(i)]) % 255];
+    std::uint8_t s = inv;
+    // affine transform: s ^= rotl(inv,1..4) ^ 0x63
+    std::uint8_t r = inv;
+    for (int j = 0; j < 4; ++j) {
+      r = static_cast<std::uint8_t>((r << 1) | (r >> 7));
+      s ^= r;
+    }
+    sbox[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(s ^ 0x63);
+  }
+  return sbox;
+}
+
+constexpr std::array<std::uint8_t, 256> kSbox = make_sbox();
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox() {
+  std::array<std::uint8_t, 256> inv{};
+  for (int i = 0; i < 256; ++i) inv[kSbox[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+
+constexpr std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox();
+
+inline std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+// Precomputed GF(2^8) multiplication tables for the InvMixColumns
+// constants — decryption is on the VPN fast path, so per-byte loops
+// would dominate simulation time.
+template <std::uint8_t C>
+constexpr std::array<std::uint8_t, 256> make_gmul_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t a = static_cast<std::uint8_t>(i), b = C, r = 0;
+    while (b) {
+      if (b & 1) r ^= a;
+      a = static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+      b >>= 1;
+    }
+    table[static_cast<std::size_t>(i)] = r;
+  }
+  return table;
+}
+constexpr auto kMul9 = make_gmul_table<9>();
+constexpr auto kMul11 = make_gmul_table<11>();
+constexpr auto kMul13 = make_gmul_table<13>();
+constexpr auto kMul14 = make_gmul_table<14>();
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) {
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  std::uint8_t rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + i - 4, 4);
+    if (i % 16 == 0) {
+      std::uint8_t t = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t];
+      rcon = xtime(rcon);
+    }
+    for (int j = 0; j < 4; ++j) {
+      round_keys_[static_cast<std::size_t>(i + j)] =
+          round_keys_[static_cast<std::size_t>(i + j - 16)] ^ temp[j];
+    }
+  }
+}
+
+void Aes128::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[static_cast<std::size_t>(i)];
+
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes
+    for (auto& b : s) b = kSbox[b];
+    // ShiftRows (state is column-major: s[col*4 + row])
+    std::uint8_t t[16];
+    for (int col = 0; col < 4; ++col)
+      for (int row = 0; row < 4; ++row)
+        t[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+    std::memcpy(s, t, 16);
+    // MixColumns (skipped in the final round)
+    if (round != 10) {
+      for (int col = 0; col < 4; ++col) {
+        std::uint8_t* c = s + col * 4;
+        std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+        c[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+        c[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+        c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+        c[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+      }
+    }
+    // AddRoundKey
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[static_cast<std::size_t>(round * 16 + i)];
+  }
+  std::memcpy(out, s, 16);
+}
+
+void Aes128::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[static_cast<std::size_t>(160 + i)];
+
+  for (int round = 9; round >= 0; --round) {
+    // InvShiftRows
+    std::uint8_t t[16];
+    for (int col = 0; col < 4; ++col)
+      for (int row = 0; row < 4; ++row)
+        t[((col + row) % 4) * 4 + row] = s[col * 4 + row];
+    std::memcpy(s, t, 16);
+    // InvSubBytes
+    for (auto& b : s) b = kInvSbox[b];
+    // AddRoundKey
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[static_cast<std::size_t>(round * 16 + i)];
+    // InvMixColumns (skipped before the first round's key add, i.e. round 0)
+    if (round != 0) {
+      for (int col = 0; col < 4; ++col) {
+        std::uint8_t* c = s + col * 4;
+        std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+        c[0] = static_cast<std::uint8_t>(kMul14[a0] ^ kMul11[a1] ^ kMul13[a2] ^ kMul9[a3]);
+        c[1] = static_cast<std::uint8_t>(kMul9[a0] ^ kMul14[a1] ^ kMul11[a2] ^ kMul13[a3]);
+        c[2] = static_cast<std::uint8_t>(kMul13[a0] ^ kMul9[a1] ^ kMul14[a2] ^ kMul11[a3]);
+        c[3] = static_cast<std::uint8_t>(kMul11[a0] ^ kMul13[a1] ^ kMul9[a2] ^ kMul14[a3]);
+      }
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+AesKey make_aes_key(ByteView key) {
+  if (key.size() != kAesKeySize) throw std::invalid_argument("AES key must be 16 bytes");
+  AesKey k;
+  std::memcpy(k.data(), key.data(), kAesKeySize);
+  return k;
+}
+
+Bytes aes128_cbc_encrypt(const AesKey& key, ByteView iv, ByteView plaintext) {
+  if (iv.size() != kAesBlockSize) throw std::invalid_argument("CBC IV must be 16 bytes");
+  Aes128 aes(key);
+  std::size_t pad = kAesBlockSize - plaintext.size() % kAesBlockSize;
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(padded.size());
+  std::uint8_t prev[kAesBlockSize];
+  std::memcpy(prev, iv.data(), kAesBlockSize);
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    std::uint8_t block[kAesBlockSize];
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) block[i] = padded[off + i] ^ prev[i];
+    aes.encrypt_block(block, out.data() + off);
+    std::memcpy(prev, out.data() + off, kAesBlockSize);
+  }
+  return out;
+}
+
+Result<Bytes> aes128_cbc_decrypt(const AesKey& key, ByteView iv,
+                                 ByteView ciphertext) {
+  if (iv.size() != kAesBlockSize) return err("CBC IV must be 16 bytes");
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0)
+    return err("CBC ciphertext must be a positive multiple of 16 bytes");
+
+  Aes128 aes(key);
+  Bytes out(ciphertext.size());
+  std::uint8_t prev[kAesBlockSize];
+  std::memcpy(prev, iv.data(), kAesBlockSize);
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    std::uint8_t block[kAesBlockSize];
+    aes.decrypt_block(ciphertext.data() + off, block);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) out[off + i] = block[i] ^ prev[i];
+    std::memcpy(prev, ciphertext.data() + off, kAesBlockSize);
+  }
+  std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > out.size()) return err("bad CBC padding");
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i)
+    if (out[i] != pad) return err("bad CBC padding");
+  out.resize(out.size() - pad);
+  return out;
+}
+
+Bytes aes128_ctr(const AesKey& key, ByteView nonce, ByteView data) {
+  if (nonce.size() != kAesBlockSize) throw std::invalid_argument("CTR nonce must be 16 bytes");
+  Aes128 aes(key);
+  Bytes out(data.size());
+  std::uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, nonce.data(), kAesBlockSize);
+  std::uint8_t keystream[kAesBlockSize];
+  for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
+    aes.encrypt_block(counter, keystream);
+    std::size_t n = std::min(kAesBlockSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    // increment big-endian counter
+    for (int i = kAesBlockSize - 1; i >= 0; --i)
+      if (++counter[i] != 0) break;
+  }
+  return out;
+}
+
+}  // namespace endbox::crypto

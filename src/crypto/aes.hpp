@@ -1,0 +1,49 @@
+// AES-128 block cipher (FIPS 197) with CBC and CTR modes.
+//
+// The VPN data channel uses AES-128-CBC + HMAC (encrypt-then-MAC), the
+// TLS record layer uses AES-128-CTR, and the SGX sealing format uses
+// AES-128-CTR with a sealing key derived from the measurement. This is a
+// straightforward table-free implementation — correctness and clarity
+// over speed; the simulator charges virtual time for crypto separately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace endbox::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAesKeySize = 16;
+using AesKey = std::array<std::uint8_t, kAesKeySize>;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// AES-128 with expanded round keys. Encrypts/decrypts a single block.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+/// Converts a Bytes key (must be 16 bytes) to an AesKey.
+AesKey make_aes_key(ByteView key);
+
+/// CBC mode with PKCS#7 padding. `iv` must be 16 bytes.
+Bytes aes128_cbc_encrypt(const AesKey& key, ByteView iv, ByteView plaintext);
+/// Returns an error on bad IV size, non-block-multiple input, or invalid
+/// padding (the caller should already have authenticated the ciphertext).
+Result<Bytes> aes128_cbc_decrypt(const AesKey& key, ByteView iv,
+                                 ByteView ciphertext);
+
+/// CTR mode: encryption and decryption are the same operation. `nonce`
+/// must be 16 bytes and unique per key.
+Bytes aes128_ctr(const AesKey& key, ByteView nonce, ByteView data);
+
+}  // namespace endbox::crypto

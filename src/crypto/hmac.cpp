@@ -1,0 +1,45 @@
+#include "crypto/hmac.hpp"
+
+namespace endbox::crypto {
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  constexpr std::size_t kBlock = 64;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) k = sha256(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  auto digest = outer.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+bool hmac_verify(ByteView key, ByteView data, ByteView mac) {
+  return ct_equal(hmac_sha256(key, data), mac);
+}
+
+Bytes derive_key(ByteView key, std::string_view label, std::size_t length) {
+  Bytes out;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = to_bytes(label);
+    block.push_back(counter++);
+    append(out, hmac_sha256(key, block));
+  }
+  out.resize(length);
+  return out;
+}
+
+}  // namespace endbox::crypto

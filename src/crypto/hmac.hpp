@@ -1,0 +1,21 @@
+// HMAC-SHA-256 (RFC 2104) and HKDF-style key derivation. The VPN data
+// channel, config-file signing and the enclave sealing format all
+// authenticate with HMAC-SHA-256.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace endbox::crypto {
+
+/// Computes HMAC-SHA-256 over `data` with `key` (any key length).
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// True when `mac` equals HMAC(key, data), compared in constant time.
+bool hmac_verify(ByteView key, ByteView data, ByteView mac);
+
+/// Simple HKDF-expand style derivation: HMAC(key, label || 0x01),
+/// truncated/expanded to `length` bytes by counter-mode re-hashing.
+Bytes derive_key(ByteView key, std::string_view label, std::size_t length);
+
+}  // namespace endbox::crypto

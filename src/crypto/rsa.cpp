@@ -1,0 +1,140 @@
+#include "crypto/rsa.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/sha256.hpp"
+
+namespace endbox::crypto {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t mod) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % mod);
+}
+
+/// Deterministic Miller-Rabin witnesses valid for all 64-bit integers.
+constexpr std::uint64_t kWitnesses[] = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+
+std::uint64_t random_prime_31(Rng& rng) {
+  for (;;) {
+    std::uint64_t candidate = rng.uniform(1ULL << 30, (1ULL << 31) - 1) | 1ULL;
+    if (is_prime(candidate)) return candidate;
+  }
+}
+
+/// Extended Euclid: returns x with (a*x) % m == 1, or 0 if not invertible.
+std::uint64_t modinv(std::uint64_t a, std::uint64_t m) {
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m), new_r = static_cast<std::int64_t>(a);
+  while (new_r != 0) {
+    std::int64_t q = r / new_r;
+    t = std::exchange(new_t, t - q * new_t);
+    r = std::exchange(new_r, r - q * new_r);
+  }
+  if (r > 1) return 0;
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+/// Hash a message to an integer in [1, n).
+std::uint64_t hash_to_group(ByteView message, std::uint64_t n) {
+  auto digest = Sha256::hash(message);
+  std::uint64_t h = get_u64(digest.data());
+  h %= n;
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+std::uint64_t modexp(std::uint64_t base, std::uint64_t exp, std::uint64_t mod) {
+  if (mod == 1) return 0;
+  std::uint64_t result = 1;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, mod);
+    base = mulmod(base, base, mod);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) { d >>= 1; ++r; }
+  for (std::uint64_t a : kWitnesses) {
+    if (a % n == 0) continue;
+    std::uint64_t x = modexp(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) { composite = false; break; }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+Bytes RsaPublicKey::serialize() const {
+  Bytes out;
+  put_u64(out, n);
+  put_u64(out, e);
+  return out;
+}
+
+RsaPublicKey RsaPublicKey::deserialize(ByteView data) {
+  if (data.size() < 16) throw std::invalid_argument("RsaPublicKey: short buffer");
+  return RsaPublicKey{get_u64(data.data()), get_u64(data.data() + 8)};
+}
+
+RsaKeyPair rsa_generate(Rng& rng) {
+  for (;;) {
+    std::uint64_t p = random_prime_31(rng);
+    std::uint64_t q = random_prime_31(rng);
+    if (p == q) continue;
+    std::uint64_t n = p * q;
+    std::uint64_t phi = (p - 1) * (q - 1);
+    std::uint64_t e = 65537;
+    if (std::gcd(e, phi) != 1) continue;
+    std::uint64_t d = modinv(e, phi);
+    if (d == 0) continue;
+    return RsaKeyPair{RsaPublicKey{n, e}, d};
+  }
+}
+
+Bytes rsa_sign(const RsaKeyPair& key, ByteView message) {
+  std::uint64_t h = hash_to_group(message, key.pub.n);
+  std::uint64_t sig = modexp(h, key.d, key.pub.n);
+  Bytes out;
+  put_u64(out, sig);
+  return out;
+}
+
+bool rsa_verify(const RsaPublicKey& key, ByteView message, ByteView signature) {
+  if (signature.size() != 8 || key.n == 0) return false;
+  std::uint64_t sig = get_u64(signature.data());
+  if (sig >= key.n) return false;
+  return modexp(sig, key.e, key.n) == hash_to_group(message, key.n);
+}
+
+Bytes rsa_encrypt(const RsaPublicKey& key, std::uint64_t value) {
+  if (value >= key.n) throw std::invalid_argument("rsa_encrypt: value too large");
+  Bytes out;
+  put_u64(out, modexp(value, key.e, key.n));
+  return out;
+}
+
+std::uint64_t rsa_decrypt(const RsaKeyPair& key, ByteView ciphertext) {
+  if (ciphertext.size() != 8) throw std::invalid_argument("rsa_decrypt: bad size");
+  return modexp(get_u64(ciphertext.data()), key.d, key.pub.n);
+}
+
+}  // namespace endbox::crypto

@@ -1,0 +1,54 @@
+// Small-modulus RSA used for the attestation / certificate chain.
+//
+// The CA signs enclave public keys, the IAS signs attestation
+// verification reports, and config files carry CA signatures. A real
+// deployment uses 3072-bit RSA; for the simulation we use a structurally
+// identical textbook RSA over a ~62-bit modulus (two 31-bit primes, e =
+// 65537, modexp via unsigned __int128). It is NOT cryptographically
+// strong — it exists so that the key-management *protocol* (Fig 4 of the
+// paper) is executed for real: keygen in the enclave, quote carries the
+// public key, CA verifies and signs, client presents the certificate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace endbox::crypto {
+
+struct RsaPublicKey {
+  std::uint64_t n = 0;  ///< modulus
+  std::uint64_t e = 0;  ///< public exponent
+
+  Bytes serialize() const;
+  static RsaPublicKey deserialize(ByteView data);
+  bool operator==(const RsaPublicKey&) const = default;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  std::uint64_t d = 0;  ///< private exponent — never serialised
+};
+
+/// Generates a fresh key pair from two random 31-bit primes.
+RsaKeyPair rsa_generate(Rng& rng);
+
+/// Signs SHA-256(message) reduced mod n. Returns an 8-byte signature.
+Bytes rsa_sign(const RsaKeyPair& key, ByteView message);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, ByteView message, ByteView signature);
+
+/// Encrypts a short secret (< 8 bytes effective) to the public key.
+/// Used to provision the shared config key into the enclave (Fig 4, step 6).
+Bytes rsa_encrypt(const RsaPublicKey& key, std::uint64_t value);
+std::uint64_t rsa_decrypt(const RsaKeyPair& key, ByteView ciphertext);
+
+/// Exposed for tests: modular exponentiation via __int128.
+std::uint64_t modexp(std::uint64_t base, std::uint64_t exp, std::uint64_t mod);
+/// Exposed for tests: Miller-Rabin primality test.
+bool is_prime(std::uint64_t n);
+
+}  // namespace endbox::crypto

@@ -1,0 +1,33 @@
+#include "elements/context.hpp"
+
+#include "elements/device.hpp"
+#include "elements/ids_matcher.hpp"
+#include "elements/splitters.hpp"
+#include "elements/tls_decrypt.hpp"
+
+namespace endbox::elements {
+
+void register_endbox_elements(click::ElementRegistry& registry,
+                              ElementContext& context) {
+  registry.register_class("FromDevice", [] { return std::make_unique<FromDevice>(); });
+  registry.register_class("ToDevice",
+                          [&context] { return std::make_unique<ToDevice>(context); });
+  registry.register_class("IDSMatcher",
+                          [&context] { return std::make_unique<IDSMatcher>(context); });
+  registry.register_class("TrustedSplitter", [&context] {
+    return std::make_unique<TrustedSplitter>(context);
+  });
+  registry.register_class("UntrustedSplitter", [&context] {
+    return std::make_unique<UntrustedSplitter>(context);
+  });
+  registry.register_class("TLSDecrypt",
+                          [&context] { return std::make_unique<TLSDecrypt>(context); });
+}
+
+click::ElementRegistry make_endbox_registry(ElementContext& context) {
+  auto registry = click::ElementRegistry::with_standard_elements();
+  register_endbox_elements(registry, context);
+  return registry;
+}
+
+}  // namespace endbox::elements

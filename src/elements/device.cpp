@@ -1,0 +1,19 @@
+#include "elements/device.hpp"
+
+namespace endbox::elements {
+
+void FromDevice::push(int /*port*/, net::Packet&& packet) {
+  ++packets_;
+  output(0, std::move(packet));
+}
+
+void ToDevice::push(int port, net::Packet&& packet) {
+  // A packet arriving on input 1, or one marked dropped anywhere in the
+  // graph, was rejected by the middlebox functions.
+  bool accepted = port == 0 && !packet.dropped;
+  if (accepted) ++accepted_;
+  else ++rejected_;
+  if (context_.to_device) context_.to_device(std::move(packet), accepted);
+}
+
+}  // namespace endbox::elements

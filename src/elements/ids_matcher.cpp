@@ -1,0 +1,53 @@
+#include "elements/ids_matcher.hpp"
+
+#include <sstream>
+
+namespace endbox::elements {
+
+Status IDSMatcher::configure(const std::vector<std::string>& args) {
+  std::string ruleset_name;
+  drop_mode_ = false;
+  for (const auto& arg : args) {
+    std::istringstream in(arg);
+    std::string key;
+    in >> key;
+    if (key == "RULESET") {
+      if (!(in >> ruleset_name)) return err("IDSMatcher: RULESET needs a name");
+    } else if (key == "DROP") {
+      drop_mode_ = true;
+    } else {
+      return err("IDSMatcher: unknown argument '" + arg + "'");
+    }
+  }
+  if (ruleset_name.empty()) return err("IDSMatcher: RULESET argument required");
+  auto it = context_.rulesets.find(ruleset_name);
+  if (it == context_.rulesets.end())
+    return err("IDSMatcher: unknown ruleset '" + ruleset_name + "'");
+  engine_ = std::make_shared<idps::IdpsEngine>(it->second);
+  return {};
+}
+
+void IDSMatcher::push(int /*port*/, net::Packet&& packet) {
+  const Bytes& data =
+      packet.decrypted_payload.empty() ? packet.payload : packet.decrypted_payload;
+  bytes_scanned_ += data.size();
+
+  net::Packet probe = packet;  // inspect() reads header + payload
+  probe.payload = data;
+  auto verdict = engine_->inspect(probe);
+  if (verdict.matched) ++matches_;
+  if (verdict.drop || (drop_mode_ && verdict.matched)) {
+    packet.dropped = true;
+    output(1, std::move(packet));
+    return;
+  }
+  output(0, std::move(packet));
+}
+
+void IDSMatcher::take_state(Element& old_element) {
+  auto& old = static_cast<IDSMatcher&>(old_element);
+  bytes_scanned_ = old.bytes_scanned_;
+  matches_ = old.matches_;
+}
+
+}  // namespace endbox::elements

@@ -1,0 +1,42 @@
+// IDSMatcher: the paper's custom IDPS element (section V-B). Executes a
+// Snort rule set via the Aho-Corasick engine. Configuration:
+//
+//   IDSMatcher(RULESET community)         — alert-only
+//   IDSMatcher(RULESET community, DROP)   — drop on any match
+//
+// Scans the decrypted payload when TLSDecrypt ran upstream, otherwise
+// the raw payload. Matching packets exit output 1 (marked dropped) in
+// DROP mode; everything else exits output 0.
+#pragma once
+
+#include <memory>
+
+#include "click/element.hpp"
+#include "elements/context.hpp"
+#include "idps/engine.hpp"
+
+namespace endbox::elements {
+
+class IDSMatcher : public click::Element {
+ public:
+  explicit IDSMatcher(ElementContext& context) : context_(context) {}
+
+  std::string_view class_name() const override { return "IDSMatcher"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+  void take_state(Element& old_element) override;
+  int n_outputs() const override { return 2; }
+
+  const idps::IdpsEngine* engine() const { return engine_.get(); }
+  std::uint64_t bytes_scanned() const { return bytes_scanned_; }
+  std::uint64_t matches() const { return matches_; }
+
+ private:
+  ElementContext& context_;
+  std::shared_ptr<idps::IdpsEngine> engine_;  ///< shared across hot-swaps
+  bool drop_mode_ = false;
+  std::uint64_t bytes_scanned_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+}  // namespace endbox::elements

@@ -1,0 +1,48 @@
+#include "elements/tls_decrypt.hpp"
+
+#include "tls/session.hpp"
+
+namespace endbox::elements {
+
+Status TLSDecrypt::configure(const std::vector<std::string>& args) {
+  if (!args.empty()) return err("TLSDecrypt takes no arguments");
+  if (!context_.key_store) return err("TLSDecrypt: no session key store available");
+  return {};
+}
+
+void TLSDecrypt::push(int /*port*/, net::Packet&& packet) {
+  auto record = tls::TlsRecord::parse(packet.payload);
+  if (!record.ok() || record->content_type != 23) {
+    ++passthrough_;  // not TLS application data; forward untouched
+    output(0, std::move(packet));
+    return;
+  }
+  // Sessions are resolved through the flow_hint annotation, which the
+  // tunnel entry point sets to the TLS session id of the connection
+  // (real EndBox resolves by 5-tuple; our miniature TLS keys the store
+  // by session id).
+  auto keys = context_.key_store->get(packet.flow_hint);
+  if (!keys) {
+    ++key_misses_;  // keys not forwarded (vanilla client): cannot inspect
+    output(0, std::move(packet));
+    return;
+  }
+  auto plaintext = tls::open_record(*keys, *record);
+  if (!plaintext.ok()) {
+    ++key_misses_;
+    output(0, std::move(packet));
+    return;
+  }
+  packet.decrypted_payload = std::move(*plaintext);
+  ++decrypted_;
+  output(0, std::move(packet));
+}
+
+void TLSDecrypt::take_state(Element& old_element) {
+  auto& old = static_cast<TLSDecrypt&>(old_element);
+  decrypted_ = old.decrypted_;
+  passthrough_ = old.passthrough_;
+  key_misses_ = old.key_misses_;
+}
+
+}  // namespace endbox::elements

@@ -1,0 +1,38 @@
+// TLSDecrypt: the paper's "special Click element" (section III-D) that
+// decrypts application-level TLS traffic inside the enclave using
+// session keys forwarded by the client's instrumented TLS library.
+//
+// The element parses the packet payload as a TLS record, looks the
+// session up in the enclave key store and, on success, attaches the
+// plaintext to the packet's `decrypted_payload` annotation so that
+// downstream elements (IDSMatcher) inspect cleartext. The wire payload
+// is left untouched: end-to-end encryption is preserved — EndBox
+// inspects, it does not re-encrypt or MITM.
+#pragma once
+
+#include "click/element.hpp"
+#include "elements/context.hpp"
+
+namespace endbox::elements {
+
+class TLSDecrypt : public click::Element {
+ public:
+  explicit TLSDecrypt(ElementContext& context) : context_(context) {}
+
+  std::string_view class_name() const override { return "TLSDecrypt"; }
+  Status configure(const std::vector<std::string>& args) override;
+  void push(int port, net::Packet&& packet) override;
+  void take_state(Element& old_element) override;
+
+  std::uint64_t decrypted() const { return decrypted_; }
+  std::uint64_t passthrough() const { return passthrough_; }
+  std::uint64_t key_misses() const { return key_misses_; }
+
+ private:
+  ElementContext& context_;
+  std::uint64_t decrypted_ = 0;
+  std::uint64_t passthrough_ = 0;   ///< not TLS, or non-app-data records
+  std::uint64_t key_misses_ = 0;    ///< TLS but no session key forwarded
+};
+
+}  // namespace endbox::elements

@@ -1,0 +1,79 @@
+#include "endbox/configs.hpp"
+
+#include <sstream>
+
+namespace endbox {
+
+const char* use_case_name(UseCase use_case) {
+  switch (use_case) {
+    case UseCase::Nop: return "NOP";
+    case UseCase::Lb: return "LB";
+    case UseCase::Fw: return "FW";
+    case UseCase::Idps: return "IDPS";
+    case UseCase::Ddos: return "DDoS";
+    case UseCase::TlsIdps: return "TLS+IDPS";
+  }
+  return "?";
+}
+
+std::vector<std::string> firewall_rules_16() {
+  // TEST-NET-3 sources never appear in the 10.0.0.0/8 evaluation
+  // network, so every packet evaluates all 16 rules and passes.
+  std::vector<std::string> rules;
+  rules.reserve(16);
+  for (int i = 0; i < 16; ++i)
+    rules.push_back("drop src 203.0.113." + std::to_string(i * 8) + "/29");
+  return rules;
+}
+
+std::string use_case_config(UseCase use_case, bool trusted_time) {
+  std::ostringstream os;
+  os << "// EndBox middlebox configuration: " << use_case_name(use_case) << "\n";
+  os << "from_device :: FromDevice;\n";
+  os << "to_device :: ToDevice;\n";
+  switch (use_case) {
+    case UseCase::Nop:
+      os << "from_device -> to_device;\n";
+      break;
+    case UseCase::Lb:
+      os << "lb :: RoundRobinSwitch(4, FLOW);\n";
+      os << "from_device -> lb;\n";
+      for (int i = 0; i < 4; ++i) os << "lb[" << i << "] -> [0]to_device;\n";
+      break;
+    case UseCase::Fw: {
+      os << "fw :: IPFilter(";
+      auto rules = firewall_rules_16();
+      for (std::size_t i = 0; i < rules.size(); ++i)
+        os << (i ? ", " : "") << rules[i];
+      os << ");\n";
+      os << "from_device -> fw -> to_device;\n";
+      os << "fw[1] -> [1]to_device;\n";
+      break;
+    }
+    case UseCase::Idps:
+      os << "ids :: IDSMatcher(RULESET community);\n";
+      os << "from_device -> ids -> to_device;\n";
+      os << "ids[1] -> [1]to_device;\n";
+      break;
+    case UseCase::Ddos:
+      os << "ids :: IDSMatcher(RULESET community);\n";
+      if (trusted_time) {
+        os << "limiter :: TrustedSplitter(RATE 2e9, SAMPLE 500000);\n";
+      } else {
+        os << "limiter :: UntrustedSplitter(RATE 2e9);\n";
+      }
+      os << "from_device -> ids -> limiter -> to_device;\n";
+      os << "ids[1] -> [1]to_device;\n";
+      os << "limiter[1] -> [1]to_device;\n";
+      break;
+    case UseCase::TlsIdps:
+      os << "dec :: TLSDecrypt;\n";
+      os << "ids :: IDSMatcher(RULESET community, DROP);\n";
+      os << "from_device -> dec -> ids -> to_device;\n";
+      os << "ids[1] -> [1]to_device;\n";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace endbox

@@ -1,0 +1,33 @@
+// Canonical middlebox configurations for the paper's five evaluation
+// use cases (section V-B), expressed in the Click config language. All
+// configurations use `from_device`/`to_device` as graph entry/exit so
+// the enclave data path can drive any of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace endbox {
+
+enum class UseCase {
+  Nop,     ///< forwarding baseline
+  Lb,      ///< RoundRobinSwitch load balancing
+  Fw,      ///< IPFilter with 16 non-matching rules
+  Idps,    ///< IDSMatcher with the 377-rule community subset
+  Ddos,    ///< IDSMatcher + TrustedSplitter rate limiting
+  TlsIdps, ///< TLSDecrypt + IDSMatcher (encrypted traffic analysis)
+};
+
+const char* use_case_name(UseCase use_case);
+
+/// Click config text for a use case. IDPS-based configs reference the
+/// rule set name "community" (install it via ecall_add_ruleset).
+/// `trusted_time` picks TrustedSplitter (client) vs UntrustedSplitter
+/// (server-side comparison) for the DDoS use case.
+std::string use_case_config(UseCase use_case, bool trusted_time = true);
+
+/// The 16 firewall rules of the FW use case; none match evaluation
+/// traffic (10.0.0.0/8), isolating rule-evaluation cost.
+std::vector<std::string> firewall_rules_16();
+
+}  // namespace endbox

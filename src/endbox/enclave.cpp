@@ -1,0 +1,227 @@
+#include "endbox/enclave.hpp"
+
+namespace endbox {
+
+EndBoxEnclave::EndBoxEnclave(sgx::SgxPlatform& platform, sgx::SgxMode mode,
+                             crypto::RsaPublicKey ca_public_key, Rng& rng,
+                             Options options)
+    : sgx::Enclave(platform, std::string(kEndBoxEnclaveIdentity), mode),
+      rng_(rng),
+      ca_public_key_(ca_public_key),
+      options_(options),
+      enclave_key_(crypto::rsa_generate(rng)),
+      registry_(elements::make_endbox_registry(context_)),
+      routers_(registry_) {
+  context_.key_store = &key_store_;
+  context_.trusted_time = [this] {
+    // sgx_get_trusted_time is an ocall into the platform service.
+    count_ocall();
+    return this->platform().trusted_time();
+  };
+  context_.untrusted_time = [this] { return this->platform().trusted_time(); };
+  context_.to_device = [this](net::Packet&& packet, bool accepted) {
+    click_result_ = ClickOutcome{accepted, std::move(packet)};
+  };
+}
+
+const crypto::RsaPublicKey& EndBoxEnclave::ecall_public_key() {
+  EcallGuard guard(*this);
+  return enclave_key_.pub;
+}
+
+sgx::Report EndBoxEnclave::ecall_create_report() {
+  EcallGuard guard(*this);
+  return create_report(sgx::bind_report_data(enclave_key_.pub.serialize()));
+}
+
+Status EndBoxEnclave::ecall_store_provisioning(
+    const ca::ProvisioningResponse& response) {
+  EcallGuard guard(*this);
+  // Check the received certificate with the pre-deployed CA key (Fig 4,
+  // step 7 precondition).
+  if (!response.certificate.verify(ca_public_key_))
+    return err("provisioning: certificate not signed by the expected CA");
+  if (response.certificate.subject_key != enclave_key_.pub)
+    return err("provisioning: certificate is for a different key");
+  certificate_ = response.certificate;
+  config_key_ = crypto::rsa_decrypt(enclave_key_, response.encrypted_config_key);
+  return {};
+}
+
+Bytes EndBoxEnclave::ecall_sealed_credentials() {
+  EcallGuard guard(*this);
+  if (!certificate_) throw std::logic_error("not provisioned");
+  Bytes blob;
+  put_u64(blob, enclave_key_.pub.n);
+  put_u64(blob, enclave_key_.pub.e);
+  put_u64(blob, enclave_key_.d);
+  put_u64(blob, config_key_);
+  Bytes cert = certificate_->serialize();
+  put_u16(blob, static_cast<std::uint16_t>(cert.size()));
+  append(blob, cert);
+  return seal(blob);
+}
+
+Status EndBoxEnclave::ecall_restore_credentials(ByteView sealed) {
+  EcallGuard guard(*this);
+  auto blob = unseal(sealed);
+  if (!blob.ok()) return err("restore: " + blob.error());
+  try {
+    ByteReader r(*blob);
+    crypto::RsaKeyPair key;
+    key.pub.n = r.u64();
+    key.pub.e = r.u64();
+    key.d = r.u64();
+    std::uint64_t config_key = r.u64();
+    auto cert = ca::Certificate::deserialize(r.take(r.u16()));
+    if (!cert.ok()) return err("restore: " + cert.error());
+    if (!cert->verify(ca_public_key_)) return err("restore: stale certificate");
+    enclave_key_ = key;
+    config_key_ = config_key;
+    certificate_ = *cert;
+    return {};
+  } catch (const std::out_of_range&) {
+    return err("restore: truncated blob");
+  }
+}
+
+Status EndBoxEnclave::ecall_install_config(const config::ConfigBundle& bundle) {
+  EcallGuard guard(*this);
+  if (!certificate_) return err("install config: not provisioned");
+  // Rollback protection: versions increase monotonically (section III-E).
+  if (bundle.version <= config_version_)
+    return err("install config: version " + std::to_string(bundle.version) +
+               " is not newer than " + std::to_string(config_version_));
+  auto text = config::open_bundle(bundle, ca_public_key_, config_key_);
+  if (!text.ok()) return err("install config: " + text.error());
+
+  auto status = routers_.current() ? routers_.hot_swap(*text) : routers_.install(*text);
+  if (!status.ok()) return err("install config: " + status.error());
+  config_version_ = bundle.version;
+  if (session_) session_->set_config_version(bundle.version);
+
+  // EPC accounting: the in-memory config and element state live on the
+  // trusted heap (roughly proportional to config size).
+  free_epc(config_epc_bytes_);
+  config_epc_bytes_ = text->size() * 64 + 4096;
+  allocate_epc(config_epc_bytes_);
+  return {};
+}
+
+Result<Bytes> EndBoxEnclave::ecall_handshake_init(crypto::RsaPublicKey server_key) {
+  EcallGuard guard(*this);
+  if (!certificate_) return err("handshake: not provisioned (attestation required)");
+  if (!routers_.current()) return err("handshake: no middlebox configuration installed");
+  vpn::VpnClientConfig vpn_config;
+  vpn_config.min_version = options_.min_version;
+  vpn_config.encrypt_data = options_.encrypt_data;
+  vpn_config.mtu = options_.mtu;
+  vpn_config.config_version = config_version_;
+  session_.emplace(rng_, *certificate_, enclave_key_, server_key, vpn_config);
+  return session_->create_handshake_init().serialize();
+}
+
+Status EndBoxEnclave::ecall_handshake_reply(ByteView wire) {
+  EcallGuard guard(*this);
+  if (!session_) return err("handshake: no session in progress");
+  auto msg = vpn::WireMessage::parse(wire);
+  if (!msg.ok()) return err(msg.error());
+  return session_->process_handshake_reply(*msg);
+}
+
+EndBoxEnclave::ClickOutcome EndBoxEnclave::run_click(net::Packet&& packet) {
+  click_result_.reset();
+  if (!routers_.current() || !routers_.current()->push_to("from_device", std::move(packet)))
+    return ClickOutcome{false, {}};
+  if (!click_result_) return ClickOutcome{false, {}};  // packet discarded mid-graph
+  return std::move(*click_result_);
+}
+
+Result<EgressResult> EndBoxEnclave::ecall_process_egress(net::Packet packet) {
+  EcallGuard guard(*this);
+  if (!connected()) return err("egress: tunnel not established");
+  // Interface hardening: reject obviously malformed metadata before it
+  // reaches element code (Iago-style attacks, section IV-B).
+  if (packet.payload.size() > 512 * 1024) return err("egress: oversized packet");
+
+  auto outcome = run_click(std::move(packet));
+  EgressResult result;
+  result.accepted = outcome.accepted;
+  if (!outcome.accepted) {
+    ++rejected_;
+    return result;
+  }
+  if (options_.c2c_flagging) outcome.packet.set_processed_flag();
+  outcome.packet.decrypted_payload.clear();  // never leaks out of the enclave
+  result.messages = session_->seal_packet(outcome.packet.serialize());
+  return result;
+}
+
+Result<IngressResult> EndBoxEnclave::ecall_process_ingress(ByteView wire) {
+  EcallGuard guard(*this);
+  if (!connected()) return err("ingress: tunnel not established");
+  auto msg = vpn::WireMessage::parse(wire);
+  if (!msg.ok()) return err(msg.error());
+  if (msg->type == vpn::MsgType::Ping) return err("ingress: ping on data path");
+
+  auto opened = session_->open_data(*msg);
+  if (!opened.ok()) return err(opened.error());
+  IngressResult result;
+  if (!opened->has_value()) return result;  // fragment pending
+  result.complete = true;
+
+  auto packet = net::Packet::parse(**opened);
+  if (!packet.ok()) return err("ingress: " + packet.error());
+
+  // Client-to-client optimisation (section IV-A): packets flagged as
+  // already processed by the sender's EndBox bypass Click here.
+  if (options_.c2c_flagging && packet->processed_flag()) {
+    ++c2c_bypassed_;
+    result.accepted = true;
+    result.click_bypassed = true;
+    result.packet = std::move(*packet);
+    result.packet.clear_processed_flag();
+    return result;
+  }
+
+  auto outcome = run_click(std::move(*packet));
+  result.accepted = outcome.accepted;
+  if (outcome.accepted) {
+    result.packet = std::move(outcome.packet);
+  } else {
+    ++rejected_;
+  }
+  return result;
+}
+
+Result<Bytes> EndBoxEnclave::ecall_create_ping() {
+  EcallGuard guard(*this);
+  if (!connected()) return err("ping: tunnel not established");
+  return session_->create_ping().serialize();
+}
+
+Result<vpn::PingInfo> EndBoxEnclave::ecall_handle_ping(ByteView wire) {
+  EcallGuard guard(*this);
+  if (!connected()) return err("ping: tunnel not established");
+  auto msg = vpn::WireMessage::parse(wire);
+  if (!msg.ok()) return err(msg.error());
+  // Authenticity of ping messages is validated inside the enclave
+  // (section III-E) — crafted pings fail here.
+  return session_->process_ping(*msg);
+}
+
+Status EndBoxEnclave::ecall_forward_tls_key(const tls::SessionKeys& keys) {
+  EcallGuard guard(*this);
+  if (keys.enc_key.size() != 16 || keys.mac_key.size() != 32)
+    return err("forward key: malformed key material");
+  key_store_.put(keys);
+  return {};
+}
+
+void EndBoxEnclave::ecall_add_ruleset(const std::string& name,
+                                      std::vector<idps::SnortRule> rules) {
+  EcallGuard guard(*this);
+  context_.rulesets[name] = std::move(rules);
+}
+
+}  // namespace endbox

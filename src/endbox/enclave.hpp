@@ -1,0 +1,145 @@
+// The EndBox enclave: everything inside the green box of Fig 3.
+//
+// Trusted state: the enclave key pair, the CA-issued certificate, the
+// pre-shared config key, the VPN session (keys never leave), the Click
+// router with the middlebox configuration, and the TLS session-key
+// store. Every entry point is an ecall guarded for lifecycle and
+// counted for the perf model; input validation on each ecall mirrors
+// the paper's hardened interface (section IV-B).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ca/authority.hpp"
+#include "click/router.hpp"
+#include "config/bundle.hpp"
+#include "elements/context.hpp"
+#include "sgx/enclave.hpp"
+#include "tls/keystore.hpp"
+#include "vpn/client.hpp"
+
+namespace endbox {
+
+/// Code identity string of the canonical EndBox enclave build. The CA
+/// allow-lists its measurement.
+inline constexpr std::string_view kEndBoxEnclaveIdentity = "endbox-enclave-v1.0";
+
+/// Result of pushing one egress packet through the middlebox functions.
+struct EgressResult {
+  bool accepted = false;
+  std::vector<vpn::WireMessage> messages;  ///< empty when rejected
+};
+
+/// Result of processing one ingress tunnel message.
+struct IngressResult {
+  bool complete = false;        ///< false while a fragment group is pending
+  bool accepted = false;        ///< verdict of the middlebox functions
+  bool click_bypassed = false;  ///< skipped via the peer's QoS 0xeb flag
+  net::Packet packet;           ///< valid when complete && accepted
+};
+
+struct EnclaveOptions {
+  bool encrypt_data = true;  ///< false = ISP integrity-only mode
+  bool c2c_flagging = true;  ///< set/honour the QoS 0xeb flag
+  std::uint16_t min_version = vpn::kVersionTls12;
+  std::size_t mtu = 9000;
+};
+
+class EndBoxEnclave : public sgx::Enclave {
+ public:
+  using Options = EnclaveOptions;
+
+  EndBoxEnclave(sgx::SgxPlatform& platform, sgx::SgxMode mode,
+                crypto::RsaPublicKey ca_public_key, Rng& rng,
+                Options options = EnclaveOptions{});
+
+  // ---- Attestation & provisioning (Fig 4) ---------------------------
+  /// Step 1: key pair generated inside; the private key never leaves.
+  const crypto::RsaPublicKey& ecall_public_key();
+  /// Step 2: report binding the public key, for the Quoting Enclave.
+  sgx::Report ecall_create_report();
+  /// Steps 6-7: verify the certificate against the pre-deployed CA key,
+  /// decrypt the config key, seal the credentials.
+  Status ecall_store_provisioning(const ca::ProvisioningResponse& response);
+  bool provisioned() const { return certificate_.has_value(); }
+  /// Sealed credential blob (persisted by the untrusted host; only this
+  /// enclave can unseal it — attestation happens once, section III-C).
+  Bytes ecall_sealed_credentials();
+  Status ecall_restore_credentials(ByteView sealed);
+
+  // ---- Middlebox configuration (section III-E) ------------------------
+  /// Verifies, decrypts and hot-swaps a config bundle. Rejects version
+  /// rollback (monotonic versions enforced inside the enclave).
+  Status ecall_install_config(const config::ConfigBundle& bundle);
+  std::uint32_t config_version() const { return config_version_; }
+  const click::Router* router() const { return routers_.current(); }
+
+  // ---- VPN handshake ----------------------------------------------------
+  Result<Bytes> ecall_handshake_init(crypto::RsaPublicKey server_key);
+  Status ecall_handshake_reply(ByteView wire);
+  bool connected() const { return session_ && session_->established(); }
+
+  // ---- Data path (the 4 steps of Fig 3) -------------------------------
+  /// One ecall: copy in 1, Click 2, verdict 3, seal 4. Returns the
+  /// sealed tunnel messages for the untrusted side to transmit.
+  Result<EgressResult> ecall_process_egress(net::Packet packet);
+  /// One ecall: open, Click (unless the peer's QoS flag says it was
+  /// already processed), deliver.
+  Result<IngressResult> ecall_process_ingress(ByteView wire);
+
+  // ---- Control channel ---------------------------------------------------
+  Result<Bytes> ecall_create_ping();
+  Result<vpn::PingInfo> ecall_handle_ping(ByteView wire);
+
+  // ---- Encrypted traffic analysis (section III-D) ------------------------
+  /// Receives session keys forwarded by the instrumented TLS library
+  /// via the management interface.
+  Status ecall_forward_tls_key(const tls::SessionKeys& keys);
+
+  /// Registers a named IDPS rule set available to IDSMatcher configs.
+  void ecall_add_ruleset(const std::string& name,
+                         std::vector<idps::SnortRule> rules);
+
+  // ---- Introspection ----------------------------------------------------
+  const elements::ElementContext& element_context() const { return context_; }
+  const vpn::VpnClientSession* session() const {
+    return session_ ? &*session_ : nullptr;
+  }
+  std::uint64_t packets_rejected_by_click() const { return rejected_; }
+  std::uint64_t click_bypassed_ingress() const { return c2c_bypassed_; }
+
+ private:
+  struct ClickOutcome {
+    bool accepted = false;
+    net::Packet packet;
+  };
+  /// Pushes a packet through the current router; collects the ToDevice
+  /// verdict synchronously.
+  ClickOutcome run_click(net::Packet&& packet);
+
+  Rng& rng_;
+  crypto::RsaPublicKey ca_public_key_;
+  Options options_;
+
+  crypto::RsaKeyPair enclave_key_;
+  std::optional<ca::Certificate> certificate_;
+  std::uint64_t config_key_ = 0;
+
+  tls::SessionKeyStore key_store_;
+  elements::ElementContext context_;
+  click::ElementRegistry registry_;
+  click::RouterManager routers_;
+  std::uint32_t config_version_ = 0;
+  std::size_t config_epc_bytes_ = 0;
+
+  std::optional<vpn::VpnClientSession> session_;
+
+  // Scratch state for collecting the ToDevice verdict of one push.
+  std::optional<ClickOutcome> click_result_;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t c2c_bypassed_ = 0;
+};
+
+}  // namespace endbox

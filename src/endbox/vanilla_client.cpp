@@ -1,0 +1,73 @@
+#include "endbox/vanilla_client.hpp"
+
+namespace endbox {
+
+VanillaVpnClient::VanillaVpnClient(std::string name, Rng& rng, sim::CpuAccount& cpu,
+                                   const sim::PerfModel& model, std::size_t mtu)
+    : name_(std::move(name)),
+      rng_(rng),
+      cpu_(cpu),
+      model_(model),
+      mtu_(mtu),
+      key_(crypto::rsa_generate(rng)) {}
+
+Status VanillaVpnClient::enroll(ca::CertificateAuthority& authority) {
+  auto cert = authority.issue_legacy_certificate(key_.pub);
+  if (!cert.ok()) return err(cert.error());
+  certificate_ = *cert;
+  return {};
+}
+
+Result<Bytes> VanillaVpnClient::start_connect(const crypto::RsaPublicKey& server_key) {
+  if (!certificate_) return err("vanilla client: not enrolled");
+  vpn::VpnClientConfig config;
+  config.mtu = mtu_;
+  session_.emplace(rng_, *certificate_, key_, server_key, config);
+  return session_->create_handshake_init().serialize();
+}
+
+Status VanillaVpnClient::finish_connect(ByteView reply_wire) {
+  if (!session_) return err("vanilla client: no handshake in progress");
+  auto msg = vpn::WireMessage::parse(reply_wire);
+  if (!msg.ok()) return err(msg.error());
+  return session_->process_handshake_reply(*msg);
+}
+
+Result<VanillaVpnClient::SendResult> VanillaVpnClient::send_bytes(ByteView ip_packet,
+                                                                  sim::Time now) {
+  if (!connected()) return err("vanilla client: not connected");
+  auto messages = session_->seal_packet(ip_packet);
+  SendResult result;
+  double cycles =
+      static_cast<double>(messages.size()) * model_.vpn_packet_cycles +
+      model_.vpn_crypto_cycles_per_byte * static_cast<double>(ip_packet.size());
+  result.done = cpu_.charge(now, cycles);
+  result.wire.reserve(messages.size());
+  for (const auto& msg : messages) result.wire.push_back(msg.serialize());
+  return result;
+}
+
+Result<VanillaVpnClient::SendResult> VanillaVpnClient::send_packet(
+    const net::Packet& packet, sim::Time now) {
+  return send_bytes(packet.serialize(), now);
+}
+
+Result<VanillaVpnClient::RecvResult> VanillaVpnClient::receive_wire(ByteView wire,
+                                                                    sim::Time now) {
+  if (!connected()) return err("vanilla client: not connected");
+  auto msg = vpn::WireMessage::parse(wire);
+  if (!msg.ok()) return err(msg.error());
+  auto opened = session_->open_data(*msg);
+  if (!opened.ok()) return err(opened.error());
+  RecvResult result;
+  double cycles = model_.vpn_packet_cycles +
+                  model_.vpn_crypto_cycles_per_byte * static_cast<double>(wire.size());
+  result.done = cpu_.charge(now, cycles);
+  if (opened->has_value()) {
+    result.complete = true;
+    result.ip_packet = std::move(**opened);
+  }
+  return result;
+}
+
+}  // namespace endbox

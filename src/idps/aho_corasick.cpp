@@ -1,0 +1,107 @@
+#include "idps/aho_corasick.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace endbox::idps {
+
+void AhoCorasick::add_pattern(ByteView pattern, int pattern_id) {
+  if (built_) throw std::logic_error("AhoCorasick: add_pattern after build");
+  if (pattern.empty()) return;
+  std::int32_t state = 0;
+  for (std::uint8_t byte : pattern) {
+    std::int32_t next = nodes_[static_cast<std::size_t>(state)].next[byte];
+    if (next < 0) {
+      next = static_cast<std::int32_t>(nodes_.size());
+      nodes_[static_cast<std::size_t>(state)].next[byte] = next;
+      nodes_.emplace_back();
+    }
+    state = next;
+  }
+  std::int32_t index = static_cast<std::int32_t>(pattern_ids_.size());
+  pattern_ids_.push_back(pattern_id);
+  pattern_lengths_.push_back(pattern.size());
+  nodes_[static_cast<std::size_t>(state)].outputs.push_back(index);
+}
+
+void AhoCorasick::build() {
+  if (built_) return;
+  std::queue<std::int32_t> bfs;
+  // Depth-1 nodes fail to the root; missing root edges loop to root.
+  for (int byte = 0; byte < 256; ++byte) {
+    std::int32_t child = nodes_[0].next[byte];
+    if (child < 0) {
+      nodes_[0].next[byte] = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(child)].fail = 0;
+      bfs.push(child);
+    }
+  }
+  while (!bfs.empty()) {
+    std::int32_t state = bfs.front();
+    bfs.pop();
+    Node& node = nodes_[static_cast<std::size_t>(state)];
+    // Output link: nearest proper-suffix state that has outputs.
+    const Node& fail_node = nodes_[static_cast<std::size_t>(node.fail)];
+    node.output_link = fail_node.outputs.empty() ? fail_node.output_link : node.fail;
+
+    for (int byte = 0; byte < 256; ++byte) {
+      std::int32_t child = node.next[byte];
+      std::int32_t fail_next = nodes_[static_cast<std::size_t>(node.fail)].next[byte];
+      if (child < 0) {
+        node.next[byte] = fail_next;  // goto-function completion
+      } else {
+        nodes_[static_cast<std::size_t>(child)].fail = fail_next;
+        bfs.push(child);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::int32_t AhoCorasick::step(std::int32_t state, std::uint8_t byte) const {
+  return nodes_[static_cast<std::size_t>(state)].next[byte];
+}
+
+std::size_t AhoCorasick::match(
+    ByteView text, const std::function<bool(const AcMatch&)>& on_match) const {
+  if (!built_) throw std::logic_error("AhoCorasick: match before build");
+  std::size_t count = 0;
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = step(state, text[i]);
+    for (std::int32_t s = state; s >= 0;
+         s = nodes_[static_cast<std::size_t>(s)].output_link) {
+      for (std::int32_t index : nodes_[static_cast<std::size_t>(s)].outputs) {
+        ++count;
+        if (!on_match(
+                {pattern_ids_[static_cast<std::size_t>(index)], i + 1}))
+          return count;
+      }
+      if (nodes_[static_cast<std::size_t>(s)].outputs.empty() &&
+          nodes_[static_cast<std::size_t>(s)].output_link < 0)
+        break;
+    }
+  }
+  return count;
+}
+
+std::vector<AcMatch> AhoCorasick::match(ByteView text) const {
+  std::vector<AcMatch> matches;
+  match(text, [&](const AcMatch& m) {
+    matches.push_back(m);
+    return true;
+  });
+  return matches;
+}
+
+bool AhoCorasick::contains_any(ByteView text) const {
+  bool found = false;
+  match(text, [&](const AcMatch&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace endbox::idps

@@ -1,0 +1,63 @@
+// Aho-Corasick multi-pattern string matching (the paper's IDPS executes
+// Snort rule sets with this algorithm, citing Aho & Corasick 1975).
+// Built from scratch: trie + BFS failure links + output links.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace endbox::idps {
+
+struct AcMatch {
+  int pattern_id;
+  std::size_t end_offset;  ///< offset one past the last matched byte
+};
+
+class AhoCorasick {
+ public:
+  /// Adds a pattern with a caller-chosen id. Must be called before
+  /// build(); empty patterns are ignored.
+  void add_pattern(ByteView pattern, int pattern_id);
+
+  /// Computes failure/output links. Idempotent; called automatically by
+  /// match() if needed.
+  void build();
+
+  /// Finds all pattern occurrences in `text` (overlaps included).
+  std::vector<AcMatch> match(ByteView text) const;
+
+  /// Streaming variant: invokes `on_match` per occurrence; returns the
+  /// number of matches. Stops early if `on_match` returns false.
+  std::size_t match(ByteView text,
+                    const std::function<bool(const AcMatch&)>& on_match) const;
+
+  /// True when any pattern occurs (early exit on first hit).
+  bool contains_any(ByteView text) const;
+
+  std::size_t pattern_count() const { return pattern_lengths_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  bool built() const { return built_; }
+
+ private:
+  struct Node {
+    std::array<std::int32_t, 256> next;
+    std::int32_t fail = 0;
+    std::int32_t output_link = -1;       ///< nearest suffix node with output
+    std::vector<std::int32_t> outputs;   ///< pattern indices ending here
+
+    Node() { next.fill(-1); }
+  };
+
+  std::int32_t step(std::int32_t state, std::uint8_t byte) const;
+
+  std::vector<Node> nodes_{1};
+  std::vector<int> pattern_ids_;
+  std::vector<std::size_t> pattern_lengths_;
+  bool built_ = false;
+};
+
+}  // namespace endbox::idps

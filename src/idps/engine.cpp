@@ -1,0 +1,87 @@
+#include "idps/engine.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace endbox::idps {
+
+namespace {
+Bytes to_lower(ByteView data) {
+  Bytes out(data.begin(), data.end());
+  for (auto& b : out) b = static_cast<std::uint8_t>(std::tolower(b));
+  return out;
+}
+}  // namespace
+
+IdpsEngine::IdpsEngine(std::vector<SnortRule> rules) : rules_(std::move(rules)) {
+  if (rules_.size() > (1u << 23))
+    throw std::invalid_argument("IdpsEngine: too many rules");
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const auto& contents = rules_[r].contents;
+    if (contents.size() > 255)
+      throw std::invalid_argument("IdpsEngine: too many contents in rule");
+    for (std::size_t c = 0; c < contents.size(); ++c) {
+      int id = static_cast<int>(r << 8 | c);
+      if (contents[c].nocase) {
+        ci_automaton_.add_pattern(to_lower(contents[c].bytes), id);
+      } else {
+        cs_automaton_.add_pattern(contents[c].bytes, id);
+      }
+    }
+  }
+  cs_automaton_.build();
+  ci_automaton_.build();
+}
+
+bool IdpsEngine::header_matches(const SnortRule& rule,
+                                const net::Packet& packet) const {
+  if (rule.proto && packet.proto != *rule.proto) return false;
+  if (!rule.src.matches(packet.src)) return false;
+  if (!rule.dst.matches(packet.dst)) return false;
+  if (packet.proto != net::IpProto::Icmp) {
+    if (!rule.src_port.matches(packet.src_port)) return false;
+    if (!rule.dst_port.matches(packet.dst_port)) return false;
+  }
+  return true;
+}
+
+IdpsVerdict IdpsEngine::inspect(const net::Packet& packet) {
+  ++packets_inspected_;
+
+  // Per-rule bitmask of matched content indices; sized lazily to the
+  // rules that actually had content hits.
+  std::vector<std::uint64_t> content_hits(rules_.size(), 0);
+  bool any_hit = false;
+  auto record = [&](const AcMatch& m) {
+    std::size_t rule_index = static_cast<std::size_t>(m.pattern_id) >> 8;
+    std::size_t content_index = static_cast<std::size_t>(m.pattern_id) & 0xff;
+    if (content_index < 64) content_hits[rule_index] |= 1ull << content_index;
+    any_hit = true;
+    return true;
+  };
+  cs_automaton_.match(packet.payload, record);
+  if (ci_automaton_.pattern_count() > 0)
+    ci_automaton_.match(to_lower(packet.payload), record);
+
+  IdpsVerdict verdict;
+  if (!any_hit) return verdict;
+
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const SnortRule& rule = rules_[r];
+    if (rule.contents.empty()) continue;
+    std::uint64_t want =
+        rule.contents.size() >= 64 ? ~0ull : (1ull << rule.contents.size()) - 1;
+    if ((content_hits[r] & want) != want) continue;
+    if (!header_matches(rule, packet)) continue;
+    if (!verdict.matched) {
+      verdict.matched = true;
+      verdict.sid = rule.sid;
+    }
+    if (rule.action == RuleAction::Drop) verdict.drop = true;
+    if (rule.action == RuleAction::Alert) ++alerts_;
+  }
+  if (verdict.drop) ++drops_;
+  return verdict;
+}
+
+}  // namespace endbox::idps

@@ -1,0 +1,50 @@
+// IDPS matching engine: compiles a Snort rule set into Aho-Corasick
+// automatons (one case-sensitive, one case-insensitive) and evaluates
+// packets. A rule fires when its header constraints match AND all of
+// its content patterns occur in the payload. Drop rules mark the
+// packet; alert rules record an event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "idps/aho_corasick.hpp"
+#include "idps/snort_rules.hpp"
+#include "net/packet.hpp"
+
+namespace endbox::idps {
+
+struct IdpsVerdict {
+  bool matched = false;   ///< some rule fired
+  bool drop = false;      ///< a drop rule fired
+  std::uint32_t sid = 0;  ///< first firing rule's sid
+};
+
+class IdpsEngine {
+ public:
+  explicit IdpsEngine(std::vector<SnortRule> rules);
+
+  /// Evaluates one packet; also tallies alert/drop statistics.
+  IdpsVerdict inspect(const net::Packet& packet);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::uint64_t packets_inspected() const { return packets_inspected_; }
+  std::uint64_t alerts() const { return alerts_; }
+  std::uint64_t drops() const { return drops_; }
+  std::size_t automaton_nodes() const {
+    return cs_automaton_.node_count() + ci_automaton_.node_count();
+  }
+
+ private:
+  bool header_matches(const SnortRule& rule, const net::Packet& packet) const;
+
+  std::vector<SnortRule> rules_;
+  // Pattern ids encode (rule index << 8 | content index within rule).
+  AhoCorasick cs_automaton_;  ///< case-sensitive patterns
+  AhoCorasick ci_automaton_;  ///< nocase patterns, stored lower-cased
+  std::uint64_t packets_inspected_ = 0;
+  std::uint64_t alerts_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace endbox::idps

@@ -1,0 +1,309 @@
+#include "idps/snort_rules.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace endbox::idps {
+
+namespace {
+
+/// Built-in variable table mirroring the evaluation network layout.
+struct Variable {
+  std::string_view name;
+  std::string_view value;
+};
+constexpr Variable kVariables[] = {
+    {"$HOME_NET", "10.0.0.0/8"},
+    {"$EXTERNAL_NET", "any"},
+    {"$HTTP_PORTS", "80"},
+    {"$SSH_PORTS", "22"},
+};
+
+std::string resolve_variable(const std::string& token) {
+  for (const auto& v : kVariables)
+    if (token == v.name) return std::string(v.value);
+  return token;
+}
+
+Result<AddressSpec> parse_address(std::string token) {
+  AddressSpec spec;
+  if (!token.empty() && token[0] == '!') {
+    spec.negated = true;
+    token = token.substr(1);
+  }
+  token = resolve_variable(token);
+  if (token == "any") {
+    spec.any = true;
+    if (spec.negated) return err("'!any' matches nothing");
+    return spec;
+  }
+  spec.any = false;
+  std::string addr_text = token;
+  if (auto slash = token.find('/'); slash != std::string::npos) {
+    addr_text = token.substr(0, slash);
+    try {
+      int prefix = std::stoi(token.substr(slash + 1));
+      if (prefix < 0 || prefix > 32) return err("bad prefix in '" + token + "'");
+      spec.prefix = static_cast<unsigned>(prefix);
+    } catch (...) {
+      return err("bad prefix in '" + token + "'");
+    }
+  }
+  auto addr = net::Ipv4::parse(addr_text);
+  if (!addr) return err("bad address '" + addr_text + "'");
+  spec.addr = *addr;
+  return spec;
+}
+
+Result<PortSpec> parse_port(std::string token) {
+  PortSpec spec;
+  token = resolve_variable(token);
+  if (token == "any") return spec;
+  try {
+    int port = std::stoi(token);
+    if (port < 0 || port > 65535) return err("port out of range '" + token + "'");
+    spec.any = false;
+    spec.port = static_cast<std::uint16_t>(port);
+  } catch (...) {
+    return err("bad port '" + token + "'");
+  }
+  return spec;
+}
+
+/// Decodes a Snort content string: plain characters plus |AA BB| hex runs.
+Result<Bytes> decode_content(const std::string& text) {
+  Bytes out;
+  bool in_hex = false;
+  std::string hex_run;
+  for (char c : text) {
+    if (c == '|') {
+      if (in_hex) {
+        std::string compact;
+        for (char h : hex_run)
+          if (!std::isspace(static_cast<unsigned char>(h))) compact.push_back(h);
+        auto bytes = from_hex(compact);
+        if (!bytes) return err("bad hex escape |" + hex_run + "|");
+        append(out, *bytes);
+        hex_run.clear();
+      }
+      in_hex = !in_hex;
+    } else if (in_hex) {
+      hex_run.push_back(c);
+    } else {
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+  if (in_hex) return err("unterminated hex escape in content");
+  if (out.empty()) return err("empty content pattern");
+  return out;
+}
+
+/// Splits the option block on ';' at top level (quotes protected).
+std::vector<std::string> split_options(const std::string& block) {
+  std::vector<std::string> options;
+  std::string current;
+  bool in_quote = false;
+  for (char c : block) {
+    if (c == '"') in_quote = !in_quote;
+    if (c == ';' && !in_quote) {
+      options.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) options.push_back(current);
+  return options;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+/// Extracts the value of `key:value`; quotes around value are stripped.
+std::optional<std::string> option_value(const std::string& option,
+                                        std::string_view key) {
+  auto colon = option.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  if (trim(option.substr(0, colon)) != key) return std::nullopt;
+  std::string value = trim(option.substr(colon + 1));
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"')
+    value = value.substr(1, value.size() - 2);
+  return value;
+}
+
+}  // namespace
+
+Result<SnortRule> parse_snort_rule(const std::string& line) {
+  auto paren = line.find('(');
+  if (paren == std::string::npos || line.back() != ')')
+    return err("rule missing (options) block");
+  std::string header = trim(line.substr(0, paren));
+  std::string options_block = line.substr(paren + 1, line.size() - paren - 2);
+
+  std::istringstream in(header);
+  std::string action_text, proto_text, src_text, sport_text, arrow, dst_text, dport_text;
+  if (!(in >> action_text >> proto_text >> src_text >> sport_text >> arrow >>
+        dst_text >> dport_text))
+    return err("malformed rule header: '" + header + "'");
+  std::string extra;
+  if (in >> extra) return err("trailing token '" + extra + "' in rule header");
+  if (arrow != "->") return err("expected '->' in rule header");
+
+  SnortRule rule;
+  if (action_text == "alert") rule.action = RuleAction::Alert;
+  else if (action_text == "drop") rule.action = RuleAction::Drop;
+  else if (action_text == "pass") rule.action = RuleAction::Pass;
+  else return err("unknown action '" + action_text + "'");
+
+  if (proto_text == "tcp") rule.proto = net::IpProto::Tcp;
+  else if (proto_text == "udp") rule.proto = net::IpProto::Udp;
+  else if (proto_text == "icmp") rule.proto = net::IpProto::Icmp;
+  else if (proto_text == "ip") rule.proto = std::nullopt;
+  else return err("unknown protocol '" + proto_text + "'");
+
+  auto src = parse_address(src_text);
+  if (!src.ok()) return err(src.error());
+  rule.src = *src;
+  auto dst = parse_address(dst_text);
+  if (!dst.ok()) return err(dst.error());
+  rule.dst = *dst;
+  auto sport = parse_port(sport_text);
+  if (!sport.ok()) return err(sport.error());
+  rule.src_port = *sport;
+  auto dport = parse_port(dport_text);
+  if (!dport.ok()) return err(dport.error());
+  rule.dst_port = *dport;
+
+  for (const auto& raw_option : split_options(options_block)) {
+    std::string option = trim(raw_option);
+    if (option.empty()) continue;
+    if (auto msg = option_value(option, "msg")) {
+      rule.msg = *msg;
+    } else if (auto content = option_value(option, "content")) {
+      auto bytes = decode_content(*content);
+      if (!bytes.ok()) return err(bytes.error());
+      rule.contents.push_back({*bytes, false});
+    } else if (option == "nocase") {
+      if (rule.contents.empty()) return err("nocase before any content");
+      rule.contents.back().nocase = true;
+    } else if (auto sid = option_value(option, "sid")) {
+      try {
+        rule.sid = static_cast<std::uint32_t>(std::stoul(*sid));
+      } catch (...) {
+        return err("bad sid '" + *sid + "'");
+      }
+    } else {
+      // Unknown options (rev, classtype, metadata...) are tolerated and
+      // ignored, as Snort deployments carry many rule annotations.
+      if (option.find(':') == std::string::npos && option.find('"') != std::string::npos)
+        return err("malformed option '" + option + "'");
+    }
+  }
+  if (rule.sid == 0) return err("rule missing sid");
+  return rule;
+}
+
+Result<std::vector<SnortRule>> parse_snort_ruleset(const std::string& text) {
+  std::vector<SnortRule> rules;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto rule = parse_snort_rule(trimmed);
+    if (!rule.ok())
+      return err("line " + std::to_string(line_number) + ": " + rule.error());
+    rules.push_back(std::move(*rule));
+  }
+  return rules;
+}
+
+std::vector<SnortRule> generate_community_ruleset(std::size_t count, Rng& rng) {
+  // Token pools modelled on community-rule content strings. Generated
+  // payloads in the evaluation are random alphanumerics, which these
+  // multi-character tokens never match (mirroring section V-B: "the
+  // rules do not match packets generated for our evaluation").
+  static const char* kPrefixes[] = {"/bin/", "cmd.exe /c ", "SELECT * FROM ",
+                                    "<script>", "\\x90\\x90", "GET /admin/",
+                                    "POST /cgi-bin/", "%u9090", "../../etc/",
+                                    "powershell -enc "};
+  static const char* kSuffixes[] = {"shadow", "passwd", "exploit", "payload",
+                                    "shellcode", "backdoor", "meterpreter",
+                                    "trojan", "miner", "botnet"};
+  std::vector<SnortRule> rules;
+  rules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SnortRule rule;
+    rule.action = (i % 7 == 0) ? RuleAction::Drop : RuleAction::Alert;
+    switch (i % 3) {
+      case 0: rule.proto = net::IpProto::Tcp; break;
+      case 1: rule.proto = net::IpProto::Udp; break;
+      default: rule.proto = std::nullopt; break;
+    }
+    rule.src.any = true;
+    rule.dst.any = true;
+    if (i % 5 == 0) {
+      rule.dst_port.any = false;
+      rule.dst_port.port = static_cast<std::uint16_t>(rng.uniform(1, 1024));
+    }
+    std::string content = std::string(kPrefixes[rng.uniform(0, 9)]) +
+                          kSuffixes[rng.uniform(0, 9)] + "_" + std::to_string(i);
+    rule.contents.push_back({to_bytes(content), i % 4 == 0});
+    if (i % 11 == 0)
+      rule.contents.push_back({to_bytes("X-Evil-Header-" + std::to_string(i)), false});
+    rule.msg = "COMMUNITY rule " + std::to_string(i);
+    rule.sid = static_cast<std::uint32_t>(2000000 + i);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::string format_snort_rule(const SnortRule& rule) {
+  std::ostringstream os;
+  switch (rule.action) {
+    case RuleAction::Alert: os << "alert"; break;
+    case RuleAction::Drop: os << "drop"; break;
+    case RuleAction::Pass: os << "pass"; break;
+  }
+  if (!rule.proto) os << " ip";
+  else if (*rule.proto == net::IpProto::Tcp) os << " tcp";
+  else if (*rule.proto == net::IpProto::Udp) os << " udp";
+  else os << " icmp";
+
+  auto addr = [&](const AddressSpec& a) {
+    if (a.any) return std::string("any");
+    std::string s = (a.negated ? "!" : "") + a.addr.str();
+    if (a.prefix != 32) s += "/" + std::to_string(a.prefix);
+    return s;
+  };
+  auto port = [&](const PortSpec& p) {
+    return p.any ? std::string("any") : std::to_string(p.port);
+  };
+  os << " " << addr(rule.src) << " " << port(rule.src_port) << " -> "
+     << addr(rule.dst) << " " << port(rule.dst_port) << " (";
+  if (!rule.msg.empty()) os << "msg:\"" << rule.msg << "\"; ";
+  for (const auto& content : rule.contents) {
+    os << "content:\"";
+    for (std::uint8_t b : content.bytes) {
+      if (b >= 0x20 && b < 0x7f && b != '"' && b != '|' && b != ';') {
+        os << static_cast<char>(b);
+      } else {
+        char hex[8];
+        std::snprintf(hex, sizeof hex, "|%02X|", b);
+        os << hex;
+      }
+    }
+    os << "\"; ";
+    if (content.nocase) os << "nocase; ";
+  }
+  os << "sid:" << rule.sid << ";)";
+  return os.str();
+}
+
+}  // namespace endbox::idps

@@ -1,0 +1,83 @@
+// Parser for the Snort rule subset EndBox's IDSMatcher supports.
+//
+// Supported rule shape (a practical subset of Snort 2.x syntax):
+//
+//   <action> <proto> <src_ip> <src_port> -> <dst_ip> <dst_port>
+//       (msg:"..."; content:"..."; [nocase;] [content:"...";] sid:N;)
+//
+//   action  := alert | drop | pass
+//   proto   := tcp | udp | icmp | ip
+//   ip      := any | A.B.C.D[/LEN] | $HOME_NET | $EXTERNAL_NET
+//   port    := any | N | $HTTP_PORTS
+//
+// Content strings support Snort's |AA BB| hex-byte escapes. Variables
+// resolve against a small built-in table ($HOME_NET -> 10.0.0.0/8 etc.)
+// matching the evaluation set-up. A synthetic generator stands in for
+// the Snort community rule set (377-rule subset, section V-B).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "net/ip.hpp"
+
+namespace endbox::idps {
+
+enum class RuleAction { Alert, Drop, Pass };
+
+struct ContentPattern {
+  Bytes bytes;
+  bool nocase = false;
+};
+
+struct AddressSpec {
+  bool any = true;
+  net::Ipv4 addr;
+  unsigned prefix = 32;
+  bool negated = false;
+
+  bool matches(net::Ipv4 ip) const {
+    if (any) return true;
+    bool in = ip.in_subnet(addr, prefix);
+    return negated ? !in : in;
+  }
+};
+
+struct PortSpec {
+  bool any = true;
+  std::uint16_t port = 0;
+
+  bool matches(std::uint16_t p) const { return any || p == port; }
+};
+
+struct SnortRule {
+  RuleAction action = RuleAction::Alert;
+  std::optional<net::IpProto> proto;  ///< nullopt = "ip" (any protocol)
+  AddressSpec src, dst;
+  PortSpec src_port, dst_port;
+  std::string msg;
+  std::vector<ContentPattern> contents;
+  std::uint32_t sid = 0;
+};
+
+/// Parses a single rule line.
+Result<SnortRule> parse_snort_rule(const std::string& line);
+
+/// Parses a rule file: one rule per line; '#' comments and blank lines
+/// are skipped. Fails on the first malformed rule, reporting its line.
+Result<std::vector<SnortRule>> parse_snort_ruleset(const std::string& text);
+
+/// Deterministically generates a community-ruleset-like set of `count`
+/// rules whose content strings are drawn from realistic exploit tokens;
+/// none of them match benign random payloads (the evaluation uses a
+/// 377-rule subset that matches no generated traffic).
+std::vector<SnortRule> generate_community_ruleset(std::size_t count, Rng& rng);
+
+/// Renders a rule back to Snort syntax (for config files and tests).
+std::string format_snort_rule(const SnortRule& rule);
+
+}  // namespace endbox::idps

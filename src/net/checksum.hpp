@@ -1,0 +1,13 @@
+// Internet checksum (RFC 1071) for IP/ICMP headers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace endbox::net {
+
+/// One's-complement sum over 16-bit words, as used by IPv4 and ICMP.
+std::uint16_t internet_checksum(ByteView data);
+
+}  // namespace endbox::net

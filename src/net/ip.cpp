@@ -1,0 +1,24 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+
+namespace endbox::net {
+
+std::string Ipv4::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", addr_ >> 24 & 0xff,
+                addr_ >> 16 & 0xff, addr_ >> 8 & 0xff, addr_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4> Ipv4::parse(const std::string& text) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4)
+    return std::nullopt;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return Ipv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+}  // namespace endbox::net

@@ -1,0 +1,54 @@
+// IPv4 address and protocol constants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace endbox::net {
+
+/// IPv4 address stored in host order for arithmetic convenience;
+/// serialisation converts to network order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+              static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  constexpr std::uint32_t value() const { return addr_; }
+  std::string str() const;
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4> parse(const std::string& text);
+
+  constexpr bool operator==(const Ipv4&) const = default;
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  /// True when this address is inside `prefix`/`prefix_len`.
+  constexpr bool in_subnet(Ipv4 prefix, unsigned prefix_len) const {
+    if (prefix_len == 0) return true;
+    std::uint32_t mask = prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return (addr_ & mask) == (prefix.addr_ & mask);
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+enum class IpProto : std::uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+};
+
+}  // namespace endbox::net
+
+template <>
+struct std::hash<endbox::net::Ipv4> {
+  std::size_t operator()(const endbox::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,214 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+#include "net/checksum.hpp"
+
+namespace endbox::net {
+
+std::size_t Packet::l4_header_size() const {
+  switch (proto) {
+    case IpProto::Tcp: return kTcpHeaderSize;
+    case IpProto::Udp: return kUdpHeaderSize;
+    case IpProto::Icmp: return kIcmpHeaderSize;
+  }
+  return 0;
+}
+
+Bytes Packet::serialize() const {
+  Bytes out;
+  out.reserve(wire_size());
+
+  // IPv4 header (no options, IHL = 5).
+  out.push_back(0x45);
+  out.push_back(tos);
+  put_u16(out, static_cast<std::uint16_t>(wire_size()));
+  put_u16(out, ip_id);
+  put_u16(out, 0);  // flags + fragment offset (fragmentation happens at VPN layer)
+  out.push_back(ttl);
+  out.push_back(static_cast<std::uint8_t>(proto));
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src.value());
+  put_u32(out, dst.value());
+  std::uint16_t ip_csum = internet_checksum(ByteView(out.data(), kIpv4HeaderSize));
+  out[10] = static_cast<std::uint8_t>(ip_csum >> 8);
+  out[11] = static_cast<std::uint8_t>(ip_csum);
+
+  switch (proto) {
+    case IpProto::Tcp: {
+      put_u16(out, src_port);
+      put_u16(out, dst_port);
+      put_u32(out, seq);
+      put_u32(out, ack);
+      out.push_back(0x50);  // data offset = 5 words
+      out.push_back(tcp_flags);
+      put_u16(out, 0xffff);  // window
+      put_u16(out, 0);       // checksum (not computed; tunnel MAC covers it)
+      put_u16(out, 0);       // urgent pointer
+      break;
+    }
+    case IpProto::Udp: {
+      put_u16(out, src_port);
+      put_u16(out, dst_port);
+      put_u16(out, static_cast<std::uint16_t>(kUdpHeaderSize + payload.size()));
+      put_u16(out, 0);  // checksum optional in IPv4
+      break;
+    }
+    case IpProto::Icmp: {
+      std::size_t icmp_start = out.size();
+      out.push_back(icmp_type);
+      out.push_back(icmp_code);
+      put_u16(out, 0);  // checksum placeholder
+      put_u16(out, icmp_id);
+      put_u16(out, icmp_seq);
+      // ICMP checksum covers header + payload.
+      Bytes csum_buf(out.begin() + static_cast<std::ptrdiff_t>(icmp_start), out.end());
+      append(csum_buf, payload);
+      std::uint16_t csum = internet_checksum(csum_buf);
+      out[icmp_start + 2] = static_cast<std::uint8_t>(csum >> 8);
+      out[icmp_start + 3] = static_cast<std::uint8_t>(csum);
+      break;
+    }
+  }
+  append(out, payload);
+  return out;
+}
+
+Result<Packet> Packet::parse(ByteView wire) {
+  if (wire.size() < kIpv4HeaderSize) return err("packet shorter than IPv4 header");
+  if ((wire[0] >> 4) != 4) return err("not an IPv4 packet");
+  std::size_t ihl = static_cast<std::size_t>(wire[0] & 0xf) * 4;
+  if (ihl != kIpv4HeaderSize) return err("IP options unsupported");
+  if (internet_checksum(wire.subspan(0, kIpv4HeaderSize)) != 0)
+    return err("bad IPv4 header checksum");
+
+  Packet p;
+  p.tos = wire[1];
+  std::uint16_t total_len = get_u16(wire.data() + 2);
+  if (total_len > wire.size() || total_len < kIpv4HeaderSize)
+    return err("bad IPv4 total length");
+  p.ip_id = get_u16(wire.data() + 4);
+  p.ttl = wire[8];
+  std::uint8_t proto_num = wire[9];
+  p.src = Ipv4(get_u32(wire.data() + 12));
+  p.dst = Ipv4(get_u32(wire.data() + 16));
+
+  ByteReader r(wire.subspan(kIpv4HeaderSize, total_len - kIpv4HeaderSize));
+  try {
+    switch (proto_num) {
+      case 6: {
+        p.proto = IpProto::Tcp;
+        p.src_port = r.u16();
+        p.dst_port = r.u16();
+        p.seq = r.u32();
+        p.ack = r.u32();
+        std::uint8_t offset_words = static_cast<std::uint8_t>(r.u8() >> 4);
+        if (offset_words != 5) return err("TCP options unsupported");
+        p.tcp_flags = r.u8();
+        r.u16();  // window
+        r.u16();  // checksum
+        r.u16();  // urgent
+        break;
+      }
+      case 17: {
+        p.proto = IpProto::Udp;
+        p.src_port = r.u16();
+        p.dst_port = r.u16();
+        std::uint16_t udp_len = r.u16();
+        // After reading sport/dport/len, the reader still holds the
+        // 2-byte checksum plus the payload.
+        if (udp_len != kUdpHeaderSize + (r.remaining() - 2))
+          return err("bad UDP length");
+        r.u16();  // checksum
+        break;
+      }
+      case 1: {
+        p.proto = IpProto::Icmp;
+        p.icmp_type = r.u8();
+        p.icmp_code = r.u8();
+        r.u16();  // checksum
+        p.icmp_id = r.u16();
+        p.icmp_seq = r.u16();
+        break;
+      }
+      default:
+        return err("unsupported IP protocol " + std::to_string(proto_num));
+    }
+    p.payload = r.rest();
+  } catch (const std::out_of_range&) {
+    return err("truncated L4 header");
+  }
+  return p;
+}
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  switch (proto) {
+    case IpProto::Tcp:
+      os << "TCP " << src.str() << ":" << src_port << " > " << dst.str() << ":" << dst_port
+         << " seq=" << seq << " len=" << payload.size();
+      break;
+    case IpProto::Udp:
+      os << "UDP " << src.str() << ":" << src_port << " > " << dst.str() << ":" << dst_port
+         << " len=" << payload.size();
+      break;
+    case IpProto::Icmp:
+      os << "ICMP type=" << int{icmp_type} << " " << src.str() << " > " << dst.str()
+         << " id=" << icmp_id << " seq=" << icmp_seq;
+      break;
+  }
+  if (dropped) os << " [dropped]";
+  return os.str();
+}
+
+Packet Packet::udp(Ipv4 src, Ipv4 dst, std::uint16_t sport, std::uint16_t dport,
+                   Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::Udp;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::tcp(Ipv4 src, Ipv4 dst, std::uint16_t sport, std::uint16_t dport,
+                   std::uint32_t seq, std::uint32_t ack, std::uint8_t flags,
+                   Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::Tcp;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.seq = seq;
+  p.ack = ack;
+  p.tcp_flags = flags;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::icmp_echo_request(Ipv4 src, Ipv4 dst, std::uint16_t id,
+                                 std::uint16_t seq, Bytes payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.proto = IpProto::Icmp;
+  p.icmp_type = 8;
+  p.icmp_id = id;
+  p.icmp_seq = seq;
+  p.payload = std::move(payload);
+  return p;
+}
+
+Packet Packet::icmp_echo_reply(const Packet& request) {
+  Packet p = request;
+  p.src = request.dst;
+  p.dst = request.src;
+  p.icmp_type = 0;
+  p.dropped = false;
+  return p;
+}
+
+}  // namespace endbox::net

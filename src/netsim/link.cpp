@@ -1,0 +1,54 @@
+#include "netsim/link.hpp"
+
+#include <stdexcept>
+
+namespace endbox::netsim {
+
+Link::Link(double rate_bps, sim::Duration latency, std::string name)
+    : rate_bps_(rate_bps), latency_(latency), name_(std::move(name)) {
+  if (rate_bps <= 0 || latency < 0) throw std::invalid_argument("Link: bad parameters");
+}
+
+sim::Duration Link::serialisation(std::size_t bytes) const {
+  return static_cast<sim::Duration>(static_cast<double>(bytes) * 8.0 / rate_bps_ * 1e9);
+}
+
+sim::Time Link::transmit(sim::Time now, std::size_t bytes) {
+  sim::Time start = std::max(now, free_at_);
+  sim::Duration ser = serialisation(bytes);
+  free_at_ = start + static_cast<sim::Time>(ser);
+  busy_ns_ += static_cast<double>(ser);
+  ++frames_;
+  return free_at_ + static_cast<sim::Time>(latency_);
+}
+
+sim::Time Link::peek(sim::Time now, std::size_t bytes) const {
+  sim::Time start = std::max(now, free_at_);
+  return start + static_cast<sim::Time>(serialisation(bytes)) +
+         static_cast<sim::Time>(latency_);
+}
+
+double Link::utilisation(sim::Time start, sim::Time end) const {
+  if (end <= start) return 0.0;
+  return std::min(1.0, busy_ns_ / static_cast<double>(end - start));
+}
+
+void Link::reset() {
+  free_at_ = 0;
+  frames_ = 0;
+  busy_ns_ = 0;
+}
+
+sim::Time Path::deliver(sim::Time now, std::size_t bytes) {
+  sim::Time t = now;
+  for (Link* link : links_) t = link->transmit(t, bytes);
+  return t;
+}
+
+sim::Duration Path::base_latency() const {
+  sim::Duration total = 0;
+  for (const Link* link : links_) total += link->latency();
+  return total;
+}
+
+}  // namespace endbox::netsim

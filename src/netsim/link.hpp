@@ -1,0 +1,72 @@
+// Network link and path models.
+//
+// A Link has a transmission rate, propagation latency and an implicit
+// FIFO transmit queue: a frame starts serialising when the previous
+// frame finished. A Path chains links (client -> switch -> server, or
+// client -> ISP -> AWS region -> back) accumulating serialisation,
+// queueing and propagation — this is what turns the paper's topology
+// differences (local vs cloud redirection, Fig 7) into RTT differences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace endbox::netsim {
+
+class Link {
+ public:
+  /// `rate_bps` transmission rate; `latency` one-way propagation delay.
+  Link(double rate_bps, sim::Duration latency, std::string name = "link");
+
+  /// Transmits `bytes` starting no earlier than `now`; returns arrival
+  /// time at the far end (serialisation + queueing + propagation).
+  sim::Time transmit(sim::Time now, std::size_t bytes);
+
+  /// Arrival time if transmitted, without occupying the link.
+  sim::Time peek(sim::Time now, std::size_t bytes) const;
+
+  double rate_bps() const { return rate_bps_; }
+  sim::Duration latency() const { return latency_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t frames() const { return frames_; }
+  double busy_ns() const { return busy_ns_; }
+  /// Fraction of the window the transmitter was busy.
+  double utilisation(sim::Time start, sim::Time end) const;
+
+  void reset();
+
+ private:
+  sim::Duration serialisation(std::size_t bytes) const;
+
+  double rate_bps_;
+  sim::Duration latency_;
+  std::string name_;
+  sim::Time free_at_ = 0;
+  std::uint64_t frames_ = 0;
+  double busy_ns_ = 0;
+};
+
+/// An ordered chain of links.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<Link*> links) : links_(std::move(links)) {}
+
+  void add(Link* link) { links_.push_back(link); }
+  std::size_t hops() const { return links_.size(); }
+
+  /// Delivers `bytes` across all links in sequence.
+  sim::Time deliver(sim::Time now, std::size_t bytes);
+
+  /// Total propagation latency (zero-load lower bound, excluding
+  /// serialisation).
+  sim::Duration base_latency() const;
+
+ private:
+  std::vector<Link*> links_;
+};
+
+}  // namespace endbox::netsim

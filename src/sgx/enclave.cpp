@@ -1,0 +1,83 @@
+#include "sgx/enclave.hpp"
+
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace endbox::sgx {
+
+namespace {
+constexpr std::string_view kSealMagic = "EBSEAL1";
+}
+
+Enclave::Enclave(SgxPlatform& platform, std::string code_identity, SgxMode mode)
+    : platform_(platform), measurement_(measure(code_identity)), mode_(mode) {}
+
+Bytes Enclave::sealing_key() const {
+  // KDF over the platform root key bound to MRENCLAVE: another enclave
+  // (different measurement) derives a different key.
+  Bytes context(measurement_.begin(), measurement_.end());
+  Bytes root(platform_.sealing_root_key().begin(), platform_.sealing_root_key().end());
+  append(root, context);
+  return crypto::derive_key(root, "sgx-seal", 32);
+}
+
+Bytes Enclave::seal(ByteView data) const {
+  Bytes key = sealing_key();
+  auto enc_key = crypto::make_aes_key(ByteView(key.data(), 16));
+  Bytes mac_key(key.begin() + 16, key.end());
+
+  // Fresh nonce from the platform counter: sealing twice never reuses
+  // a keystream.
+  std::uint64_t nonce_ctr =
+      const_cast<SgxPlatform&>(platform_).increment_counter("seal-nonce");
+  Bytes nonce(16, 0);
+  for (int i = 0; i < 8; ++i)
+    nonce[15 - i] = static_cast<std::uint8_t>(nonce_ctr >> (8 * i));
+
+  Bytes out = to_bytes(kSealMagic);
+  append(out, nonce);
+  append(out, crypto::aes128_ctr(enc_key, nonce, data));
+  append(out, crypto::hmac_sha256(mac_key, out));
+  return out;
+}
+
+Result<Bytes> Enclave::unseal(ByteView sealed) const {
+  constexpr std::size_t kMacSize = 32;
+  constexpr std::size_t kNonceSize = 16;
+  if (sealed.size() < kSealMagic.size() + kNonceSize + kMacSize)
+    return err("unseal: blob too short");
+  if (to_string(sealed.subspan(0, kSealMagic.size())) != kSealMagic)
+    return err("unseal: bad magic");
+
+  Bytes key = sealing_key();
+  auto enc_key = crypto::make_aes_key(ByteView(key.data(), 16));
+  Bytes mac_key(key.begin() + 16, key.end());
+
+  std::size_t body_len = sealed.size() - kMacSize;
+  if (!crypto::hmac_verify(mac_key, sealed.subspan(0, body_len),
+                           sealed.subspan(body_len))) {
+    return err("unseal: MAC verification failed (wrong enclave or tampered)");
+  }
+  ByteView nonce = sealed.subspan(kSealMagic.size(), kNonceSize);
+  ByteView ciphertext =
+      sealed.subspan(kSealMagic.size() + kNonceSize,
+                     body_len - kSealMagic.size() - kNonceSize);
+  return crypto::aes128_ctr(enc_key, nonce, ciphertext);
+}
+
+Report Enclave::create_report(const ReportData& report_data) const {
+  Report report;
+  report.mrenclave = measurement_;
+  report.report_data = report_data;
+  if (mode_ == SgxMode::Hardware) {
+    report.mac = crypto::hmac_sha256(platform_.report_key(), report.signed_portion());
+  } else {
+    // Simulation-mode enclaves cannot produce genuine reports — the MAC
+    // key is not available outside hardware mode, so local attestation
+    // (and hence remote attestation) fails, as on real SGX.
+    report.mac = Bytes(32, 0);
+  }
+  return report;
+}
+
+}  // namespace endbox::sgx

@@ -1,0 +1,47 @@
+#include "sgx/ias.hpp"
+
+namespace endbox::sgx {
+
+Bytes AttestationVerificationReport::signed_portion() const {
+  Bytes out;
+  out.push_back(is_valid ? 1 : 0);
+  append(out, to_bytes(platform_id));
+  out.push_back(0);
+  out.insert(out.end(), mrenclave.begin(), mrenclave.end());
+  out.insert(out.end(), report_data.begin(), report_data.end());
+  return out;
+}
+
+void AttestationService::register_platform(
+    const std::string& platform_id,
+    const crypto::RsaPublicKey& attestation_public_key) {
+  platforms_[platform_id] = attestation_public_key;
+}
+
+Result<AttestationVerificationReport> AttestationService::verify(
+    ByteView serialized_quote) const {
+  auto quote = Quote::deserialize(serialized_quote);
+  if (!quote.ok()) return err("IAS: malformed quote: " + quote.error());
+
+  AttestationVerificationReport avr;
+  avr.platform_id = quote->platform_id;
+  avr.mrenclave = quote->mrenclave;
+  avr.report_data = quote->report_data;
+
+  auto platform = platforms_.find(quote->platform_id);
+  if (platform == platforms_.end()) {
+    avr.is_valid = false;  // unknown platform: not a genuine SGX CPU
+  } else {
+    avr.is_valid = crypto::rsa_verify(platform->second, quote->signed_portion(),
+                                      quote->signature);
+  }
+  avr.signature = crypto::rsa_sign(signing_key_, avr.signed_portion());
+  return avr;
+}
+
+bool AttestationService::verify_avr(const AttestationVerificationReport& avr,
+                                    const crypto::RsaPublicKey& ias_key) {
+  return crypto::rsa_verify(ias_key, avr.signed_portion(), avr.signature);
+}
+
+}  // namespace endbox::sgx

@@ -1,0 +1,62 @@
+// Simulated Intel Attestation Service (IAS).
+//
+// Real IAS is a web service that verifies EPID signatures on quotes and
+// returns a signed Attestation Verification Report (AVR). Here the
+// service holds the registered attestation public keys of all genuine
+// platforms (modelling Intel's provisioning database) and signs AVRs
+// with its own report-signing key, whose public half relying parties
+// (the EndBox CA) pin.
+//
+// Simulation-mode enclaves are rejected, mirroring real SGX: SIM-mode
+// quotes cannot be verified by IAS.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+#include "sgx/quote.hpp"
+
+namespace endbox::sgx {
+
+struct AttestationVerificationReport {
+  bool is_valid = false;
+  std::string platform_id;
+  Measurement mrenclave{};
+  ReportData report_data{};
+  Bytes signature;  ///< IAS report-signing key signature
+
+  Bytes signed_portion() const;
+};
+
+class AttestationService {
+ public:
+  explicit AttestationService(Rng& rng)
+      : signing_key_(crypto::rsa_generate(rng)) {}
+
+  /// Relying parties pin this key to verify AVRs.
+  const crypto::RsaPublicKey& report_signing_public_key() const {
+    return signing_key_.pub;
+  }
+
+  /// Intel provisioning: registers a genuine platform's attestation key.
+  void register_platform(const std::string& platform_id,
+                         const crypto::RsaPublicKey& attestation_public_key);
+
+  /// Verifies a serialised quote and returns a signed AVR. The AVR is
+  /// returned (with is_valid=false) rather than an error for known
+  /// failure modes, matching IAS behaviour of reporting quote status.
+  Result<AttestationVerificationReport> verify(ByteView serialized_quote) const;
+
+  /// Verifies an AVR signature against a pinned IAS key (client side).
+  static bool verify_avr(const AttestationVerificationReport& avr,
+                         const crypto::RsaPublicKey& ias_key);
+
+ private:
+  crypto::RsaKeyPair signing_key_;
+  std::unordered_map<std::string, crypto::RsaPublicKey> platforms_;
+};
+
+}  // namespace endbox::sgx

@@ -1,0 +1,22 @@
+#include "sgx/platform.hpp"
+
+namespace endbox::sgx {
+
+SgxPlatform::SgxPlatform(std::string platform_id, Rng& rng,
+                         const sim::Clock& clock)
+    : platform_id_(std::move(platform_id)),
+      clock_(clock),
+      sealing_root_key_(rng.bytes(32)),
+      report_key_(rng.bytes(32)),
+      attestation_key_(crypto::rsa_generate(rng)) {}
+
+std::uint64_t SgxPlatform::increment_counter(const std::string& name) {
+  return ++counters_[name];
+}
+
+std::uint64_t SgxPlatform::read_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace endbox::sgx

@@ -1,0 +1,67 @@
+// Software model of an SGX-capable machine.
+//
+// A platform owns the per-CPU secrets real SGX fuses at manufacturing
+// time: the sealing root key and the attestation key the Quoting
+// Enclave signs quotes with. It also provides the trusted time source
+// (SGX SDK `sgx_get_trusted_time`) and monotonic counters, both of
+// which EndBox's TrustedSplitter element relies on.
+//
+// Security caveat by construction: this is a *simulation* of the SGX
+// trust model for protocol/evaluation purposes, not a TEE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+#include "sim/clock.hpp"
+
+namespace endbox::sgx {
+
+/// Execution mode of enclaves on this platform. Simulation mode runs
+/// the same code without hardware protection (and cannot be remotely
+/// attested), exactly like the SGX SDK's SIM mode that the paper uses
+/// for its "EndBox SIM" measurements.
+enum class SgxMode { Simulation, Hardware };
+
+class SgxPlatform {
+ public:
+  /// `platform_id` identifies the machine (EPID group in real SGX).
+  /// The attestation key pair is registered with the AttestationService
+  /// out of band (modelling Intel's provisioning).
+  SgxPlatform(std::string platform_id, Rng& rng, const sim::Clock& clock);
+
+  const std::string& platform_id() const { return platform_id_; }
+  const sim::Clock& clock() const { return clock_; }
+
+  /// Root sealing secret; only the enclave sealing logic reads this.
+  ByteView sealing_root_key() const { return sealing_root_key_; }
+
+  /// Attestation signing key used by the Quoting Enclave.
+  const crypto::RsaKeyPair& attestation_key() const { return attestation_key_; }
+
+  /// Local-attestation MAC key shared by enclaves on this platform
+  /// (models the EREPORT key derivation).
+  ByteView report_key() const { return report_key_; }
+
+  /// SGX trusted time: reads the virtual clock. The *cost* of the
+  /// underlying ocall is charged by the caller via the perf model.
+  sim::Time trusted_time() const { return clock_.now(); }
+
+  /// Monotonic counters (SGX PSE). Returns the post-increment value.
+  std::uint64_t increment_counter(const std::string& name);
+  std::uint64_t read_counter(const std::string& name) const;
+
+ private:
+  std::string platform_id_;
+  const sim::Clock& clock_;
+  Bytes sealing_root_key_;
+  Bytes report_key_;
+  crypto::RsaKeyPair attestation_key_;
+  std::unordered_map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace endbox::sgx

@@ -1,0 +1,75 @@
+#include "sgx/quote.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "sgx/platform.hpp"
+
+namespace endbox::sgx {
+
+Measurement measure(std::string_view code_identity) {
+  return crypto::Sha256::hash(to_bytes(code_identity));
+}
+
+ReportData bind_report_data(ByteView bytes) {
+  ReportData rd{};
+  auto digest = crypto::Sha256::hash(bytes);
+  std::copy(digest.begin(), digest.end(), rd.begin());
+  return rd;
+}
+
+Bytes Report::signed_portion() const {
+  Bytes out(mrenclave.begin(), mrenclave.end());
+  out.insert(out.end(), report_data.begin(), report_data.end());
+  return out;
+}
+
+Bytes Quote::signed_portion() const {
+  Bytes out = to_bytes(platform_id);
+  out.push_back(0);  // separator: platform ids never contain NUL
+  out.insert(out.end(), mrenclave.begin(), mrenclave.end());
+  out.insert(out.end(), report_data.begin(), report_data.end());
+  return out;
+}
+
+Bytes Quote::serialize() const {
+  Bytes out;
+  put_u16(out, static_cast<std::uint16_t>(platform_id.size()));
+  append(out, to_bytes(platform_id));
+  out.insert(out.end(), mrenclave.begin(), mrenclave.end());
+  out.insert(out.end(), report_data.begin(), report_data.end());
+  put_u16(out, static_cast<std::uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+Result<Quote> Quote::deserialize(ByteView data) {
+  try {
+    ByteReader r(data);
+    Quote q;
+    q.platform_id = to_string(r.take(r.u16()));
+    auto mr = r.take(q.mrenclave.size());
+    std::copy(mr.begin(), mr.end(), q.mrenclave.begin());
+    auto rd = r.take(q.report_data.size());
+    std::copy(rd.begin(), rd.end(), q.report_data.begin());
+    q.signature = r.take(r.u16());
+    if (!r.empty()) return err("Quote: trailing bytes");
+    return q;
+  } catch (const std::out_of_range&) {
+    return err("Quote: truncated");
+  }
+}
+
+Result<Quote> QuotingEnclave::quote(const Report& report) const {
+  if (!crypto::hmac_verify(platform_.report_key(), report.signed_portion(),
+                           report.mac)) {
+    return err("QuotingEnclave: report MAC verification failed");
+  }
+  Quote q;
+  q.platform_id = platform_.platform_id();
+  q.mrenclave = report.mrenclave;
+  q.report_data = report.report_data;
+  q.signature = crypto::rsa_sign(platform_.attestation_key(), q.signed_portion());
+  return q;
+}
+
+}  // namespace endbox::sgx

@@ -1,0 +1,67 @@
+// Local and remote attestation data structures.
+//
+// Report  — produced by an enclave (EREPORT): measurement + 64 bytes of
+//           user data, MACed with the platform report key so another
+//           enclave on the same machine can verify it (local attestation).
+// Quote   — produced by the Quoting Enclave from a verified Report,
+//           signed with the platform attestation key so a remote party
+//           (via the IAS) can verify it (remote attestation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha256.hpp"
+
+namespace endbox::sgx {
+
+class SgxPlatform;
+
+using Measurement = crypto::Sha256Digest;
+
+/// Measurement of enclave code+data at initialisation (MRENCLAVE).
+Measurement measure(std::string_view code_identity);
+
+inline constexpr std::size_t kReportDataSize = 64;
+using ReportData = std::array<std::uint8_t, kReportDataSize>;
+
+/// Builds report data from arbitrary bytes: first 32 bytes are
+/// SHA-256(bytes), rest zero (the common SGX idiom for binding a key).
+ReportData bind_report_data(ByteView bytes);
+
+struct Report {
+  Measurement mrenclave{};
+  ReportData report_data{};
+  Bytes mac;  ///< HMAC over (mrenclave || report_data) with the report key
+
+  Bytes signed_portion() const;
+};
+
+struct Quote {
+  std::string platform_id;
+  Measurement mrenclave{};
+  ReportData report_data{};
+  Bytes signature;  ///< attestation-key signature over the fields above
+
+  Bytes signed_portion() const;
+  Bytes serialize() const;
+  static Result<Quote> deserialize(ByteView data);
+};
+
+/// The Quoting Enclave: verifies a locally-attested Report and converts
+/// it into a remotely-verifiable Quote.
+class QuotingEnclave {
+ public:
+  explicit QuotingEnclave(const SgxPlatform& platform) : platform_(platform) {}
+
+  /// Returns an error when the report MAC does not verify (the report
+  /// was not produced by an enclave on this platform).
+  Result<Quote> quote(const Report& report) const;
+
+ private:
+  const SgxPlatform& platform_;
+};
+
+}  // namespace endbox::sgx

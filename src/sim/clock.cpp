@@ -1,0 +1,12 @@
+#include "sim/clock.hpp"
+
+#include <stdexcept>
+
+namespace endbox::sim {
+
+void Clock::advance_to(Time t) {
+  if (t < now_) throw std::logic_error("Clock: time went backwards");
+  now_ = t;
+}
+
+}  // namespace endbox::sim

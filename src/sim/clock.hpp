@@ -1,0 +1,43 @@
+// Virtual time. All of the evaluation runs on simulated time so that
+// experiments are deterministic and complete in milliseconds of wall
+// time while modelling seconds of network time.
+#pragma once
+
+#include <cstdint>
+
+namespace endbox::sim {
+
+/// Nanoseconds of virtual time since simulation start.
+using Time = std::uint64_t;
+/// Signed durations (deltas) in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+inline constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+inline constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+inline constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+inline constexpr Time from_millis(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Monotonic virtual clock advanced only by the event loop.
+class Clock {
+ public:
+  Time now() const { return now_; }
+  void advance_to(Time t);
+
+ private:
+  Time now_ = 0;
+};
+
+}  // namespace endbox::sim

@@ -1,0 +1,44 @@
+#include "sim/cpu.hpp"
+
+#include <stdexcept>
+
+namespace endbox::sim {
+
+CpuAccount::CpuAccount(unsigned cores, double hz) : hz_(hz) {
+  if (cores == 0 || hz <= 0) throw std::invalid_argument("CpuAccount: bad parameters");
+  core_free_at_.assign(cores, 0);
+}
+
+Duration CpuAccount::cycles_to_ns(double cycles) const {
+  return static_cast<Duration>(cycles / hz_ * 1e9);
+}
+
+Time CpuAccount::charge(Time now, double cycles) {
+  auto it = std::min_element(core_free_at_.begin(), core_free_at_.end());
+  Time start = std::max(now, *it);
+  Time service = static_cast<Time>(cycles_to_ns(cycles));
+  Time done = start + service;
+  *it = done;
+  busy_core_ns_ += static_cast<double>(service);
+  return done;
+}
+
+Time CpuAccount::peek_completion(Time now, double cycles) const {
+  Time earliest = *std::min_element(core_free_at_.begin(), core_free_at_.end());
+  Time start = std::max(now, earliest);
+  return start + static_cast<Time>(cycles_to_ns(cycles));
+}
+
+double CpuAccount::utilisation(Time start, Time end) const {
+  if (end <= start) return 0.0;
+  double window_core_ns =
+      static_cast<double>(end - start) * static_cast<double>(core_free_at_.size());
+  return std::min(1.0, busy_core_ns_ / window_core_ns);
+}
+
+void CpuAccount::reset() {
+  std::fill(core_free_at_.begin(), core_free_at_.end(), 0);
+  busy_core_ns_ = 0;
+}
+
+}  // namespace endbox::sim

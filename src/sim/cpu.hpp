@@ -1,0 +1,53 @@
+// CPU model: a host owns a CpuAccount with N logical cores running at a
+// fixed clock rate. Packet-processing work consumes cycles; the account
+// converts cycles to virtual service time and tracks utilisation so the
+// scalability experiments (Fig 10) can report server CPU usage.
+//
+// The model is a simple processor-sharing approximation: work items are
+// charged sequentially onto the least-loaded core, which reproduces the
+// saturation behaviour that drives the paper's scalability results
+// without simulating an OS scheduler.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace endbox::sim {
+
+class CpuAccount {
+ public:
+  /// `cores` logical cores at `hz` cycles per second.
+  CpuAccount(unsigned cores, double hz);
+
+  /// Charges `cycles` of work arriving at time `now`. Returns the time
+  /// at which the work completes (>= now; later when the CPU is busy).
+  Time charge(Time now, double cycles);
+
+  /// Completion time if charged, without mutating state.
+  Time peek_completion(Time now, double cycles) const;
+
+  /// Utilisation in [0,1] over the window [start, end): fraction of
+  /// total core-time spent busy.
+  double utilisation(Time start, Time end) const;
+
+  /// Busy core-nanoseconds accumulated so far.
+  double busy_core_ns() const { return busy_core_ns_; }
+
+  unsigned cores() const { return static_cast<unsigned>(core_free_at_.size()); }
+  double hz() const { return hz_; }
+
+  /// Converts cycles to nanoseconds of single-core service time.
+  Duration cycles_to_ns(double cycles) const;
+
+  void reset();
+
+ private:
+  double hz_;
+  std::vector<Time> core_free_at_;
+  double busy_core_ns_ = 0;
+};
+
+}  // namespace endbox::sim

@@ -1,0 +1,57 @@
+#include "sim/event_queue.hpp"
+
+namespace endbox::sim {
+
+EventQueue::EventId EventQueue::schedule_at(Time t, Handler fn) {
+  if (t < clock_.now()) t = clock_.now();
+  EventId id = next_id_++;
+  queue_.push(Entry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+EventQueue::EventId EventQueue::schedule_after(Duration delay, Handler fn) {
+  Time target = delay <= 0 ? clock_.now()
+                           : clock_.now() + static_cast<Time>(delay);
+  return schedule_at(target, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  --live_events_;
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    Handler fn = std::move(it->second);
+    handlers_.erase(it);
+    --live_events_;
+    clock_.advance_to(entry.time);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    if (entry.time > deadline) break;
+    if (!step()) break;
+    ++executed;
+  }
+  // Even if no event fired exactly at the deadline, time has passed.
+  if (clock_.now() < deadline) clock_.advance_to(deadline);
+  return executed;
+}
+
+}  // namespace endbox::sim

@@ -1,0 +1,59 @@
+// Discrete-event scheduler driving the whole network simulation.
+//
+// Events are closures ordered by (time, sequence-number); equal-time
+// events run in scheduling order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace endbox::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  explicit EventQueue(Clock& clock) : clock_(clock) {}
+
+  /// Schedules `fn` to run at absolute virtual time `t` (clamped to now).
+  EventId schedule_at(Time t, Handler fn);
+  /// Schedules `fn` to run `delay` from now.
+  EventId schedule_after(Duration delay, Handler fn);
+  /// Cancels a pending event; returns false if already run or unknown.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `deadline` is passed.
+  /// Returns the number of events executed.
+  std::size_t run_until(Time deadline);
+  /// Runs a single event if one is pending; returns false when idle.
+  bool step();
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending() const { return live_events_; }
+  Time now() const { return clock_.now(); }
+  Clock& clock() { return clock_; }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      return time != other.time ? time > other.time : id > other.id;
+    }
+  };
+
+  Clock& clock_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // id -> handler; cancelled events are erased here and skipped on pop.
+  std::unordered_map<EventId, Handler> handlers_;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+};
+
+}  // namespace endbox::sim

@@ -1,0 +1,10 @@
+#include "sim/perf_model.hpp"
+
+namespace endbox::sim {
+
+const PerfModel& default_perf_model() {
+  static const PerfModel model{};
+  return model;
+}
+
+}  // namespace endbox::sim

@@ -1,0 +1,23 @@
+#include "tls/keystore.hpp"
+
+namespace endbox::tls {
+
+void SessionKeyStore::put(const SessionKeys& keys) {
+  keys_[keys.session_id] = keys;
+}
+
+std::optional<SessionKeys> SessionKeyStore::get(std::uint64_t session_id) const {
+  ++lookups_;
+  auto it = keys_.find(session_id);
+  if (it == keys_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool SessionKeyStore::erase(std::uint64_t session_id) {
+  return keys_.erase(session_id) > 0;
+}
+
+}  // namespace endbox::tls

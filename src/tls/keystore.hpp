@@ -1,0 +1,34 @@
+// In-enclave session-key store.
+//
+// The client's instrumented TLS library forwards negotiated keys via
+// the VPN management interface; the enclave keeps them here so the
+// TLSDecrypt Click element can decrypt application records flowing
+// through the tunnel. Keys are indexed by session id (carried in each
+// record's sequence space by our miniature TLS; real EndBox indexes by
+// connection 5-tuple).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "tls/session.hpp"
+
+namespace endbox::tls {
+
+class SessionKeyStore {
+ public:
+  void put(const SessionKeys& keys);
+  std::optional<SessionKeys> get(std::uint64_t session_id) const;
+  bool erase(std::uint64_t session_id);
+  std::size_t size() const { return keys_.size(); }
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::uint64_t, SessionKeys> keys_;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace endbox::tls

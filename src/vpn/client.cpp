@@ -1,0 +1,140 @@
+#include "vpn/client.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace endbox::vpn {
+
+VpnClientSession::VpnClientSession(Rng& rng, ca::Certificate certificate,
+                                   crypto::RsaKeyPair enclave_key,
+                                   crypto::RsaPublicKey server_key,
+                                   VpnClientConfig config)
+    : rng_(rng),
+      certificate_(std::move(certificate)),
+      enclave_key_(enclave_key),
+      server_key_(server_key),
+      config_(config) {}
+
+WireMessage VpnClientSession::create_handshake_init(std::uint16_t proposed_version) {
+  proposed_version_ = proposed_version;
+  client_nonce_ = rng_.bytes(16);
+
+  WireMessage msg;
+  msg.type = MsgType::HandshakeInit;
+  msg.session_id = 0;  // not yet assigned
+  put_u16(msg.body, proposed_version);
+  put_u32(msg.body, config_.config_version);
+  append(msg.body, *client_nonce_);
+  Bytes cert = certificate_.serialize();
+  put_u16(msg.body, static_cast<std::uint16_t>(cert.size()));
+  append(msg.body, cert);
+  return msg;
+}
+
+Status VpnClientSession::process_handshake_reply(const WireMessage& reply) {
+  if (reply.type != MsgType::HandshakeReply) return err("not a handshake reply");
+  if (!client_nonce_) return err("handshake not started");
+  try {
+    ByteReader r(reply.body);
+    std::uint16_t chosen_version = r.u16();
+    Bytes server_nonce = r.take(16);
+    Bytes encrypted_seed = r.take(8);
+    Bytes signature = r.take(8);
+
+    // Server authentication: signature over the transcript with the
+    // pinned server key (prevents MITM replies).
+    Bytes transcript;
+    put_u16(transcript, chosen_version);
+    append(transcript, *client_nonce_);
+    append(transcript, server_nonce);
+    append(transcript, encrypted_seed);
+    if (!crypto::rsa_verify(server_key_, transcript, signature))
+      return err("handshake reply signature invalid");
+
+    // The paper's client-side downgrade check runs inside the enclave:
+    // a malicious host cannot strip it.
+    if (chosen_version < config_.min_version)
+      return err("server negotiated version below enclave minimum");
+    if (chosen_version > proposed_version_)
+      return err("server chose version above our proposal");
+
+    std::uint64_t seed = crypto::rsa_decrypt(enclave_key_, encrypted_seed);
+    keys_ = derive_vpn_keys(seed, *client_nonce_, server_nonce);
+    session_id_ = reply.session_id;
+    negotiated_version_ = chosen_version;
+    return {};
+  } catch (const std::out_of_range&) {
+    return err("handshake reply truncated");
+  }
+}
+
+std::vector<WireMessage> VpnClientSession::seal_packet(ByteView ip_packet) {
+  if (!keys_) throw std::logic_error("VpnClientSession: not established");
+  auto fragments = fragment_payload(ip_packet, config_.mtu);
+  std::uint32_t frag_id = next_frag_id_++;
+
+  std::vector<WireMessage> messages;
+  messages.reserve(fragments.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    FragmentHeader frag;
+    frag.packet_id = next_packet_id_++;
+    frag.frag_id = frag_id;
+    frag.index = static_cast<std::uint16_t>(i);
+    frag.count = static_cast<std::uint16_t>(fragments.size());
+
+    WireMessage msg;
+    msg.session_id = session_id_;
+    if (config_.encrypt_data) {
+      msg.type = MsgType::Data;
+      msg.body = seal_data_body(*keys_, frag, fragments[i], rng_);
+    } else {
+      msg.type = MsgType::DataIntegrityOnly;
+      msg.body = seal_integrity_body(*keys_, frag, fragments[i]);
+    }
+    messages.push_back(std::move(msg));
+  }
+  ++packets_sealed_;
+  return messages;
+}
+
+Result<std::optional<Bytes>> VpnClientSession::open_data(const WireMessage& msg) {
+  if (!keys_) return err("not established");
+  Result<OpenedBody> opened = msg.type == MsgType::Data
+                                  ? open_data_body(*keys_, msg.body)
+                                  : open_integrity_body(*keys_, msg.body);
+  if (!opened.ok()) {
+    ++auth_failures_;
+    return err(opened.error());
+  }
+  if (!replay_.accept(opened->frag.packet_id)) return err("replayed packet");
+  auto whole = reassembler_.add(opened->frag, std::move(opened->payload));
+  if (!whole) return std::optional<Bytes>{};
+  ++packets_opened_;
+  return std::optional<Bytes>{std::move(*whole)};
+}
+
+WireMessage VpnClientSession::create_ping() {
+  if (!keys_) throw std::logic_error("VpnClientSession: not established");
+  PingInfo info;
+  info.seq = next_ping_seq_++;
+  info.config_version = config_.config_version;
+  info.grace_period_secs = 0;  // clients don't announce grace periods
+  WireMessage msg;
+  msg.type = MsgType::Ping;
+  msg.session_id = session_id_;
+  msg.body = seal_ping_body(*keys_, info);
+  return msg;
+}
+
+Result<PingInfo> VpnClientSession::process_ping(const WireMessage& msg) {
+  if (!keys_) return err("not established");
+  auto info = open_ping_body(*keys_, msg.body);
+  if (!info.ok()) {
+    ++auth_failures_;  // crafted ping from outside the enclave
+    return err(info.error());
+  }
+  return info;
+}
+
+}  // namespace endbox::vpn

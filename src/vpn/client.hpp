@@ -1,0 +1,89 @@
+// VPN client session (the tunnel endpoint that EndBox moves inside the
+// enclave). Mechanism only: the EndBox client wraps every call here in
+// an ecall and charges the perf model; this class implements the
+// protocol state machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ca/certificate.hpp"
+#include "common/rng.hpp"
+#include "vpn/fragment.hpp"
+#include "vpn/replay.hpp"
+#include "vpn/session_crypto.hpp"
+#include "vpn/wire.hpp"
+
+namespace endbox::vpn {
+
+struct VpnClientConfig {
+  std::uint16_t min_version = kVersionTls12;  ///< enclave-side downgrade floor
+  bool encrypt_data = true;   ///< false = ISP integrity-only mode (section IV-A)
+  std::size_t mtu = 9000;     ///< tunnel MTU for fragmentation
+  std::uint32_t config_version = 1;  ///< middlebox config currently applied
+};
+
+class VpnClientSession {
+ public:
+  /// `certificate` and `enclave_key` come from the provisioning flow
+  /// (unattested clients have no certificate and cannot connect);
+  /// `server_key` is the pinned VPN server public key.
+  VpnClientSession(Rng& rng, ca::Certificate certificate,
+                   crypto::RsaKeyPair enclave_key,
+                   crypto::RsaPublicKey server_key, VpnClientConfig config = {});
+
+  // ---- Handshake -----------------------------------------------------
+  WireMessage create_handshake_init(std::uint16_t proposed_version = kVersionTls13);
+  Status process_handshake_reply(const WireMessage& reply);
+  bool established() const { return keys_.has_value(); }
+  std::uint32_t session_id() const { return session_id_; }
+
+  // ---- Data path -------------------------------------------------------
+  /// Seals one IP packet into one or more wire messages (fragmenting at
+  /// the MTU). Throws if not established.
+  std::vector<WireMessage> seal_packet(ByteView ip_packet);
+  /// Opens a data message from the server; returns the reassembled IP
+  /// packet when a fragment group completes, nullopt while pending.
+  Result<std::optional<Bytes>> open_data(const WireMessage& msg);
+
+  // ---- Control channel --------------------------------------------------
+  WireMessage create_ping();
+  Result<PingInfo> process_ping(const WireMessage& msg);
+
+  void set_config_version(std::uint32_t version) { config_.config_version = version; }
+  std::uint32_t config_version() const { return config_.config_version; }
+  bool encrypt_data() const { return config_.encrypt_data; }
+
+  // ---- Stats ---------------------------------------------------------
+  std::uint64_t packets_sealed() const { return packets_sealed_; }
+  std::uint64_t packets_opened() const { return packets_opened_; }
+  std::uint64_t auth_failures() const { return auth_failures_; }
+  std::uint64_t replays_rejected() const { return replay_.replays_rejected(); }
+  std::uint16_t negotiated_version() const { return negotiated_version_; }
+
+ private:
+  Rng& rng_;
+  ca::Certificate certificate_;
+  crypto::RsaKeyPair enclave_key_;
+  crypto::RsaPublicKey server_key_;
+  VpnClientConfig config_;
+
+  std::optional<Bytes> client_nonce_;
+  std::optional<SessionKeys> keys_;
+  std::uint32_t session_id_ = 0;
+  std::uint16_t proposed_version_ = kVersionTls13;
+  std::uint16_t negotiated_version_ = 0;
+
+  std::uint64_t next_packet_id_ = 1;
+  std::uint32_t next_frag_id_ = 1;
+  std::uint64_t next_ping_seq_ = 1;
+  ReplayWindow replay_;
+  Reassembler reassembler_;
+
+  std::uint64_t packets_sealed_ = 0;
+  std::uint64_t packets_opened_ = 0;
+  std::uint64_t auth_failures_ = 0;
+};
+
+}  // namespace endbox::vpn

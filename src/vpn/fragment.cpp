@@ -1,0 +1,52 @@
+#include "vpn/fragment.hpp"
+
+namespace endbox::vpn {
+
+std::vector<Bytes> fragment_payload(ByteView payload, std::size_t mtu) {
+  std::vector<Bytes> fragments;
+  if (mtu == 0) mtu = 1;
+  if (payload.empty()) {
+    fragments.emplace_back();
+    return fragments;
+  }
+  for (std::size_t off = 0; off < payload.size(); off += mtu) {
+    std::size_t n = std::min(mtu, payload.size() - off);
+    fragments.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                           payload.begin() + static_cast<std::ptrdiff_t>(off + n));
+  }
+  return fragments;
+}
+
+std::optional<Bytes> Reassembler::add(const FragmentHeader& frag, Bytes payload) {
+  if (frag.count == 0 || frag.index >= frag.count) return std::nullopt;
+  if (frag.count == 1) return payload;  // fast path: unfragmented
+
+  auto [it, inserted] = groups_.try_emplace(frag.frag_id);
+  Group& group = it->second;
+  if (inserted) {
+    group.parts.resize(frag.count);
+    group.generation = ++generation_;
+    evict_if_needed();
+  }
+  if (group.parts.size() != frag.count) return std::nullopt;  // inconsistent
+  if (group.parts[frag.index].has_value()) return std::nullopt;  // duplicate
+  group.parts[frag.index] = std::move(payload);
+  if (++group.received < frag.count) return std::nullopt;
+
+  Bytes whole;
+  for (auto& part : group.parts) append(whole, *part);
+  groups_.erase(it);
+  return whole;
+}
+
+void Reassembler::evict_if_needed() {
+  while (groups_.size() > max_groups_) {
+    auto oldest = groups_.begin();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it)
+      if (it->second.generation < oldest->second.generation) oldest = it;
+    groups_.erase(oldest);
+    ++evicted_;
+  }
+}
+
+}  // namespace endbox::vpn

@@ -1,0 +1,48 @@
+// Tunnel-level fragmentation (the untrusted "Fragmentation,
+// Encapsulation" stage of Fig 3): application writes larger than the
+// link MTU are split across multiple data messages and reassembled at
+// the peer before re-entering the IP layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "vpn/wire.hpp"
+
+namespace endbox::vpn {
+
+/// Splits `payload` into chunks of at most `mtu` bytes (at least one).
+std::vector<Bytes> fragment_payload(ByteView payload, std::size_t mtu);
+
+/// Reassembles fragment groups; tolerates interleaving across groups
+/// and duplicate fragments. Incomplete groups older than `max_groups`
+/// generations are evicted (loss tolerance).
+class Reassembler {
+ public:
+  explicit Reassembler(std::size_t max_groups = 64) : max_groups_(max_groups) {}
+
+  /// Feeds one fragment; returns the whole payload when the group
+  /// completes, nullopt otherwise.
+  std::optional<Bytes> add(const FragmentHeader& frag, Bytes payload);
+
+  std::size_t pending_groups() const { return groups_.size(); }
+  std::uint64_t evicted() const { return evicted_; }
+
+ private:
+  struct Group {
+    std::vector<std::optional<Bytes>> parts;
+    std::size_t received = 0;
+    std::uint64_t generation = 0;
+  };
+  void evict_if_needed();
+
+  std::size_t max_groups_;
+  std::map<std::uint32_t, Group> groups_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace endbox::vpn

@@ -1,0 +1,33 @@
+#include "vpn/replay.hpp"
+
+namespace endbox::vpn {
+
+bool ReplayWindow::accept(std::uint64_t packet_id) {
+  if (!any_) {
+    any_ = true;
+    highest_ = packet_id;
+    bitmap_ = 1;  // bit 0 = highest_
+    return true;
+  }
+  if (packet_id > highest_) {
+    std::uint64_t shift = packet_id - highest_;
+    bitmap_ = shift >= kWindow ? 0 : bitmap_ << shift;
+    bitmap_ |= 1;
+    highest_ = packet_id;
+    return true;
+  }
+  std::uint64_t age = highest_ - packet_id;
+  if (age >= kWindow) {
+    ++rejected_;  // too old to track: reject conservatively
+    return false;
+  }
+  std::uint64_t bit = 1ULL << age;
+  if (bitmap_ & bit) {
+    ++rejected_;
+    return false;
+  }
+  bitmap_ |= bit;
+  return true;
+}
+
+}  // namespace endbox::vpn

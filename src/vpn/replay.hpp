@@ -1,0 +1,27 @@
+// Sliding-window replay protection, as OpenVPN implements for its data
+// channel (the paper relies on it against traffic replay, section V-A).
+#pragma once
+
+#include <cstdint>
+
+namespace endbox::vpn {
+
+/// Accepts each packet id at most once within a 64-id sliding window.
+/// Ids older than the window are rejected outright.
+class ReplayWindow {
+ public:
+  /// Returns true iff `packet_id` is fresh; records it as seen.
+  bool accept(std::uint64_t packet_id);
+
+  std::uint64_t highest_seen() const { return highest_; }
+  std::uint64_t replays_rejected() const { return rejected_; }
+
+ private:
+  static constexpr std::uint64_t kWindow = 64;
+  std::uint64_t highest_ = 0;
+  std::uint64_t bitmap_ = 0;  ///< bit i = (highest_ - i) seen
+  bool any_ = false;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace endbox::vpn

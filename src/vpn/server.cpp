@@ -1,0 +1,187 @@
+#include "vpn/server.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace endbox::vpn {
+
+VpnServer::VpnServer(Rng& rng, crypto::RsaPublicKey ca_key, VpnServerConfig config)
+    : rng_(rng), ca_key_(ca_key), config_(config), key_(crypto::rsa_generate(rng)) {}
+
+VpnServer::Session* VpnServer::find_session(std::uint32_t id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t VpnServer::session_config_version(std::uint32_t session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? 0 : it->second.config_version;
+}
+
+Result<VpnServer::Event> VpnServer::handle(ByteView wire, sim::Time now) {
+  auto msg = WireMessage::parse(wire);
+  if (!msg.ok()) return err(msg.error());
+  switch (msg->type) {
+    case MsgType::HandshakeInit: return handle_handshake(*msg);
+    case MsgType::HandshakeReply: return err("unexpected handshake reply at server");
+    case MsgType::Data:
+    case MsgType::DataIntegrityOnly: return handle_data(*msg, now);
+    case MsgType::Ping: return handle_ping(*msg);
+  }
+  return err("unreachable");
+}
+
+Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
+  try {
+    ByteReader r(msg.body);
+    std::uint16_t proposed_version = r.u16();
+    std::uint32_t client_config_version = r.u32();
+    Bytes client_nonce = r.take(16);
+    auto cert = ca::Certificate::deserialize(r.take(r.u16()));
+    if (!cert.ok()) {
+      ++handshakes_rejected_;
+      return err("handshake: " + cert.error());
+    }
+    // Only CA-certified (i.e. successfully attested) enclaves connect.
+    if (!cert->verify(ca_key_)) {
+      ++handshakes_rejected_;
+      return err("handshake: certificate not signed by our CA");
+    }
+    // Server-side minimum version check (section V-A, downgrade).
+    if (proposed_version < config_.min_version) {
+      ++handshakes_rejected_;
+      return err("handshake: client proposed version below server minimum");
+    }
+    std::uint16_t chosen_version = proposed_version;
+
+    // Session secret, encrypted to the enclave public key: only the
+    // attested enclave can derive the data-channel keys.
+    std::uint64_t seed = rng_.uniform(1, (1ULL << 48) - 1);
+    Bytes server_nonce = rng_.bytes(16);
+    Bytes encrypted_seed = crypto::rsa_encrypt(cert->subject_key, seed);
+
+    Bytes transcript;
+    put_u16(transcript, chosen_version);
+    append(transcript, client_nonce);
+    append(transcript, server_nonce);
+    append(transcript, encrypted_seed);
+    Bytes signature = crypto::rsa_sign(key_, transcript);
+
+    std::uint32_t session_id = next_session_id_++;
+    Session session;
+    session.keys = derive_vpn_keys(seed, client_nonce, server_nonce);
+    session.config_version = client_config_version;
+    sessions_.emplace(session_id, std::move(session));
+
+    WireMessage reply;
+    reply.type = MsgType::HandshakeReply;
+    reply.session_id = session_id;
+    put_u16(reply.body, chosen_version);
+    append(reply.body, server_nonce);
+    append(reply.body, encrypted_seed);
+    append(reply.body, signature);
+    return Event{HandshakeDone{session_id, reply.serialize()}};
+  } catch (const std::out_of_range&) {
+    ++handshakes_rejected_;
+    return err("handshake: truncated");
+  }
+}
+
+Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
+                                                sim::Time now) {
+  Session* session = find_session(msg.session_id);
+  if (!session) return err("unknown session");
+
+  bool encrypted = msg.type == MsgType::Data;
+  if (!encrypted && !config_.allow_integrity_only) {
+    ++auth_failures_;
+    return err("integrity-only mode not allowed by server policy");
+  }
+
+  // Configuration freshness (section III-E): after the grace period,
+  // only clients running the current configuration may send traffic.
+  if (session->config_version < config_version_ && grace_active_ &&
+      now >= grace_deadline_) {
+    ++stale_config_drops_;
+    return err("stale middlebox configuration (have v" +
+               std::to_string(session->config_version) + ", need v" +
+               std::to_string(config_version_) + ")");
+  }
+
+  auto opened = encrypted ? open_data_body(session->keys, msg.body)
+                          : open_integrity_body(session->keys, msg.body);
+  if (!opened.ok()) {
+    ++auth_failures_;
+    return err(opened.error());
+  }
+  if (!session->replay.accept(opened->frag.packet_id)) {
+    ++replays_rejected_;
+    return err("replayed packet");
+  }
+  auto whole = session->reassembler.add(opened->frag, std::move(opened->payload));
+  if (!whole) return Event{FragmentPending{msg.session_id}};
+  return Event{PacketIn{msg.session_id, std::move(*whole), encrypted}};
+}
+
+Result<VpnServer::Event> VpnServer::handle_ping(const WireMessage& msg) {
+  Session* session = find_session(msg.session_id);
+  if (!session) return err("unknown session");
+  auto info = open_ping_body(session->keys, msg.body);
+  if (!info.ok()) {
+    ++auth_failures_;
+    return err(info.error());
+  }
+  // Record the client's (authenticated) configuration version. A ping
+  // cannot roll the version back: versions increase monotonically.
+  if (info->config_version > session->config_version)
+    session->config_version = info->config_version;
+  return Event{PingIn{msg.session_id, *info}};
+}
+
+std::vector<WireMessage> VpnServer::seal_packet(std::uint32_t session_id,
+                                                ByteView ip_packet) {
+  Session* session = find_session(session_id);
+  if (!session) throw std::logic_error("VpnServer: unknown session");
+  auto fragments = fragment_payload(ip_packet, config_.mtu);
+  std::uint32_t frag_id = session->next_frag_id++;
+
+  std::vector<WireMessage> messages;
+  messages.reserve(fragments.size());
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    FragmentHeader frag;
+    frag.packet_id = session->next_packet_id++;
+    frag.frag_id = frag_id;
+    frag.index = static_cast<std::uint16_t>(i);
+    frag.count = static_cast<std::uint16_t>(fragments.size());
+    WireMessage msg;
+    msg.type = MsgType::Data;
+    msg.session_id = session_id;
+    msg.body = seal_data_body(session->keys, frag, fragments[i], rng_);
+    messages.push_back(std::move(msg));
+  }
+  return messages;
+}
+
+WireMessage VpnServer::create_ping(std::uint32_t session_id) {
+  Session* session = find_session(session_id);
+  if (!session) throw std::logic_error("VpnServer: unknown session");
+  PingInfo info;
+  info.seq = session->next_ping_seq++;
+  info.config_version = config_version_;
+  info.grace_period_secs = grace_secs_;
+  WireMessage msg;
+  msg.type = MsgType::Ping;
+  msg.session_id = session_id;
+  msg.body = seal_ping_body(session->keys, info);
+  return msg;
+}
+
+void VpnServer::announce_config(std::uint32_t version, std::uint32_t grace_secs,
+                                sim::Time now) {
+  if (version <= config_version_) return;  // versions only move forward
+  config_version_ = version;
+  grace_secs_ = grace_secs;
+  grace_deadline_ = now + static_cast<sim::Time>(grace_secs) * sim::kSecond;
+  grace_active_ = true;
+}
+
+}  // namespace endbox::vpn

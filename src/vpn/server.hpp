@@ -1,0 +1,121 @@
+// VPN server: the single entry point into the managed network (R2).
+//
+// Accepts handshakes only from clients presenting CA-signed enclave
+// certificates, maintains per-session keys/replay windows, and enforces
+// configuration-version freshness: after a configurable grace period,
+// traffic from clients still running an old middlebox configuration is
+// blocked (section III-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "ca/certificate.hpp"
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "vpn/fragment.hpp"
+#include "vpn/replay.hpp"
+#include "vpn/session_crypto.hpp"
+#include "vpn/wire.hpp"
+
+namespace endbox::vpn {
+
+struct VpnServerConfig {
+  std::uint16_t min_version = kVersionTls12;  ///< server-side downgrade floor
+  bool allow_integrity_only = false;  ///< accept ISP-mode unencrypted data
+  std::size_t mtu = 9000;
+};
+
+class VpnServer {
+ public:
+  // Events returned by handle():
+  struct HandshakeDone {
+    std::uint32_t session_id;
+    Bytes reply_wire;  ///< send back to the client
+  };
+  struct PacketIn {
+    std::uint32_t session_id;
+    Bytes ip_packet;       ///< fully reassembled
+    bool was_encrypted;    ///< false for integrity-only mode
+  };
+  struct FragmentPending {
+    std::uint32_t session_id;
+  };
+  struct PingIn {
+    std::uint32_t session_id;
+    PingInfo info;
+  };
+  using Event = std::variant<HandshakeDone, PacketIn, FragmentPending, PingIn>;
+
+  VpnServer(Rng& rng, crypto::RsaPublicKey ca_key, VpnServerConfig config = {});
+
+  /// Pinned by clients (compiled into enclave binaries alongside the
+  /// CA key in a real deployment).
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+  /// Processes one wire message arriving at time `now`. Errors cover
+  /// every rejection: bad certificate, bad MAC, replay, unknown
+  /// session, stale configuration after grace expiry, version floor.
+  Result<Event> handle(ByteView wire, sim::Time now);
+
+  /// Seals an IP packet towards a client session.
+  std::vector<WireMessage> seal_packet(std::uint32_t session_id, ByteView ip_packet);
+
+  /// Builds the periodic server ping announcing the current config
+  /// version and remaining grace (section III-E, step 4).
+  WireMessage create_ping(std::uint32_t session_id);
+
+  /// Administrator action (step 2-3): announce `version` with a grace
+  /// period; after `now + grace` clients on older versions are blocked.
+  void announce_config(std::uint32_t version, std::uint32_t grace_secs,
+                       sim::Time now);
+
+  std::uint32_t current_config_version() const { return config_version_; }
+  std::size_t session_count() const { return sessions_.size(); }
+  /// Last config version a session reported via ping/handshake.
+  std::uint32_t session_config_version(std::uint32_t session_id) const;
+
+  // ---- Stats -----------------------------------------------------------
+  std::uint64_t auth_failures() const { return auth_failures_; }
+  std::uint64_t replays_rejected() const { return replays_rejected_; }
+  std::uint64_t stale_config_drops() const { return stale_config_drops_; }
+  std::uint64_t handshakes_rejected() const { return handshakes_rejected_; }
+
+ private:
+  struct Session {
+    SessionKeys keys;
+    ReplayWindow replay;
+    Reassembler reassembler;
+    std::uint32_t config_version = 0;
+    std::uint64_t next_packet_id = 1;
+    std::uint32_t next_frag_id = 1;
+    std::uint64_t next_ping_seq = 1;
+  };
+
+  Result<Event> handle_handshake(const WireMessage& msg);
+  Result<Event> handle_data(const WireMessage& msg, sim::Time now);
+  Result<Event> handle_ping(const WireMessage& msg);
+  Session* find_session(std::uint32_t id);
+
+  Rng& rng_;
+  crypto::RsaPublicKey ca_key_;
+  VpnServerConfig config_;
+  crypto::RsaKeyPair key_;
+  std::unordered_map<std::uint32_t, Session> sessions_;
+  std::uint32_t next_session_id_ = 1;
+
+  std::uint32_t config_version_ = 1;
+  std::uint32_t grace_secs_ = 0;
+  sim::Time grace_deadline_ = 0;
+  bool grace_active_ = false;
+
+  std::uint64_t auth_failures_ = 0;
+  std::uint64_t replays_rejected_ = 0;
+  std::uint64_t stale_config_drops_ = 0;
+  std::uint64_t handshakes_rejected_ = 0;
+};
+
+}  // namespace endbox::vpn

@@ -1,0 +1,123 @@
+#include "vpn/session_crypto.hpp"
+
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace endbox::vpn {
+
+namespace {
+
+constexpr std::size_t kMacSize = 32;
+constexpr std::size_t kFragHeaderSize = 16;  // 8 + 4 + 2 + 2
+
+Bytes frag_bytes(const FragmentHeader& frag) {
+  Bytes out;
+  put_u64(out, frag.packet_id);
+  put_u32(out, frag.frag_id);
+  put_u16(out, frag.index);
+  put_u16(out, frag.count);
+  return out;
+}
+
+FragmentHeader read_frag(ByteReader& r) {
+  FragmentHeader frag;
+  frag.packet_id = r.u64();
+  frag.frag_id = r.u32();
+  frag.index = r.u16();
+  frag.count = r.u16();
+  return frag;
+}
+
+Bytes mac_over(const SessionKeys& keys, std::string_view label, ByteView data) {
+  Bytes input = to_bytes(label);
+  append(input, data);
+  return crypto::hmac_sha256(keys.mac_key, input);
+}
+
+}  // namespace
+
+SessionKeys derive_vpn_keys(std::uint64_t seed, ByteView client_nonce,
+                            ByteView server_nonce) {
+  Bytes material;
+  put_u64(material, seed);
+  append(material, client_nonce);
+  append(material, server_nonce);
+  SessionKeys keys;
+  keys.enc_key = crypto::derive_key(material, "vpn-enc", 16);
+  keys.mac_key = crypto::derive_key(material, "vpn-mac", 32);
+  return keys;
+}
+
+Bytes seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
+                     ByteView payload, Rng& rng) {
+  Bytes body = frag_bytes(frag);
+  Bytes iv = rng.bytes(16);
+  append(body, iv);
+  append(body, crypto::aes128_cbc_encrypt(crypto::make_aes_key(keys.enc_key), iv,
+                                          payload));
+  append(body, mac_over(keys, "data", body));
+  return body;
+}
+
+Bytes seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
+                          ByteView payload) {
+  Bytes body = frag_bytes(frag);
+  append(body, payload);
+  append(body, mac_over(keys, "integ", body));
+  return body;
+}
+
+Result<OpenedBody> open_data_body(const SessionKeys& keys, ByteView body) {
+  if (body.size() < kFragHeaderSize + 16 + kMacSize)
+    return err("data body: too short");
+  std::size_t authed_len = body.size() - kMacSize;
+  if (!ct_equal(mac_over(keys, "data", body.subspan(0, authed_len)),
+                body.subspan(authed_len)))
+    return err("data body: MAC verification failed");
+
+  ByteReader r(body.subspan(0, authed_len));
+  OpenedBody opened;
+  opened.frag = read_frag(r);
+  Bytes iv = r.take(16);
+  auto plaintext = crypto::aes128_cbc_decrypt(crypto::make_aes_key(keys.enc_key),
+                                              iv, r.rest());
+  if (!plaintext.ok()) return err("data body: " + plaintext.error());
+  opened.payload = std::move(*plaintext);
+  return opened;
+}
+
+Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body) {
+  if (body.size() < kFragHeaderSize + kMacSize)
+    return err("integrity body: too short");
+  std::size_t authed_len = body.size() - kMacSize;
+  if (!ct_equal(mac_over(keys, "integ", body.subspan(0, authed_len)),
+                body.subspan(authed_len)))
+    return err("integrity body: MAC verification failed");
+  ByteReader r(body.subspan(0, authed_len));
+  OpenedBody opened;
+  opened.frag = read_frag(r);
+  opened.payload = r.rest();
+  return opened;
+}
+
+Bytes seal_ping_body(const SessionKeys& keys, const PingInfo& info) {
+  Bytes body;
+  put_u64(body, info.seq);
+  put_u32(body, info.config_version);
+  put_u32(body, info.grace_period_secs);
+  append(body, mac_over(keys, "ping", body));
+  return body;
+}
+
+Result<PingInfo> open_ping_body(const SessionKeys& keys, ByteView body) {
+  if (body.size() != 16 + kMacSize) return err("ping body: bad size");
+  if (!ct_equal(mac_over(keys, "ping", body.subspan(0, 16)), body.subspan(16)))
+    return err("ping body: MAC verification failed");
+  PingInfo info;
+  info.seq = get_u64(body.data());
+  info.config_version = get_u32(body.data() + 8);
+  info.grace_period_secs = get_u32(body.data() + 12);
+  return info;
+}
+
+}  // namespace endbox::vpn

@@ -1,0 +1,47 @@
+// Session key derivation and data-channel seal/open.
+//
+// Both tunnel endpoints derive {enc, mac} keys from the handshake seed
+// and nonces. Data bodies are encrypt-then-MAC (AES-128-CBC + HMAC) or,
+// in the ISP scenario's integrity-only mode (section IV-A), plaintext +
+// HMAC. Both modes authenticate the fragment header, so flagged QoS
+// bytes and packet ids cannot be forged.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "vpn/wire.hpp"
+
+namespace endbox::vpn {
+
+struct SessionKeys {
+  Bytes enc_key;  ///< 16 bytes
+  Bytes mac_key;  ///< 32 bytes
+};
+
+/// Derives direction-shared session keys from the handshake material.
+SessionKeys derive_vpn_keys(std::uint64_t seed, ByteView client_nonce,
+                            ByteView server_nonce);
+
+/// Builds a Data (encrypted) body.
+Bytes seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
+                     ByteView payload, Rng& rng);
+/// Builds a DataIntegrityOnly body.
+Bytes seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
+                          ByteView payload);
+
+struct OpenedBody {
+  FragmentHeader frag;
+  Bytes payload;
+};
+
+/// Verifies and decrypts a Data body.
+Result<OpenedBody> open_data_body(const SessionKeys& keys, ByteView body);
+/// Verifies a DataIntegrityOnly body.
+Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body);
+
+/// Ping bodies (control channel).
+Bytes seal_ping_body(const SessionKeys& keys, const PingInfo& info);
+Result<PingInfo> open_ping_body(const SessionKeys& keys, ByteView body);
+
+}  // namespace endbox::vpn

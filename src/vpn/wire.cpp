@@ -1,0 +1,24 @@
+#include "vpn/wire.hpp"
+
+namespace endbox::vpn {
+
+Bytes WireMessage::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, session_id);
+  append(out, body);
+  return out;
+}
+
+Result<WireMessage> WireMessage::parse(ByteView wire) {
+  if (wire.size() < 5) return err("VPN message: truncated header");
+  WireMessage msg;
+  std::uint8_t type = wire[0];
+  if (type < 1 || type > 5) return err("VPN message: unknown type");
+  msg.type = static_cast<MsgType>(type);
+  msg.session_id = get_u32(wire.data() + 1);
+  msg.body.assign(wire.begin() + 5, wire.end());
+  return msg;
+}
+
+}  // namespace endbox::vpn

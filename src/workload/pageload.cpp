@@ -1,0 +1,70 @@
+#include "workload/pageload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace endbox::workload {
+
+std::vector<Site> generate_alexa_like_sites(std::size_t count, Rng& rng) {
+  std::vector<Site> sites;
+  sites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Site site;
+    // Object count: log-normal-ish, median ~30, long tail to ~150.
+    double u = rng.uniform01();
+    site.objects = static_cast<std::size_t>(8 + 25.0 * std::exp(1.2 * u * u * 2));
+    site.objects = std::min<std::size_t>(site.objects, 180);
+    site.object_bytes.reserve(site.objects);
+    for (std::size_t o = 0; o < site.objects; ++o) {
+      // Object sizes: mostly small (a few KB), occasional images >100 KB.
+      double v = rng.uniform01();
+      std::size_t bytes = v < 0.7
+                              ? static_cast<std::size_t>(rng.uniform(800, 20'000))
+                              : static_cast<std::size_t>(rng.uniform(20'000, 400'000));
+      site.object_bytes.push_back(bytes);
+    }
+    // RTT: 10-80 ms for most sites, a long tail of distant origins.
+    double w = rng.uniform01();
+    double rtt_ms = w < 0.8 ? 10 + 70 * rng.uniform01() : 80 + 220 * rng.uniform01();
+    site.rtt = sim::from_millis(rtt_ms);
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+sim::Duration page_load_time(const Site& site, const PageLoadConfig& config) {
+  // Connection set-up: DNS + TCP handshake + TLS handshake = 3 RTTs.
+  sim::Duration total = 3 * site.rtt;
+
+  // Objects fetched over `parallel_connections` pipelines; each object
+  // costs one request RTT plus its transfer time plus per-packet
+  // processing at the client.
+  unsigned lanes = std::max(1u, config.parallel_connections);
+  std::vector<sim::Duration> lane_time(lanes, 0);
+  for (std::size_t o = 0; o < site.object_bytes.size(); ++o) {
+    std::size_t bytes = site.object_bytes[o];
+    auto packets = static_cast<sim::Duration>((bytes + config.mtu - 1) / config.mtu);
+    auto transfer = static_cast<sim::Duration>(static_cast<double>(bytes) * 8.0 /
+                                               config.download_bps * 1e9);
+    sim::Duration object_cost =
+        site.rtt + transfer + packets * config.per_packet_cost;
+    // Assign to the least-loaded lane (browsers keep connections busy).
+    auto lane = std::min_element(lane_time.begin(), lane_time.end());
+    *lane += object_cost;
+  }
+  total += *std::max_element(lane_time.begin(), lane_time.end());
+  return total;
+}
+
+std::vector<double> page_load_cdf(const std::vector<Site>& sites,
+                                  const PageLoadConfig& config) {
+  std::vector<double> seconds;
+  seconds.reserve(sites.size());
+  for (const auto& site : sites)
+    seconds.push_back(sim::to_seconds(
+        static_cast<sim::Time>(page_load_time(site, config))));
+  std::sort(seconds.begin(), seconds.end());
+  return seconds;
+}
+
+}  // namespace endbox::workload

@@ -1,0 +1,48 @@
+// HTTP page-load model for the Alexa-top-1000 experiment (Fig 6).
+//
+// Each synthetic site has a number of objects, per-object sizes, and a
+// server RTT drawn from heavy-tailed distributions calibrated to
+// typical web measurements (tens of objects, tens-of-KB objects,
+// 10-300 ms RTTs). Loading a page costs: DNS+TCP+TLS setup RTTs, then
+// per-object request/response transfers over a download bandwidth,
+// plus a per-packet client-side processing cost — the term EndBox adds.
+// Because EndBox's per-packet cost is microseconds against network
+// RTTs of milliseconds, the resulting CDFs nearly coincide, which is
+// exactly the paper's observation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+
+namespace endbox::workload {
+
+struct Site {
+  std::size_t objects = 10;
+  std::vector<std::size_t> object_bytes;
+  sim::Duration rtt = 0;  ///< client <-> origin round trip
+};
+
+struct PageLoadConfig {
+  double download_bps = 50e6;       ///< access-link bandwidth
+  std::size_t mtu = 1500;
+  /// Extra client-side processing per packet (EndBox's contribution;
+  /// 0 for a direct connection).
+  sim::Duration per_packet_cost = 0;
+  /// Parallel connections a browser uses per site.
+  unsigned parallel_connections = 6;
+};
+
+/// Generates `count` synthetic sites (deterministic given the RNG).
+std::vector<Site> generate_alexa_like_sites(std::size_t count, Rng& rng);
+
+/// Page load time for one site under the given configuration.
+sim::Duration page_load_time(const Site& site, const PageLoadConfig& config);
+
+/// Convenience: load times for all sites, in seconds, sorted ascending
+/// (ready for CDF plotting).
+std::vector<double> page_load_cdf(const std::vector<Site>& sites,
+                                  const PageLoadConfig& config);
+
+}  // namespace endbox::workload

@@ -1,0 +1,50 @@
+#include "workload/ping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace endbox::workload {
+
+double PingStats::average() const {
+  if (rtts_ms.empty()) return 0;
+  double sum = 0;
+  for (double v : rtts_ms) sum += v;
+  return sum / static_cast<double>(rtts_ms.size());
+}
+
+double PingStats::min() const {
+  return rtts_ms.empty() ? 0 : *std::min_element(rtts_ms.begin(), rtts_ms.end());
+}
+
+double PingStats::max() const {
+  return rtts_ms.empty() ? 0 : *std::max_element(rtts_ms.begin(), rtts_ms.end());
+}
+
+double PingStats::percentile(double p) const {
+  if (rtts_ms.empty()) return 0;
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted = rtts_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+PingStats PingRunner::run(sim::Time start, std::size_t count, sim::Time interval) {
+  PingStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::Time sent_at = start + static_cast<sim::Time>(i) * interval;
+    ++stats.sent;
+    auto reply = round_trip_(sent_at);
+    if (!reply) {
+      ++stats.lost;
+      continue;
+    }
+    stats.rtts_ms.push_back(sim::to_millis(*reply - sent_at));
+  }
+  return stats;
+}
+
+}  // namespace endbox::workload

@@ -1,0 +1,43 @@
+// ICMP ping measurement (latency experiments: Fig 7, Fig 11, and the
+// client-to-client latency of section V-G).
+//
+// A ping RTT is composed from closures so each experiment wires its own
+// set-up: per-direction processing cost (client/EndBox/middlebox) plus
+// network paths. Reports per-ping RTTs and summary statistics.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace endbox::workload {
+
+struct PingStats {
+  std::vector<double> rtts_ms;   ///< successful pings only
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+
+  double average() const;
+  double min() const;
+  double max() const;
+  double percentile(double p) const;  ///< p in [0,100]
+};
+
+class PingRunner {
+ public:
+  /// Round-trip closure: given the send time, returns the reply arrival
+  /// time, or nullopt when the ping was lost.
+  using RoundTrip = std::function<std::optional<sim::Time>(sim::Time now)>;
+
+  explicit PingRunner(RoundTrip round_trip) : round_trip_(std::move(round_trip)) {}
+
+  /// Sends `count` pings starting at `start`, one per `interval`.
+  PingStats run(sim::Time start, std::size_t count, sim::Time interval);
+
+ private:
+  RoundTrip round_trip_;
+};
+
+}  // namespace endbox::workload

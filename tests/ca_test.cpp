@@ -1,0 +1,128 @@
+// Tests for the CA / key-management flow (Fig 4): provisioning,
+// certificate verification, rejection paths.
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "sgx/enclave.hpp"
+#include "sgx/platform.hpp"
+
+namespace endbox::ca {
+namespace {
+
+struct ClientEnclave : sgx::Enclave {
+  using Enclave::Enclave;
+};
+
+struct Fixture : ::testing::Test {
+  Rng rng{21};
+  sim::Clock clock;
+  sgx::AttestationService ias{rng};
+  CertificateAuthority authority{rng, ias};
+  sgx::SgxPlatform platform{"client-1", rng, clock};
+  ClientEnclave enclave{platform, "endbox-v1", sgx::SgxMode::Hardware};
+  crypto::RsaKeyPair enclave_key = crypto::rsa_generate(rng);
+
+  Fixture() {
+    ias.register_platform("client-1", platform.attestation_key().pub);
+    authority.allow_measurement(enclave.measurement());
+  }
+
+  Bytes make_quote(const crypto::RsaPublicKey& key_to_bind) {
+    sgx::QuotingEnclave qe(platform);
+    auto report = enclave.create_report(sgx::bind_report_data(key_to_bind.serialize()));
+    auto quote = qe.quote(report);
+    EXPECT_TRUE(quote.ok());
+    return quote->serialize();
+  }
+};
+
+TEST_F(Fixture, ProvisioningHappyPath) {
+  auto response = authority.provision(make_quote(enclave_key.pub), enclave_key.pub);
+  ASSERT_TRUE(response.ok()) << response.error();
+  EXPECT_TRUE(response->certificate.verify(authority.public_key()));
+  EXPECT_EQ(response->certificate.subject_key, enclave_key.pub);
+  EXPECT_EQ(response->certificate.mrenclave, enclave.measurement());
+  EXPECT_EQ(response->certificate.serial, 1u);
+  // The config key decrypts only with the enclave private key.
+  EXPECT_EQ(crypto::rsa_decrypt(enclave_key, response->encrypted_config_key),
+            authority.config_key() % enclave_key.pub.n);
+}
+
+TEST_F(Fixture, SerialsIncrease) {
+  auto a = authority.provision(make_quote(enclave_key.pub), enclave_key.pub);
+  auto key2 = crypto::rsa_generate(rng);
+  auto b = authority.provision(make_quote(key2.pub), key2.pub);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->certificate.serial, b->certificate.serial);
+  EXPECT_EQ(authority.certificates_issued(), 2u);
+}
+
+TEST_F(Fixture, RejectsUnknownMeasurement) {
+  ClientEnclave rogue(platform, "tampered-endbox", sgx::SgxMode::Hardware);
+  sgx::QuotingEnclave qe(platform);
+  auto report = rogue.create_report(sgx::bind_report_data(enclave_key.pub.serialize()));
+  auto quote = qe.quote(report);
+  ASSERT_TRUE(quote.ok());
+  auto response = authority.provision(quote->serialize(), enclave_key.pub);
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().find("measurement"), std::string::npos);
+}
+
+TEST_F(Fixture, RejectsKeySubstitution) {
+  // MITM presents its own key with a quote that binds the enclave's key.
+  auto attacker_key = crypto::rsa_generate(rng);
+  auto response = authority.provision(make_quote(enclave_key.pub), attacker_key.pub);
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().find("bind"), std::string::npos);
+}
+
+TEST_F(Fixture, RejectsUnregisteredPlatform) {
+  Rng rng2(99);
+  sim::Clock clock2;
+  sgx::SgxPlatform rogue_platform("rogue-machine", rng2, clock2);
+  ClientEnclave rogue_enclave(rogue_platform, "endbox-v1", sgx::SgxMode::Hardware);
+  sgx::QuotingEnclave qe(rogue_platform);
+  auto report =
+      rogue_enclave.create_report(sgx::bind_report_data(enclave_key.pub.serialize()));
+  auto quote = qe.quote(report);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_FALSE(authority.provision(quote->serialize(), enclave_key.pub).ok());
+}
+
+TEST_F(Fixture, RejectsSimulationModeEnclave) {
+  ClientEnclave sim_enclave(platform, "endbox-v1", sgx::SgxMode::Simulation);
+  sgx::QuotingEnclave qe(platform);
+  auto report =
+      sim_enclave.create_report(sgx::bind_report_data(enclave_key.pub.serialize()));
+  EXPECT_FALSE(qe.quote(report).ok());  // cannot even obtain a quote
+}
+
+TEST_F(Fixture, RejectsGarbageQuote) {
+  EXPECT_FALSE(authority.provision(Bytes{1, 2, 3}, enclave_key.pub).ok());
+}
+
+TEST_F(Fixture, CertificateSerializationRoundTrip) {
+  auto response = authority.provision(make_quote(enclave_key.pub), enclave_key.pub);
+  ASSERT_TRUE(response.ok());
+  auto back = Certificate::deserialize(response->certificate.serialize());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(back->verify(authority.public_key()));
+  EXPECT_EQ(back->serial, response->certificate.serial);
+}
+
+TEST_F(Fixture, TamperedCertificateFailsVerification) {
+  auto response = authority.provision(make_quote(enclave_key.pub), enclave_key.pub);
+  ASSERT_TRUE(response.ok());
+  Certificate cert = response->certificate;
+  cert.serial += 1;  // tamper a signed field
+  EXPECT_FALSE(cert.verify(authority.public_key()));
+  // Self-signed by a different "CA":
+  auto fake_ca = crypto::rsa_generate(rng);
+  Certificate forged = response->certificate;
+  forged.signature = crypto::rsa_sign(fake_ca, forged.signed_portion());
+  EXPECT_FALSE(forged.verify(authority.public_key()));
+}
+
+}  // namespace
+}  // namespace endbox::ca

@@ -1,0 +1,151 @@
+// Unit tests for src/common: byte utilities, Result, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace endbox {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001deadbeefff");
+  auto back = from_hex("0001deadbeefff");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  auto v = from_hex("DEADBEEF");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_hex(*v), "deadbeef");
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(Bytes, HexRejectsNonHexChars) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, CtEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, BigEndianRoundTrip) {
+  Bytes out;
+  put_u16(out, 0x1234);
+  put_u32(out, 0xdeadbeef);
+  put_u64(out, 0x0123456789abcdefULL);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(get_u16(out.data()), 0x1234);
+  EXPECT_EQ(get_u32(out.data() + 2), 0xdeadbeefu);
+  EXPECT_EQ(get_u64(out.data() + 6), 0x0123456789abcdefULL);
+}
+
+TEST(ByteReader, ReadsSequentially) {
+  Bytes data;
+  put_u16(data, 7);
+  put_u32(data, 42);
+  append(data, to_bytes("xyz"));
+  ByteReader r(data);
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_EQ(to_string(r.rest()), "xyz");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ThrowsOnShortBuffer) {
+  Bytes data = {1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(ByteReader, ViewDoesNotCopy) {
+  Bytes data = {1, 2, 3, 4};
+  ByteReader r(data);
+  ByteView v = r.view(2);
+  EXPECT_EQ(v.data(), data.data());
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad(err("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "boom");
+}
+
+TEST(Result, StatusDefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status f = err("nope");
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.error(), "nope");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, Uniform01WithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.2);
+}
+
+TEST(Rng, BytesLength) {
+  Rng rng(3);
+  EXPECT_EQ(rng.bytes(33).size(), 33u);
+  EXPECT_TRUE(rng.bytes(0).empty());
+}
+
+}  // namespace
+}  // namespace endbox

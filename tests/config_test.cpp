@@ -1,0 +1,119 @@
+// Tests for config bundles (signing, encryption, replay protection)
+// and the config file server.
+#include <gtest/gtest.h>
+
+#include "config/bundle.hpp"
+#include "config/file_server.hpp"
+
+namespace endbox::config {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Rng rng{41};
+  crypto::RsaKeyPair ca_key = crypto::rsa_generate(rng);
+  std::uint64_t config_key = 0x1234567890ULL;
+  std::string click_text = "from_device :: FromDevice; to_device :: ToDevice;"
+                           "from_device -> to_device;";
+};
+
+TEST_F(Fixture, SignedPlaintextRoundTrip) {
+  auto bundle = make_bundle(3, click_text, ca_key, config_key, /*encrypt=*/false);
+  EXPECT_FALSE(bundle.encrypted);
+  auto text = open_bundle(bundle, ca_key.pub, config_key);
+  ASSERT_TRUE(text.ok()) << text.error();
+  EXPECT_EQ(*text, click_text);
+}
+
+TEST_F(Fixture, EncryptedRoundTrip) {
+  auto bundle = make_bundle(3, click_text, ca_key, config_key, /*encrypt=*/true);
+  EXPECT_TRUE(bundle.encrypted);
+  // Ciphertext must not contain the plaintext.
+  std::string payload_str(bundle.payload.begin(), bundle.payload.end());
+  EXPECT_EQ(payload_str.find("FromDevice"), std::string::npos);
+  auto text = open_bundle(bundle, ca_key.pub, config_key);
+  ASSERT_TRUE(text.ok()) << text.error();
+  EXPECT_EQ(*text, click_text);
+}
+
+TEST_F(Fixture, WrongConfigKeyFails) {
+  auto bundle = make_bundle(3, click_text, ca_key, config_key, true);
+  auto text = open_bundle(bundle, ca_key.pub, config_key + 1);
+  // Decryption with the wrong key garbles the embedded version, which
+  // the version check catches.
+  EXPECT_FALSE(text.ok());
+}
+
+TEST_F(Fixture, TamperedPayloadFailsSignature) {
+  auto bundle = make_bundle(3, click_text, ca_key, config_key, false);
+  bundle.payload[10] ^= 1;
+  EXPECT_FALSE(open_bundle(bundle, ca_key.pub, config_key).ok());
+}
+
+TEST_F(Fixture, WrongCaKeyFails) {
+  auto bundle = make_bundle(3, click_text, ca_key, config_key, false);
+  auto other = crypto::rsa_generate(rng);
+  EXPECT_FALSE(open_bundle(bundle, other.pub, config_key).ok());
+}
+
+TEST_F(Fixture, VersionRelabelDetected) {
+  // Replay attack: take the v3 bundle, relabel it v5 and re-present.
+  // The outer version is signed, so the signature breaks; even with a
+  // forged outer structure the inner version would mismatch.
+  auto bundle = make_bundle(3, click_text, ca_key, config_key, true);
+  bundle.version = 5;
+  EXPECT_FALSE(open_bundle(bundle, ca_key.pub, config_key).ok());
+}
+
+TEST_F(Fixture, SerializationRoundTrip) {
+  auto bundle = make_bundle(7, click_text, ca_key, config_key, true);
+  auto back = ConfigBundle::deserialize(bundle.serialize());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->version, 7u);
+  EXPECT_EQ(back->payload, bundle.payload);
+  auto text = open_bundle(*back, ca_key.pub, config_key);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, click_text);
+}
+
+TEST_F(Fixture, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ConfigBundle::deserialize(Bytes{1, 2, 3}).ok());
+  auto bundle = make_bundle(1, click_text, ca_key, config_key, false);
+  auto wire = bundle.serialize();
+  wire.push_back(0);
+  EXPECT_FALSE(ConfigBundle::deserialize(wire).ok());
+}
+
+TEST_F(Fixture, MinimalConfigSizesMatchPaper) {
+  // Table II uses minimal config files of 42 and 59 bytes — check our
+  // bundle machinery handles tiny configs.
+  std::string minimal = "a :: Counter; b :: Discard; a -> b;";  // < 42 bytes
+  auto bundle = make_bundle(1, minimal, ca_key, config_key, true);
+  auto text = open_bundle(bundle, ca_key.pub, config_key);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, minimal);
+}
+
+TEST_F(Fixture, FileServerPublishFetch) {
+  ConfigFileServer server;
+  EXPECT_EQ(server.latest_version(), 0u);
+  ASSERT_TRUE(server.publish(make_bundle(1, click_text, ca_key, config_key, false)).ok());
+  ASSERT_TRUE(server.publish(make_bundle(2, click_text, ca_key, config_key, false)).ok());
+  EXPECT_EQ(server.latest_version(), 2u);
+  EXPECT_EQ(server.stored(), 2u);
+  auto v1 = server.fetch(1);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_FALSE(server.fetch(9).has_value());
+  EXPECT_EQ(server.fetches(), 2u);
+}
+
+TEST_F(Fixture, FileServerEnforcesMonotonicVersions) {
+  ConfigFileServer server;
+  ASSERT_TRUE(server.publish(make_bundle(5, click_text, ca_key, config_key, false)).ok());
+  EXPECT_FALSE(server.publish(make_bundle(5, click_text, ca_key, config_key, false)).ok());
+  EXPECT_FALSE(server.publish(make_bundle(4, click_text, ca_key, config_key, false)).ok());
+  EXPECT_TRUE(server.publish(make_bundle(6, click_text, ca_key, config_key, false)).ok());
+}
+
+}  // namespace
+}  // namespace endbox::config

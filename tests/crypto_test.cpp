@@ -1,0 +1,265 @@
+// Unit tests for src/crypto against published test vectors (SHA-256,
+// HMAC-SHA-256, AES-128) plus property tests for modes and toy-RSA.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace endbox::crypto {
+namespace {
+
+using endbox::Rng;
+
+// ---- SHA-256 (FIPS 180-4 / NIST vectors) -------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto d = h.finish();
+  EXPECT_EQ(to_hex(ByteView(d.data(), d.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(42);
+  Bytes data = rng.bytes(10000);
+  // Split at awkward boundaries relative to the 64-byte block size.
+  for (std::size_t split : {1u, 63u, 64u, 65u, 127u, 5000u}) {
+    Sha256 h;
+    h.update(ByteView(data.data(), split));
+    h.update(ByteView(data.data() + split, data.size() - split));
+    auto inc = h.finish();
+    auto oneshot = Sha256::hash(data);
+    EXPECT_EQ(inc, oneshot) << "split=" << split;
+  }
+}
+
+// ---- HMAC-SHA-256 (RFC 4231) -------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  Bytes key = to_bytes("secret");
+  Bytes msg = to_bytes("payload");
+  Bytes mac = hmac_sha256(key, msg);
+  EXPECT_TRUE(hmac_verify(key, msg, mac));
+  mac[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, msg, mac));
+  EXPECT_FALSE(hmac_verify(key, to_bytes("other"), hmac_sha256(key, msg)));
+}
+
+TEST(Hmac, DeriveKeyLengthsAndDomainSeparation) {
+  Bytes master = to_bytes("master-secret");
+  auto k16 = derive_key(master, "enc", 16);
+  auto k64 = derive_key(master, "enc", 64);
+  auto other = derive_key(master, "mac", 16);
+  EXPECT_EQ(k16.size(), 16u);
+  EXPECT_EQ(k64.size(), 64u);
+  // Same label: prefix property; different label: unrelated.
+  EXPECT_TRUE(std::equal(k16.begin(), k16.end(), k64.begin()));
+  EXPECT_NE(k16, other);
+}
+
+// ---- AES-128 (FIPS 197 appendix + NIST SP 800-38A vectors) ---------------
+
+TEST(Aes, Fips197Block) {
+  auto key = make_aes_key(*from_hex("000102030405060708090a0b0c0d0e0f"));
+  auto pt = *from_hex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex(ByteView(back, 16)), to_hex(pt));
+}
+
+TEST(Aes, Sp80038aEcbVector) {
+  auto key = make_aes_key(*from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  auto pt = *from_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView(ct, 16)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, Sp80038aCbcVector) {
+  auto key = make_aes_key(*from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  auto iv = *from_hex("000102030405060708090a0b0c0d0e0f");
+  auto pt = *from_hex("6bc1bee22e409f96e93d7e117393172a");
+  Bytes ct = aes128_cbc_encrypt(key, iv, pt);
+  // First block matches the NIST vector; the rest is PKCS#7 padding block.
+  ASSERT_GE(ct.size(), 16u);
+  EXPECT_EQ(to_hex(ByteView(ct.data(), 16)), "7649abac8119b246cee98e9b12e9197d");
+}
+
+TEST(Aes, CbcRoundTripVariousSizes) {
+  Rng rng(1);
+  auto key = make_aes_key(rng.bytes(16));
+  for (std::size_t size : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 1000u, 1500u}) {
+    Bytes pt = rng.bytes(size);
+    Bytes iv = rng.bytes(16);
+    Bytes ct = aes128_cbc_encrypt(key, iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // always padded
+    auto back = aes128_cbc_decrypt(key, iv, ct);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(*back, pt) << "size=" << size;
+  }
+}
+
+TEST(Aes, CbcDecryptRejectsGarbage) {
+  Rng rng(2);
+  auto key = make_aes_key(rng.bytes(16));
+  Bytes iv = rng.bytes(16);
+  EXPECT_FALSE(aes128_cbc_decrypt(key, iv, Bytes{}).ok());
+  EXPECT_FALSE(aes128_cbc_decrypt(key, iv, rng.bytes(15)).ok());
+  // Wrong key produces invalid padding with overwhelming probability.
+  Bytes ct = aes128_cbc_encrypt(key, iv, to_bytes("attack at dawn"));
+  auto wrong = make_aes_key(rng.bytes(16));
+  auto r = aes128_cbc_decrypt(wrong, iv, ct);
+  if (r.ok()) { EXPECT_NE(to_string(*r), "attack at dawn"); }
+}
+
+TEST(Aes, CtrRoundTripAndSymmetry) {
+  Rng rng(3);
+  auto key = make_aes_key(rng.bytes(16));
+  Bytes nonce = rng.bytes(16);
+  for (std::size_t size : {0u, 1u, 16u, 17u, 100u, 4096u}) {
+    Bytes pt = rng.bytes(size);
+    Bytes ct = aes128_ctr(key, nonce, pt);
+    EXPECT_EQ(ct.size(), pt.size());
+    EXPECT_EQ(aes128_ctr(key, nonce, ct), pt);
+    if (size > 0) { EXPECT_NE(ct, pt); }
+  }
+}
+
+TEST(Aes, CtrCounterAdvancesAcrossBlocks) {
+  Rng rng(4);
+  auto key = make_aes_key(rng.bytes(16));
+  Bytes nonce(16, 0xff);  // forces carry propagation on increment
+  Bytes pt(64, 0);
+  Bytes ks = aes128_ctr(key, nonce, pt);
+  // keystream blocks must all differ
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j)
+      EXPECT_FALSE(std::equal(ks.begin() + i * 16, ks.begin() + (i + 1) * 16,
+                              ks.begin() + j * 16));
+}
+
+// ---- toy RSA -------------------------------------------------------------
+
+TEST(Rsa, ModexpKnownValues) {
+  EXPECT_EQ(modexp(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(modexp(7, 0, 13), 1u);
+  EXPECT_EQ(modexp(5, 117, 19), 1u);  // 117 = 18*6+9 and 5^9 = 1 (mod 19)
+  // Fermat: a^(p-1) = 1 mod p
+  EXPECT_EQ(modexp(123456789, 1000000006, 1000000007), 1u);
+}
+
+TEST(Rsa, IsPrimeBasics) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(2147483647));        // 2^31 - 1, Mersenne prime
+  EXPECT_FALSE(is_prime(2147483647ull * 3));
+  EXPECT_FALSE(is_prime(3215031751ull));    // strong pseudoprime to bases 2,3,5,7
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  Rng rng(5);
+  auto key = rsa_generate(rng);
+  Bytes msg = to_bytes("attest me");
+  Bytes sig = rsa_sign(key, msg);
+  EXPECT_TRUE(rsa_verify(key.pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedMessageAndSignature) {
+  Rng rng(6);
+  auto key = rsa_generate(rng);
+  Bytes msg = to_bytes("attest me");
+  Bytes sig = rsa_sign(key, msg);
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("attest ME"), sig));
+  Bytes bad = sig;
+  bad[7] ^= 1;
+  EXPECT_FALSE(rsa_verify(key.pub, msg, bad));
+  EXPECT_FALSE(rsa_verify(key.pub, msg, Bytes{}));
+}
+
+TEST(Rsa, VerifyRejectsWrongKey) {
+  Rng rng(7);
+  auto k1 = rsa_generate(rng);
+  auto k2 = rsa_generate(rng);
+  Bytes msg = to_bytes("hello");
+  EXPECT_FALSE(rsa_verify(k2.pub, msg, rsa_sign(k1, msg)));
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  Rng rng(8);
+  auto key = rsa_generate(rng);
+  std::uint64_t secret = 0xdead1234;
+  Bytes ct = rsa_encrypt(key.pub, secret);
+  EXPECT_EQ(rsa_decrypt(key, ct), secret);
+}
+
+TEST(Rsa, PublicKeySerializeRoundTrip) {
+  Rng rng(9);
+  auto key = rsa_generate(rng);
+  auto bytes = key.pub.serialize();
+  EXPECT_EQ(RsaPublicKey::deserialize(bytes), key.pub);
+}
+
+TEST(Rsa, DistinctKeysFromDistinctSeeds) {
+  Rng a(10), b(11);
+  EXPECT_NE(rsa_generate(a).pub, rsa_generate(b).pub);
+}
+
+}  // namespace
+}  // namespace endbox::crypto

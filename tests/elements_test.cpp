@@ -1,0 +1,310 @@
+// Tests for the EndBox custom Click elements: device glue, IDSMatcher,
+// splitters, TLSDecrypt — including their use via config files.
+#include <gtest/gtest.h>
+
+#include "click/router.hpp"
+#include "click/standard_elements.hpp"
+#include "elements/context.hpp"
+#include "elements/device.hpp"
+#include "elements/ids_matcher.hpp"
+#include "elements/splitters.hpp"
+#include "elements/tls_decrypt.hpp"
+
+namespace endbox::elements {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+
+struct Fixture : ::testing::Test {
+  Rng rng{11};
+  sim::Time fake_trusted_time = 0;
+  sim::Time fake_untrusted_time = 0;
+  tls::SessionKeyStore key_store;
+  ElementContext context;
+  std::vector<std::pair<Packet, bool>> delivered;
+
+  Fixture() {
+    context.key_store = &key_store;
+    context.trusted_time = [this] { return fake_trusted_time; };
+    context.untrusted_time = [this] { return fake_untrusted_time; };
+    context.to_device = [this](Packet&& p, bool accepted) {
+      delivered.emplace_back(std::move(p), accepted);
+    };
+    context.rulesets["community"] = idps::generate_community_ruleset(377, rng);
+    context.rulesets["strict"] = *idps::parse_snort_ruleset(
+        "drop ip any any -> any any (content:\"malware\"; sid:1;)\n"
+        "alert ip any any -> any any (content:\"suspicious\"; sid:2;)\n");
+  }
+
+  Packet benign(std::size_t size = 100) {
+    return Packet::udp(Ipv4(10, 8, 0, 2), Ipv4(10, 0, 0, 1), 5555, 80,
+                       Bytes(size, 'x'));
+  }
+};
+
+// ---- Device glue ---------------------------------------------------------
+
+TEST_F(Fixture, FromDeviceToDevicePipeline) {
+  auto registry = make_endbox_registry(context);
+  auto router = click::Router::from_config(
+      "from :: FromDevice; to :: ToDevice; from -> to;", registry);
+  ASSERT_TRUE(router.ok()) << router.error();
+  (*router)->push_to("from", benign());
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_TRUE(delivered[0].second);  // accepted
+  auto* to = (*router)->find_as<ToDevice>("to");
+  EXPECT_EQ(to->accepted(), 1u);
+  EXPECT_EQ(to->rejected(), 0u);
+}
+
+TEST_F(Fixture, ToDeviceSignalsRejection) {
+  auto registry = make_endbox_registry(context);
+  auto router = click::Router::from_config(
+      "from :: FromDevice; fw :: IPFilter(drop all); to :: ToDevice;"
+      "from -> fw -> to; fw[1] -> [1]to;", registry);
+  ASSERT_TRUE(router.ok()) << router.error();
+  (*router)->push_to("from", benign());
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_FALSE(delivered[0].second);  // rejected
+  EXPECT_EQ((*router)->find_as<ToDevice>("to")->rejected(), 1u);
+}
+
+// ---- IDSMatcher -----------------------------------------------------------
+
+TEST_F(Fixture, IdsMatcherPassesBenignTraffic) {
+  IDSMatcher matcher(context);
+  ASSERT_TRUE(matcher.configure({"RULESET community"}).ok());
+  click::Counter pass;
+  matcher.connect_output(0, &pass, 0);
+  for (int i = 0; i < 10; ++i) matcher.push(0, benign(1400));
+  EXPECT_EQ(pass.packets(), 10u);
+  EXPECT_EQ(matcher.matches(), 0u);
+  EXPECT_EQ(matcher.bytes_scanned(), 14000u);
+}
+
+TEST_F(Fixture, IdsMatcherDropRule) {
+  IDSMatcher matcher(context);
+  ASSERT_TRUE(matcher.configure({"RULESET strict"}).ok());
+  click::Counter pass, drop;
+  matcher.connect_output(0, &pass, 0);
+  matcher.connect_output(1, &drop, 0);
+
+  Packet evil = benign();
+  evil.payload = to_bytes("xx malware yy");
+  matcher.push(0, std::move(evil));
+  Packet sus = benign();
+  sus.payload = to_bytes("suspicious but allowed");
+  matcher.push(0, std::move(sus));
+  matcher.push(0, benign());
+
+  EXPECT_EQ(drop.packets(), 1u);   // drop rule fired
+  EXPECT_EQ(pass.packets(), 2u);   // alert-only + clean
+  EXPECT_EQ(matcher.matches(), 2u);
+}
+
+TEST_F(Fixture, IdsMatcherDropModeDropsOnAlert) {
+  IDSMatcher matcher(context);
+  ASSERT_TRUE(matcher.configure({"RULESET strict", "DROP"}).ok());
+  click::Counter pass, drop;
+  matcher.connect_output(0, &pass, 0);
+  matcher.connect_output(1, &drop, 0);
+  Packet sus = benign();
+  sus.payload = to_bytes("suspicious content");
+  matcher.push(0, std::move(sus));
+  EXPECT_EQ(drop.packets(), 1u);  // alert rule escalated to drop
+}
+
+TEST_F(Fixture, IdsMatcherConfigErrors) {
+  IDSMatcher matcher(context);
+  EXPECT_FALSE(matcher.configure({}).ok());
+  EXPECT_FALSE(matcher.configure({"RULESET nonexistent"}).ok());
+  EXPECT_FALSE(matcher.configure({"BOGUS x"}).ok());
+}
+
+TEST_F(Fixture, IdsMatcherScansDecryptedPayload) {
+  IDSMatcher matcher(context);
+  ASSERT_TRUE(matcher.configure({"RULESET strict"}).ok());
+  click::Counter pass, drop;
+  matcher.connect_output(0, &pass, 0);
+  matcher.connect_output(1, &drop, 0);
+  Packet p = benign();
+  p.payload = to_bytes("ciphertext-gibberish");        // wire bytes
+  p.decrypted_payload = to_bytes("hidden malware !");  // what TLSDecrypt saw
+  matcher.push(0, std::move(p));
+  EXPECT_EQ(drop.packets(), 1u);
+}
+
+// ---- Splitters -------------------------------------------------------------
+
+TEST_F(Fixture, TrustedSplitterShapesToRate) {
+  TrustedSplitter splitter(context);
+  // 1 Mbps, tiny burst, sample every packet for deterministic behaviour.
+  ASSERT_TRUE(splitter.configure({"RATE 1000000", "SAMPLE 1", "BURST 16000"}).ok());
+  click::Counter ok_out, over;
+  splitter.connect_output(0, &ok_out, 0);
+  splitter.connect_output(1, &over, 0);
+
+  // At t=0, burst allows 16 kbit = ~15 packets of 128 bytes (+28 hdr).
+  for (int i = 0; i < 50; ++i) splitter.push(0, benign(128));
+  EXPECT_GT(over.packets(), 0u);
+  std::uint64_t over_before = over.packets();
+
+  // Advance trusted time by 1 s: tokens refill (capped at the 16 kbit
+  // burst), so the next ~10 small packets conform again.
+  fake_trusted_time += sim::kSecond;
+  for (int i = 0; i < 10; ++i) splitter.push(0, benign(128));
+  EXPECT_EQ(over.packets(), over_before);  // all 10 conforming
+}
+
+TEST_F(Fixture, TrustedSplitterSamplesTime) {
+  TrustedSplitter splitter(context);
+  ASSERT_TRUE(splitter.configure({"RATE 1e9", "SAMPLE 10"}).ok());
+  for (int i = 0; i < 100; ++i) splitter.push(0, benign());
+  // One initial read + one per 10 packets thereafter.
+  EXPECT_LE(splitter.time_calls(), 11u);
+  EXPECT_EQ(context.trusted_time_calls, splitter.time_calls());
+}
+
+TEST_F(Fixture, UntrustedSplitterReadsTimePerPacket) {
+  UntrustedSplitter splitter(context);
+  ASSERT_TRUE(splitter.configure({"RATE 1e9"}).ok());
+  for (int i = 0; i < 25; ++i) splitter.push(0, benign());
+  EXPECT_EQ(context.untrusted_time_calls, 25u);
+}
+
+TEST_F(Fixture, SplitterConfigErrors) {
+  TrustedSplitter splitter(context);
+  EXPECT_FALSE(splitter.configure({}).ok());                  // RATE required
+  EXPECT_FALSE(splitter.configure({"RATE -5"}).ok());
+  EXPECT_FALSE(splitter.configure({"RATE abc"}).ok());
+  EXPECT_FALSE(splitter.configure({"RATE 1e6", "SAMPLE 0"}).ok());
+  EXPECT_FALSE(splitter.configure({"RATE 1e6", "WHAT 3"}).ok());
+}
+
+TEST_F(Fixture, SplitterStateSurvivesHotSwap) {
+  auto registry = make_endbox_registry(context);
+  click::RouterManager manager(registry);
+  ASSERT_TRUE(manager.install(
+      "s :: TrustedSplitter(RATE 1e6, SAMPLE 1, BURST 16000); d :: Discard; "
+      "over :: Discard; s -> d; s[1] -> over;").ok());
+  auto* s = manager.current()->find_as<TrustedSplitter>("s");
+  for (int i = 0; i < 50; ++i) s->push(0, benign(128));
+  auto over_before = s->over_rate();
+  ASSERT_GT(over_before, 0u);
+  // Hot-swap to the same config: bucket state carries over, so the
+  // limiter keeps rejecting (no fresh burst allowance).
+  ASSERT_TRUE(manager.hot_swap(
+      "s :: TrustedSplitter(RATE 1e6, SAMPLE 1, BURST 16000); d :: Discard; "
+      "over :: Discard; s -> d; s[1] -> over;").ok());
+  auto* s2 = manager.current()->find_as<TrustedSplitter>("s");
+  EXPECT_EQ(s2->over_rate(), over_before);
+  s2->push(0, benign(128));
+  EXPECT_EQ(s2->over_rate(), over_before + 1);  // still over rate
+}
+
+// ---- TLSDecrypt -------------------------------------------------------------
+
+struct TlsFixture : Fixture {
+  tls::TlsClient tls_client{rng};
+  tls::TlsServer tls_server{rng};
+
+  void handshake_with_export() {
+    tls_client.set_key_export_hook(
+        [this](const tls::SessionKeys& k) { key_store.put(k); });
+    auto ch = tls_client.start_handshake();
+    auto sh = tls_server.accept(ch, to_bytes("pm"));
+    ASSERT_TRUE(sh.ok());
+    ASSERT_TRUE(tls_client.finish_handshake(*sh, to_bytes("pm")).ok());
+  }
+
+  Packet tls_packet(const std::string& plaintext) {
+    auto record = tls_client.send(to_bytes(plaintext));
+    Packet p = Packet::tcp(Ipv4(10, 8, 0, 2), Ipv4(93, 184, 216, 34), 40000, 443,
+                           0, 0, 0x18, record.serialize());
+    p.flow_hint = static_cast<std::uint32_t>(tls_client.keys().session_id);
+    return p;
+  }
+};
+
+TEST_F(TlsFixture, DecryptsWithForwardedKeys) {
+  handshake_with_export();
+  TLSDecrypt decrypt(context);
+  ASSERT_TRUE(decrypt.configure({}).ok());
+  click::Counter sink;
+  decrypt.connect_output(0, &sink, 0);
+
+  Packet p = tls_packet("GET /secret HTTP/1.1");
+  Bytes wire_before = p.payload;
+  decrypt.push(0, std::move(p));
+
+  EXPECT_EQ(decrypt.decrypted(), 1u);
+  EXPECT_EQ(sink.packets(), 1u);
+}
+
+TEST_F(TlsFixture, LeavesWirePayloadIntact) {
+  handshake_with_export();
+  TLSDecrypt decrypt(context);
+  ASSERT_TRUE(decrypt.configure({}).ok());
+  struct Capture : click::Element {
+    std::string_view class_name() const override { return "Capture"; }
+    void push(int, Packet&& p) override { got = std::move(p); }
+    Packet got;
+  } capture;
+  decrypt.connect_output(0, &capture, 0);
+
+  Packet p = tls_packet("end-to-end secret");
+  Bytes wire_before = p.payload;
+  decrypt.push(0, std::move(p));
+  EXPECT_EQ(capture.got.payload, wire_before);  // ciphertext untouched
+  EXPECT_EQ(to_string(capture.got.decrypted_payload), "end-to-end secret");
+}
+
+TEST_F(TlsFixture, WithoutKeysCountsMiss) {
+  // No key export: vanilla client. Decryption impossible.
+  auto ch = tls_client.start_handshake();
+  auto sh = tls_server.accept(ch, to_bytes("pm"));
+  ASSERT_TRUE(sh.ok());
+  ASSERT_TRUE(tls_client.finish_handshake(*sh, to_bytes("pm")).ok());
+
+  TLSDecrypt decrypt(context);
+  ASSERT_TRUE(decrypt.configure({}).ok());
+  click::Counter sink;
+  decrypt.connect_output(0, &sink, 0);
+  decrypt.push(0, tls_packet("opaque"));
+  EXPECT_EQ(decrypt.decrypted(), 0u);
+  EXPECT_EQ(decrypt.key_misses(), 1u);
+  EXPECT_EQ(sink.packets(), 1u);  // still forwarded
+}
+
+TEST_F(TlsFixture, NonTlsTrafficPassesThrough) {
+  TLSDecrypt decrypt(context);
+  ASSERT_TRUE(decrypt.configure({}).ok());
+  click::Counter sink;
+  decrypt.connect_output(0, &sink, 0);
+  decrypt.push(0, benign());
+  EXPECT_EQ(decrypt.passthrough(), 1u);
+  EXPECT_EQ(sink.packets(), 1u);
+}
+
+TEST_F(TlsFixture, EncryptedIdpsPipeline) {
+  // The full section III-D pipeline: TLSDecrypt -> IDSMatcher finds
+  // malware hidden inside a TLS record.
+  handshake_with_export();
+  auto registry = make_endbox_registry(context);
+  auto router = click::Router::from_config(
+      "from :: FromDevice; dec :: TLSDecrypt; ids :: IDSMatcher(RULESET strict);"
+      "to :: ToDevice; from -> dec -> ids -> to; ids[1] -> [1]to;", registry);
+  ASSERT_TRUE(router.ok()) << router.error();
+
+  (*router)->push_to("from", tls_packet("totally innocent malware payload"));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_FALSE(delivered[0].second);  // dropped despite encryption
+
+  (*router)->push_to("from", tls_packet("regular page content"));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_TRUE(delivered[1].second);
+}
+
+}  // namespace
+}  // namespace endbox::elements

@@ -1,0 +1,134 @@
+// Shared test/bench harness: a complete EndBox deployment in one
+// object — IAS, CA, VPN/EndBox server, and any number of attested
+// clients — so integration tests and benchmarks assemble scenarios in
+// a few lines.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "endbox/client.hpp"
+#include "endbox/configs.hpp"
+#include "endbox/server.hpp"
+#include "endbox/vanilla_client.hpp"
+#include "idps/snort_rules.hpp"
+#include "sim/event_queue.hpp"
+
+namespace endbox::testing {
+
+/// One client machine: platform + single-core CPU slice + EndBox client.
+struct ClientRig {
+  sgx::SgxPlatform platform;
+  sim::CpuAccount cpu;
+  EndBoxClient client;
+
+  ClientRig(const std::string& name, Rng& rng, const sim::Clock& clock,
+            const sim::PerfModel& model, crypto::RsaPublicKey ca_key,
+            EndBoxClientOptions options)
+      : platform(name, rng, clock),
+        cpu(1, model.client_hz),  // OpenVPN is single-threaded
+        client(name, platform, rng, cpu, model, ca_key, options) {}
+};
+
+struct World {
+  Rng rng;
+  sim::Clock clock;
+  sim::EventQueue events{clock};
+  sim::PerfModel model;
+  sgx::AttestationService ias{rng};
+  ca::CertificateAuthority authority{rng, ias};
+  sim::CpuAccount server_cpu;
+  EndBoxServer server;
+  std::vector<std::unique_ptr<ClientRig>> rigs;
+  std::vector<idps::SnortRule> community_rules;
+
+  explicit World(std::uint64_t seed = 0xeb0c5eed,
+                 ServerMode server_mode = ServerMode::Plain,
+                 vpn::VpnServerConfig vpn_config = {})
+      : rng(seed),
+        server_cpu(sim::PerfModel{}.server_cores, sim::PerfModel{}.server_hz),
+        server(rng, authority, server_cpu, model, server_mode, vpn_config) {
+    authority.allow_measurement(sgx::measure(std::string(kEndBoxEnclaveIdentity)));
+    Rng rules_rng(7);
+    community_rules = idps::generate_community_ruleset(377, rules_rng);
+    server.add_ruleset("community", community_rules);
+  }
+
+  /// Publishes the initial middlebox configuration as version 2 (fresh
+  /// enclaves start at version 0 and install whatever is announced).
+  config::ConfigBundle publish(UseCase use_case, std::uint32_t version = 2,
+                               bool encrypt = true, std::uint32_t grace = 0) {
+    auto bundle = server.publish_config(version, use_case_config(use_case),
+                                        encrypt, grace, clock.now());
+    if (!bundle.ok()) throw std::runtime_error("publish failed: " + bundle.error());
+    return *bundle;
+  }
+
+  /// Creates, attests and fully connects an EndBox client running the
+  /// given bundle.
+  EndBoxClient& add_client(const config::ConfigBundle& bundle,
+                           EndBoxClientOptions options = {}) {
+    auto rig = std::make_unique<ClientRig>(
+        "client-" + std::to_string(rigs.size() + 1), rng, clock, model,
+        authority.public_key(), options);
+    EndBoxClient& client = rig->client;
+    ias.register_platform(rig->platform.platform_id(),
+                          rig->platform.attestation_key().pub);
+    if (options.sgx_mode == sgx::SgxMode::Hardware) {
+      if (auto s = client.attest(authority); !s.ok())
+        throw std::runtime_error("attest: " + s.error());
+    } else {
+      // Simulation-mode enclaves cannot be remotely attested (like real
+      // SGX SIM mode); performance experiments provision them through
+      // the conventional PKI path instead.
+      auto& key = client.enclave().ecall_public_key();
+      auto cert = authority.issue_legacy_certificate(key);
+      if (!cert.ok()) throw std::runtime_error(cert.error());
+      ca::ProvisioningResponse response;
+      response.certificate = *cert;
+      response.encrypted_config_key =
+          crypto::rsa_encrypt(key, authority.config_key() % key.n);
+      if (auto s = client.enclave().ecall_store_provisioning(response); !s.ok())
+        throw std::runtime_error("sim provision: " + s.error());
+    }
+    client.add_ruleset("community", community_rules);
+    if (auto t = client.install_config(bundle, clock.now()); !t.ok())
+      throw std::runtime_error("install: " + t.error());
+    connect(client);
+    rigs.push_back(std::move(rig));
+    return client;
+  }
+
+  void connect(EndBoxClient& client) {
+    auto init = client.start_connect(server.public_key());
+    if (!init.ok()) throw std::runtime_error("connect: " + init.error());
+    auto handled = server.handle_wire(*init, clock.now());
+    if (!handled.ok()) throw std::runtime_error("connect: " + handled.error());
+    auto& done = std::get<vpn::VpnServer::HandshakeDone>(handled->event);
+    if (auto s = client.finish_connect(done.reply_wire); !s.ok())
+      throw std::runtime_error("connect: " + s.error());
+  }
+
+  /// Sends one packet client->server; returns the PacketIn event (or
+  /// the error that blocked it).
+  Result<vpn::VpnServer::PacketIn> send_through(EndBoxClient& client,
+                                                net::Packet packet) {
+    auto sent = client.send_packet(std::move(packet), clock.now());
+    if (!sent.ok()) return err(sent.error());
+    if (!sent->accepted) return err("rejected by client-side middlebox");
+    for (const auto& wire : sent->wire) {
+      auto handled = server.handle_wire(wire, clock.now());
+      if (!handled.ok()) return err(handled.error());
+      if (auto* in = std::get_if<vpn::VpnServer::PacketIn>(&handled->event))
+        return *in;
+    }
+    return err("fragments pending (packet larger than expected)");
+  }
+
+  net::Packet benign_packet(std::size_t payload = 1400, std::uint16_t dport = 5001) {
+    return net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 40000,
+                            dport, Bytes(payload, 'x'));
+  }
+};
+
+}  // namespace endbox::testing

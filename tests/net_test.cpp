@@ -1,0 +1,153 @@
+// Unit tests for IPv4 addressing and packet serialisation/parsing.
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+namespace endbox::net {
+namespace {
+
+TEST(Ipv4, FormatAndParse) {
+  Ipv4 a(10, 8, 0, 3);
+  EXPECT_EQ(a.str(), "10.8.0.3");
+  auto parsed = Ipv4::parse("10.8.0.3");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("10.8.0").has_value());
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4x").has_value());
+  EXPECT_FALSE(Ipv4::parse("banana").has_value());
+}
+
+TEST(Ipv4, SubnetMembership) {
+  Ipv4 net(10, 8, 0, 0);
+  EXPECT_TRUE(Ipv4(10, 8, 0, 55).in_subnet(net, 24));
+  EXPECT_FALSE(Ipv4(10, 9, 0, 55).in_subnet(net, 24));
+  EXPECT_TRUE(Ipv4(10, 9, 0, 55).in_subnet(net, 8));
+  EXPECT_TRUE(Ipv4(1, 2, 3, 4).in_subnet(net, 0));   // /0 matches all
+  EXPECT_TRUE(net.in_subnet(net, 32));
+  EXPECT_FALSE(Ipv4(10, 8, 0, 1).in_subnet(net, 32));
+}
+
+TEST(Checksum, KnownVector) {
+  // Classic RFC 1071 example header bytes.
+  auto data = *from_hex("45000073000040004011b861c0a80001c0a800c7");
+  // Checksum over a header with its checksum field included must be 0.
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  Bytes data = {0x01, 0x02, 0x03};
+  // Manually: 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(Packet, UdpRoundTrip) {
+  Packet p = Packet::udp(Ipv4(10, 8, 0, 2), Ipv4(10, 0, 0, 1), 5555, 80,
+                         to_bytes("GET / HTTP/1.1"));
+  Bytes wire = p.serialize();
+  EXPECT_EQ(wire.size(), p.wire_size());
+  auto back = Packet::parse(wire);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->src, p.src);
+  EXPECT_EQ(back->dst, p.dst);
+  EXPECT_EQ(back->src_port, 5555);
+  EXPECT_EQ(back->dst_port, 80);
+  EXPECT_EQ(back->proto, IpProto::Udp);
+  EXPECT_EQ(to_string(back->payload), "GET / HTTP/1.1");
+}
+
+TEST(Packet, TcpRoundTrip) {
+  Packet p = Packet::tcp(Ipv4(192, 168, 1, 2), Ipv4(93, 184, 216, 34), 40000, 443,
+                         1000, 2000, 0x18 /*PSH|ACK*/, to_bytes("data"));
+  auto back = Packet::parse(p.serialize());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->proto, IpProto::Tcp);
+  EXPECT_EQ(back->seq, 1000u);
+  EXPECT_EQ(back->ack, 2000u);
+  EXPECT_EQ(back->tcp_flags, 0x18);
+  EXPECT_EQ(to_string(back->payload), "data");
+}
+
+TEST(Packet, IcmpEchoRoundTripAndReply) {
+  Packet req = Packet::icmp_echo_request(Ipv4(10, 8, 0, 2), Ipv4(10, 0, 0, 1), 77, 3,
+                                         to_bytes("pingdata"));
+  auto parsed = Packet::parse(req.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->icmp_type, 8);
+  EXPECT_EQ(parsed->icmp_id, 77);
+  EXPECT_EQ(parsed->icmp_seq, 3);
+  EXPECT_EQ(to_string(parsed->payload), "pingdata");
+
+  Packet rep = Packet::icmp_echo_reply(*parsed);
+  EXPECT_EQ(rep.icmp_type, 0);
+  EXPECT_EQ(rep.src, req.dst);
+  EXPECT_EQ(rep.dst, req.src);
+  EXPECT_EQ(rep.icmp_id, req.icmp_id);
+}
+
+TEST(Packet, QosFlagAccessors) {
+  Packet p = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2, {});
+  EXPECT_FALSE(p.processed_flag());
+  p.set_processed_flag();
+  EXPECT_TRUE(p.processed_flag());
+  EXPECT_EQ(p.tos, kProcessedQosFlag);
+  // Flag survives serialisation.
+  auto back = Packet::parse(p.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->processed_flag());
+  back->clear_processed_flag();
+  EXPECT_FALSE(back->processed_flag());
+}
+
+TEST(Packet, ParseRejectsCorruptHeader) {
+  Packet p = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2, to_bytes("x"));
+  Bytes wire = p.serialize();
+  wire[12] ^= 0xff;  // corrupt source IP -> checksum mismatch
+  EXPECT_FALSE(Packet::parse(wire).ok());
+}
+
+TEST(Packet, ParseRejectsTruncated) {
+  Packet p = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2, to_bytes("hello"));
+  Bytes wire = p.serialize();
+  EXPECT_FALSE(Packet::parse(ByteView(wire.data(), 10)).ok());
+  EXPECT_FALSE(Packet::parse({}).ok());
+}
+
+TEST(Packet, ParseRejectsNonIpv4) {
+  Bytes wire(20, 0);
+  wire[0] = 0x65;  // version 6
+  EXPECT_FALSE(Packet::parse(wire).ok());
+}
+
+TEST(Packet, WireSizeMatchesProto) {
+  Packet u = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2, Bytes(100));
+  EXPECT_EQ(u.wire_size(), 20u + 8u + 100u);
+  Packet t = Packet::tcp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2, 0, 0, 0, Bytes(100));
+  EXPECT_EQ(t.wire_size(), 20u + 20u + 100u);
+  Packet i = Packet::icmp_echo_request(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 1, Bytes(100));
+  EXPECT_EQ(i.wire_size(), 20u + 8u + 100u);
+}
+
+TEST(FlowKey, EqualityAndHash) {
+  Packet a = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 10, 20, {});
+  Packet b = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 10, 20, to_bytes("x"));
+  Packet c = Packet::udp(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 10, 21, {});
+  EXPECT_EQ(FlowKey::of(a), FlowKey::of(b));  // payload irrelevant
+  EXPECT_NE(FlowKey::of(a), FlowKey::of(c));
+  std::hash<FlowKey> h;
+  EXPECT_EQ(h(FlowKey::of(a)), h(FlowKey::of(b)));
+}
+
+TEST(Packet, SummaryMentionsEndpoints) {
+  Packet p = Packet::udp(Ipv4(10, 8, 0, 2), Ipv4(10, 0, 0, 1), 5555, 80, {});
+  auto s = p.summary();
+  EXPECT_NE(s.find("10.8.0.2"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace endbox::net

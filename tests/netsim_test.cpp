@@ -1,0 +1,104 @@
+// Tests for the network simulation: links, queueing, paths, hosts.
+#include <gtest/gtest.h>
+
+#include "netsim/host.hpp"
+#include "netsim/link.hpp"
+
+namespace endbox::netsim {
+namespace {
+
+TEST(Link, SerialisationPlusPropagation) {
+  // 1 Gbps, 1 ms: 1250 bytes = 10 us serialisation.
+  Link link(1e9, sim::from_millis(1.0));
+  sim::Time arrival = link.transmit(0, 1250);
+  EXPECT_EQ(arrival, 10 * sim::kMicrosecond + sim::from_millis(1.0));
+}
+
+TEST(Link, BackToBackFramesQueue) {
+  Link link(1e9, 0);
+  sim::Time first = link.transmit(0, 1250);   // 10 us
+  sim::Time second = link.transmit(0, 1250);  // starts at 10 us
+  EXPECT_EQ(first, 10 * sim::kMicrosecond);
+  EXPECT_EQ(second, 20 * sim::kMicrosecond);
+  EXPECT_EQ(link.frames(), 2u);
+}
+
+TEST(Link, IdleLinkTransmitsImmediately) {
+  Link link(1e9, 0);
+  link.transmit(0, 1250);
+  // Arriving long after the link drained: no queueing.
+  sim::Time arrival = link.transmit(sim::kSecond, 1250);
+  EXPECT_EQ(arrival, sim::kSecond + 10 * sim::kMicrosecond);
+}
+
+TEST(Link, PeekDoesNotOccupy) {
+  Link link(1e9, 0);
+  EXPECT_EQ(link.peek(0, 1250), 10 * sim::kMicrosecond);
+  EXPECT_EQ(link.peek(0, 1250), 10 * sim::kMicrosecond);
+  EXPECT_EQ(link.frames(), 0u);
+}
+
+TEST(Link, UtilisationTracksBusyTime) {
+  Link link(1e9, 0);
+  link.transmit(0, 12500);  // 100 us busy
+  EXPECT_NEAR(link.utilisation(0, 200 * sim::kMicrosecond), 0.5, 1e-9);
+}
+
+TEST(Link, SaturatedLinkCapsThroughput) {
+  // Offer 2 Gbps worth of frames to a 1 Gbps link for one second:
+  // deliveries stretch to ~2 seconds.
+  Link link(1e9, 0);
+  sim::Time last = 0;
+  for (int i = 0; i < 2000; ++i) last = link.transmit(0, 125'000);  // 1 ms each
+  EXPECT_NEAR(sim::to_seconds(last), 2.0, 0.01);
+}
+
+TEST(Link, RejectsBadParameters) {
+  EXPECT_THROW(Link(0, 0), std::invalid_argument);
+  EXPECT_THROW(Link(1e9, -5), std::invalid_argument);
+}
+
+TEST(Link, ResetClearsState) {
+  Link link(1e9, 0);
+  link.transmit(0, 1250);
+  link.reset();
+  EXPECT_EQ(link.frames(), 0u);
+  EXPECT_EQ(link.transmit(0, 1250), 10 * sim::kMicrosecond);
+}
+
+TEST(Path, AccumulatesAcrossLinks) {
+  Link a(1e9, sim::from_millis(1));
+  Link b(1e9, sim::from_millis(2));
+  Path path({&a, &b});
+  EXPECT_EQ(path.hops(), 2u);
+  EXPECT_EQ(path.base_latency(), sim::from_millis(3));
+  // 1250 B: 10 us per link + 3 ms propagation.
+  EXPECT_EQ(path.deliver(0, 1250), sim::from_millis(3) + 20 * sim::kMicrosecond);
+}
+
+TEST(Path, EmptyPathIsZeroCost) {
+  Path path;
+  EXPECT_EQ(path.deliver(123, 1250), 123u);
+}
+
+TEST(Host, MachineClassesDifferInCpu) {
+  sim::PerfModel model;
+  model.client_cores = 8;
+  model.server_cores = 4;
+  Host client("c", MachineClass::A, model);
+  Host server("s", MachineClass::B, model);
+  EXPECT_EQ(client.cpu().cores(), 8u);
+  EXPECT_EQ(server.cpu().cores(), 4u);
+  EXPECT_EQ(client.name(), "c");
+}
+
+TEST(Host, SingleCoreSliceForSingleThreadedProcesses) {
+  sim::PerfModel model;
+  Host host("h", MachineClass::A, model);
+  auto core = host.make_single_core();
+  EXPECT_EQ(core.cores(), 1u);
+  EXPECT_EQ(core.hz(), host.cpu().hz());
+}
+
+}  // namespace
+}  // namespace endbox::netsim

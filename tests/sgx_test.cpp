@@ -1,0 +1,243 @@
+// Tests for the SGX substrate: measurement, sealing, local/remote
+// attestation, lifecycle/DoS semantics, EPC accounting.
+#include <gtest/gtest.h>
+
+#include "sgx/enclave.hpp"
+#include "sgx/ias.hpp"
+#include "sgx/platform.hpp"
+#include "sgx/quote.hpp"
+
+namespace endbox::sgx {
+namespace {
+
+struct TestEnclave : Enclave {
+  using Enclave::Enclave;
+
+  // A trivial ecall for transition/lifecycle tests.
+  int ecall_add(int a, int b) {
+    EcallGuard guard(*this);
+    return a + b;
+  }
+  void ecall_with_ocall() {
+    EcallGuard guard(*this);
+    count_ocall();
+  }
+  void grab_epc(std::size_t n) { allocate_epc(n); }
+  void drop_epc(std::size_t n) { free_epc(n); }
+};
+
+struct Fixture : ::testing::Test {
+  Rng rng{42};
+  sim::Clock clock;
+  SgxPlatform platform{"machine-A", rng, clock};
+  TestEnclave enclave{platform, "endbox-enclave-v1", SgxMode::Hardware};
+};
+
+TEST_F(Fixture, MeasurementIsDeterministicAndCodeBound) {
+  EXPECT_EQ(enclave.measurement(), measure("endbox-enclave-v1"));
+  EXPECT_NE(enclave.measurement(), measure("endbox-enclave-v2"));
+}
+
+TEST_F(Fixture, EcallsAreCountedAndWork) {
+  EXPECT_EQ(enclave.ecall_add(2, 3), 5);
+  EXPECT_EQ(enclave.ecall_add(1, 1), 2);
+  EXPECT_EQ(enclave.transitions().ecalls, 2u);
+  EXPECT_EQ(enclave.transitions().ocalls, 0u);
+}
+
+TEST_F(Fixture, OcallsAreCounted) {
+  enclave.ecall_with_ocall();
+  EXPECT_EQ(enclave.transitions().ecalls, 1u);
+  EXPECT_EQ(enclave.transitions().ocalls, 1u);
+}
+
+TEST_F(Fixture, DestroyedEnclaveRejectsEntry) {
+  enclave.destroy();
+  EXPECT_THROW(enclave.ecall_add(1, 2), std::runtime_error);
+  EXPECT_EQ(enclave.transitions().rejected_entries, 1u);
+  enclave.start();
+  EXPECT_EQ(enclave.ecall_add(1, 2), 3);
+}
+
+TEST_F(Fixture, TransitionStatsReset) {
+  enclave.ecall_add(1, 2);
+  enclave.reset_transition_stats();
+  EXPECT_EQ(enclave.transitions().ecalls, 0u);
+}
+
+TEST_F(Fixture, EpcAccounting) {
+  EXPECT_EQ(enclave.epc_used(), 0u);
+  enclave.grab_epc(1024);
+  EXPECT_EQ(enclave.epc_used(), 1024u);
+  EXPECT_FALSE(enclave.epc_over_limit());
+  enclave.grab_epc(kEpcBytes);
+  EXPECT_TRUE(enclave.epc_over_limit());
+  enclave.drop_epc(kEpcBytes + 2048);  // over-free clamps to zero
+  EXPECT_EQ(enclave.epc_used(), 0u);
+}
+
+// ---- Sealing ---------------------------------------------------------
+
+TEST_F(Fixture, SealUnsealRoundTrip) {
+  Bytes secret = to_bytes("vpn-private-key-material");
+  Bytes sealed = enclave.seal(secret);
+  EXPECT_NE(sealed, secret);
+  auto back = enclave.unseal(sealed);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, secret);
+}
+
+TEST_F(Fixture, SealedBlobsAreFreshPerCall) {
+  Bytes secret = to_bytes("same data");
+  EXPECT_NE(enclave.seal(secret), enclave.seal(secret));  // unique nonces
+}
+
+TEST_F(Fixture, UnsealRejectsTampering) {
+  Bytes sealed = enclave.seal(to_bytes("secret"));
+  for (std::size_t i : {std::size_t{0}, std::size_t{8}, sealed.size() - 1}) {
+    Bytes bad = sealed;
+    bad[i] ^= 1;
+    EXPECT_FALSE(enclave.unseal(bad).ok()) << "flip at " << i;
+  }
+  EXPECT_FALSE(enclave.unseal(Bytes{}).ok());
+}
+
+TEST_F(Fixture, UnsealRejectsOtherEnclave) {
+  // Different measurement on the same platform derives a different key.
+  TestEnclave other(platform, "different-code", SgxMode::Hardware);
+  Bytes sealed = enclave.seal(to_bytes("secret"));
+  EXPECT_FALSE(other.unseal(sealed).ok());
+}
+
+TEST_F(Fixture, UnsealRejectsOtherPlatform) {
+  Rng rng2(77);
+  sim::Clock clock2;
+  SgxPlatform other_machine("machine-B", rng2, clock2);
+  TestEnclave same_code(other_machine, "endbox-enclave-v1", SgxMode::Hardware);
+  Bytes sealed = enclave.seal(to_bytes("secret"));
+  EXPECT_FALSE(same_code.unseal(sealed).ok());
+}
+
+// ---- Attestation ------------------------------------------------------
+
+TEST_F(Fixture, LocalAttestationViaQuotingEnclave) {
+  QuotingEnclave qe(platform);
+  auto report = enclave.create_report(bind_report_data(to_bytes("pubkey")));
+  auto quote = qe.quote(report);
+  ASSERT_TRUE(quote.ok()) << quote.error();
+  EXPECT_EQ(quote->mrenclave, enclave.measurement());
+  EXPECT_EQ(quote->platform_id, "machine-A");
+}
+
+TEST_F(Fixture, QuotingEnclaveRejectsForgedReport) {
+  QuotingEnclave qe(platform);
+  auto report = enclave.create_report(bind_report_data(to_bytes("pubkey")));
+  report.report_data[0] ^= 1;  // tamper after MAC
+  EXPECT_FALSE(qe.quote(report).ok());
+}
+
+TEST_F(Fixture, QuotingEnclaveRejectsSimulationMode) {
+  TestEnclave sim_enclave(platform, "endbox-enclave-v1", SgxMode::Simulation);
+  QuotingEnclave qe(platform);
+  auto report = sim_enclave.create_report(bind_report_data(to_bytes("k")));
+  EXPECT_FALSE(qe.quote(report).ok());
+}
+
+TEST_F(Fixture, QuoteSerializationRoundTrip) {
+  QuotingEnclave qe(platform);
+  auto quote = qe.quote(enclave.create_report(bind_report_data(to_bytes("x"))));
+  ASSERT_TRUE(quote.ok());
+  auto back = Quote::deserialize(quote->serialize());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->platform_id, quote->platform_id);
+  EXPECT_EQ(back->mrenclave, quote->mrenclave);
+  EXPECT_EQ(back->signature, quote->signature);
+}
+
+TEST_F(Fixture, QuoteDeserializeRejectsGarbage) {
+  EXPECT_FALSE(Quote::deserialize(Bytes{1, 2, 3}).ok());
+  QuotingEnclave qe(platform);
+  auto quote = qe.quote(enclave.create_report(bind_report_data(to_bytes("x"))));
+  Bytes wire = quote->serialize();
+  wire.push_back(0);  // trailing byte
+  EXPECT_FALSE(Quote::deserialize(wire).ok());
+}
+
+struct IasFixture : Fixture {
+  AttestationService ias{rng};
+  QuotingEnclave qe{platform};
+
+  IasFixture() { ias.register_platform("machine-A", platform.attestation_key().pub); }
+};
+
+TEST_F(IasFixture, EndToEndRemoteAttestation) {
+  auto report = enclave.create_report(bind_report_data(to_bytes("enclave-pubkey")));
+  auto quote = qe.quote(report);
+  ASSERT_TRUE(quote.ok());
+  auto avr = ias.verify(quote->serialize());
+  ASSERT_TRUE(avr.ok()) << avr.error();
+  EXPECT_TRUE(avr->is_valid);
+  EXPECT_EQ(avr->mrenclave, enclave.measurement());
+  EXPECT_TRUE(AttestationService::verify_avr(*avr, ias.report_signing_public_key()));
+}
+
+TEST_F(IasFixture, UnknownPlatformIsInvalid) {
+  Rng rng2(123);
+  sim::Clock clock2;
+  SgxPlatform rogue("machine-EVIL", rng2, clock2);
+  TestEnclave rogue_enclave(rogue, "endbox-enclave-v1", SgxMode::Hardware);
+  QuotingEnclave rogue_qe(rogue);
+  auto quote = rogue_qe.quote(rogue_enclave.create_report(bind_report_data(to_bytes("k"))));
+  ASSERT_TRUE(quote.ok());
+  auto avr = ias.verify(quote->serialize());
+  ASSERT_TRUE(avr.ok());
+  EXPECT_FALSE(avr->is_valid);  // signed AVR saying "not genuine"
+  EXPECT_TRUE(AttestationService::verify_avr(*avr, ias.report_signing_public_key()));
+}
+
+TEST_F(IasFixture, TamperedQuoteSignatureIsInvalid) {
+  auto quote = qe.quote(enclave.create_report(bind_report_data(to_bytes("k"))));
+  ASSERT_TRUE(quote.ok());
+  quote->signature[0] ^= 1;
+  auto avr = ias.verify(quote->serialize());
+  ASSERT_TRUE(avr.ok());
+  EXPECT_FALSE(avr->is_valid);
+}
+
+TEST_F(IasFixture, AvrForgeryDetected) {
+  auto quote = qe.quote(enclave.create_report(bind_report_data(to_bytes("k"))));
+  auto avr = ias.verify(quote->serialize());
+  ASSERT_TRUE(avr.ok());
+  auto forged = *avr;
+  forged.is_valid = !forged.is_valid;
+  EXPECT_FALSE(AttestationService::verify_avr(forged, ias.report_signing_public_key()));
+}
+
+// ---- Platform services --------------------------------------------------
+
+TEST_F(Fixture, MonotonicCounters) {
+  EXPECT_EQ(platform.read_counter("cfg"), 0u);
+  EXPECT_EQ(platform.increment_counter("cfg"), 1u);
+  EXPECT_EQ(platform.increment_counter("cfg"), 2u);
+  EXPECT_EQ(platform.read_counter("cfg"), 2u);
+  EXPECT_EQ(platform.read_counter("other"), 0u);
+}
+
+TEST_F(Fixture, TrustedTimeTracksClock) {
+  EXPECT_EQ(enclave.trusted_time(), 0u);
+  clock.advance_to(5 * sim::kSecond);
+  EXPECT_EQ(enclave.trusted_time(), 5 * sim::kSecond);
+}
+
+TEST(ReportData, BindIsDeterministicHash) {
+  auto a = bind_report_data(to_bytes("key1"));
+  auto b = bind_report_data(to_bytes("key1"));
+  auto c = bind_report_data(to_bytes("key2"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Last 32 bytes are zero by construction.
+  for (std::size_t i = 32; i < kReportDataSize; ++i) EXPECT_EQ(a[i], 0);
+}
+
+}  // namespace
+}  // namespace endbox::sgx

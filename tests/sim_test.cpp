@@ -1,0 +1,189 @@
+// Unit tests for the discrete-event core: clock, event queue, CPU model.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/perf_model.hpp"
+
+namespace endbox::sim {
+namespace {
+
+TEST(Clock, StartsAtZeroAndAdvances) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.advance_to(5 * kSecond);
+  EXPECT_EQ(c.now(), 5 * kSecond);
+}
+
+TEST(Clock, RejectsBackwardsTime) {
+  Clock c;
+  c.advance_to(10);
+  EXPECT_THROW(c.advance_to(5), std::logic_error);
+}
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(from_millis(1.5), 1500 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  Clock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  Clock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(42, [&order, i] { order.push_back(i); });
+  q.run_until(42);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow) {
+  Clock clock;
+  EventQueue q(clock);
+  Time fired_at = 0;
+  q.schedule_at(100, [&] {
+    q.schedule_after(50, [&] { fired_at = clock.now(); });
+  });
+  q.run_until(1000);
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  Clock clock;
+  EventQueue q(clock);
+  bool late_ran = false;
+  q.schedule_at(10, [] {});
+  q.schedule_at(200, [&] { late_ran = true; });
+  std::size_t n = q.run_until(100);
+  EXPECT_EQ(n, 1u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(clock.now(), 100u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  Clock clock;
+  EventQueue q(clock);
+  bool ran = false;
+  auto id = q.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  q.run_until(100);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, EventsScheduledInPastRunNow) {
+  Clock clock;
+  EventQueue q(clock);
+  clock.advance_to(500);
+  Time fired = 0;
+  q.schedule_at(100, [&] { fired = clock.now(); });
+  q.run_until(1000);
+  EXPECT_EQ(fired, 500u);
+}
+
+TEST(EventQueue, NestedSchedulingDrains) {
+  Clock clock;
+  EventQueue q(clock);
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_after(10, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run_until(kSecond);
+  EXPECT_EQ(count, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+// ---- CPU model -----------------------------------------------------------
+
+TEST(Cpu, SingleCoreSerialisesWork) {
+  CpuAccount cpu(1, 1e9);  // 1 GHz: 1 cycle = 1 ns
+  Time done1 = cpu.charge(0, 1000);
+  Time done2 = cpu.charge(0, 1000);
+  EXPECT_EQ(done1, 1000u);
+  EXPECT_EQ(done2, 2000u);  // queued behind the first
+}
+
+TEST(Cpu, MultiCoreRunsInParallel) {
+  CpuAccount cpu(4, 1e9);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cpu.charge(0, 1000), 1000u);
+  // Fifth item must queue behind one of the four busy cores.
+  EXPECT_EQ(cpu.charge(0, 1000), 2000u);
+}
+
+TEST(Cpu, IdleCpuStartsWorkAtNow) {
+  CpuAccount cpu(2, 2e9);  // 2 GHz: 1000 cycles = 500 ns
+  EXPECT_EQ(cpu.charge(10'000, 1000), 10'500u);
+}
+
+TEST(Cpu, PeekDoesNotMutate) {
+  CpuAccount cpu(1, 1e9);
+  EXPECT_EQ(cpu.peek_completion(0, 500), 500u);
+  EXPECT_EQ(cpu.peek_completion(0, 500), 500u);
+  EXPECT_EQ(cpu.charge(0, 500), 500u);
+}
+
+TEST(Cpu, UtilisationTracksBusyTime) {
+  CpuAccount cpu(2, 1e9);
+  cpu.charge(0, 1000);  // 1000 ns on one of two cores
+  // Over a 1000 ns window with 2 cores: 50% utilisation.
+  EXPECT_NEAR(cpu.utilisation(0, 1000), 0.5, 1e-9);
+}
+
+TEST(Cpu, UtilisationCapsAtOne) {
+  CpuAccount cpu(1, 1e9);
+  cpu.charge(0, 10'000);
+  EXPECT_DOUBLE_EQ(cpu.utilisation(0, 1000), 1.0);
+}
+
+TEST(Cpu, ResetClearsState) {
+  CpuAccount cpu(1, 1e9);
+  cpu.charge(0, 1000);
+  cpu.reset();
+  EXPECT_EQ(cpu.busy_core_ns(), 0.0);
+  EXPECT_EQ(cpu.charge(0, 100), 100u);
+}
+
+TEST(Cpu, RejectsBadParameters) {
+  EXPECT_THROW(CpuAccount(0, 1e9), std::invalid_argument);
+  EXPECT_THROW(CpuAccount(1, 0), std::invalid_argument);
+}
+
+// ---- Perf model sanity ----------------------------------------------------
+
+TEST(PerfModel, VpnDataCostScalesWithBytesAndMode) {
+  const auto& m = default_perf_model();
+  double small = m.vpn_data_cycles(256, /*encrypt=*/true);
+  double large = m.vpn_data_cycles(1500, /*encrypt=*/true);
+  double integ = m.vpn_data_cycles(1500, /*encrypt=*/false);
+  EXPECT_GT(large, small);
+  EXPECT_LT(integ, large);  // ISP integrity-only mode is cheaper
+}
+
+TEST(PerfModel, CalibrationImpliesPaperScaleThroughput) {
+  // Sanity-check the calibration: a single 3.5 GHz core running the
+  // modelled vanilla-OpenVPN data path at 1500-byte packets should land
+  // in the several-hundred-Mbps range the paper measures (Fig 8).
+  const auto& m = default_perf_model();
+  double cycles = m.vpn_data_cycles(1500, true);
+  double pkts_per_sec = m.client_hz / cycles;
+  double mbps = pkts_per_sec * 1500 * 8 / 1e6;
+  EXPECT_GT(mbps, 400.0);
+  EXPECT_LT(mbps, 1500.0);
+}
+
+}  // namespace
+}  // namespace endbox::sim

@@ -1,0 +1,439 @@
+// Tests for the VPN substrate: replay window, fragmentation, wire
+// formats, handshake, data channel, pings, config enforcement.
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "sgx/enclave.hpp"
+#include "sgx/platform.hpp"
+#include "vpn/client.hpp"
+#include "vpn/replay.hpp"
+#include "vpn/server.hpp"
+
+namespace endbox::vpn {
+namespace {
+
+// ---- Replay window -------------------------------------------------------
+
+TEST(Replay, AcceptsFreshRejectsDuplicate) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(1));
+  EXPECT_TRUE(window.accept(2));
+  EXPECT_FALSE(window.accept(2));
+  EXPECT_FALSE(window.accept(1));
+  EXPECT_EQ(window.replays_rejected(), 2u);
+}
+
+TEST(Replay, AcceptsOutOfOrderWithinWindow) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(10));
+  EXPECT_TRUE(window.accept(5));
+  EXPECT_TRUE(window.accept(7));
+  EXPECT_FALSE(window.accept(5));
+}
+
+TEST(Replay, RejectsOlderThanWindow) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(100));
+  EXPECT_FALSE(window.accept(100 - 64));  // age 64 >= window
+  EXPECT_TRUE(window.accept(100 - 63));   // age 63 < window
+}
+
+TEST(Replay, LargeJumpClearsWindow) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(1));
+  EXPECT_TRUE(window.accept(1000));
+  EXPECT_TRUE(window.accept(999));
+  EXPECT_FALSE(window.accept(1000));
+}
+
+// ---- Fragmentation ---------------------------------------------------------
+
+TEST(Fragment, SplitSizes) {
+  Bytes payload(10000, 7);
+  auto frags = fragment_payload(payload, 4096);
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_EQ(frags[0].size(), 4096u);
+  EXPECT_EQ(frags[1].size(), 4096u);
+  EXPECT_EQ(frags[2].size(), 10000u - 8192u);
+}
+
+TEST(Fragment, SmallPayloadSingleFragment) {
+  auto frags = fragment_payload(Bytes(100), 9000);
+  EXPECT_EQ(frags.size(), 1u);
+  auto empty = fragment_payload({}, 9000);
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_TRUE(empty[0].empty());
+}
+
+TEST(Fragment, ReassemblyInOrderAndOutOfOrder) {
+  Rng rng(3);
+  Bytes payload = rng.bytes(25000);
+  auto frags = fragment_payload(payload, 9000);
+  ASSERT_EQ(frags.size(), 3u);
+
+  Reassembler reasm;
+  // Out of order: 2, 0, 1.
+  FragmentHeader h{1, 42, 2, 3};
+  EXPECT_FALSE(reasm.add(h, Bytes(frags[2])).has_value());
+  h.index = 0;
+  EXPECT_FALSE(reasm.add(h, Bytes(frags[0])).has_value());
+  h.index = 1;
+  auto whole = reasm.add(h, Bytes(frags[1]));
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, payload);
+  EXPECT_EQ(reasm.pending_groups(), 0u);
+}
+
+TEST(Fragment, DuplicateFragmentIgnored) {
+  Reassembler reasm;
+  FragmentHeader h{1, 7, 0, 2};
+  EXPECT_FALSE(reasm.add(h, to_bytes("ab")).has_value());
+  EXPECT_FALSE(reasm.add(h, to_bytes("ab")).has_value());  // dup
+  h.index = 1;
+  auto whole = reasm.add(h, to_bytes("cd"));
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(to_string(*whole), "abcd");
+}
+
+TEST(Fragment, InterleavedGroups) {
+  Reassembler reasm;
+  EXPECT_FALSE(reasm.add({1, 1, 0, 2}, to_bytes("A")).has_value());
+  EXPECT_FALSE(reasm.add({2, 2, 0, 2}, to_bytes("X")).has_value());
+  auto g1 = reasm.add({3, 1, 1, 2}, to_bytes("B"));
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(to_string(*g1), "AB");
+  auto g2 = reasm.add({4, 2, 1, 2}, to_bytes("Y"));
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(to_string(*g2), "XY");
+}
+
+TEST(Fragment, EvictionBoundsMemory) {
+  Reassembler reasm(4);
+  for (std::uint32_t g = 0; g < 20; ++g)
+    reasm.add({g, g, 0, 2}, to_bytes("x"));  // never completed
+  EXPECT_LE(reasm.pending_groups(), 4u);
+  EXPECT_EQ(reasm.evicted(), 16u);
+}
+
+TEST(Fragment, BogusHeadersRejected) {
+  Reassembler reasm;
+  EXPECT_FALSE(reasm.add({1, 1, 5, 3}, to_bytes("x")).has_value());  // index >= count
+  EXPECT_FALSE(reasm.add({1, 1, 0, 0}, to_bytes("x")).has_value());  // count == 0
+}
+
+// ---- Wire format ------------------------------------------------------------
+
+TEST(Wire, MessageRoundTrip) {
+  WireMessage msg;
+  msg.type = MsgType::Ping;
+  msg.session_id = 77;
+  msg.body = to_bytes("body");
+  auto back = WireMessage::parse(msg.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, MsgType::Ping);
+  EXPECT_EQ(back->session_id, 77u);
+  EXPECT_EQ(back->body, to_bytes("body"));
+}
+
+TEST(Wire, ParseRejectsGarbage) {
+  EXPECT_FALSE(WireMessage::parse(Bytes{1, 2}).ok());
+  Bytes bad = {99, 0, 0, 0, 1};  // unknown type
+  EXPECT_FALSE(WireMessage::parse(bad).ok());
+}
+
+// ---- Full tunnel ------------------------------------------------------------
+
+struct TunnelFixture : ::testing::Test {
+  Rng rng{31};
+  sim::Clock clock;
+  sgx::AttestationService ias{rng};
+  ca::CertificateAuthority authority{rng, ias};
+  sgx::SgxPlatform platform{"client-1", rng, clock};
+  sgx::Enclave enclave{platform, "endbox-v1", sgx::SgxMode::Hardware};
+  crypto::RsaKeyPair enclave_key = crypto::rsa_generate(rng);
+  // Runs before `server` is constructed (member order): registers the
+  // platform with the IAS and allow-lists the enclave measurement.
+  bool registrations_done = [this] {
+    ias.register_platform("client-1", platform.attestation_key().pub);
+    authority.allow_measurement(enclave.measurement());
+    return true;
+  }();
+  VpnServer server{rng, authority.public_key(), VpnServerConfig{}};
+  ca::Certificate certificate;
+
+  TunnelFixture() {
+    sgx::QuotingEnclave qe(platform);
+    auto quote = qe.quote(enclave.create_report(
+        sgx::bind_report_data(enclave_key.pub.serialize())));
+    auto response = authority.provision(quote->serialize(), enclave_key.pub);
+    certificate = response->certificate;
+  }
+
+  VpnClientSession make_client(VpnClientConfig config = {}) {
+    return VpnClientSession(rng, certificate, enclave_key, server.public_key(),
+                            config);
+  }
+
+  /// Runs the handshake; returns the established client session.
+  VpnClientSession connect(VpnClientConfig config = {}) {
+    auto client = make_client(config);
+    auto init = client.create_handshake_init();
+    auto event = server.handle(init.serialize(), clock.now());
+    EXPECT_TRUE(event.ok()) << event.error();
+    auto& done = std::get<VpnServer::HandshakeDone>(*event);
+    auto reply = WireMessage::parse(done.reply_wire);
+    EXPECT_TRUE(reply.ok());
+    auto status = client.process_handshake_reply(*reply);
+    EXPECT_TRUE(status.ok()) << status.error();
+    return client;
+  }
+};
+
+TEST_F(TunnelFixture, HandshakeEstablishes) {
+  auto client = connect();
+  EXPECT_TRUE(client.established());
+  EXPECT_EQ(client.negotiated_version(), kVersionTls13);
+  EXPECT_EQ(server.session_count(), 1u);
+}
+
+TEST_F(TunnelFixture, DataRoundTripClientToServer) {
+  auto client = connect();
+  Bytes ip_packet = to_bytes("pretend-ip-packet-bytes");
+  auto messages = client.seal_packet(ip_packet);
+  ASSERT_EQ(messages.size(), 1u);
+  auto event = server.handle(messages[0].serialize(), clock.now());
+  ASSERT_TRUE(event.ok()) << event.error();
+  auto& packet = std::get<VpnServer::PacketIn>(*event);
+  EXPECT_EQ(packet.ip_packet, ip_packet);
+  EXPECT_TRUE(packet.was_encrypted);
+}
+
+TEST_F(TunnelFixture, DataRoundTripServerToClient) {
+  auto client = connect();
+  Bytes ip_packet = to_bytes("server pushes this");
+  auto messages = server.seal_packet(client.session_id(), ip_packet);
+  ASSERT_EQ(messages.size(), 1u);
+  auto opened = client.open_data(messages[0]);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  ASSERT_TRUE(opened->has_value());
+  EXPECT_EQ(**opened, ip_packet);
+}
+
+TEST_F(TunnelFixture, LargePacketsFragmentAndReassemble) {
+  VpnClientConfig config;
+  config.mtu = 9000;
+  auto client = connect(config);
+  Rng data_rng(5);
+  Bytes big = data_rng.bytes(64 * 1024);
+  auto messages = client.seal_packet(big);
+  EXPECT_EQ(messages.size(), 8u);  // ceil(65536 / 9000)
+  for (std::size_t i = 0; i + 1 < messages.size(); ++i) {
+    auto event = server.handle(messages[i].serialize(), clock.now());
+    ASSERT_TRUE(event.ok());
+    EXPECT_TRUE(std::holds_alternative<VpnServer::FragmentPending>(*event));
+  }
+  auto last = server.handle(messages.back().serialize(), clock.now());
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*last).ip_packet, big);
+}
+
+TEST_F(TunnelFixture, CiphertextRevealsNothingObvious) {
+  auto client = connect();
+  Bytes secret = to_bytes("SUPER-SECRET-MARKER");
+  auto wire = client.seal_packet(secret)[0].serialize();
+  // The plaintext marker must not appear in the sealed message.
+  auto it = std::search(wire.begin(), wire.end(), secret.begin(), secret.end());
+  EXPECT_EQ(it, wire.end());
+}
+
+TEST_F(TunnelFixture, TamperedDataRejected) {
+  auto client = connect();
+  auto msg = client.seal_packet(to_bytes("payload"))[0];
+  msg.body[msg.body.size() / 2] ^= 1;
+  EXPECT_FALSE(server.handle(msg.serialize(), clock.now()).ok());
+  EXPECT_EQ(server.auth_failures(), 1u);
+}
+
+TEST_F(TunnelFixture, ReplayedTrafficRejected) {
+  auto client = connect();
+  auto wire = client.seal_packet(to_bytes("payload"))[0].serialize();
+  EXPECT_TRUE(server.handle(wire, clock.now()).ok());
+  auto replay = server.handle(wire, clock.now());
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.error().find("replay"), std::string::npos);
+  EXPECT_EQ(server.replays_rejected(), 1u);
+}
+
+TEST_F(TunnelFixture, UnknownSessionRejected) {
+  auto client = connect();
+  auto msg = client.seal_packet(to_bytes("x"))[0];
+  msg.session_id = 999;
+  EXPECT_FALSE(server.handle(msg.serialize(), clock.now()).ok());
+}
+
+TEST_F(TunnelFixture, ForgedCertificateRejected) {
+  // Self-issued certificate: not signed by the network CA.
+  auto attacker_key = crypto::rsa_generate(rng);
+  ca::Certificate forged;
+  forged.subject_key = attacker_key.pub;
+  forged.serial = 1;
+  forged.signature = crypto::rsa_sign(attacker_key, forged.signed_portion());
+  VpnClientSession attacker(rng, forged, attacker_key, server.public_key(), {});
+  auto init = attacker.create_handshake_init();
+  auto event = server.handle(init.serialize(), clock.now());
+  EXPECT_FALSE(event.ok());
+  EXPECT_EQ(server.handshakes_rejected(), 1u);
+  EXPECT_EQ(server.session_count(), 0u);
+}
+
+TEST_F(TunnelFixture, DowngradeRejectedByServer) {
+  auto client = make_client();
+  auto init = client.create_handshake_init(0x0301);  // TLS 1.0
+  EXPECT_FALSE(server.handle(init.serialize(), clock.now()).ok());
+}
+
+TEST_F(TunnelFixture, DowngradeRejectedInsideEnclaveCheck) {
+  // A MITM rewrites the reply to claim TLS 1.0: client-side (in-enclave)
+  // check must reject even if the signature were somehow valid; here the
+  // signature check also fails — both defenses hold.
+  auto client = make_client();
+  auto init = client.create_handshake_init();
+  auto event = server.handle(init.serialize(), clock.now());
+  ASSERT_TRUE(event.ok());
+  auto reply = WireMessage::parse(std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+  ASSERT_TRUE(reply.ok());
+  reply->body[0] = 0x03;
+  reply->body[1] = 0x01;  // claim TLS 1.0
+  EXPECT_FALSE(client.process_handshake_reply(*reply).ok());
+}
+
+TEST_F(TunnelFixture, IntegrityOnlyModeRequiresServerPolicy) {
+  VpnClientConfig isp_config;
+  isp_config.encrypt_data = false;
+  auto client = connect(isp_config);
+  auto msg = client.seal_packet(to_bytes("isp traffic"))[0];
+  EXPECT_EQ(msg.type, MsgType::DataIntegrityOnly);
+  // Default server policy: reject.
+  EXPECT_FALSE(server.handle(msg.serialize(), clock.now()).ok());
+}
+
+TEST_F(TunnelFixture, IntegrityOnlyModeWorksWhenAllowed) {
+  VpnServerConfig server_config;
+  server_config.allow_integrity_only = true;
+  VpnServer isp_server(rng, authority.public_key(), server_config);
+  VpnClientConfig isp_config;
+  isp_config.encrypt_data = false;
+  VpnClientSession client(rng, certificate, enclave_key, isp_server.public_key(),
+                          isp_config);
+  auto event = isp_server.handle(client.create_handshake_init().serialize(), 0);
+  ASSERT_TRUE(event.ok()) << event.error();
+  auto reply = WireMessage::parse(std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+  ASSERT_TRUE(client.process_handshake_reply(*reply).ok());
+
+  auto msg = client.seal_packet(to_bytes("isp traffic"))[0];
+  auto data_event = isp_server.handle(msg.serialize(), 0);
+  ASSERT_TRUE(data_event.ok()) << data_event.error();
+  auto& packet = std::get<VpnServer::PacketIn>(*data_event);
+  EXPECT_FALSE(packet.was_encrypted);
+  EXPECT_EQ(packet.ip_packet, to_bytes("isp traffic"));
+  // Integrity still enforced:
+  auto msg2 = client.seal_packet(to_bytes("isp traffic 2"))[0];
+  msg2.body[20] ^= 1;
+  EXPECT_FALSE(isp_server.handle(msg2.serialize(), 0).ok());
+}
+
+TEST_F(TunnelFixture, PingCarriesConfigVersionBothWays) {
+  auto client = connect();
+  // Server -> client ping announces version + grace.
+  server.announce_config(5, 30, clock.now());
+  auto server_ping = server.create_ping(client.session_id());
+  auto info = client.process_ping(server_ping);
+  ASSERT_TRUE(info.ok()) << info.error();
+  EXPECT_EQ(info->config_version, 5u);
+  EXPECT_EQ(info->grace_period_secs, 30u);
+
+  // Client -> server ping proves the update was applied.
+  client.set_config_version(5);
+  auto event = server.handle(client.create_ping().serialize(), clock.now());
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(std::get<VpnServer::PingIn>(*event).info.config_version, 5u);
+  EXPECT_EQ(server.session_config_version(client.session_id()), 5u);
+}
+
+TEST_F(TunnelFixture, CraftedPingRejected) {
+  auto client = connect();
+  WireMessage forged;
+  forged.type = MsgType::Ping;
+  forged.session_id = client.session_id();
+  PingInfo fake{1, 999, 0};
+  SessionKeys wrong_keys{Bytes(16, 0), Bytes(32, 0)};
+  forged.body = seal_ping_body(wrong_keys, fake);
+  EXPECT_FALSE(server.handle(forged.serialize(), clock.now()).ok());
+  EXPECT_EQ(server.auth_failures(), 1u);
+}
+
+TEST_F(TunnelFixture, StaleConfigBlockedAfterGrace) {
+  auto client = connect();  // client at config version 1
+  ASSERT_TRUE(server.handle(client.seal_packet(to_bytes("ok")) [0].serialize(),
+                            clock.now()).ok());
+
+  server.announce_config(2, 10, clock.now());  // v2, 10 s grace
+
+  // During grace: old config still accepted.
+  clock.advance_to(5 * sim::kSecond);
+  EXPECT_TRUE(server.handle(client.seal_packet(to_bytes("still ok"))[0].serialize(),
+                            clock.now()).ok());
+
+  // After grace: blocked.
+  clock.advance_to(11 * sim::kSecond);
+  auto blocked = server.handle(client.seal_packet(to_bytes("nope"))[0].serialize(),
+                               clock.now());
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_NE(blocked.error().find("stale"), std::string::npos);
+  EXPECT_EQ(server.stale_config_drops(), 1u);
+
+  // Client updates and proves it via ping: traffic flows again.
+  client.set_config_version(2);
+  ASSERT_TRUE(server.handle(client.create_ping().serialize(), clock.now()).ok());
+  EXPECT_TRUE(server.handle(client.seal_packet(to_bytes("fresh"))[0].serialize(),
+                            clock.now()).ok());
+}
+
+TEST_F(TunnelFixture, ConfigVersionCannotRollBack) {
+  auto client = connect();
+  client.set_config_version(5);
+  ASSERT_TRUE(server.handle(client.create_ping().serialize(), clock.now()).ok());
+  EXPECT_EQ(server.session_config_version(client.session_id()), 5u);
+  // A malicious ping claiming an older version must not roll back.
+  client.set_config_version(3);
+  ASSERT_TRUE(server.handle(client.create_ping().serialize(), clock.now()).ok());
+  EXPECT_EQ(server.session_config_version(client.session_id()), 5u);
+}
+
+TEST_F(TunnelFixture, AnnounceConfigIgnoresOldVersions) {
+  server.announce_config(5, 10, clock.now());
+  server.announce_config(3, 10, clock.now());
+  EXPECT_EQ(server.current_config_version(), 5u);
+}
+
+TEST_F(TunnelFixture, MultipleClients) {
+  auto c1 = connect();
+  auto c2 = connect();
+  EXPECT_NE(c1.session_id(), c2.session_id());
+  EXPECT_EQ(server.session_count(), 2u);
+  auto e1 = server.handle(c1.seal_packet(to_bytes("from c1"))[0].serialize(), 0);
+  auto e2 = server.handle(c2.seal_packet(to_bytes("from c2"))[0].serialize(), 0);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*e1).session_id, c1.session_id());
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*e2).session_id, c2.session_id());
+}
+
+TEST_F(TunnelFixture, SealBeforeHandshakeThrows) {
+  auto client = make_client();
+  EXPECT_THROW(client.seal_packet(to_bytes("x")), std::logic_error);
+  EXPECT_THROW(client.create_ping(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace endbox::vpn
