@@ -158,6 +158,10 @@ bool is_class_name(const std::string& name) {
 
 class Parser {
  public:
+  /// Elements never have anywhere near this many ports; the bound keeps
+  /// port arithmetic far from int overflow for adversarial configs.
+  static constexpr int kMaxPort = 9999;
+
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<ParsedConfig> run() {
@@ -198,8 +202,13 @@ class Parser {
   }
 
   Result<ParsedDeclaration> declaration() {
+    int line = peek().line;
     std::string name = advance().text;  // NAME
     advance();                          // '::'
+    for (const auto& existing : config_.declarations)
+      if (existing.name == name)
+        return err("duplicate element name '" + name + "' on line " +
+                   std::to_string(line));
     if (!at(TokType::Name)) return err(error_at("expected element class after '::'"));
     std::string class_name = advance().text;
     if (!is_class_name(class_name))
@@ -261,12 +270,18 @@ class Parser {
     advance();  // '['
     if (!at(TokType::Name)) return err(error_at("expected port number"));
     const std::string& text = advance().text;
-    for (char c : text)
+    int value = 0;
+    for (char c : text) {
       if (!std::isdigit(static_cast<unsigned char>(c)))
         return err("invalid port number '" + text + "'");
+      value = value * 10 + (c - '0');
+      if (value > kMaxPort)
+        return err("port number '" + text + "' out of range (max " +
+                   std::to_string(kMaxPort) + ")");
+    }
     if (!at(TokType::RBracket)) return err(error_at("expected ']'"));
     advance();
-    return std::stoi(text);
+    return value;
   }
 
   Status connection_chain(std::string from_name, int from_port) {

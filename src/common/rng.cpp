@@ -23,4 +23,13 @@ Bytes Rng::bytes(std::size_t n) {
   return out;
 }
 
+Rng Rng::fork(std::uint64_t label) const {
+  // splitmix64 finaliser over (seed, label) — decorrelates children even
+  // for adjacent labels, and depends only on the original seed.
+  std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (label + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
 }  // namespace endbox

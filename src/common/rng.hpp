@@ -12,7 +12,7 @@ namespace endbox {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x0ddb0775eedULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x0ddb0775eedULL) : seed_(seed), engine_(seed) {}
 
   std::uint64_t next_u64() { return engine_(); }
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(engine_()); }
@@ -28,9 +28,16 @@ class Rng {
 
   Bytes bytes(std::size_t n);
 
+  /// Derives an independent child stream from this one's seed and a
+  /// caller-chosen label. Unlike drawing a seed with next_u64(), forking
+  /// does not advance this stream, so adding a client to a World never
+  /// perturbs the random choices made for the clients that follow it.
+  Rng fork(std::uint64_t label) const;
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -69,6 +69,7 @@ Result<EndBoxServer::HandleResult> EndBoxServer::handle_wire(ByteView wire,
 
     if (auto* packet = std::get_if<vpn::VpnServer::PacketIn>(&result.event)) {
       ++packets_forwarded_;
+      ++session_packets_[packet->session_id];
       if (mode_ == ServerMode::WithClick) {
         // Hand the reassembled packet to this client's Click instance:
         // a second tun traversal plus the pipeline itself.

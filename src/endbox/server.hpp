@@ -75,6 +75,15 @@ class EndBoxServer {
   static void strip_external_qos(net::Packet& packet);
 
   std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+  /// Packets forwarded for one client session (0 for unknown sessions) —
+  /// the per-client server-side view the scalability experiments report.
+  std::uint64_t packets_forwarded_for(std::uint32_t session_id) const {
+    auto it = session_packets_.find(session_id);
+    return it == session_packets_.end() ? 0 : it->second;
+  }
+  /// Sessions that have forwarded at least one data packet (distinct
+  /// from vpn().session_count(), which counts established tunnels).
+  std::size_t sessions_with_traffic() const { return session_packets_.size(); }
 
  private:
   click::Router* session_router(std::uint32_t session_id);
@@ -101,6 +110,7 @@ class EndBoxServer {
   std::unordered_map<std::uint32_t, sim::Time> session_proc_free_;
 
   std::uint64_t packets_forwarded_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> session_packets_;
 };
 
 }  // namespace endbox

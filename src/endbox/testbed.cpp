@@ -4,6 +4,20 @@
 
 namespace endbox {
 
+namespace {
+// The evaluation cluster's wiring: 10 GbE everywhere; the shared
+// uplink into the server is the bottleneck (0.05 ms, the old shared
+// link), client access links are short patch cables.
+netsim::StarTopologyOptions testbed_topology_options() {
+  netsim::StarTopologyOptions options;
+  options.access_rate_bps = 10e9;
+  options.access_latency = sim::from_millis(0.005);
+  options.uplink_rate_bps = 10e9;
+  options.uplink_latency = sim::from_millis(0.05);
+  return options;
+}
+}  // namespace
+
 const char* setup_name(Setup setup) {
   switch (setup) {
     case Setup::VanillaOpenVpn: return "vanilla OpenVPN";
@@ -24,6 +38,7 @@ Testbed::Testbed(Setup setup, UseCase use_case, std::uint64_t seed,
       authority_(rng_, ias_),
       server_cpu_(model_.server_cores, model_.server_hz),
       click_core_(1, model_.server_hz),
+      topology_(model_, testbed_topology_options()),
       click_registry_(elements::make_endbox_registry(click_context_)) {
   authority_.allow_measurement(sgx::measure(std::string(kEndBoxEnclaveIdentity)));
   Rng rules_rng(7);
@@ -96,6 +111,7 @@ void Testbed::provision_endbox(EndBoxRig& rig) {
 std::size_t Testbed::add_client() {
   auto rig = std::make_unique<Rig>();
   std::string name = "client-" + std::to_string(rigs_.size() + 1);
+  topology_.add_client(name);
   bool endbox_mode = setup_ == Setup::EndBoxSim || setup_ == Setup::EndBoxSgx;
   if (endbox_mode) {
     rig->endbox = std::make_unique<EndBoxRig>(name, rng_, clock_, model_,
@@ -194,10 +210,12 @@ workload::IperfReport Testbed::run_iperf(std::size_t write_size, double offered_
                                          sim::Time duration) {
   workload::IperfConfig config;
   config.duration = duration;
-  config.link = &link_;
   workload::IperfHarness harness(make_sink(), config);
-  for (std::size_t i = 0; i < rigs_.size(); ++i)
-    harness.add_source(make_source(i, write_size, offered_bps));
+  for (std::size_t i = 0; i < rigs_.size(); ++i) {
+    auto source = make_source(i, write_size, offered_bps);
+    source.path = topology_.uplink_path(i);
+    harness.add_source(std::move(source));
+  }
   return harness.run();
 }
 

@@ -18,7 +18,7 @@
 #include "endbox/configs.hpp"
 #include "endbox/server.hpp"
 #include "endbox/vanilla_client.hpp"
-#include "netsim/link.hpp"
+#include "netsim/topology.hpp"
 #include "workload/iperf.hpp"
 
 namespace endbox {
@@ -61,7 +61,8 @@ class Testbed {
   sim::PerfModel& model() { return model_; }
   sim::Clock& clock() { return clock_; }
   Rng& rng() { return rng_; }
-  netsim::Link& bottleneck() { return link_; }
+  netsim::StarTopology& topology() { return topology_; }
+  netsim::Link& bottleneck() { return topology_.uplink(); }
   const std::vector<idps::SnortRule>& community_rules() const { return community_rules_; }
   const config::ConfigBundle& bundle() const { return bundle_; }
 
@@ -103,7 +104,7 @@ class Testbed {
   sim::CpuAccount server_cpu_;
   sim::CpuAccount click_core_;  ///< single-threaded vanilla Click process
   std::unique_ptr<EndBoxServer> server_;
-  netsim::Link link_{10e9, sim::from_millis(0.05), "10GbE"};
+  netsim::StarTopology topology_;
   std::vector<std::unique_ptr<Rig>> rigs_;
   std::vector<idps::SnortRule> community_rules_;
   config::ConfigBundle bundle_;

@@ -19,6 +19,7 @@ sim::Time Link::transmit(sim::Time now, std::size_t bytes) {
   free_at_ = start + static_cast<sim::Time>(ser);
   busy_ns_ += static_cast<double>(ser);
   ++frames_;
+  bytes_ += bytes;
   return free_at_ + static_cast<sim::Time>(latency_);
 }
 
@@ -36,6 +37,7 @@ double Link::utilisation(sim::Time start, sim::Time end) const {
 void Link::reset() {
   free_at_ = 0;
   frames_ = 0;
+  bytes_ = 0;
   busy_ns_ = 0;
 }
 

@@ -32,6 +32,7 @@ class Link {
   sim::Duration latency() const { return latency_; }
   const std::string& name() const { return name_; }
   std::uint64_t frames() const { return frames_; }
+  std::uint64_t bytes() const { return bytes_; }
   double busy_ns() const { return busy_ns_; }
   /// Fraction of the window the transmitter was busy.
   double utilisation(sim::Time start, sim::Time end) const;
@@ -46,6 +47,7 @@ class Link {
   std::string name_;
   sim::Time free_at_ = 0;
   std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
   double busy_ns_ = 0;
 };
 

@@ -20,6 +20,7 @@ Time CpuAccount::charge(Time now, double cycles) {
   Time done = start + service;
   *it = done;
   busy_core_ns_ += static_cast<double>(service);
+  ++charges_;
   return done;
 }
 
@@ -39,6 +40,7 @@ double CpuAccount::utilisation(Time start, Time end) const {
 void CpuAccount::reset() {
   std::fill(core_free_at_.begin(), core_free_at_.end(), 0);
   busy_core_ns_ = 0;
+  charges_ = 0;
 }
 
 }  // namespace endbox::sim

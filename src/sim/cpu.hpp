@@ -36,6 +36,10 @@ class CpuAccount {
   /// Busy core-nanoseconds accumulated so far.
   double busy_core_ns() const { return busy_core_ns_; }
 
+  /// Work items charged so far (per-client accounting in scalability
+  /// experiments: busy_core_ns / charges = mean service time).
+  std::uint64_t charges() const { return charges_; }
+
   unsigned cores() const { return static_cast<unsigned>(core_free_at_.size()); }
   double hz() const { return hz_; }
 
@@ -48,6 +52,7 @@ class CpuAccount {
   double hz_;
   std::vector<Time> core_free_at_;
   double busy_core_ns_ = 0;
+  std::uint64_t charges_ = 0;
 };
 
 }  // namespace endbox::sim

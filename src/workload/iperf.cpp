@@ -32,13 +32,16 @@ IperfReport IperfHarness::run() {
     ++report.writes_sent;
     report.wire_messages += sent.wire.size();
 
-    // Deliver wire messages: bottleneck link (if any), then the server.
+    // Deliver wire messages: the source's own path, else the shared
+    // bottleneck link (if any), then the server.
     sim::Time server_done = next.ready;
     bool delivered = false;
     for (const Bytes& wire : sent.wire) {
-      sim::Time arrival = config_.link
-                              ? config_.link->transmit(next.ready, wire.size())
-                              : next.ready;
+      sim::Time arrival =
+          source.path.hops() > 0
+              ? source.path.deliver(next.ready, wire.size())
+              : (config_.link ? config_.link->transmit(next.ready, wire.size())
+                              : next.ready);
       ServeOutcome served = serve_(wire, arrival);
       server_done = std::max(server_done, served.done);
       delivered |= served.delivered;

@@ -37,11 +37,16 @@ struct IperfSource {
   double offered_bps = 0;
   /// Application write size (sets the inter-send gap in offered mode).
   std::size_t write_size = 1500;
+  /// Per-source route to the server (e.g. access link + shared uplink
+  /// in a star topology). When non-empty it carries this source's wire
+  /// frames and IperfConfig::link is ignored for them.
+  netsim::Path path;
 };
 
 struct IperfConfig {
   sim::Time duration = sim::from_seconds(1.0);
-  /// Shared client->server bottleneck; nullptr = infinitely fast wire.
+  /// Shared client->server bottleneck for sources without their own
+  /// path; nullptr = infinitely fast wire.
   netsim::Link* link = nullptr;
 };
 

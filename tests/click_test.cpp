@@ -102,6 +102,49 @@ TEST(Parser, Errors) {
   EXPECT_FALSE(parse_config("a[x] -> b;").ok());          // bad port
 }
 
+TEST(Parser, UnterminatedElementIsGraceful) {
+  // Every truncation of a declaration must yield a Result error (never
+  // a crash), and the unterminated-args error must name the problem.
+  auto r = parse_config("c :: Counter(");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("unterminated"), std::string::npos);
+  EXPECT_FALSE(parse_config("c :: Counter(\"still open").ok());
+  EXPECT_FALSE(parse_config("c :: Counter(nested(deep(").ok());
+  EXPECT_FALSE(parse_config("c ::").ok());
+  EXPECT_FALSE(parse_config("c").ok());
+  EXPECT_FALSE(parse_config("c :: Counter -> ").ok());
+}
+
+TEST(Parser, DanglingPortIsGraceful) {
+  EXPECT_FALSE(parse_config("a :: Counter; a [1] ->").ok());   // chain ends at arrow
+  EXPECT_FALSE(parse_config("a :: Counter -> [0]").ok());      // port, no element
+  EXPECT_FALSE(parse_config("a :: Counter; a [").ok());        // bracket at EOF
+  EXPECT_FALSE(parse_config("a :: Counter; a [1").ok());       // missing ']'
+  EXPECT_FALSE(parse_config("a :: Counter; a [] -> a;").ok()); // empty port
+  EXPECT_FALSE(parse_config("[2] a;").ok());                   // port without chain
+}
+
+TEST(Parser, HugePortNumberIsRangeErrorNotCrash) {
+  // Used to escape as std::out_of_range from std::stoi.
+  auto r = parse_config("a :: Counter; a [99999999999999999999] -> a;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("out of range"), std::string::npos);
+  EXPECT_FALSE(parse_config("a :: Counter; a [10000] -> a;").ok());
+  // The largest in-range port still parses.
+  EXPECT_TRUE(parse_config("a :: Counter; a [9999] -> a;").ok());
+}
+
+TEST(Parser, DuplicateElementNameIsGraceful) {
+  auto r = parse_config("a :: Counter;\na :: Discard;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("duplicate element name 'a'"), std::string::npos);
+  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+  // Inline re-declaration inside a chain is a duplicate too.
+  EXPECT_FALSE(parse_config("a :: Counter; b :: Queue -> a :: Discard;").ok());
+  // Distinct names and plain re-references stay valid.
+  EXPECT_TRUE(parse_config("a :: Counter; b :: Discard; a -> b;").ok());
+}
+
 TEST(Parser, EmptyConfigIsValid) {
   auto cfg = parse_config("  // nothing\n");
   ASSERT_TRUE(cfg.ok());

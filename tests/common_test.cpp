@@ -147,5 +147,33 @@ TEST(Rng, BytesLength) {
   EXPECT_TRUE(rng.bytes(0).empty());
 }
 
+TEST(Rng, ForkIsDeterministicAndLabelled) {
+  Rng a(42);
+  Rng b(42);
+  // Same seed + same label => identical child stream.
+  EXPECT_EQ(a.fork(3).next_u64(), b.fork(3).next_u64());
+  // Different labels => decorrelated children, even adjacent ones.
+  EXPECT_NE(a.fork(0).next_u64(), a.fork(1).next_u64());
+  // Different parent seeds => different children under the same label.
+  EXPECT_NE(Rng(1).fork(0).next_u64(), Rng(2).fork(0).next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceTheParent) {
+  Rng with_fork(7);
+  Rng without(7);
+  (void)with_fork.fork(0);
+  (void)with_fork.fork(1);
+  // Forking is a pure function of (seed, label): the parent's own
+  // stream is untouched, so experiment setup order cannot leak into
+  // later random choices.
+  EXPECT_EQ(with_fork.next_u64(), without.next_u64());
+}
+
+TEST(Rng, ForkedChildDiffersFromParentStream) {
+  Rng parent(7);
+  Rng child = parent.fork(0);
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
 }  // namespace
 }  // namespace endbox

@@ -1,7 +1,11 @@
 // Shared test/bench harness: a complete EndBox deployment in one
-// object — IAS, CA, VPN/EndBox server, and any number of attested
-// clients — so integration tests and benchmarks assemble scenarios in
-// a few lines.
+// object — IAS, CA, VPN/EndBox server, a star topology and any number
+// of attested clients — so integration tests and benchmarks assemble
+// scenarios in a few lines.
+//
+// Worlds are parameterisable (WorldOptions) and deterministic: the one
+// experiment seed fixes every random choice, and each client draws from
+// its own forked stream so adding client k never perturbs client k+1.
 #pragma once
 
 #include <memory>
@@ -12,29 +16,48 @@
 #include "endbox/server.hpp"
 #include "endbox/vanilla_client.hpp"
 #include "idps/snort_rules.hpp"
+#include "netsim/topology.hpp"
 #include "sim/event_queue.hpp"
 
 namespace endbox::testing {
 
-/// One client machine: platform + single-core CPU slice + EndBox client.
+/// Everything a World's constructor can vary. Defaults reproduce the
+/// single-client deployments the integration tests use.
+struct WorldOptions {
+  std::uint64_t seed = 0xeb0c5eed;
+  std::size_t clients = 0;  ///< built (attested + connected) eagerly
+  UseCase use_case = UseCase::Nop;
+  ServerMode server_mode = ServerMode::Plain;
+  vpn::VpnServerConfig vpn_config = {};
+  EndBoxClientOptions client_options = {};
+  bool encrypt_config = true;
+  netsim::StarTopologyOptions topology = {};
+};
+
+/// One client machine: private RNG stream, class-A host in the star
+/// topology, single-core CPU slice and an EndBox client.
 struct ClientRig {
-  sgx::SgxPlatform platform;
+  Rng rng;  ///< forked from the world seed; owned so streams never interleave
   sim::CpuAccount cpu;
+  sgx::SgxPlatform platform;
   EndBoxClient client;
 
-  ClientRig(const std::string& name, Rng& rng, const sim::Clock& clock,
-            const sim::PerfModel& model, crypto::RsaPublicKey ca_key,
-            EndBoxClientOptions options)
-      : platform(name, rng, clock),
-        cpu(1, model.client_hz),  // OpenVPN is single-threaded
+  ClientRig(const std::string& name, Rng stream, const sim::Clock& clock,
+            const netsim::Host& host, const sim::PerfModel& model,
+            crypto::RsaPublicKey ca_key, EndBoxClientOptions options)
+      : rng(stream),
+        cpu(host.make_single_core()),  // OpenVPN is single-threaded
+        platform(name, rng, clock),
         client(name, platform, rng, cpu, model, ca_key, options) {}
 };
 
 struct World {
+  WorldOptions options;
   Rng rng;
   sim::Clock clock;
   sim::EventQueue events{clock};
   sim::PerfModel model;
+  netsim::StarTopology topology;
   sgx::AttestationService ias{rng};
   ca::CertificateAuthority authority{rng, ias};
   sim::CpuAccount server_cpu;
@@ -42,16 +65,36 @@ struct World {
   std::vector<std::unique_ptr<ClientRig>> rigs;
   std::vector<idps::SnortRule> community_rules;
 
-  explicit World(std::uint64_t seed = 0xeb0c5eed,
-                 ServerMode server_mode = ServerMode::Plain,
-                 vpn::VpnServerConfig vpn_config = {})
-      : rng(seed),
+  explicit World(const WorldOptions& opts)
+      : options(opts),
+        rng(opts.seed),
+        topology(model, opts.topology),
         server_cpu(sim::PerfModel{}.server_cores, sim::PerfModel{}.server_hz),
-        server(rng, authority, server_cpu, model, server_mode, vpn_config) {
+        server(rng, authority, server_cpu, model, opts.server_mode,
+               opts.vpn_config) {
     authority.allow_measurement(sgx::measure(std::string(kEndBoxEnclaveIdentity)));
     Rng rules_rng(7);
     community_rules = idps::generate_community_ruleset(377, rules_rng);
     server.add_ruleset("community", community_rules);
+    if (opts.clients > 0) {
+      auto bundle = publish(opts.use_case, 2, opts.encrypt_config);
+      for (std::size_t i = 0; i < opts.clients; ++i)
+        add_client(bundle, opts.client_options);
+    }
+  }
+
+  explicit World(std::uint64_t seed = 0xeb0c5eed,
+                 ServerMode server_mode = ServerMode::Plain,
+                 vpn::VpnServerConfig vpn_config = {})
+      : World(make_options(seed, server_mode, std::move(vpn_config))) {}
+
+  static WorldOptions make_options(std::uint64_t seed, ServerMode server_mode,
+                                   vpn::VpnServerConfig vpn_config) {
+    WorldOptions opts;
+    opts.seed = seed;
+    opts.server_mode = server_mode;
+    opts.vpn_config = std::move(vpn_config);
+    return opts;
   }
 
   /// Publishes the initial middlebox configuration as version 2 (fresh
@@ -68,8 +111,11 @@ struct World {
   /// given bundle.
   EndBoxClient& add_client(const config::ConfigBundle& bundle,
                            EndBoxClientOptions options = {}) {
+    std::size_t index = rigs.size();
+    std::string name = "client-" + std::to_string(index + 1);
+    topology.add_client(name);
     auto rig = std::make_unique<ClientRig>(
-        "client-" + std::to_string(rigs.size() + 1), rng, clock, model,
+        name, rng.fork(index), clock, topology.client_host(index), model,
         authority.public_key(), options);
     EndBoxClient& client = rig->client;
     ias.register_platform(rig->platform.platform_id(),
@@ -125,9 +171,80 @@ struct World {
     return err("fragments pending (packet larger than expected)");
   }
 
+  /// Like send_through, but for client `i` with wire fragments carried
+  /// over that client's access link and the shared uplink, so the
+  /// server sees network arrival times and the topology counts bytes.
+  Result<vpn::VpnServer::PacketIn> send_from(std::size_t i, net::Packet packet) {
+    ClientRig& rig = *rigs.at(i);
+    sim::Time now = clock.now();
+    auto sent = rig.client.send_packet(std::move(packet), now);
+    if (!sent.ok()) return err(sent.error());
+    if (!sent->accepted) return err("rejected by client-side middlebox");
+    for (const auto& wire : sent->wire) {
+      sim::Time arrival = topology.deliver_to_server(i, now, wire.size());
+      auto handled = server.handle_wire(wire, arrival);
+      if (!handled.ok()) return err(handled.error());
+      if (auto* in = std::get_if<vpn::VpnServer::PacketIn>(&handled->event))
+        return *in;
+    }
+    return err("fragments pending (packet larger than expected)");
+  }
+
+  /// Outcome of run_uniform_traffic: what the server saw and what it
+  /// paid for it — the quantities the Fig 10a scalability claims are
+  /// stated in.
+  struct TrafficReport {
+    std::uint64_t offered = 0;    ///< packets offered across all clients
+    std::uint64_t delivered = 0;  ///< PacketIn events at the server
+    std::vector<std::uint64_t> per_client_delivered;
+    double server_busy_core_ns = 0;  ///< server CPU work during the run
+
+    double server_cost_per_packet_ns() const {
+      return delivered == 0 ? 0.0
+                            : server_busy_core_ns / static_cast<double>(delivered);
+    }
+    double server_cost_per_client_ns() const {
+      return per_client_delivered.empty()
+                 ? 0.0
+                 : server_busy_core_ns /
+                       static_cast<double>(per_client_delivered.size());
+    }
+  };
+
+  /// Every client sends `packets_per_client` benign packets round-robin
+  /// through the topology. Deterministic for a fixed world seed.
+  TrafficReport run_uniform_traffic(std::uint64_t packets_per_client,
+                                    std::size_t payload = 1400) {
+    TrafficReport report;
+    report.per_client_delivered.assign(rigs.size(), 0);
+    double busy_before = server_cpu.busy_core_ns();
+    for (std::uint64_t k = 0; k < packets_per_client; ++k) {
+      for (std::size_t i = 0; i < rigs.size(); ++i) {
+        ++report.offered;
+        auto in = send_from(i, benign_packet_from(i, payload));
+        if (in.ok()) {
+          ++report.delivered;
+          ++report.per_client_delivered[i];
+        }
+      }
+    }
+    report.server_busy_core_ns = server_cpu.busy_core_ns() - busy_before;
+    return report;
+  }
+
   net::Packet benign_packet(std::size_t payload = 1400, std::uint16_t dport = 5001) {
     return net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 40000,
                             dport, Bytes(payload, 'x'));
+  }
+
+  /// benign_packet with a per-client source address (10.8.x.y).
+  net::Packet benign_packet_from(std::size_t i, std::size_t payload = 1400,
+                                 std::uint16_t dport = 5001) {
+    auto host_part = static_cast<std::uint32_t>(i + 2);
+    net::Ipv4 src(10, 8, static_cast<std::uint8_t>(host_part >> 8),
+                  static_cast<std::uint8_t>(host_part & 0xff));
+    return net::Packet::udp(src, net::Ipv4(10, 0, 0, 1), 40000, dport,
+                            Bytes(payload, 'x'));
   }
 };
 

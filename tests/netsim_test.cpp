@@ -1,8 +1,10 @@
-// Tests for the network simulation: links, queueing, paths, hosts.
+// Tests for the network simulation: links, queueing, paths, hosts,
+// star topology.
 #include <gtest/gtest.h>
 
 #include "netsim/host.hpp"
 #include "netsim/link.hpp"
+#include "netsim/topology.hpp"
 
 namespace endbox::netsim {
 namespace {
@@ -98,6 +100,91 @@ TEST(Host, SingleCoreSliceForSingleThreadedProcesses) {
   auto core = host.make_single_core();
   EXPECT_EQ(core.cores(), 1u);
   EXPECT_EQ(core.hz(), host.cpu().hz());
+}
+
+TEST(Link, CountsBytes) {
+  Link link(1e9, 0);
+  link.transmit(0, 1250);
+  link.transmit(0, 750);
+  EXPECT_EQ(link.bytes(), 2000u);
+  link.reset();
+  EXPECT_EQ(link.bytes(), 0u);
+}
+
+TEST(StarTopology, BuildsHostsAndLinksPerClient) {
+  sim::PerfModel model;
+  StarTopology topo(model);
+  EXPECT_EQ(topo.clients(), 0u);
+  EXPECT_EQ(topo.add_client("c1"), 0u);
+  EXPECT_EQ(topo.add_client("c2"), 1u);
+  EXPECT_EQ(topo.clients(), 2u);
+  EXPECT_EQ(topo.client_host(0).machine_class(), MachineClass::A);
+  EXPECT_EQ(topo.server_host().machine_class(), MachineClass::B);
+  EXPECT_EQ(topo.access_link(0).name(), "c1-access");
+  EXPECT_EQ(topo.uplink_path(0).hops(), 2u);
+  EXPECT_EQ(topo.downlink_path(1).hops(), 2u);
+}
+
+TEST(StarTopology, DeliveryCrossesAccessAndUplink) {
+  sim::PerfModel model;
+  StarTopologyOptions options;
+  options.access_rate_bps = 1e9;
+  options.uplink_rate_bps = 1e9;
+  options.access_latency = sim::from_millis(1);
+  options.uplink_latency = sim::from_millis(2);
+  StarTopology topo(model, options);
+  topo.add_client("c1");
+  // 1250 B: 10 us serialisation on each of the two links + 3 ms total
+  // propagation.
+  sim::Time arrival = topo.deliver_to_server(0, 0, 1250);
+  EXPECT_EQ(arrival, sim::from_millis(3) + 20 * sim::kMicrosecond);
+  EXPECT_EQ(topo.client_bytes(0), 1250u);
+  EXPECT_EQ(topo.aggregate_bytes(), 1250u);
+  EXPECT_EQ(topo.aggregate_frames(), 1u);
+}
+
+TEST(StarTopology, SharedUplinkAggregatesButAccessLinksDoNot) {
+  sim::PerfModel model;
+  StarTopology topo(model);
+  topo.add_client("c1");
+  topo.add_client("c2");
+  topo.deliver_to_server(0, 0, 9000);
+  topo.deliver_to_server(1, 0, 9000);
+  // Both frames crossed the one uplink; each access link saw only its
+  // own client's frame.
+  EXPECT_EQ(topo.aggregate_bytes(), 18000u);
+  EXPECT_EQ(topo.client_bytes(0), 9000u);
+  EXPECT_EQ(topo.client_bytes(1), 9000u);
+  EXPECT_EQ(topo.uplink().frames(), 2u);
+  EXPECT_EQ(topo.access_link(0).frames(), 1u);
+}
+
+TEST(StarTopology, ContentionOnlyOnTheSharedUplink) {
+  sim::PerfModel model;
+  StarTopologyOptions options;
+  options.access_rate_bps = 10e9;
+  options.uplink_rate_bps = 1e9;  // uplink is the bottleneck
+  options.access_latency = 0;
+  options.uplink_latency = 0;
+  StarTopology topo(model, options);
+  topo.add_client("c1");
+  topo.add_client("c2");
+  // Two simultaneous 125000-B frames: 1 ms each on the uplink, so the
+  // second client's frame queues behind the first.
+  sim::Time first = topo.deliver_to_server(0, 0, 125'000);
+  sim::Time second = topo.deliver_to_server(1, 0, 125'000);
+  EXPECT_GT(second, first);
+}
+
+TEST(StarTopology, ResetClearsAllCounters) {
+  sim::PerfModel model;
+  StarTopology topo(model);
+  topo.add_client("c1");
+  topo.deliver_to_server(0, 0, 1000);
+  topo.reset();
+  EXPECT_EQ(topo.aggregate_bytes(), 0u);
+  EXPECT_EQ(topo.client_bytes(0), 0u);
+  EXPECT_EQ(topo.clients(), 1u);  // hosts survive, counters do not
 }
 
 }  // namespace

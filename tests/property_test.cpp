@@ -163,6 +163,83 @@ TEST_P(AesKeySweep, ModesRoundTripUnderRandomKeys) {
 
 INSTANTIATE_TEST_SUITE_P(Keys, AesKeySweep, ::testing::Range(0, 12));
 
+// ---- Crypto round-trip properties ----------------------------------------------
+
+class CtrSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CtrSizeSweep, AesCtrRoundTripsAndIsItsOwnInverse) {
+  std::size_t size = GetParam();
+  Rng rng(size * 31 + 5);
+  auto key = crypto::make_aes_key(rng.bytes(16));
+  Bytes nonce = rng.bytes(16);
+  Bytes plaintext = rng.bytes(size);
+
+  Bytes ciphertext = crypto::aes128_ctr(key, nonce, plaintext);
+  ASSERT_EQ(ciphertext.size(), plaintext.size());
+  // CTR is a stream cipher: applying it twice restores the plaintext.
+  EXPECT_EQ(crypto::aes128_ctr(key, nonce, ciphertext), plaintext);
+  if (size > 0) {
+    // A different nonce must produce a different keystream.
+    Bytes other_nonce = rng.bytes(16);
+    EXPECT_NE(crypto::aes128_ctr(key, other_nonce, plaintext), ciphertext);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CtrSizeSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 64, 1000, 4096,
+                                           65536));
+
+class HmacKeySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HmacKeySweep, VerifyAcceptsGenuineRejectsTampered) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  Bytes key = rng.bytes(rng.uniform(1, 128));  // short, block-sized and long keys
+  Bytes data = rng.bytes(rng.uniform(0, 2048));
+  Bytes mac = crypto::hmac_sha256(key, data);
+
+  EXPECT_TRUE(crypto::hmac_verify(key, data, mac));
+  // Any single-bit flip in the MAC must be rejected.
+  for (std::size_t pos : {std::size_t{0}, mac.size() / 2, mac.size() - 1}) {
+    Bytes bad = mac;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(crypto::hmac_verify(key, data, bad));
+  }
+  // Tampered data and wrong key must be rejected too.
+  Bytes bad_data = data;
+  bad_data.push_back(0x00);
+  EXPECT_FALSE(crypto::hmac_verify(key, bad_data, mac));
+  Bytes bad_key = key;
+  bad_key[0] ^= 0xff;
+  EXPECT_FALSE(crypto::hmac_verify(bad_key, data, mac));
+  // Truncated MACs never verify.
+  Bytes truncated(mac.begin(), mac.begin() + 16);
+  EXPECT_FALSE(crypto::hmac_verify(key, data, truncated));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, HmacKeySweep, ::testing::Range(0, 8));
+
+// HMAC-SHA-256 known answer (RFC 4231 test case 2: short key, short data).
+TEST(CryptoKat, HmacRfc4231Case2) {
+  Bytes key = to_bytes("Jefe");
+  Bytes data = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(crypto::hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  EXPECT_TRUE(crypto::hmac_verify(key, data, crypto::hmac_sha256(key, data)));
+}
+
+// SHA-256 known answers beyond the unit suite's: one-byte 0xbd (NIST
+// example) and the million-'a' extreme-length vector (FIPS 180-4).
+TEST(CryptoKat, Sha256SingleByte) {
+  EXPECT_EQ(to_hex(crypto::sha256(Bytes{0xbd})),
+            "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b");
+}
+
+TEST(CryptoKat, Sha256MillionA) {
+  Bytes msg(1'000'000, 'a');
+  EXPECT_EQ(to_hex(crypto::sha256(msg)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
 // ---- SGX mode sweep ----------------------------------------------------------------
 
 class ModeSweep : public ::testing::TestWithParam<sgx::SgxMode> {};

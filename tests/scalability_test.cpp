@@ -1,0 +1,139 @@
+// Multi-client scalability suite mirroring Fig 10a: because EndBox runs
+// middlebox functions on the clients, the server's per-packet cost must
+// stay ~flat as the fleet grows, while aggregate processed traffic
+// scales linearly with the client count. Built on the parameterisable
+// World (N clients, per-client CPU accounts and RNG streams, one
+// experiment seed).
+#include <gtest/gtest.h>
+
+#include "endbox_world.hpp"
+
+namespace endbox {
+namespace {
+
+using testing::World;
+using testing::WorldOptions;
+
+WorldOptions scale_options(std::size_t clients,
+                           ServerMode mode = ServerMode::Plain) {
+  WorldOptions opts;
+  opts.seed = 0x5ca1ab1e;
+  opts.clients = clients;
+  opts.use_case = UseCase::Nop;
+  opts.server_mode = mode;
+  return opts;
+}
+
+constexpr std::uint64_t kPacketsPerClient = 25;
+
+TEST(ScalabilityTest, WorldBuildsRequestedFleet) {
+  World world(scale_options(8));
+  EXPECT_EQ(world.rigs.size(), 8u);
+  EXPECT_EQ(world.topology.clients(), 8u);
+  // Every client owns its CPU account and forked RNG stream.
+  for (auto& rig : world.rigs) EXPECT_EQ(rig->cpu.cores(), 1u);
+}
+
+TEST(ScalabilityTest, DeterministicAcrossRuns) {
+  for (std::size_t clients : {1u, 8u, 64u}) {
+    World a(scale_options(clients));
+    World b(scale_options(clients));
+    auto ra = a.run_uniform_traffic(kPacketsPerClient);
+    auto rb = b.run_uniform_traffic(kPacketsPerClient);
+    EXPECT_EQ(ra.offered, rb.offered) << clients << " clients";
+    EXPECT_EQ(ra.delivered, rb.delivered) << clients << " clients";
+    EXPECT_EQ(ra.per_client_delivered, rb.per_client_delivered);
+    EXPECT_EQ(ra.server_busy_core_ns, rb.server_busy_core_ns);
+    EXPECT_EQ(a.topology.aggregate_bytes(), b.topology.aggregate_bytes());
+  }
+}
+
+TEST(ScalabilityTest, AggregatePacketsScaleLinearly) {
+  for (std::size_t clients : {1u, 8u, 64u}) {
+    World world(scale_options(clients));
+    auto report = world.run_uniform_traffic(kPacketsPerClient);
+    // Nothing is dropped: every offered packet arrives, so the
+    // aggregate is exactly clients x per-client.
+    EXPECT_EQ(report.delivered, clients * kPacketsPerClient);
+    for (std::size_t i = 0; i < clients; ++i)
+      EXPECT_EQ(report.per_client_delivered[i], kPacketsPerClient);
+  }
+}
+
+TEST(ScalabilityTest, ServerCostPerClientStaysFlat) {
+  World one(scale_options(1));
+  World many(scale_options(64));
+  auto r1 = one.run_uniform_traffic(kPacketsPerClient);
+  auto r64 = many.run_uniform_traffic(kPacketsPerClient);
+  ASSERT_GT(r1.delivered, 0u);
+  ASSERT_GT(r64.delivered, 0u);
+  // Per-client server cost: total server work divided by fleet size,
+  // with every client offering the same load. Fig 10a's EndBox curve
+  // tracks vanilla OpenVPN because the middleboxes run client-side.
+  double cost1 = r1.server_cost_per_client_ns();
+  double cost64 = r64.server_cost_per_client_ns();
+  EXPECT_LE(cost64, 1.5 * cost1)
+      << "per-client server cost grew from " << cost1 << " ns to " << cost64
+      << " ns";
+  // And per-packet cost is flat too (same statement, normalised).
+  EXPECT_LE(r64.server_cost_per_packet_ns(),
+            1.5 * r1.server_cost_per_packet_ns());
+}
+
+TEST(ScalabilityTest, ServerSideClickCostsGrowInContrast) {
+  // The OpenVPN+Click baseline pays per-client Click instances on the
+  // server: per-packet cost at 32 clients must exceed the 1-client cost
+  // by more than EndBox's (which stays ~flat).
+  World one(scale_options(1, ServerMode::WithClick));
+  World many(scale_options(32, ServerMode::WithClick));
+  auto r1 = one.run_uniform_traffic(kPacketsPerClient);
+  auto r32 = many.run_uniform_traffic(kPacketsPerClient);
+  ASSERT_GT(r1.delivered, 0u);
+  ASSERT_GT(r32.delivered, 0u);
+  World endbox_many(scale_options(32));
+  auto e32 = endbox_many.run_uniform_traffic(kPacketsPerClient);
+  double click_growth =
+      r32.server_cost_per_packet_ns() / r1.server_cost_per_packet_ns();
+  EXPECT_GT(r32.server_cost_per_packet_ns(), e32.server_cost_per_packet_ns());
+  EXPECT_GT(click_growth, 1.0);
+}
+
+TEST(ScalabilityTest, ServerAccountsPacketsPerSession) {
+  World world(scale_options(8));
+  auto report = world.run_uniform_traffic(kPacketsPerClient);
+  ASSERT_EQ(report.delivered, 8 * kPacketsPerClient);
+  // The server's per-session ledger agrees with the aggregate counter
+  // and sees exactly one session per client.
+  EXPECT_EQ(world.server.sessions_with_traffic(), 8u);
+  EXPECT_EQ(world.server.packets_forwarded(), report.delivered);
+  EXPECT_EQ(world.server.packets_forwarded_for(0), 0u);  // unknown session
+}
+
+TEST(ScalabilityTest, TopologyCountsAggregateTraffic) {
+  World world(scale_options(8));
+  auto report = world.run_uniform_traffic(kPacketsPerClient);
+  ASSERT_EQ(report.delivered, 8 * kPacketsPerClient);
+  // Every wire frame crossed one access link and the shared uplink.
+  std::uint64_t access_total = 0;
+  for (std::size_t i = 0; i < 8; ++i) access_total += world.topology.client_bytes(i);
+  EXPECT_EQ(world.topology.aggregate_bytes(), access_total);
+  EXPECT_GE(world.topology.aggregate_frames(), report.delivered);
+  // Uniform load: each access link carried the same byte count.
+  for (std::size_t i = 1; i < 8; ++i)
+    EXPECT_EQ(world.topology.client_bytes(i), world.topology.client_bytes(0));
+}
+
+TEST(ScalabilityTest, DifferentSeedsDifferentKeyMaterial) {
+  World a(scale_options(2));
+  WorldOptions other = scale_options(2);
+  other.seed = 0xfeedface;
+  World b(other);
+  // Distinct seeds must produce distinct session key material — the
+  // forked per-client streams derive from the world seed.
+  EXPECT_NE(a.rigs[0]->rng.next_u64(), b.rigs[0]->rng.next_u64());
+  // And distinct clients within one world draw from distinct streams.
+  EXPECT_NE(a.rigs[0]->rng.next_u64(), a.rigs[1]->rng.next_u64());
+}
+
+}  // namespace
+}  // namespace endbox

@@ -162,6 +162,22 @@ TEST(Cpu, RejectsBadParameters) {
   EXPECT_THROW(CpuAccount(1, 0), std::invalid_argument);
 }
 
+TEST(Cpu, CountsChargedWorkItems) {
+  CpuAccount cpu(2, 1e9);
+  EXPECT_EQ(cpu.charges(), 0u);
+  cpu.charge(0, 1000);
+  cpu.charge(0, 1000);
+  cpu.charge(0, 1000);
+  EXPECT_EQ(cpu.charges(), 3u);
+  // peek must not count.
+  cpu.peek_completion(0, 1000);
+  EXPECT_EQ(cpu.charges(), 3u);
+  // Mean service time = busy core-ns / charges.
+  EXPECT_NEAR(cpu.busy_core_ns() / static_cast<double>(cpu.charges()), 1000.0, 1e-9);
+  cpu.reset();
+  EXPECT_EQ(cpu.charges(), 0u);
+}
+
 // ---- Perf model sanity ----------------------------------------------------
 
 TEST(PerfModel, VpnDataCostScalesWithBytesAndMode) {

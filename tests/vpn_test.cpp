@@ -2,7 +2,11 @@
 // formats, handshake, data channel, pings, config enforcement.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "ca/authority.hpp"
+#include "common/rng.hpp"
 #include "sgx/enclave.hpp"
 #include "sgx/platform.hpp"
 #include "vpn/client.hpp"
@@ -44,6 +48,92 @@ TEST(Replay, LargeJumpClearsWindow) {
   EXPECT_TRUE(window.accept(1000));
   EXPECT_TRUE(window.accept(999));
   EXPECT_FALSE(window.accept(1000));
+}
+
+TEST(Replay, DuplicateAtWindowEdge) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(100));
+  // Oldest id still inside the 64-id window: accepted once, then a
+  // replay of it must be caught (it sits on the last bitmap bit).
+  EXPECT_TRUE(window.accept(100 - 63));
+  EXPECT_FALSE(window.accept(100 - 63));
+  // The id one past the edge is rejected outright, before and after.
+  EXPECT_FALSE(window.accept(100 - 64));
+  EXPECT_FALSE(window.accept(100 - 64));
+  EXPECT_EQ(window.replays_rejected(), 3u);
+}
+
+TEST(Replay, AdvanceByExactlyWindowSizeClearsAllHistory) {
+  ReplayWindow window;
+  for (std::uint64_t id = 1; id <= 10; ++id) EXPECT_TRUE(window.accept(id));
+  // shift == 64: every previously-seen id falls off the window; a
+  // shift of exactly the window size must not invoke UB (x << 64).
+  EXPECT_TRUE(window.accept(10 + 64));
+  EXPECT_EQ(window.highest_seen(), 74u);
+  // Old ids are now older-than-window, not "unseen".
+  EXPECT_FALSE(window.accept(10));
+  // The new highest itself is tracked.
+  EXPECT_FALSE(window.accept(74));
+}
+
+TEST(Replay, AdvanceByWindowMinusOneKeepsTheOldHighest) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(10));
+  EXPECT_TRUE(window.accept(10 + 63));  // old highest now at age 63
+  EXPECT_FALSE(window.accept(10));      // still tracked: replay caught
+  EXPECT_TRUE(window.accept(11));       // age 62, never seen: fresh
+}
+
+TEST(Replay, FarFutureSequenceNumberIsAcceptedOnceAndTracked) {
+  ReplayWindow window;
+  EXPECT_TRUE(window.accept(5));
+  std::uint64_t far = 5 + (1ULL << 62);
+  EXPECT_TRUE(window.accept(far));
+  EXPECT_FALSE(window.accept(far));
+  EXPECT_EQ(window.highest_seen(), far);
+  // Everything between is now ancient and rejected.
+  EXPECT_FALSE(window.accept(far - 64));
+  EXPECT_TRUE(window.accept(far - 63));
+}
+
+TEST(Replay, WrapAroundNearMaxId) {
+  // Ids close to 2^64 - 1: unsigned arithmetic on ages/shifts must not
+  // wrap into false accepts.
+  ReplayWindow window;
+  std::uint64_t top = ~0ULL;
+  EXPECT_TRUE(window.accept(top - 1));
+  EXPECT_TRUE(window.accept(top));
+  EXPECT_FALSE(window.accept(top));
+  EXPECT_FALSE(window.accept(top - 1));
+  EXPECT_TRUE(window.accept(top - 63));
+  EXPECT_FALSE(window.accept(top - 64));
+}
+
+TEST(Replay, MatchesReferenceModelOverRandomStream) {
+  // Property: the bitmap implementation agrees with an obvious
+  // reference model (remember every id; accept iff unseen and within
+  // the window of the running maximum).
+  ReplayWindow window;
+  Rng rng(0x5ea1);
+  std::set<std::uint64_t> seen;
+  std::uint64_t highest = 0;
+  bool any = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t id = 1000 + rng.uniform(0, 200) + i / 4;
+    bool expect;
+    if (!any) {
+      expect = true;
+    } else {
+      std::uint64_t top = std::max(highest, id);
+      expect = (top - id < 64) && !seen.count(id);
+    }
+    EXPECT_EQ(window.accept(id), expect) << "id " << id << " step " << i;
+    if (expect) {
+      seen.insert(id);
+      highest = std::max(highest, id);
+      any = true;
+    }
+  }
 }
 
 // ---- Fragmentation ---------------------------------------------------------

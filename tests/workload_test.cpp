@@ -93,6 +93,57 @@ TEST(Iperf, BottleneckLinkCapsGoodput) {
   EXPECT_LT(report.throughput_mbps, 115.0);
 }
 
+TEST(Iperf, PerSourcePathCarriesFramesInsteadOfSharedLink) {
+  SyntheticRig rig;
+  rig.client_cycles = 100;
+  rig.server_cycles = 100;
+  netsim::Link shared(100e6, 0, "shared");  // would cap at 100 Mbps
+  netsim::Link own(1e9, 0, "own");
+  IperfConfig config;
+  config.duration = sim::from_seconds(0.05);
+  config.link = &shared;
+  IperfHarness harness(rig.sink(), config);
+  auto src = rig.source();
+  src.path = netsim::Path({&own});
+  harness.add_source(std::move(src));
+  auto report = harness.run();
+  // The source's own 1 Gbps path governs, not the 100 Mbps shared link.
+  EXPECT_GT(report.throughput_mbps, 500.0);
+  EXPECT_EQ(shared.frames(), 0u);
+  EXPECT_EQ(own.frames(), report.wire_messages);
+}
+
+TEST(Iperf, PathContentionCapsGoodputLikeASharedLink) {
+  // Two sources whose paths share one slow uplink: the uplink still
+  // serialises everything, exactly as the old shared-link config did.
+  SyntheticRig a, b;
+  a.client_cycles = b.client_cycles = 100;
+  a.server_cycles = b.server_cycles = 100;
+  sim::CpuAccount big_server(8, 1e9);
+  netsim::Link access_a(1e9, 0, "a-access");
+  netsim::Link access_b(1e9, 0, "b-access");
+  netsim::Link uplink(100e6, 0, "uplink");
+  IperfConfig config;
+  config.duration = sim::from_seconds(0.05);
+  IperfHarness harness(
+      [&](const Bytes&, sim::Time now) {
+        ServeOutcome out;
+        out.done = big_server.charge(now, 100);
+        out.delivered = true;
+        return out;
+      },
+      config);
+  auto src_a = a.source();
+  src_a.path = netsim::Path({&access_a, &uplink});
+  auto src_b = b.source();
+  src_b.path = netsim::Path({&access_b, &uplink});
+  harness.add_source(std::move(src_a));
+  harness.add_source(std::move(src_b));
+  auto report = harness.run();
+  EXPECT_LT(report.throughput_mbps, 120.0);
+  EXPECT_EQ(uplink.frames(), access_a.frames() + access_b.frames());
+}
+
 TEST(Iperf, MultipleSourcesAggregate) {
   SyntheticRig rig;
   sim::CpuAccount big_server(8, 1e9);
