@@ -2,7 +2,20 @@
 // the experiments: crypto, Aho-Corasick matching, Click config parsing
 // and hot-swap, VPN seal/open. These quantify real (wall-clock) costs
 // of our implementations, independent of the virtual-time model.
+//
+// The PR-2 fast paths (zero-allocation WireBuffer seal/open, flattened
+// Aho-Corasick) are benchmarked side by side with the pre-PR reference
+// implementations that stayed callable for exactly this purpose.
+// Running with `--json [path]` skips google-benchmark and instead
+// writes a before/after summary (default BENCH_pr2.json) that CI
+// archives so later PRs can diff against it.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
 
 #include "click/router.hpp"
 #include "crypto/aes.hpp"
@@ -12,8 +25,28 @@
 #include "endbox/configs.hpp"
 #include "idps/engine.hpp"
 #include "vpn/session_crypto.hpp"
+#include "vpn/session_crypto_reference.hpp"
 
 using namespace endbox;
+
+namespace {
+
+// Case-sensitive automaton over every content pattern of the synthetic
+// community rule set — the same pattern population the IDPS engine
+// scans with.
+idps::AhoCorasick community_automaton() {
+  Rng rng(7);
+  auto rules = idps::generate_community_ruleset(377, rng);
+  idps::AhoCorasick automaton;
+  for (std::size_t r = 0; r < rules.size(); ++r)
+    for (std::size_t c = 0; c < rules[r].contents.size(); ++c)
+      automaton.add_pattern(rules[r].contents[c].bytes,
+                            static_cast<int>(r << 8 | c));
+  automaton.build();
+  return automaton;
+}
+
+}  // namespace
 
 static void BM_Sha256(benchmark::State& state) {
   Rng rng(1);
@@ -31,6 +64,15 @@ static void BM_HmacSha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_HmacSha256)->Arg(1500);
+
+static void BM_HmacSha256Precomputed(benchmark::State& state) {
+  Rng rng(2);
+  crypto::HmacKey key(rng.bytes(32));
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(key.mac(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256Precomputed)->Arg(1500);
 
 static void BM_Aes128CbcEncrypt(benchmark::State& state) {
   Rng rng(3);
@@ -53,6 +95,32 @@ static void BM_AhoCorasickScan(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AhoCorasickScan)->Arg(256)->Arg(1500)->Arg(9000);
+
+static void BM_AcScanFlat(benchmark::State& state) {
+  Rng rng(4);
+  idps::AhoCorasick automaton = community_automaton();
+  Bytes text = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink += automaton.match(text, [](const idps::AcMatch&) { return true; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AcScanFlat)->Arg(1500)->Arg(9000);
+
+static void BM_AcScanReference(benchmark::State& state) {
+  Rng rng(4);
+  idps::AhoCorasick automaton = community_automaton();
+  Bytes text = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink += automaton.match_reference(text, [](const idps::AcMatch&) { return true; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AcScanReference)->Arg(1500)->Arg(9000);
 
 static void BM_ClickConfigParse(benchmark::State& state) {
   std::string config = use_case_config(UseCase::Fw);
@@ -79,18 +147,184 @@ static void BM_ClickHotSwap(benchmark::State& state) {
 }
 BENCHMARK(BM_ClickHotSwap);
 
-static void BM_VpnSealOpen(benchmark::State& state) {
+static void BM_VpnSeal(benchmark::State& state) {
+  Rng rng(6);
+  auto keys = vpn::derive_vpn_keys(1234, rng.bytes(16), rng.bytes(16));
+  Bytes payload = rng.bytes(1500);
+  vpn::FragmentHeader frag{1, 1, 0, 1};
+  WireBuffer out;
+  for (auto _ : state) {
+    vpn::seal_data_body(keys, frag, payload, rng, out);
+    benchmark::DoNotOptimize(out.data());
+    ++frag.packet_id;
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_VpnSeal);
+
+static void BM_VpnSealReference(benchmark::State& state) {
   Rng rng(6);
   auto keys = vpn::derive_vpn_keys(1234, rng.bytes(16), rng.bytes(16));
   Bytes payload = rng.bytes(1500);
   vpn::FragmentHeader frag{1, 1, 0, 1};
   for (auto _ : state) {
-    Bytes body = vpn::seal_data_body(keys, frag, payload, rng);
-    benchmark::DoNotOptimize(vpn::open_data_body(keys, body));
+    benchmark::DoNotOptimize(
+        vpn::reference::seal_data_body(keys, frag, payload, rng));
+    ++frag.packet_id;
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_VpnSealReference);
+
+static void BM_VpnSealOpen(benchmark::State& state) {
+  Rng rng(6);
+  auto keys = vpn::derive_vpn_keys(1234, rng.bytes(16), rng.bytes(16));
+  Bytes payload = rng.bytes(1500);
+  vpn::FragmentHeader frag{1, 1, 0, 1};
+  WireBuffer sealed;
+  Bytes body;
+  for (auto _ : state) {
+    vpn::seal_data_body(keys, frag, payload, rng, sealed);
+    body.assign(sealed.view().begin(), sealed.view().end());
+    benchmark::DoNotOptimize(vpn::open_data_body(keys, std::move(body)));
     ++frag.packet_id;
   }
   state.SetBytesProcessed(state.iterations() * 1500);
 }
 BENCHMARK(BM_VpnSealOpen);
 
-BENCHMARK_MAIN();
+static void BM_VpnSealOpenReference(benchmark::State& state) {
+  Rng rng(6);
+  auto keys = vpn::derive_vpn_keys(1234, rng.bytes(16), rng.bytes(16));
+  Bytes payload = rng.bytes(1500);
+  vpn::FragmentHeader frag{1, 1, 0, 1};
+  for (auto _ : state) {
+    Bytes body = vpn::reference::seal_data_body(keys, frag, payload, rng);
+    benchmark::DoNotOptimize(vpn::reference::open_data_body(keys, body));
+    ++frag.packet_id;
+  }
+  state.SetBytesProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_VpnSealOpenReference);
+
+// ---------------------------------------------------------------------------
+// --json mode: deterministic before/after summary for the bench trajectory.
+// ---------------------------------------------------------------------------
+namespace {
+
+// Runs `op` repeatedly for at least `min_ms` after a warm-up and
+// returns ns per operation.
+template <typename Op>
+double time_ns_per_op(Op&& op, double min_ms = 150.0) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 8; ++i) op();  // warm-up: fault in tables, size scratch
+  std::uint64_t iters = 0;
+  auto start = clock::now();
+  double elapsed_ns = 0;
+  do {
+    for (int i = 0; i < 16; ++i) op();
+    iters += 16;
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start)
+            .count());
+  } while (elapsed_ns < min_ms * 1e6);
+  return elapsed_ns / static_cast<double>(iters);
+}
+
+struct Comparison {
+  const char* name;
+  double ns_new;
+  double ns_ref;
+  double speedup() const { return ns_ref / ns_new; }
+};
+
+int run_json_mode(const std::string& path) {
+  constexpr std::size_t kPayload = 1500;
+  Rng rng(6);
+  auto keys = vpn::derive_vpn_keys(1234, rng.bytes(16), rng.bytes(16));
+  Bytes payload = rng.bytes(kPayload);
+  vpn::FragmentHeader frag{1, 1, 0, 1};
+
+  WireBuffer sealed;
+  Bytes body;
+  double seal_new = time_ns_per_op([&] {
+    vpn::seal_data_body(keys, frag, payload, rng, sealed);
+    ++frag.packet_id;
+  });
+  double seal_ref = time_ns_per_op([&] {
+    benchmark::DoNotOptimize(
+        vpn::reference::seal_data_body(keys, frag, payload, rng));
+    ++frag.packet_id;
+  });
+
+  vpn::seal_data_body(keys, frag, payload, rng, sealed);
+  Bytes sealed_template(sealed.view().begin(), sealed.view().end());
+  double open_new = time_ns_per_op([&] {
+    body.assign(sealed_template.begin(), sealed_template.end());
+    auto opened = vpn::open_data_body(keys, std::move(body));
+    if (!opened.ok()) std::abort();
+    body = std::move(opened->payload);
+  });
+  double open_ref = time_ns_per_op([&] {
+    auto opened = vpn::reference::open_data_body(keys, sealed_template);
+    if (!opened.ok()) std::abort();
+  });
+
+  idps::AhoCorasick automaton = community_automaton();
+  Bytes text = rng.bytes(kPayload);
+  auto count_all = [](const idps::AcMatch&) { return true; };
+  double ac_new = time_ns_per_op([&] { automaton.match(text, count_all); });
+  double ac_ref =
+      time_ns_per_op([&] { automaton.match_reference(text, count_all); });
+
+  Comparison comparisons[] = {
+      {"seal_data_1500B", seal_new, seal_ref},
+      {"open_data_1500B", open_new, open_ref},
+      {"ac_scan_1500B", ac_new, ac_ref},
+  };
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"pr\": 2,\n  \"payload_bytes\": %zu,\n", kPayload);
+  std::fprintf(f, "  \"note\": \"ref = pre-PR2 implementation kept callable in-tree\",\n");
+  std::fprintf(f, "  \"results\": {\n");
+  for (std::size_t i = 0; i < std::size(comparisons); ++i) {
+    const Comparison& c = comparisons[i];
+    double mbps_new = static_cast<double>(kPayload) * 1e3 / c.ns_new;
+    double mbps_ref = static_cast<double>(kPayload) * 1e3 / c.ns_ref;
+    std::fprintf(f,
+                 "    \"%s\": {\"ns_per_op\": %.1f, \"ns_per_op_ref\": %.1f, "
+                 "\"mb_per_s\": %.1f, \"mb_per_s_ref\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 c.name, c.ns_new, c.ns_ref, mbps_new, mbps_ref, c.speedup(),
+                 i + 1 < std::size(comparisons) ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  for (const Comparison& c : comparisons)
+    std::printf("%-18s new %9.1f ns/op   ref %9.1f ns/op   speedup %.2fx\n",
+                c.name, c.ns_new, c.ns_ref, c.speedup());
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path = "BENCH_pr2.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
+      return run_json_mode(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -69,6 +69,21 @@ void put_u64(Bytes& out, std::uint64_t v) {
   put_u32(out, static_cast<std::uint32_t>(v));
 }
 
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  put_u16(p, static_cast<std::uint16_t>(v >> 16));
+  put_u16(p + 2, static_cast<std::uint16_t>(v));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+
 std::uint16_t get_u16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
 }

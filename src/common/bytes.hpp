@@ -45,6 +45,12 @@ void put_u16(Bytes& out, std::uint16_t v);
 void put_u32(Bytes& out, std::uint32_t v);
 void put_u64(Bytes& out, std::uint64_t v);
 
+/// Raw-pointer variants writing into preallocated storage (the
+/// allocation-free wire path builds headers in place).
+void put_u16(std::uint8_t* p, std::uint16_t v);
+void put_u32(std::uint8_t* p, std::uint32_t v);
+void put_u64(std::uint8_t* p, std::uint64_t v);
+
 std::uint16_t get_u16(const std::uint8_t* p);
 std::uint32_t get_u32(const std::uint8_t* p);
 std::uint64_t get_u64(const std::uint8_t* p);

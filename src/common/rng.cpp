@@ -19,8 +19,12 @@ double Rng::exponential(double mean) {
 
 Bytes Rng::bytes(std::size_t n) {
   Bytes out(n);
-  for (auto& b : out) b = static_cast<std::uint8_t>(engine_());
+  fill(out);
   return out;
+}
+
+void Rng::fill(std::span<std::uint8_t> out) {
+  for (auto& b : out) b = static_cast<std::uint8_t>(engine_());
 }
 
 Rng Rng::fork(std::uint64_t label) const {

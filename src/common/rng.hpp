@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 
 #include "common/bytes.hpp"
 
@@ -27,6 +28,10 @@ class Rng {
   double exponential(double mean);
 
   Bytes bytes(std::size_t n);
+
+  /// Fills `out` with random bytes without allocating. Draws the same
+  /// stream as bytes(out.size()), so the two are interchangeable.
+  void fill(std::span<std::uint8_t> out);
 
   /// Derives an independent child stream from this one's seed and a
   /// caller-chosen label. Unlike drawing a seed with next_u64(), forking

@@ -1,5 +1,6 @@
 #include "crypto/aes.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace endbox::crypto {
@@ -46,13 +47,12 @@ constexpr std::array<std::uint8_t, 256> make_inv_sbox() {
 
 constexpr std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox();
 
-inline std::uint8_t xtime(std::uint8_t a) {
+inline constexpr std::uint8_t xtime(std::uint8_t a) {
   return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
 }
 
-// Precomputed GF(2^8) multiplication tables for the InvMixColumns
-// constants — decryption is on the VPN fast path, so per-byte loops
-// would dominate simulation time.
+// Precomputed GF(2^8) multiplication tables for the MixColumns /
+// InvMixColumns constants used while generating the T-tables.
 template <std::uint8_t C>
 constexpr std::array<std::uint8_t, 256> make_gmul_table() {
   std::array<std::uint8_t, 256> table{};
@@ -67,92 +67,137 @@ constexpr std::array<std::uint8_t, 256> make_gmul_table() {
   }
   return table;
 }
+constexpr auto kMul2 = make_gmul_table<2>();
+constexpr auto kMul3 = make_gmul_table<3>();
 constexpr auto kMul9 = make_gmul_table<9>();
 constexpr auto kMul11 = make_gmul_table<11>();
 constexpr auto kMul13 = make_gmul_table<13>();
 constexpr auto kMul14 = make_gmul_table<14>();
 
+// T-tables (rijndael-alg-fst formulation): each entry is one S-box
+// substitution pre-multiplied through MixColumns, so a full round is 16
+// table lookups + XORs instead of per-byte GF arithmetic. Te{1,2,3} and
+// Td{1,2,3} are byte rotations of Te0/Td0.
+constexpr std::array<std::uint32_t, 256> make_te(unsigned rot) {
+  std::array<std::uint32_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t s = kSbox[static_cast<std::size_t>(i)];
+    std::uint32_t w = (static_cast<std::uint32_t>(kMul2[s]) << 24) |
+                      (static_cast<std::uint32_t>(s) << 16) |
+                      (static_cast<std::uint32_t>(s) << 8) |
+                      static_cast<std::uint32_t>(kMul3[s]);
+    t[static_cast<std::size_t>(i)] = std::rotr(w, static_cast<int>(rot));
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> make_td(unsigned rot) {
+  std::array<std::uint32_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t s = kInvSbox[static_cast<std::size_t>(i)];
+    std::uint32_t w = (static_cast<std::uint32_t>(kMul14[s]) << 24) |
+                      (static_cast<std::uint32_t>(kMul9[s]) << 16) |
+                      (static_cast<std::uint32_t>(kMul13[s]) << 8) |
+                      static_cast<std::uint32_t>(kMul11[s]);
+    t[static_cast<std::size_t>(i)] = std::rotr(w, static_cast<int>(rot));
+  }
+  return t;
+}
+
+constexpr auto kTe0 = make_te(0), kTe1 = make_te(8), kTe2 = make_te(16), kTe3 = make_te(24);
+constexpr auto kTd0 = make_td(0), kTd1 = make_td(8), kTd2 = make_td(16), kTd3 = make_td(24);
+
+inline constexpr std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox[w >> 24]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(kSbox[w & 0xff]);
+}
+
+// InvMixColumns of one round-key word, expressed via the decryption
+// T-tables (Td contains InvSbox, which S cancels).
+inline constexpr std::uint32_t inv_mix_word(std::uint32_t w) {
+  return kTd0[kSbox[w >> 24]] ^ kTd1[kSbox[(w >> 16) & 0xff]] ^
+         kTd2[kSbox[(w >> 8) & 0xff]] ^ kTd3[kSbox[w & 0xff]];
+}
+
 }  // namespace
 
 Aes128::Aes128(const AesKey& key) {
-  std::memcpy(round_keys_.data(), key.data(), 16);
+  for (int i = 0; i < 4; ++i) ek_[static_cast<std::size_t>(i)] = get_u32(key.data() + i * 4);
   std::uint8_t rcon = 1;
-  for (int i = 16; i < 176; i += 4) {
-    std::uint8_t temp[4];
-    std::memcpy(temp, round_keys_.data() + i - 4, 4);
-    if (i % 16 == 0) {
-      std::uint8_t t = temp[0];
-      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
-      temp[1] = kSbox[temp[2]];
-      temp[2] = kSbox[temp[3]];
-      temp[3] = kSbox[t];
+  for (std::size_t i = 4; i < 44; ++i) {
+    std::uint32_t temp = ek_[i - 1];
+    if (i % 4 == 0) {
+      temp = sub_word(std::rotl(temp, 8)) ^ (static_cast<std::uint32_t>(rcon) << 24);
       rcon = xtime(rcon);
     }
-    for (int j = 0; j < 4; ++j) {
-      round_keys_[static_cast<std::size_t>(i + j)] =
-          round_keys_[static_cast<std::size_t>(i + j - 16)] ^ temp[j];
-    }
+    ek_[i] = ek_[i - 4] ^ temp;
   }
+  // Equivalent inverse cipher: round keys in reverse round order, with
+  // InvMixColumns applied to all but the first and last.
+  for (std::size_t r = 0; r <= 10; ++r)
+    for (std::size_t w = 0; w < 4; ++w) dk_[r * 4 + w] = ek_[(10 - r) * 4 + w];
+  for (std::size_t i = 4; i < 40; ++i) dk_[i] = inv_mix_word(dk_[i]);
 }
 
 void Aes128::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
-  std::uint8_t s[16];
-  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[static_cast<std::size_t>(i)];
-
-  for (int round = 1; round <= 10; ++round) {
-    // SubBytes
-    for (auto& b : s) b = kSbox[b];
-    // ShiftRows (state is column-major: s[col*4 + row])
-    std::uint8_t t[16];
-    for (int col = 0; col < 4; ++col)
-      for (int row = 0; row < 4; ++row)
-        t[col * 4 + row] = s[((col + row) % 4) * 4 + row];
-    std::memcpy(s, t, 16);
-    // MixColumns (skipped in the final round)
-    if (round != 10) {
-      for (int col = 0; col < 4; ++col) {
-        std::uint8_t* c = s + col * 4;
-        std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-        c[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-        c[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-        c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-        c[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-      }
-    }
-    // AddRoundKey
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[static_cast<std::size_t>(round * 16 + i)];
+  std::uint32_t s0 = get_u32(in) ^ ek_[0];
+  std::uint32_t s1 = get_u32(in + 4) ^ ek_[1];
+  std::uint32_t s2 = get_u32(in + 8) ^ ek_[2];
+  std::uint32_t s3 = get_u32(in + 12) ^ ek_[3];
+  for (int round = 1; round < 10; ++round) {
+    const std::uint32_t* rk = ek_.data() + round * 4;
+    std::uint32_t t0 = kTe0[s0 >> 24] ^ kTe1[(s1 >> 16) & 0xff] ^
+                       kTe2[(s2 >> 8) & 0xff] ^ kTe3[s3 & 0xff] ^ rk[0];
+    std::uint32_t t1 = kTe0[s1 >> 24] ^ kTe1[(s2 >> 16) & 0xff] ^
+                       kTe2[(s3 >> 8) & 0xff] ^ kTe3[s0 & 0xff] ^ rk[1];
+    std::uint32_t t2 = kTe0[s2 >> 24] ^ kTe1[(s3 >> 16) & 0xff] ^
+                       kTe2[(s0 >> 8) & 0xff] ^ kTe3[s1 & 0xff] ^ rk[2];
+    std::uint32_t t3 = kTe0[s3 >> 24] ^ kTe1[(s0 >> 16) & 0xff] ^
+                       kTe2[(s1 >> 8) & 0xff] ^ kTe3[s2 & 0xff] ^ rk[3];
+    s0 = t0; s1 = t1; s2 = t2; s3 = t3;
   }
-  std::memcpy(out, s, 16);
+  const std::uint32_t* rk = ek_.data() + 40;
+  put_u32(out, (sub_word((s0 & 0xff000000u) | (s1 & 0x00ff0000u) |
+                         (s2 & 0x0000ff00u) | (s3 & 0x000000ffu))) ^ rk[0]);
+  put_u32(out + 4, (sub_word((s1 & 0xff000000u) | (s2 & 0x00ff0000u) |
+                             (s3 & 0x0000ff00u) | (s0 & 0x000000ffu))) ^ rk[1]);
+  put_u32(out + 8, (sub_word((s2 & 0xff000000u) | (s3 & 0x00ff0000u) |
+                             (s0 & 0x0000ff00u) | (s1 & 0x000000ffu))) ^ rk[2]);
+  put_u32(out + 12, (sub_word((s3 & 0xff000000u) | (s0 & 0x00ff0000u) |
+                              (s1 & 0x0000ff00u) | (s2 & 0x000000ffu))) ^ rk[3]);
 }
 
 void Aes128::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
-  std::uint8_t s[16];
-  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[static_cast<std::size_t>(160 + i)];
-
-  for (int round = 9; round >= 0; --round) {
-    // InvShiftRows
-    std::uint8_t t[16];
-    for (int col = 0; col < 4; ++col)
-      for (int row = 0; row < 4; ++row)
-        t[((col + row) % 4) * 4 + row] = s[col * 4 + row];
-    std::memcpy(s, t, 16);
-    // InvSubBytes
-    for (auto& b : s) b = kInvSbox[b];
-    // AddRoundKey
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[static_cast<std::size_t>(round * 16 + i)];
-    // InvMixColumns (skipped before the first round's key add, i.e. round 0)
-    if (round != 0) {
-      for (int col = 0; col < 4; ++col) {
-        std::uint8_t* c = s + col * 4;
-        std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-        c[0] = static_cast<std::uint8_t>(kMul14[a0] ^ kMul11[a1] ^ kMul13[a2] ^ kMul9[a3]);
-        c[1] = static_cast<std::uint8_t>(kMul9[a0] ^ kMul14[a1] ^ kMul11[a2] ^ kMul13[a3]);
-        c[2] = static_cast<std::uint8_t>(kMul13[a0] ^ kMul9[a1] ^ kMul14[a2] ^ kMul11[a3]);
-        c[3] = static_cast<std::uint8_t>(kMul11[a0] ^ kMul13[a1] ^ kMul9[a2] ^ kMul14[a3]);
-      }
-    }
+  std::uint32_t s0 = get_u32(in) ^ dk_[0];
+  std::uint32_t s1 = get_u32(in + 4) ^ dk_[1];
+  std::uint32_t s2 = get_u32(in + 8) ^ dk_[2];
+  std::uint32_t s3 = get_u32(in + 12) ^ dk_[3];
+  for (int round = 1; round < 10; ++round) {
+    const std::uint32_t* rk = dk_.data() + round * 4;
+    std::uint32_t t0 = kTd0[s0 >> 24] ^ kTd1[(s3 >> 16) & 0xff] ^
+                       kTd2[(s2 >> 8) & 0xff] ^ kTd3[s1 & 0xff] ^ rk[0];
+    std::uint32_t t1 = kTd0[s1 >> 24] ^ kTd1[(s0 >> 16) & 0xff] ^
+                       kTd2[(s3 >> 8) & 0xff] ^ kTd3[s2 & 0xff] ^ rk[1];
+    std::uint32_t t2 = kTd0[s2 >> 24] ^ kTd1[(s1 >> 16) & 0xff] ^
+                       kTd2[(s0 >> 8) & 0xff] ^ kTd3[s3 & 0xff] ^ rk[2];
+    std::uint32_t t3 = kTd0[s3 >> 24] ^ kTd1[(s2 >> 16) & 0xff] ^
+                       kTd2[(s1 >> 8) & 0xff] ^ kTd3[s0 & 0xff] ^ rk[3];
+    s0 = t0; s1 = t1; s2 = t2; s3 = t3;
   }
-  std::memcpy(out, s, 16);
+  const std::uint32_t* rk = dk_.data() + 40;
+  auto inv_sub = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kInvSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kInvSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kInvSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kInvSbox[d & 0xff]);
+  };
+  put_u32(out, inv_sub(s0, s3, s2, s1) ^ rk[0]);
+  put_u32(out + 4, inv_sub(s1, s0, s3, s2) ^ rk[1]);
+  put_u32(out + 8, inv_sub(s2, s1, s0, s3) ^ rk[2]);
+  put_u32(out + 12, inv_sub(s3, s2, s1, s0) ^ rk[3]);
 }
 
 AesKey make_aes_key(ByteView key) {
@@ -162,64 +207,84 @@ AesKey make_aes_key(ByteView key) {
   return k;
 }
 
+void aes128_cbc_encrypt_inplace(const Aes128& aes, const std::uint8_t* iv,
+                                std::span<std::uint8_t> buf,
+                                std::size_t plaintext_len) {
+  if (buf.size() != cbc_padded_size(plaintext_len))
+    throw std::invalid_argument("CBC buffer must be the padded size");
+  std::uint8_t pad = static_cast<std::uint8_t>(buf.size() - plaintext_len);
+  for (std::size_t i = plaintext_len; i < buf.size(); ++i) buf[i] = pad;
+  const std::uint8_t* prev = iv;
+  for (std::size_t off = 0; off < buf.size(); off += kAesBlockSize) {
+    std::uint8_t* block = buf.data() + off;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) block[i] ^= prev[i];
+    aes.encrypt_block(block, block);
+    prev = block;
+  }
+}
+
+Result<std::size_t> aes128_cbc_decrypt_inplace(const Aes128& aes,
+                                               const std::uint8_t* iv,
+                                               std::span<std::uint8_t> buf) {
+  if (buf.empty() || buf.size() % kAesBlockSize != 0)
+    return err("CBC ciphertext must be a positive multiple of 16 bytes");
+  std::uint8_t prev[kAesBlockSize];
+  std::memcpy(prev, iv, kAesBlockSize);
+  for (std::size_t off = 0; off < buf.size(); off += kAesBlockSize) {
+    std::uint8_t* block = buf.data() + off;
+    std::uint8_t saved[kAesBlockSize];
+    std::memcpy(saved, block, kAesBlockSize);
+    aes.decrypt_block(block, block);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) block[i] ^= prev[i];
+    std::memcpy(prev, saved, kAesBlockSize);
+  }
+  std::uint8_t pad = buf.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > buf.size()) return err("bad CBC padding");
+  for (std::size_t i = buf.size() - pad; i < buf.size(); ++i)
+    if (buf[i] != pad) return err("bad CBC padding");
+  return buf.size() - pad;
+}
+
+void aes128_ctr_inplace(const Aes128& aes, const std::uint8_t* nonce,
+                        std::span<std::uint8_t> data) {
+  std::uint8_t counter[kAesBlockSize];
+  std::memcpy(counter, nonce, kAesBlockSize);
+  std::uint8_t keystream[kAesBlockSize];
+  for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
+    aes.encrypt_block(counter, keystream);
+    std::size_t n = std::min(kAesBlockSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= keystream[i];
+    // increment big-endian counter
+    for (int i = kAesBlockSize - 1; i >= 0; --i)
+      if (++counter[i] != 0) break;
+  }
+}
+
 Bytes aes128_cbc_encrypt(const AesKey& key, ByteView iv, ByteView plaintext) {
   if (iv.size() != kAesBlockSize) throw std::invalid_argument("CBC IV must be 16 bytes");
   Aes128 aes(key);
-  std::size_t pad = kAesBlockSize - plaintext.size() % kAesBlockSize;
-  Bytes padded(plaintext.begin(), plaintext.end());
-  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
-
-  Bytes out(padded.size());
-  std::uint8_t prev[kAesBlockSize];
-  std::memcpy(prev, iv.data(), kAesBlockSize);
-  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
-    std::uint8_t block[kAesBlockSize];
-    for (std::size_t i = 0; i < kAesBlockSize; ++i) block[i] = padded[off + i] ^ prev[i];
-    aes.encrypt_block(block, out.data() + off);
-    std::memcpy(prev, out.data() + off, kAesBlockSize);
-  }
+  Bytes out(cbc_padded_size(plaintext.size()));
+  if (!plaintext.empty()) std::memcpy(out.data(), plaintext.data(), plaintext.size());
+  aes128_cbc_encrypt_inplace(aes, iv.data(), out, plaintext.size());
   return out;
 }
 
 Result<Bytes> aes128_cbc_decrypt(const AesKey& key, ByteView iv,
                                  ByteView ciphertext) {
   if (iv.size() != kAesBlockSize) return err("CBC IV must be 16 bytes");
-  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0)
-    return err("CBC ciphertext must be a positive multiple of 16 bytes");
-
   Aes128 aes(key);
-  Bytes out(ciphertext.size());
-  std::uint8_t prev[kAesBlockSize];
-  std::memcpy(prev, iv.data(), kAesBlockSize);
-  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
-    std::uint8_t block[kAesBlockSize];
-    aes.decrypt_block(ciphertext.data() + off, block);
-    for (std::size_t i = 0; i < kAesBlockSize; ++i) out[off + i] = block[i] ^ prev[i];
-    std::memcpy(prev, ciphertext.data() + off, kAesBlockSize);
-  }
-  std::uint8_t pad = out.back();
-  if (pad == 0 || pad > kAesBlockSize || pad > out.size()) return err("bad CBC padding");
-  for (std::size_t i = out.size() - pad; i < out.size(); ++i)
-    if (out[i] != pad) return err("bad CBC padding");
-  out.resize(out.size() - pad);
+  Bytes out(ciphertext.begin(), ciphertext.end());
+  auto len = aes128_cbc_decrypt_inplace(aes, iv.data(), out);
+  if (!len.ok()) return err(len.error());
+  out.resize(*len);
   return out;
 }
 
 Bytes aes128_ctr(const AesKey& key, ByteView nonce, ByteView data) {
   if (nonce.size() != kAesBlockSize) throw std::invalid_argument("CTR nonce must be 16 bytes");
   Aes128 aes(key);
-  Bytes out(data.size());
-  std::uint8_t counter[kAesBlockSize];
-  std::memcpy(counter, nonce.data(), kAesBlockSize);
-  std::uint8_t keystream[kAesBlockSize];
-  for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
-    aes.encrypt_block(counter, keystream);
-    std::size_t n = std::min(kAesBlockSize, data.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
-    // increment big-endian counter
-    for (int i = kAesBlockSize - 1; i >= 0; --i)
-      if (++counter[i] != 0) break;
-  }
+  Bytes out(data.begin(), data.end());
+  aes128_ctr_inplace(aes, nonce.data(), out);
   return out;
 }
 

@@ -2,41 +2,65 @@
 
 namespace endbox::crypto {
 
-Bytes hmac_sha256(ByteView key, ByteView data) {
-  constexpr std::size_t kBlock = 64;
-  Bytes k(key.begin(), key.end());
-  if (k.size() > kBlock) k = sha256(k);
-  k.resize(kBlock, 0);
+namespace {
+constexpr std::size_t kBlock = 64;
+}  // namespace
 
-  Bytes ipad(kBlock), opad(kBlock);
-  for (std::size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
+HmacKey::HmacKey(ByteView key) {
+  std::uint8_t k[kBlock] = {};
+  if (key.size() > kBlock) {
+    Sha256Digest d = Sha256::hash(key);
+    std::memcpy(k, d.data(), d.size());
+  } else if (!key.empty()) {
+    std::memcpy(k, key.data(), key.size());
   }
+  std::uint8_t pad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x36;
+  inner_.update(ByteView(pad, kBlock));
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x5c;
+  outer_.update(ByteView(pad, kBlock));
+}
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(data);
-  auto inner_digest = inner.finish();
+Sha256Digest HmacKey::Mac::finish() {
+  Sha256Digest inner_digest = inner_.finish();
+  outer_.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer_.finish();
+}
 
-  Sha256 outer;
-  outer.update(opad);
-  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
-  auto digest = outer.finish();
-  return Bytes(digest.begin(), digest.end());
+Sha256Digest HmacKey::mac(ByteView data) const {
+  Mac m = begin();
+  m.update(data);
+  return m.finish();
+}
+
+bool HmacKey::verify(ByteView data, ByteView mac) const {
+  Sha256Digest d = this->mac(data);
+  return ct_equal(ByteView(d.data(), d.size()), mac);
+}
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  Sha256Digest d = HmacKey(key).mac(data);
+  return Bytes(d.begin(), d.end());
 }
 
 bool hmac_verify(ByteView key, ByteView data, ByteView mac) {
-  return ct_equal(hmac_sha256(key, data), mac);
+  return HmacKey(key).verify(data, mac);
 }
 
 Bytes derive_key(ByteView key, std::string_view label, std::size_t length) {
   Bytes out;
+  out.reserve(((length + kSha256DigestSize - 1) / kSha256DigestSize) *
+              kSha256DigestSize);
+  HmacKey hkey(key);
   std::uint8_t counter = 1;
   while (out.size() < length) {
-    Bytes block = to_bytes(label);
-    block.push_back(counter++);
-    append(out, hmac_sha256(key, block));
+    auto mac = hkey.begin();
+    mac.update(ByteView(reinterpret_cast<const std::uint8_t*>(label.data()),
+                        label.size()));
+    mac.update(ByteView(&counter, 1));
+    ++counter;
+    Sha256Digest d = mac.finish();
+    append(out, ByteView(d.data(), d.size()));
   }
   out.resize(length);
   return out;

@@ -8,6 +8,43 @@
 
 namespace endbox::crypto {
 
+/// Reusable HMAC-SHA-256 key: the ipad/opad block states are hashed
+/// once at construction, so each MAC afterwards costs only the data
+/// blocks plus one finalisation — per-session instead of per-packet key
+/// processing on the VPN data path. Copy/assignment are cheap (a few
+/// hundred bytes of midstate, no heap).
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(ByteView key);
+
+  /// Incremental MAC seeded from the precomputed states. All state
+  /// lives on the stack; update() accepts any chunking of the input.
+  class Mac {
+   public:
+    void update(ByteView data) { inner_.update(data); }
+    Sha256Digest finish();
+
+   private:
+    friend class HmacKey;
+    Mac(const Sha256& inner, const Sha256& outer) : inner_(inner), outer_(outer) {}
+    Sha256 inner_;
+    Sha256 outer_;
+  };
+
+  Mac begin() const { return Mac(inner_, outer_); }
+
+  /// One-shot MAC over a single span (no allocation).
+  Sha256Digest mac(ByteView data) const;
+
+  /// Constant-time verification against an expected MAC.
+  bool verify(ByteView data, ByteView mac) const;
+
+ private:
+  Sha256 inner_;  ///< state after hashing key ^ ipad
+  Sha256 outer_;  ///< state after hashing key ^ opad
+};
+
 /// Computes HMAC-SHA-256 over `data` with `key` (any key length).
 Bytes hmac_sha256(ByteView key, ByteView data);
 

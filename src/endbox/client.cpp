@@ -96,10 +96,9 @@ Result<EndBoxClient::SendResult> EndBoxClient::send_packet(net::Packet packet,
 
   SendResult result;
   result.accepted = egress->accepted;
-  std::size_t fragments = std::max<std::size_t>(egress->messages.size(), 1);
+  std::size_t fragments = std::max<std::size_t>(egress->wire.size(), 1);
   result.done = charge_data_path(now, payload_bytes, fragments, /*run_click=*/true);
-  result.wire.reserve(egress->messages.size());
-  for (const auto& msg : egress->messages) result.wire.push_back(msg.serialize());
+  result.wire = std::move(egress->wire);
   return result;
 }
 

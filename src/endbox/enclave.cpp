@@ -153,7 +153,8 @@ Result<EgressResult> EndBoxEnclave::ecall_process_egress(net::Packet packet) {
   }
   if (options_.c2c_flagging) outcome.packet.set_processed_flag();
   outcome.packet.decrypted_payload.clear();  // never leaks out of the enclave
-  result.messages = session_->seal_packet(outcome.packet.serialize());
+  outcome.packet.serialize_into(egress_packet_scratch_);
+  session_->seal_packet_wire(egress_packet_scratch_, result.wire);
   return result;
 }
 

@@ -29,7 +29,7 @@ inline constexpr std::string_view kEndBoxEnclaveIdentity = "endbox-enclave-v1.0"
 /// Result of pushing one egress packet through the middlebox functions.
 struct EgressResult {
   bool accepted = false;
-  std::vector<vpn::WireMessage> messages;  ///< empty when rejected
+  std::vector<Bytes> wire;  ///< sealed wire frames; empty when rejected
 };
 
 /// Result of processing one ingress tunnel message.
@@ -138,6 +138,7 @@ class EndBoxEnclave : public sgx::Enclave {
 
   // Scratch state for collecting the ToDevice verdict of one push.
   std::optional<ClickOutcome> click_result_;
+  Bytes egress_packet_scratch_;  ///< reused for egress serialisation
   std::uint64_t rejected_ = 0;
   std::uint64_t c2c_bypassed_ = 0;
 };

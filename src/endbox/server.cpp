@@ -123,14 +123,12 @@ Result<EndBoxServer::HandleResult> EndBoxServer::handle_wire(ByteView wire,
 EndBoxServer::SealResult EndBoxServer::seal_packet(std::uint32_t session_id,
                                                    ByteView ip_packet,
                                                    sim::Time now) {
-  auto messages = vpn_.seal_packet(session_id, ip_packet);
   SealResult result;
+  vpn_.seal_packet_wire(session_id, ip_packet, result.wire);
   double cycles =
-      static_cast<double>(messages.size()) * model_.vpn_packet_cycles +
+      static_cast<double>(result.wire.size()) * model_.vpn_packet_cycles +
       model_.vpn_crypto_cycles_per_byte * static_cast<double>(ip_packet.size());
   result.done = cpu_.charge(now, cycles);
-  result.wire.reserve(messages.size());
-  for (const auto& msg : messages) result.wire.push_back(msg.serialize());
   return result;
 }
 

@@ -157,21 +157,25 @@ workload::IperfSource Testbed::make_source(std::size_t i, std::size_t write_size
     };
   } else if (setup_ == Setup::VanillaClick) {
     VanillaRig* vrig = rig->vanilla.get();
-    source.send = [vrig, payload, this](sim::Time now) {
-      net::Packet packet =
-          net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 40000,
-                           5001, Bytes(payload, 'x'));
+    // The packet template and its serialisation scratch live across
+    // sends: the hot loop only rewrites the same buffer.
+    auto packet = std::make_shared<net::Packet>(
+        net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 40000,
+                         5001, Bytes(payload, 'x')));
+    auto scratch = std::make_shared<Bytes>();
+    source.send = [vrig, packet, scratch](sim::Time now) {
       // Raw send: only the kernel network stack cost, no tunnel.
+      packet->serialize_into(*scratch);
       sim::Time done = vrig->cpu.charge(now, 6'000);
-      return workload::SendOutcome{{packet.serialize()}, done};
+      return workload::SendOutcome{{*scratch}, done};
     };
   } else {
     VanillaVpnClient* client = &rig->vanilla->client;
-    source.send = [client, payload, this](sim::Time now) {
-      net::Packet packet =
-          net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 40000,
-                           5001, Bytes(payload, 'x'));
-      auto sent = client->send_packet(packet, now);
+    auto packet = std::make_shared<net::Packet>(
+        net::Packet::udp(net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 40000,
+                         5001, Bytes(payload, 'x')));
+    source.send = [client, packet](sim::Time now) {
+      auto sent = client->send_packet(*packet, now);
       if (!sent.ok()) return workload::SendOutcome{{}, now};
       return workload::SendOutcome{std::move(sent->wire), sent->done};
     };

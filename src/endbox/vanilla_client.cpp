@@ -36,20 +36,19 @@ Status VanillaVpnClient::finish_connect(ByteView reply_wire) {
 Result<VanillaVpnClient::SendResult> VanillaVpnClient::send_bytes(ByteView ip_packet,
                                                                   sim::Time now) {
   if (!connected()) return err("vanilla client: not connected");
-  auto messages = session_->seal_packet(ip_packet);
   SendResult result;
+  session_->seal_packet_wire(ip_packet, result.wire);
   double cycles =
-      static_cast<double>(messages.size()) * model_.vpn_packet_cycles +
+      static_cast<double>(result.wire.size()) * model_.vpn_packet_cycles +
       model_.vpn_crypto_cycles_per_byte * static_cast<double>(ip_packet.size());
   result.done = cpu_.charge(now, cycles);
-  result.wire.reserve(messages.size());
-  for (const auto& msg : messages) result.wire.push_back(msg.serialize());
   return result;
 }
 
 Result<VanillaVpnClient::SendResult> VanillaVpnClient::send_packet(
     const net::Packet& packet, sim::Time now) {
-  return send_bytes(packet.serialize(), now);
+  packet.serialize_into(packet_scratch_);
+  return send_bytes(packet_scratch_, now);
 }
 
 Result<VanillaVpnClient::RecvResult> VanillaVpnClient::receive_wire(ByteView wire,

@@ -51,6 +51,7 @@ class VanillaVpnClient {
   crypto::RsaKeyPair key_;
   std::optional<ca::Certificate> certificate_;
   std::optional<vpn::VpnClientSession> session_;
+  Bytes packet_scratch_;  ///< reused by send_packet's serialisation
 };
 
 }  // namespace endbox

@@ -26,6 +26,12 @@ void AhoCorasick::add_pattern(ByteView pattern, int pattern_id) {
 
 void AhoCorasick::build() {
   if (built_) return;
+  // BFS order (root first): output links point at strictly shallower
+  // states, so a single pass in this order can resolve the CSR output
+  // lists below.
+  std::vector<std::int32_t> bfs_order;
+  bfs_order.reserve(nodes_.size());
+  bfs_order.push_back(0);
   std::queue<std::int32_t> bfs;
   // Depth-1 nodes fail to the root; missing root edges loop to root.
   for (int byte = 0; byte < 256; ++byte) {
@@ -40,6 +46,7 @@ void AhoCorasick::build() {
   while (!bfs.empty()) {
     std::int32_t state = bfs.front();
     bfs.pop();
+    bfs_order.push_back(state);
     Node& node = nodes_[static_cast<std::size_t>(state)];
     // Output link: nearest proper-suffix state that has outputs.
     const Node& fail_node = nodes_[static_cast<std::size_t>(node.fail)];
@@ -56,6 +63,48 @@ void AhoCorasick::build() {
       }
     }
   }
+
+  // Flatten: one state-major transition table plus CSR output lists.
+  // Each state's list is its own outputs followed by the outputs
+  // inherited through its output link — the output link's list is
+  // already complete when we get here because BFS order visits
+  // shallower states first.
+  transitions_.resize(nodes_.size() * 256);
+  for (std::size_t s = 0; s < nodes_.size(); ++s)
+    std::copy(nodes_[s].next.begin(), nodes_[s].next.end(),
+              transitions_.begin() + static_cast<std::ptrdiff_t>(s * 256));
+
+  out_start_.assign(nodes_.size() + 1, 0);
+  out_patterns_.clear();
+  std::vector<std::uint32_t> list_begin(nodes_.size(), 0);
+  std::vector<std::uint32_t> list_len(nodes_.size(), 0);
+  for (std::int32_t s : bfs_order) {
+    const Node& node = nodes_[static_cast<std::size_t>(s)];
+    std::uint32_t begin = static_cast<std::uint32_t>(out_patterns_.size());
+    out_patterns_.insert(out_patterns_.end(), node.outputs.begin(),
+                         node.outputs.end());
+    if (node.output_link >= 0) {
+      std::size_t link = static_cast<std::size_t>(node.output_link);
+      // Self-insert from out_patterns_ would invalidate iterators on
+      // growth; indices are stable.
+      for (std::uint32_t i = 0; i < list_len[link]; ++i)
+        out_patterns_.push_back(out_patterns_[list_begin[link] + i]);
+    }
+    list_begin[static_cast<std::size_t>(s)] = begin;
+    list_len[static_cast<std::size_t>(s)] =
+        static_cast<std::uint32_t>(out_patterns_.size()) - begin;
+  }
+  // The lists were emitted in BFS order; CSR offsets must be state
+  // order. Rebuild the concatenation state-major.
+  std::vector<std::int32_t> ordered;
+  ordered.reserve(out_patterns_.size());
+  for (std::size_t s = 0; s < nodes_.size(); ++s) {
+    out_start_[s] = static_cast<std::uint32_t>(ordered.size());
+    for (std::uint32_t i = 0; i < list_len[s]; ++i)
+      ordered.push_back(out_patterns_[list_begin[s] + i]);
+  }
+  out_start_[nodes_.size()] = static_cast<std::uint32_t>(ordered.size());
+  out_patterns_ = std::move(ordered);
   built_ = true;
 }
 
@@ -64,6 +113,55 @@ std::int32_t AhoCorasick::step(std::int32_t state, std::uint8_t byte) const {
 }
 
 std::size_t AhoCorasick::match(
+    ByteView text, const std::function<bool(const AcMatch&)>& on_match) const {
+  if (!built_) throw std::logic_error("AhoCorasick: match before build");
+  std::size_t count = 0;
+  std::size_t state = 0;
+  const std::int32_t* transitions = transitions_.data();
+  const std::uint32_t* out_start = out_start_.data();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = static_cast<std::size_t>(transitions[(state << 8) | text[i]]);
+    std::uint32_t begin = out_start[state];
+    std::uint32_t end = out_start[state + 1];
+    for (; begin != end; ++begin) {
+      ++count;
+      if (!on_match({pattern_ids_[static_cast<std::size_t>(
+                         out_patterns_[begin])],
+                     i + 1}))
+        return count;
+    }
+  }
+  return count;
+}
+
+std::vector<AcMatch> AhoCorasick::match(ByteView text) const {
+  if (!built_) throw std::logic_error("AhoCorasick: match before build");
+  std::vector<AcMatch> matches;
+  std::size_t state = 0;
+  const std::int32_t* transitions = transitions_.data();
+  const std::uint32_t* out_start = out_start_.data();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = static_cast<std::size_t>(transitions[(state << 8) | text[i]]);
+    for (std::uint32_t o = out_start[state]; o != out_start[state + 1]; ++o)
+      matches.push_back(
+          {pattern_ids_[static_cast<std::size_t>(out_patterns_[o])], i + 1});
+  }
+  return matches;
+}
+
+bool AhoCorasick::contains_any(ByteView text) const {
+  if (!built_) throw std::logic_error("AhoCorasick: match before build");
+  std::size_t state = 0;
+  const std::int32_t* transitions = transitions_.data();
+  const std::uint32_t* out_start = out_start_.data();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = static_cast<std::size_t>(transitions[(state << 8) | text[i]]);
+    if (out_start[state] != out_start[state + 1]) return true;
+  }
+  return false;
+}
+
+std::size_t AhoCorasick::match_reference(
     ByteView text, const std::function<bool(const AcMatch&)>& on_match) const {
   if (!built_) throw std::logic_error("AhoCorasick: match before build");
   std::size_t count = 0;
@@ -86,22 +184,13 @@ std::size_t AhoCorasick::match(
   return count;
 }
 
-std::vector<AcMatch> AhoCorasick::match(ByteView text) const {
+std::vector<AcMatch> AhoCorasick::match_reference(ByteView text) const {
   std::vector<AcMatch> matches;
-  match(text, [&](const AcMatch& m) {
+  match_reference(text, [&](const AcMatch& m) {
     matches.push_back(m);
     return true;
   });
   return matches;
-}
-
-bool AhoCorasick::contains_any(ByteView text) const {
-  bool found = false;
-  match(text, [&](const AcMatch&) {
-    found = true;
-    return false;
-  });
-  return found;
 }
 
 }  // namespace endbox::idps

@@ -1,6 +1,14 @@
 // Aho-Corasick multi-pattern string matching (the paper's IDPS executes
 // Snort rule sets with this algorithm, citing Aho & Corasick 1975).
 // Built from scratch: trie + BFS failure links + output links.
+//
+// build() additionally compiles the node list into a single flat,
+// state-major transition table (goto links already resolved through
+// failure links) with pattern outputs in a parallel CSR array, so the
+// scan loop is one contiguous table lookup plus one CSR-range check per
+// byte instead of chasing a vector<Node> of ~1KB nodes. The original
+// node-chasing matcher stays callable as match_reference() so benches
+// and property tests can compare against the pre-flattening behaviour.
 #pragma once
 
 #include <array>
@@ -23,8 +31,8 @@ class AhoCorasick {
   /// build(); empty patterns are ignored.
   void add_pattern(ByteView pattern, int pattern_id);
 
-  /// Computes failure/output links. Idempotent; called automatically by
-  /// match() if needed.
+  /// Computes failure/output links and compiles the flat transition
+  /// table. Idempotent.
   void build();
 
   /// Finds all pattern occurrences in `text` (overlaps included).
@@ -37,6 +45,12 @@ class AhoCorasick {
 
   /// True when any pattern occurs (early exit on first hit).
   bool contains_any(ByteView text) const;
+
+  /// Pre-flattening matcher over the retained node list (identical
+  /// output order to match()); baseline for benches/equivalence tests.
+  std::vector<AcMatch> match_reference(ByteView text) const;
+  std::size_t match_reference(
+      ByteView text, const std::function<bool(const AcMatch&)>& on_match) const;
 
   std::size_t pattern_count() const { return pattern_lengths_.size(); }
   std::size_t node_count() const { return nodes_.size(); }
@@ -58,6 +72,15 @@ class AhoCorasick {
   std::vector<int> pattern_ids_;
   std::vector<std::size_t> pattern_lengths_;
   bool built_ = false;
+
+  // Flat automaton (filled by build()): transitions_[state*256 + byte]
+  // is the next state; out_start_[s]..out_start_[s+1] indexes the
+  // pattern indices reported at state s (own outputs first, then those
+  // inherited through the output-link chain, matching the emission
+  // order of the node-chasing matcher).
+  std::vector<std::int32_t> transitions_;
+  std::vector<std::uint32_t> out_start_;
+  std::vector<std::int32_t> out_patterns_;
 };
 
 }  // namespace endbox::idps

@@ -17,6 +17,12 @@ std::size_t Packet::l4_header_size() const {
 
 Bytes Packet::serialize() const {
   Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void Packet::serialize_into(Bytes& out) const {
+  out.clear();
   out.reserve(wire_size());
 
   // IPv4 header (no options, IHL = 5).
@@ -61,17 +67,17 @@ Bytes Packet::serialize() const {
       put_u16(out, 0);  // checksum placeholder
       put_u16(out, icmp_id);
       put_u16(out, icmp_seq);
-      // ICMP checksum covers header + payload.
-      Bytes csum_buf(out.begin() + static_cast<std::ptrdiff_t>(icmp_start), out.end());
-      append(csum_buf, payload);
-      std::uint16_t csum = internet_checksum(csum_buf);
+      // ICMP checksum covers header + payload; both end up contiguous
+      // in `out`, so append first and checksum in place (no copy).
+      append(out, payload);
+      std::uint16_t csum = internet_checksum(
+          ByteView(out.data() + icmp_start, out.size() - icmp_start));
       out[icmp_start + 2] = static_cast<std::uint8_t>(csum >> 8);
       out[icmp_start + 3] = static_cast<std::uint8_t>(csum);
-      break;
+      return;
     }
   }
   append(out, payload);
-  return out;
 }
 
 Result<Packet> Packet::parse(ByteView wire) {

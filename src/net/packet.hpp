@@ -70,6 +70,9 @@ struct Packet {
 
   /// Serialises to wire bytes with correct IP/L4 checksums.
   Bytes serialize() const;
+  /// Serialises into `out` (cleared, reserved to the exact wire size);
+  /// reusing one Bytes across packets of similar size never reallocates.
+  void serialize_into(Bytes& out) const;
   /// Parses wire bytes; verifies lengths and the IP header checksum.
   static Result<Packet> parse(ByteView wire);
 
@@ -103,11 +106,22 @@ struct FlowKey {
 template <>
 struct std::hash<endbox::net::FlowKey> {
   std::size_t operator()(const endbox::net::FlowKey& k) const noexcept {
-    std::size_t h = std::hash<endbox::net::Ipv4>{}(k.src);
-    h = h * 31 + std::hash<endbox::net::Ipv4>{}(k.dst);
-    h = h * 31 + k.src_port;
-    h = h * 31 + k.dst_port;
-    h = h * 31 + static_cast<std::size_t>(k.proto);
-    return h;
+    // splitmix64 finaliser over the packed 5-tuple. A multiplicative
+    // h*31 combine leaves the low bits dominated by the ports, so flow
+    // tables degrade under adversarial (sequential or strided) port
+    // patterns; the finaliser diffuses every input bit into every
+    // output bit.
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t addrs = (static_cast<std::uint64_t>(k.src.value()) << 32) |
+                          k.dst.value();
+    std::uint64_t rest = (static_cast<std::uint64_t>(k.src_port) << 24) |
+                         (static_cast<std::uint64_t>(k.dst_port) << 8) |
+                         static_cast<std::uint64_t>(k.proto);
+    return static_cast<std::size_t>(mix(addrs ^ mix(rest)));
   }
 };

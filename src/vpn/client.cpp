@@ -23,10 +23,11 @@ WireMessage VpnClientSession::create_handshake_init(std::uint16_t proposed_versi
   WireMessage msg;
   msg.type = MsgType::HandshakeInit;
   msg.session_id = 0;  // not yet assigned
+  Bytes cert = certificate_.serialize();
+  msg.body.reserve(2 + 4 + 16 + 2 + cert.size());
   put_u16(msg.body, proposed_version);
   put_u32(msg.body, config_.config_version);
   append(msg.body, *client_nonce_);
-  Bytes cert = certificate_.serialize();
   put_u16(msg.body, static_cast<std::uint16_t>(cert.size()));
   append(msg.body, cert);
   return msg;
@@ -45,6 +46,8 @@ Status VpnClientSession::process_handshake_reply(const WireMessage& reply) {
     // Server authentication: signature over the transcript with the
     // pinned server key (prevents MITM replies).
     Bytes transcript;
+    transcript.reserve(2 + client_nonce_->size() + server_nonce.size() +
+                       encrypted_seed.size());
     put_u16(transcript, chosen_version);
     append(transcript, *client_nonce_);
     append(transcript, server_nonce);
@@ -69,33 +72,52 @@ Status VpnClientSession::process_handshake_reply(const WireMessage& reply) {
   }
 }
 
+// Seals one fragment slice into `scratch`: [frag][iv][ct][mac] or the
+// integrity-only layout, per the session config.
+MsgType VpnClientSession::seal_fragment(const FragmentHeader& frag,
+                                        ByteView slice, WireBuffer& scratch) {
+  if (config_.encrypt_data) {
+    seal_data_body(*keys_, frag, slice, rng_, scratch);
+    return MsgType::Data;
+  }
+  seal_integrity_body(*keys_, frag, slice, scratch);
+  return MsgType::DataIntegrityOnly;
+}
+
 std::vector<WireMessage> VpnClientSession::seal_packet(ByteView ip_packet) {
   if (!keys_) throw std::logic_error("VpnClientSession: not established");
-  auto fragments = fragment_payload(ip_packet, config_.mtu);
-  std::uint32_t frag_id = next_frag_id_++;
-
   std::vector<WireMessage> messages;
-  messages.reserve(fragments.size());
-  for (std::size_t i = 0; i < fragments.size(); ++i) {
-    FragmentHeader frag;
-    frag.packet_id = next_packet_id_++;
-    frag.frag_id = frag_id;
-    frag.index = static_cast<std::uint16_t>(i);
-    frag.count = static_cast<std::uint16_t>(fragments.size());
-
-    WireMessage msg;
-    msg.session_id = session_id_;
-    if (config_.encrypt_data) {
-      msg.type = MsgType::Data;
-      msg.body = seal_data_body(*keys_, frag, fragments[i], rng_);
-    } else {
-      msg.type = MsgType::DataIntegrityOnly;
-      msg.body = seal_integrity_body(*keys_, frag, fragments[i]);
-    }
-    messages.push_back(std::move(msg));
-  }
+  messages.reserve(fragment_count(ip_packet.size(), config_.mtu));
+  for_each_fragment(
+      ip_packet, config_.mtu, next_packet_id_, next_frag_id_++,
+      [&](const FragmentHeader& frag, ByteView slice) {
+        WireMessage msg;
+        msg.session_id = session_id_;
+        msg.type = seal_fragment(frag, slice, seal_scratch_);
+        msg.body.assign(seal_scratch_.view().begin(), seal_scratch_.view().end());
+        messages.push_back(std::move(msg));
+      });
   ++packets_sealed_;
   return messages;
+}
+
+void VpnClientSession::seal_packet_wire(ByteView ip_packet,
+                                        std::vector<Bytes>& frames) {
+  if (!keys_) throw std::logic_error("VpnClientSession: not established");
+  frames.resize(fragment_count(ip_packet.size(), config_.mtu));
+  for_each_fragment(
+      ip_packet, config_.mtu, next_packet_id_, next_frag_id_++,
+      [&](const FragmentHeader& frag, ByteView slice) {
+        MsgType type = seal_fragment(frag, slice, seal_scratch_);
+        // The wire header goes into the headroom the seal left
+        // reserved, so the frame is contiguous without assembly copies.
+        std::uint8_t* header = seal_scratch_.prepend(kWireHeaderSize);
+        header[0] = static_cast<std::uint8_t>(type);
+        put_u32(header + 1, session_id_);
+        frames[frag.index].assign(seal_scratch_.view().begin(),
+                                  seal_scratch_.view().end());
+      });
+  ++packets_sealed_;
 }
 
 Result<std::optional<Bytes>> VpnClientSession::open_data(const WireMessage& msg) {

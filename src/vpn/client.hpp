@@ -43,6 +43,12 @@ class VpnClientSession {
   /// Seals one IP packet into one or more wire messages (fragmenting at
   /// the MTU). Throws if not established.
   std::vector<WireMessage> seal_packet(ByteView ip_packet);
+  /// Seals one IP packet directly into complete wire frames
+  /// ([type][session_id][sealed body]), writing through the per-session
+  /// scratch buffer. `frames` is resized to the fragment count and each
+  /// element's capacity is reused, so steady-state calls with stable
+  /// packet sizes perform no heap allocation.
+  void seal_packet_wire(ByteView ip_packet, std::vector<Bytes>& frames);
   /// Opens a data message from the server; returns the reassembled IP
   /// packet when a fragment group completes, nullopt while pending.
   Result<std::optional<Bytes>> open_data(const WireMessage& msg);
@@ -63,6 +69,9 @@ class VpnClientSession {
   std::uint16_t negotiated_version() const { return negotiated_version_; }
 
  private:
+  MsgType seal_fragment(const FragmentHeader& frag, ByteView slice,
+                        WireBuffer& scratch);
+
   Rng& rng_;
   ca::Certificate certificate_;
   crypto::RsaKeyPair enclave_key_;
@@ -80,6 +89,7 @@ class VpnClientSession {
   std::uint64_t next_ping_seq_ = 1;
   ReplayWindow replay_;
   Reassembler reassembler_;
+  WireBuffer seal_scratch_;  ///< reused by the seal fast path
 
   std::uint64_t packets_sealed_ = 0;
   std::uint64_t packets_opened_ = 0;

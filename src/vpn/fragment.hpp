@@ -17,6 +17,36 @@ namespace endbox::vpn {
 /// Splits `payload` into chunks of at most `mtu` bytes (at least one).
 std::vector<Bytes> fragment_payload(ByteView payload, std::size_t mtu);
 
+/// Number of chunks fragment_payload would produce (allocation-free
+/// callers slice the payload with subspans instead of materialising
+/// the chunk vector).
+inline std::size_t fragment_count(std::size_t payload_len, std::size_t mtu) {
+  if (mtu == 0) mtu = 1;  // matches fragment_payload's degenerate-MTU guard
+  return payload_len == 0 ? 1 : (payload_len + mtu - 1) / mtu;
+}
+
+/// Shared seal-loop core: slices `payload` exactly as fragment_payload
+/// would (without materialising the chunks), numbers the fragment
+/// headers from `next_packet_id`, and invokes `fn(frag, slice)` per
+/// fragment. Returns the fragment count.
+template <typename Fn>
+std::size_t for_each_fragment(ByteView payload, std::size_t mtu,
+                              std::uint64_t& next_packet_id,
+                              std::uint32_t frag_id, Fn&& fn) {
+  if (mtu == 0) mtu = 1;
+  std::size_t count = fragment_count(payload.size(), mtu);
+  for (std::size_t i = 0; i < count; ++i) {
+    FragmentHeader frag;
+    frag.packet_id = next_packet_id++;
+    frag.frag_id = frag_id;
+    frag.index = static_cast<std::uint16_t>(i);
+    frag.count = static_cast<std::uint16_t>(count);
+    fn(frag,
+       payload.subspan(i * mtu, std::min(mtu, payload.size() - i * mtu)));
+  }
+  return count;
+}
+
 /// Reassembles fragment groups; tolerates interleaving across groups
 /// and duplicate fragments. Incomplete groups older than `max_groups`
 /// generations are evicted (loss tolerance).

@@ -60,6 +60,8 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
     Bytes encrypted_seed = crypto::rsa_encrypt(cert->subject_key, seed);
 
     Bytes transcript;
+    transcript.reserve(2 + client_nonce.size() + server_nonce.size() +
+                       encrypted_seed.size());
     put_u16(transcript, chosen_version);
     append(transcript, client_nonce);
     append(transcript, server_nonce);
@@ -75,6 +77,8 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
     WireMessage reply;
     reply.type = MsgType::HandshakeReply;
     reply.session_id = session_id;
+    reply.body.reserve(2 + server_nonce.size() + encrypted_seed.size() +
+                       signature.size());
     put_u16(reply.body, chosen_version);
     append(reply.body, server_nonce);
     append(reply.body, encrypted_seed);
@@ -141,24 +145,37 @@ std::vector<WireMessage> VpnServer::seal_packet(std::uint32_t session_id,
                                                 ByteView ip_packet) {
   Session* session = find_session(session_id);
   if (!session) throw std::logic_error("VpnServer: unknown session");
-  auto fragments = fragment_payload(ip_packet, config_.mtu);
-  std::uint32_t frag_id = session->next_frag_id++;
-
   std::vector<WireMessage> messages;
-  messages.reserve(fragments.size());
-  for (std::size_t i = 0; i < fragments.size(); ++i) {
-    FragmentHeader frag;
-    frag.packet_id = session->next_packet_id++;
-    frag.frag_id = frag_id;
-    frag.index = static_cast<std::uint16_t>(i);
-    frag.count = static_cast<std::uint16_t>(fragments.size());
-    WireMessage msg;
-    msg.type = MsgType::Data;
-    msg.session_id = session_id;
-    msg.body = seal_data_body(session->keys, frag, fragments[i], rng_);
-    messages.push_back(std::move(msg));
-  }
+  messages.reserve(fragment_count(ip_packet.size(), config_.mtu));
+  for_each_fragment(
+      ip_packet, config_.mtu, session->next_packet_id, session->next_frag_id++,
+      [&](const FragmentHeader& frag, ByteView slice) {
+        WireMessage msg;
+        msg.type = MsgType::Data;
+        msg.session_id = session_id;
+        seal_data_body(session->keys, frag, slice, rng_, session->seal_scratch);
+        msg.body.assign(session->seal_scratch.view().begin(),
+                        session->seal_scratch.view().end());
+        messages.push_back(std::move(msg));
+      });
   return messages;
+}
+
+void VpnServer::seal_packet_wire(std::uint32_t session_id, ByteView ip_packet,
+                                 std::vector<Bytes>& frames) {
+  Session* session = find_session(session_id);
+  if (!session) throw std::logic_error("VpnServer: unknown session");
+  frames.resize(fragment_count(ip_packet.size(), config_.mtu));
+  for_each_fragment(
+      ip_packet, config_.mtu, session->next_packet_id, session->next_frag_id++,
+      [&](const FragmentHeader& frag, ByteView slice) {
+        seal_data_body(session->keys, frag, slice, rng_, session->seal_scratch);
+        std::uint8_t* header = session->seal_scratch.prepend(kWireHeaderSize);
+        header[0] = static_cast<std::uint8_t>(MsgType::Data);
+        put_u32(header + 1, session_id);
+        frames[frag.index].assign(session->seal_scratch.view().begin(),
+                                  session->seal_scratch.view().end());
+      });
 }
 
 WireMessage VpnServer::create_ping(std::uint32_t session_id) {

@@ -63,6 +63,11 @@ class VpnServer {
 
   /// Seals an IP packet towards a client session.
   std::vector<WireMessage> seal_packet(std::uint32_t session_id, ByteView ip_packet);
+  /// Seals an IP packet directly into complete wire frames via the
+  /// session's scratch buffer (steady-state allocation-free; see
+  /// VpnClientSession::seal_packet_wire).
+  void seal_packet_wire(std::uint32_t session_id, ByteView ip_packet,
+                        std::vector<Bytes>& frames);
 
   /// Builds the periodic server ping announcing the current config
   /// version and remaining grace (section III-E, step 4).
@@ -93,6 +98,7 @@ class VpnServer {
     std::uint64_t next_packet_id = 1;
     std::uint32_t next_frag_id = 1;
     std::uint64_t next_ping_seq = 1;
+    WireBuffer seal_scratch;  ///< reused by the seal fast path
   };
 
   Result<Event> handle_handshake(const WireMessage& msg);

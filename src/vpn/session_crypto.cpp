@@ -1,117 +1,180 @@
 #include "vpn/session_crypto.hpp"
 
-#include "crypto/aes.hpp"
-#include "crypto/hmac.hpp"
-
 namespace endbox::vpn {
 
 namespace {
 
-constexpr std::size_t kMacSize = 32;
-constexpr std::size_t kFragHeaderSize = 16;  // 8 + 4 + 2 + 2
-
-Bytes frag_bytes(const FragmentHeader& frag) {
-  Bytes out;
-  put_u64(out, frag.packet_id);
-  put_u32(out, frag.frag_id);
-  put_u16(out, frag.index);
-  put_u16(out, frag.count);
-  return out;
+inline ByteView label_view(std::string_view label) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(label.data()),
+                  label.size());
 }
 
-FragmentHeader read_frag(ByteReader& r) {
+// MAC over `label || data` from the session's precomputed HMAC state;
+// everything stays on the stack.
+crypto::Sha256Digest mac_over(const SessionKeys& keys, std::string_view label,
+                              ByteView data) {
+  auto mac = keys.hmac().begin();
+  mac.update(label_view(label));
+  mac.update(data);
+  return mac.finish();
+}
+
+void write_frag(std::uint8_t* p, const FragmentHeader& frag) {
+  put_u64(p, frag.packet_id);
+  put_u32(p + 8, frag.frag_id);
+  put_u16(p + 12, frag.index);
+  put_u16(p + 14, frag.count);
+}
+
+FragmentHeader read_frag(const std::uint8_t* p) {
   FragmentHeader frag;
-  frag.packet_id = r.u64();
-  frag.frag_id = r.u32();
-  frag.index = r.u16();
-  frag.count = r.u16();
+  frag.packet_id = get_u64(p);
+  frag.frag_id = get_u32(p + 8);
+  frag.index = get_u16(p + 12);
+  frag.count = get_u16(p + 14);
   return frag;
 }
 
-Bytes mac_over(const SessionKeys& keys, std::string_view label, ByteView data) {
-  Bytes input = to_bytes(label);
-  append(input, data);
-  return crypto::hmac_sha256(keys.mac_key, input);
+void append_mac(const SessionKeys& keys, std::string_view label, WireBuffer& out) {
+  crypto::Sha256Digest mac = mac_over(keys, label, out.view());
+  std::memcpy(out.append(kMacSize), mac.data(), kMacSize);
+}
+
+bool check_mac(const SessionKeys& keys, std::string_view label, ByteView body) {
+  std::size_t authed_len = body.size() - kMacSize;
+  crypto::Sha256Digest mac =
+      mac_over(keys, label, body.subspan(0, authed_len));
+  return ct_equal(ByteView(mac.data(), mac.size()), body.subspan(authed_len));
+}
+
+// Shrinks `body` to its payload: moves `len` bytes starting at `offset`
+// to the front and resizes, reusing the buffer's allocation.
+Bytes move_out_payload(Bytes&& body, std::size_t offset, std::size_t len) {
+  if (len > 0 && offset > 0) std::memmove(body.data(), body.data() + offset, len);
+  body.resize(len);
+  return std::move(body);
 }
 
 }  // namespace
 
+const crypto::Aes128& SessionKeys::aes() const {
+  if (!aes_cache) aes_cache.emplace(crypto::make_aes_key(enc_key));
+  return *aes_cache;
+}
+
+const crypto::HmacKey& SessionKeys::hmac() const {
+  if (!hmac_cache) hmac_cache.emplace(mac_key);
+  return *hmac_cache;
+}
+
 SessionKeys derive_vpn_keys(std::uint64_t seed, ByteView client_nonce,
                             ByteView server_nonce) {
   Bytes material;
+  material.reserve(8 + client_nonce.size() + server_nonce.size());
   put_u64(material, seed);
   append(material, client_nonce);
   append(material, server_nonce);
   SessionKeys keys;
   keys.enc_key = crypto::derive_key(material, "vpn-enc", 16);
   keys.mac_key = crypto::derive_key(material, "vpn-mac", 32);
+  keys.aes();   // expand the key schedule once, at session setup
+  keys.hmac();  // precompute the ipad/opad block states once
   return keys;
+}
+
+void seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
+                    ByteView payload, Rng& rng, WireBuffer& out) {
+  out.reset(kSealHeadroom);
+  // Ciphertext first (payload padded and encrypted in place at the
+  // buffer's data offset), then IV and fragment header prepended into
+  // headroom, then the MAC appended — no intermediate buffers.
+  std::size_t padded = crypto::cbc_padded_size(payload.size());
+  out.reserve_tail(padded + kMacSize);
+  std::uint8_t* ct = out.append(padded);
+  if (!payload.empty()) std::memcpy(ct, payload.data(), payload.size());
+  std::uint8_t* iv = out.prepend(16);
+  rng.fill({iv, 16});
+  crypto::aes128_cbc_encrypt_inplace(keys.aes(), iv, {ct, padded}, payload.size());
+  write_frag(out.prepend(kFragHeaderSize), frag);
+  append_mac(keys, "data", out);
+}
+
+void seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
+                         ByteView payload, WireBuffer& out) {
+  out.reset(kSealHeadroom);
+  out.reserve_tail(payload.size() + kMacSize);
+  out.append(payload);
+  write_frag(out.prepend(kFragHeaderSize), frag);
+  append_mac(keys, "integ", out);
 }
 
 Bytes seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
                      ByteView payload, Rng& rng) {
-  Bytes body = frag_bytes(frag);
-  Bytes iv = rng.bytes(16);
-  append(body, iv);
-  append(body, crypto::aes128_cbc_encrypt(crypto::make_aes_key(keys.enc_key), iv,
-                                          payload));
-  append(body, mac_over(keys, "data", body));
-  return body;
+  WireBuffer out;
+  seal_data_body(keys, frag, payload, rng, out);
+  return out.take();
 }
 
 Bytes seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
                           ByteView payload) {
-  Bytes body = frag_bytes(frag);
-  append(body, payload);
-  append(body, mac_over(keys, "integ", body));
-  return body;
+  WireBuffer out;
+  seal_integrity_body(keys, frag, payload, out);
+  return out.take();
+}
+
+Result<OpenedBody> open_data_body(const SessionKeys& keys, Bytes&& body) {
+  if (body.size() < kFragHeaderSize + 16 + kMacSize)
+    return err("data body: too short");
+  if (!check_mac(keys, "data", body))
+    return err("data body: MAC verification failed");
+
+  OpenedBody opened;
+  opened.frag = read_frag(body.data());
+  const std::uint8_t* iv = body.data() + kFragHeaderSize;
+  std::size_t ct_off = kFragHeaderSize + 16;
+  std::size_t ct_len = body.size() - kMacSize - ct_off;
+  auto plaintext_len = crypto::aes128_cbc_decrypt_inplace(
+      keys.aes(), iv, {body.data() + ct_off, ct_len});
+  if (!plaintext_len.ok()) return err("data body: " + plaintext_len.error());
+  opened.payload = move_out_payload(std::move(body), ct_off, *plaintext_len);
+  return opened;
+}
+
+Result<OpenedBody> open_integrity_body(const SessionKeys& keys, Bytes&& body) {
+  if (body.size() < kFragHeaderSize + kMacSize)
+    return err("integrity body: too short");
+  if (!check_mac(keys, "integ", body))
+    return err("integrity body: MAC verification failed");
+  OpenedBody opened;
+  opened.frag = read_frag(body.data());
+  std::size_t payload_len = body.size() - kMacSize - kFragHeaderSize;
+  opened.payload =
+      move_out_payload(std::move(body), kFragHeaderSize, payload_len);
+  return opened;
 }
 
 Result<OpenedBody> open_data_body(const SessionKeys& keys, ByteView body) {
-  if (body.size() < kFragHeaderSize + 16 + kMacSize)
-    return err("data body: too short");
-  std::size_t authed_len = body.size() - kMacSize;
-  if (!ct_equal(mac_over(keys, "data", body.subspan(0, authed_len)),
-                body.subspan(authed_len)))
-    return err("data body: MAC verification failed");
-
-  ByteReader r(body.subspan(0, authed_len));
-  OpenedBody opened;
-  opened.frag = read_frag(r);
-  Bytes iv = r.take(16);
-  auto plaintext = crypto::aes128_cbc_decrypt(crypto::make_aes_key(keys.enc_key),
-                                              iv, r.rest());
-  if (!plaintext.ok()) return err("data body: " + plaintext.error());
-  opened.payload = std::move(*plaintext);
-  return opened;
+  return open_data_body(keys, Bytes(body.begin(), body.end()));
 }
 
 Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body) {
-  if (body.size() < kFragHeaderSize + kMacSize)
-    return err("integrity body: too short");
-  std::size_t authed_len = body.size() - kMacSize;
-  if (!ct_equal(mac_over(keys, "integ", body.subspan(0, authed_len)),
-                body.subspan(authed_len)))
-    return err("integrity body: MAC verification failed");
-  ByteReader r(body.subspan(0, authed_len));
-  OpenedBody opened;
-  opened.frag = read_frag(r);
-  opened.payload = r.rest();
-  return opened;
+  return open_integrity_body(keys, Bytes(body.begin(), body.end()));
 }
 
 Bytes seal_ping_body(const SessionKeys& keys, const PingInfo& info) {
   Bytes body;
+  body.reserve(16 + kMacSize);
   put_u64(body, info.seq);
   put_u32(body, info.config_version);
   put_u32(body, info.grace_period_secs);
-  append(body, mac_over(keys, "ping", body));
+  crypto::Sha256Digest mac = mac_over(keys, "ping", body);
+  append(body, ByteView(mac.data(), mac.size()));
   return body;
 }
 
 Result<PingInfo> open_ping_body(const SessionKeys& keys, ByteView body) {
   if (body.size() != 16 + kMacSize) return err("ping body: bad size");
-  if (!ct_equal(mac_over(keys, "ping", body.subspan(0, 16)), body.subspan(16)))
+  if (!check_mac(keys, "ping", body))
     return err("ping body: MAC verification failed");
   PingInfo info;
   info.seq = get_u64(body.data());

@@ -5,28 +5,70 @@
 // in the ISP scenario's integrity-only mode (section IV-A), plaintext +
 // HMAC. Both modes authenticate the fragment header, so flagged QoS
 // bytes and packet ids cannot be forged.
+//
+// The seal/open fast path is allocation-free in steady state: sealing
+// writes into a caller-provided reusable WireBuffer (payload encrypted
+// in place, headers prepended into headroom, MAC computed incrementally
+// from the session's precomputed HMAC state), and opening by rvalue
+// decrypts in place and hands the payload back inside the same buffer.
 #pragma once
+
+#include <optional>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "common/wire_buffer.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
 #include "vpn/wire.hpp"
 
 namespace endbox::vpn {
 
+/// Fixed body geometry: [frag:16][iv:16][ct][mac:32] (encrypted) or
+/// [frag:16][payload][mac:32] (integrity-only).
+inline constexpr std::size_t kMacSize = 32;
+inline constexpr std::size_t kFragHeaderSize = 16;  // 8 + 4 + 2 + 2
+/// Headroom a WireBuffer needs for seal_*_body plus a prepended
+/// 5-byte wire-message header.
+inline constexpr std::size_t kSealHeadroom = 5 + kFragHeaderSize + 16;
+
 struct SessionKeys {
+  SessionKeys() = default;
+  SessionKeys(Bytes enc, Bytes mac)
+      : enc_key(std::move(enc)), mac_key(std::move(mac)) {}
+
   Bytes enc_key;  ///< 16 bytes
   Bytes mac_key;  ///< 32 bytes
+
+  /// Per-session crypto state, derived from the key bytes on first use
+  /// (eagerly by derive_vpn_keys): the AES key schedule and the HMAC
+  /// ipad/opad block states are computed once instead of per packet.
+  const crypto::Aes128& aes() const;
+  const crypto::HmacKey& hmac() const;
+
+  // Lazily-built caches for the accessors above; cleared copies are
+  // rebuilt on demand, and tests that aggregate-initialise the key
+  // bytes get them transparently.
+  mutable std::optional<crypto::Aes128> aes_cache;
+  mutable std::optional<crypto::HmacKey> hmac_cache;
 };
 
 /// Derives direction-shared session keys from the handshake material.
 SessionKeys derive_vpn_keys(std::uint64_t seed, ByteView client_nonce,
                             ByteView server_nonce);
 
-/// Builds a Data (encrypted) body.
+/// Seals a Data (encrypted) body into `out` (reset with kSealHeadroom;
+/// steady-state reuse of the same buffer performs no heap allocation).
+void seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
+                    ByteView payload, Rng& rng, WireBuffer& out);
+/// Seals a DataIntegrityOnly body into `out`.
+void seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
+                         ByteView payload, WireBuffer& out);
+
+/// Convenience variants returning fresh Bytes (one allocation).
 Bytes seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
                      ByteView payload, Rng& rng);
-/// Builds a DataIntegrityOnly body.
 Bytes seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
                           ByteView payload);
 
@@ -35,9 +77,16 @@ struct OpenedBody {
   Bytes payload;
 };
 
-/// Verifies and decrypts a Data body.
+/// Verifies and decrypts a Data body, consuming `body`: decryption
+/// happens in place and the payload is moved out of the authenticated
+/// prefix, so the steady-state open performs no heap allocation.
+Result<OpenedBody> open_data_body(const SessionKeys& keys, Bytes&& body);
+/// Verifies a DataIntegrityOnly body, consuming `body` (payload moved
+/// out of the authenticated prefix, no copy).
+Result<OpenedBody> open_integrity_body(const SessionKeys& keys, Bytes&& body);
+
+/// Copying variants for callers that only hold a view.
 Result<OpenedBody> open_data_body(const SessionKeys& keys, ByteView body);
-/// Verifies a DataIntegrityOnly body.
 Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body);
 
 /// Ping bodies (control channel).

@@ -1,0 +1,23 @@
+// Pre-optimisation reference implementations of the data-channel
+// seal/open (the PR-1 code, verbatim): one Bytes allocation per field
+// plus a full body copy inside the MAC, and per-call HMAC key
+// processing. Kept so the micro-benchmarks can measure the optimised
+// fast path against the exact baseline it replaced, and so property
+// tests can assert wire-format equivalence. Not used on any data path.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "vpn/session_crypto.hpp"
+
+namespace endbox::vpn::reference {
+
+Bytes seal_data_body(const SessionKeys& keys, const FragmentHeader& frag,
+                     ByteView payload, Rng& rng);
+Bytes seal_integrity_body(const SessionKeys& keys, const FragmentHeader& frag,
+                          ByteView payload);
+Result<OpenedBody> open_data_body(const SessionKeys& keys, ByteView body);
+Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body);
+
+}  // namespace endbox::vpn::reference

@@ -4,20 +4,26 @@ namespace endbox::vpn {
 
 Bytes WireMessage::serialize() const {
   Bytes out;
-  out.push_back(static_cast<std::uint8_t>(type));
-  put_u32(out, session_id);
-  append(out, body);
+  serialize_into(out);
   return out;
 }
 
+void WireMessage::serialize_into(Bytes& out) const {
+  out.clear();
+  out.reserve(kWireHeaderSize + body.size());
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, session_id);
+  append(out, body);
+}
+
 Result<WireMessage> WireMessage::parse(ByteView wire) {
-  if (wire.size() < 5) return err("VPN message: truncated header");
+  if (wire.size() < kWireHeaderSize) return err("VPN message: truncated header");
   WireMessage msg;
   std::uint8_t type = wire[0];
   if (type < 1 || type > 5) return err("VPN message: unknown type");
   msg.type = static_cast<MsgType>(type);
   msg.session_id = get_u32(wire.data() + 1);
-  msg.body.assign(wire.begin() + 5, wire.end());
+  msg.body.assign(wire.begin() + kWireHeaderSize, wire.end());
   return msg;
 }
 

@@ -38,8 +38,14 @@ struct WireMessage {
   Bytes body;
 
   Bytes serialize() const;
+  /// Serialises into `out` (cleared, reserved to the exact frame size);
+  /// reuse of one Bytes never reallocates in steady state.
+  void serialize_into(Bytes& out) const;
   static Result<WireMessage> parse(ByteView wire);
 };
+
+/// Size of the wire header in front of every message body.
+inline constexpr std::size_t kWireHeaderSize = 5;
 
 /// Parsed fields of a ping message (authenticated keep-alive carrying
 /// the configuration version and grace period, section III-E).

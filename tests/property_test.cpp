@@ -6,7 +6,9 @@
 #include "crypto/hmac.hpp"
 #include "elements/device.hpp"
 #include "endbox_world.hpp"
+#include "idps/aho_corasick.hpp"
 #include "vpn/session_crypto.hpp"
+#include "vpn/session_crypto_reference.hpp"
 
 namespace endbox {
 namespace {
@@ -265,6 +267,138 @@ INSTANTIATE_TEST_SUITE_P(Modes, ModeSweep,
                            return info.param == sgx::SgxMode::Hardware ? "Hardware"
                                                                        : "Simulation";
                          });
+
+// ---- Flattened Aho-Corasick vs node-chasing reference -----------------------
+
+class AcSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcSeedSweep, FlatAutomatonReportsByteIdenticalMatches) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  idps::AhoCorasick automaton;
+  // Small alphabet + short patterns force shared prefixes, failure
+  // transitions and nested-suffix outputs (the hard cases for the
+  // flattened output lists). Duplicate patterns are allowed.
+  std::size_t n_patterns = 1 + rng.uniform(0, 30);
+  for (std::size_t p = 0; p < n_patterns; ++p) {
+    std::size_t len = 1 + rng.uniform(0, 7);
+    Bytes pattern(len);
+    for (auto& b : pattern)
+      b = static_cast<std::uint8_t>('a' + rng.uniform(0, 3));
+    automaton.add_pattern(pattern, static_cast<int>(p));
+  }
+  automaton.build();
+
+  for (int round = 0; round < 8; ++round) {
+    std::size_t text_len = rng.uniform(0, 600);
+    Bytes text(text_len);
+    for (auto& b : text) {
+      // Mostly in-alphabet bytes (matches), some arbitrary (resets).
+      b = rng.uniform(0, 9) == 0
+              ? static_cast<std::uint8_t>(rng.uniform(0, 255))
+              : static_cast<std::uint8_t>('a' + rng.uniform(0, 3));
+    }
+    auto flat = automaton.match(text);
+    auto ref = automaton.match_reference(text);
+    ASSERT_EQ(flat.size(), ref.size()) << "round " << round;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(flat[i].pattern_id, ref[i].pattern_id) << "match " << i;
+      EXPECT_EQ(flat[i].end_offset, ref[i].end_offset) << "match " << i;
+    }
+    EXPECT_EQ(automaton.contains_any(text), !ref.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcSeedSweep, ::testing::Range(0, 12));
+
+// ---- Incremental HMAC vs one-shot -------------------------------------------
+
+TEST(HmacIncremental, EqualsOneShotForAllChunkings) {
+  Rng rng(42);
+  Bytes key = rng.bytes(32);
+  Bytes msg = rng.bytes(96);
+  crypto::HmacKey hk(key);
+  Bytes oneshot = crypto::hmac_sha256(key, msg);
+  auto digest_bytes = [](const crypto::Sha256Digest& d) {
+    return Bytes(d.begin(), d.end());
+  };
+  ASSERT_EQ(digest_bytes(hk.mac(msg)), oneshot);
+
+  // Every two-part split of the message...
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    auto mac = hk.begin();
+    mac.update(ByteView(msg).subspan(0, split));
+    mac.update(ByteView(msg).subspan(split));
+    EXPECT_EQ(digest_bytes(mac.finish()), oneshot) << "split " << split;
+  }
+  // ...and every fixed chunk size (exercises all buffer fill offsets).
+  for (std::size_t chunk = 1; chunk <= msg.size(); ++chunk) {
+    auto mac = hk.begin();
+    for (std::size_t off = 0; off < msg.size(); off += chunk)
+      mac.update(ByteView(msg).subspan(off, std::min(chunk, msg.size() - off)));
+    EXPECT_EQ(digest_bytes(mac.finish()), oneshot) << "chunk " << chunk;
+  }
+}
+
+TEST(HmacIncremental, PrecomputedKeyAgreesWithFreeFunctionAcrossKeySizes) {
+  Rng rng(43);
+  Bytes msg = rng.bytes(200);
+  // Below, at, and above the SHA-256 block size (the >64B case takes
+  // the hash-the-key path).
+  for (std::size_t key_len : {1u, 16u, 32u, 63u, 64u, 65u, 128u}) {
+    Bytes key = rng.bytes(key_len);
+    crypto::HmacKey hk(key);
+    Bytes expected = crypto::hmac_sha256(key, msg);
+    crypto::Sha256Digest digest = hk.mac(msg);
+    EXPECT_EQ(Bytes(digest.begin(), digest.end()), expected)
+        << "key length " << key_len;
+    EXPECT_TRUE(hk.verify(msg, expected));
+    Bytes tampered = expected;
+    tampered[0] ^= 1;
+    EXPECT_FALSE(hk.verify(msg, tampered));
+  }
+}
+
+// ---- Optimised seal vs pre-PR reference -------------------------------------
+
+class SealEquivalenceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SealEquivalenceSweep, WireBufferSealIsByteIdenticalToReference) {
+  std::size_t size = GetParam();
+  Rng key_rng(77);
+  auto keys = vpn::derive_vpn_keys(0xfeedface, key_rng.bytes(16), key_rng.bytes(16));
+  Bytes payload = key_rng.bytes(size);
+  vpn::FragmentHeader frag{42, 7, 1, 3};
+
+  // Identically-seeded RNGs draw identical IVs, so the two seals must
+  // produce the same bytes end to end.
+  Rng rng_new(555), rng_ref(555);
+  WireBuffer out;
+  vpn::seal_data_body(keys, frag, payload, rng_new, out);
+  Bytes ref = vpn::reference::seal_data_body(keys, frag, payload, rng_ref);
+  EXPECT_EQ(Bytes(out.view().begin(), out.view().end()), ref);
+
+  // Cross-open: each implementation opens the other's output.
+  auto ref_opened = vpn::reference::open_data_body(keys, out.view());
+  ASSERT_TRUE(ref_opened.ok()) << ref_opened.error();
+  EXPECT_EQ(ref_opened->payload, payload);
+  EXPECT_EQ(ref_opened->frag.packet_id, frag.packet_id);
+  auto new_opened = vpn::open_data_body(keys, ByteView(ref));
+  ASSERT_TRUE(new_opened.ok()) << new_opened.error();
+  EXPECT_EQ(new_opened->payload, payload);
+  EXPECT_EQ(new_opened->frag.frag_id, frag.frag_id);
+
+  // Integrity-only mode has no RNG input; byte identity is direct.
+  WireBuffer integ;
+  vpn::seal_integrity_body(keys, frag, payload, integ);
+  Bytes integ_ref = vpn::reference::seal_integrity_body(keys, frag, payload);
+  EXPECT_EQ(Bytes(integ.view().begin(), integ.view().end()), integ_ref);
+  auto integ_opened = vpn::open_integrity_body(keys, ByteView(integ_ref));
+  ASSERT_TRUE(integ_opened.ok()) << integ_opened.error();
+  EXPECT_EQ(integ_opened->payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SealEquivalenceSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 100, 1499, 1500));
 
 }  // namespace
 }  // namespace endbox
