@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pageload.dir/bench/bench_fig6_pageload.cpp.o"
+  "CMakeFiles/bench_fig6_pageload.dir/bench/bench_fig6_pageload.cpp.o.d"
+  "bench_fig6_pageload"
+  "bench_fig6_pageload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pageload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_redirection.dir/bench/bench_fig7_redirection.cpp.o"
+  "CMakeFiles/bench_fig7_redirection.dir/bench/bench_fig7_redirection.cpp.o.d"
+  "bench_fig7_redirection"
+  "bench_fig7_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

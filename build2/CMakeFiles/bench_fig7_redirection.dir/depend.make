@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_redirection.
+# This may be replaced when dependencies are built.

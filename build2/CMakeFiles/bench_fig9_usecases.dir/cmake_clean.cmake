@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_usecases.dir/bench/bench_fig9_usecases.cpp.o"
+  "CMakeFiles/bench_fig9_usecases.dir/bench/bench_fig9_usecases.cpp.o.d"
+  "bench_fig9_usecases"
+  "bench_fig9_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_https.dir/bench/bench_table1_https.cpp.o"
+  "CMakeFiles/bench_table1_https.dir/bench/bench_table1_https.cpp.o.d"
+  "bench_table1_https"
+  "bench_table1_https.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_https.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

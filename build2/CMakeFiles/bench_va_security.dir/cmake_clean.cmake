@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_va_security.dir/bench/bench_va_security.cpp.o"
+  "CMakeFiles/bench_va_security.dir/bench/bench_va_security.cpp.o.d"
+  "bench_va_security"
+  "bench_va_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_va_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

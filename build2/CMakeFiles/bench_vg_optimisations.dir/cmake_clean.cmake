@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vg_optimisations.dir/bench/bench_vg_optimisations.cpp.o"
+  "CMakeFiles/bench_vg_optimisations.dir/bench/bench_vg_optimisations.cpp.o.d"
+  "bench_vg_optimisations"
+  "bench_vg_optimisations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vg_optimisations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_test.dir/tests/ca_test.cpp.o"
+  "CMakeFiles/ca_test.dir/tests/ca_test.cpp.o.d"
+  "ca_test"
+  "ca_test.pdb"
+  "ca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elements_test.dir/tests/elements_test.cpp.o"
+  "CMakeFiles/elements_test.dir/tests/elements_test.cpp.o.d"
+  "elements_test"
+  "elements_test.pdb"
+  "elements_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

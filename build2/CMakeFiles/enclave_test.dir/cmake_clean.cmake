@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_test.dir/tests/enclave_test.cpp.o"
+  "CMakeFiles/enclave_test.dir/tests/enclave_test.cpp.o.d"
+  "enclave_test"
+  "enclave_test.pdb"
+  "enclave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ca/authority.cpp" "CMakeFiles/endbox_core.dir/src/ca/authority.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/ca/authority.cpp.o.d"
+  "/root/repo/src/ca/certificate.cpp" "CMakeFiles/endbox_core.dir/src/ca/certificate.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/ca/certificate.cpp.o.d"
+  "/root/repo/src/click/element.cpp" "CMakeFiles/endbox_core.dir/src/click/element.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/click/element.cpp.o.d"
+  "/root/repo/src/click/parser.cpp" "CMakeFiles/endbox_core.dir/src/click/parser.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/click/parser.cpp.o.d"
+  "/root/repo/src/click/registry.cpp" "CMakeFiles/endbox_core.dir/src/click/registry.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/click/registry.cpp.o.d"
+  "/root/repo/src/click/router.cpp" "CMakeFiles/endbox_core.dir/src/click/router.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/click/router.cpp.o.d"
+  "/root/repo/src/click/standard_elements.cpp" "CMakeFiles/endbox_core.dir/src/click/standard_elements.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/click/standard_elements.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "CMakeFiles/endbox_core.dir/src/common/bytes.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/common/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/endbox_core.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/endbox_core.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/config/bundle.cpp" "CMakeFiles/endbox_core.dir/src/config/bundle.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/config/bundle.cpp.o.d"
+  "/root/repo/src/config/file_server.cpp" "CMakeFiles/endbox_core.dir/src/config/file_server.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/config/file_server.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "CMakeFiles/endbox_core.dir/src/crypto/aes.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/endbox_core.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "CMakeFiles/endbox_core.dir/src/crypto/rsa.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/endbox_core.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/elements/context.cpp" "CMakeFiles/endbox_core.dir/src/elements/context.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/elements/context.cpp.o.d"
+  "/root/repo/src/elements/device.cpp" "CMakeFiles/endbox_core.dir/src/elements/device.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/elements/device.cpp.o.d"
+  "/root/repo/src/elements/ids_matcher.cpp" "CMakeFiles/endbox_core.dir/src/elements/ids_matcher.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/elements/ids_matcher.cpp.o.d"
+  "/root/repo/src/elements/splitters.cpp" "CMakeFiles/endbox_core.dir/src/elements/splitters.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/elements/splitters.cpp.o.d"
+  "/root/repo/src/elements/tls_decrypt.cpp" "CMakeFiles/endbox_core.dir/src/elements/tls_decrypt.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/elements/tls_decrypt.cpp.o.d"
+  "/root/repo/src/endbox/client.cpp" "CMakeFiles/endbox_core.dir/src/endbox/client.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/client.cpp.o.d"
+  "/root/repo/src/endbox/configs.cpp" "CMakeFiles/endbox_core.dir/src/endbox/configs.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/configs.cpp.o.d"
+  "/root/repo/src/endbox/enclave.cpp" "CMakeFiles/endbox_core.dir/src/endbox/enclave.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/enclave.cpp.o.d"
+  "/root/repo/src/endbox/pipeline_cost.cpp" "CMakeFiles/endbox_core.dir/src/endbox/pipeline_cost.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/pipeline_cost.cpp.o.d"
+  "/root/repo/src/endbox/server.cpp" "CMakeFiles/endbox_core.dir/src/endbox/server.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/server.cpp.o.d"
+  "/root/repo/src/endbox/testbed.cpp" "CMakeFiles/endbox_core.dir/src/endbox/testbed.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/testbed.cpp.o.d"
+  "/root/repo/src/endbox/vanilla_client.cpp" "CMakeFiles/endbox_core.dir/src/endbox/vanilla_client.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/endbox/vanilla_client.cpp.o.d"
+  "/root/repo/src/idps/aho_corasick.cpp" "CMakeFiles/endbox_core.dir/src/idps/aho_corasick.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/idps/aho_corasick.cpp.o.d"
+  "/root/repo/src/idps/engine.cpp" "CMakeFiles/endbox_core.dir/src/idps/engine.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/idps/engine.cpp.o.d"
+  "/root/repo/src/idps/snort_rules.cpp" "CMakeFiles/endbox_core.dir/src/idps/snort_rules.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/idps/snort_rules.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "CMakeFiles/endbox_core.dir/src/net/checksum.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/net/checksum.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "CMakeFiles/endbox_core.dir/src/net/ip.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/net/ip.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "CMakeFiles/endbox_core.dir/src/net/packet.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/net/packet.cpp.o.d"
+  "/root/repo/src/netsim/host.cpp" "CMakeFiles/endbox_core.dir/src/netsim/host.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/netsim/host.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "CMakeFiles/endbox_core.dir/src/netsim/link.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/netsim/link.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "CMakeFiles/endbox_core.dir/src/netsim/topology.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/netsim/topology.cpp.o.d"
+  "/root/repo/src/sgx/enclave.cpp" "CMakeFiles/endbox_core.dir/src/sgx/enclave.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sgx/enclave.cpp.o.d"
+  "/root/repo/src/sgx/ias.cpp" "CMakeFiles/endbox_core.dir/src/sgx/ias.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sgx/ias.cpp.o.d"
+  "/root/repo/src/sgx/platform.cpp" "CMakeFiles/endbox_core.dir/src/sgx/platform.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sgx/platform.cpp.o.d"
+  "/root/repo/src/sgx/quote.cpp" "CMakeFiles/endbox_core.dir/src/sgx/quote.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sgx/quote.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "CMakeFiles/endbox_core.dir/src/sim/clock.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "CMakeFiles/endbox_core.dir/src/sim/cpu.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/endbox_core.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "CMakeFiles/endbox_core.dir/src/sim/perf_model.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/sim/perf_model.cpp.o.d"
+  "/root/repo/src/tls/keystore.cpp" "CMakeFiles/endbox_core.dir/src/tls/keystore.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/tls/keystore.cpp.o.d"
+  "/root/repo/src/tls/session.cpp" "CMakeFiles/endbox_core.dir/src/tls/session.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/tls/session.cpp.o.d"
+  "/root/repo/src/vpn/client.cpp" "CMakeFiles/endbox_core.dir/src/vpn/client.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/client.cpp.o.d"
+  "/root/repo/src/vpn/fragment.cpp" "CMakeFiles/endbox_core.dir/src/vpn/fragment.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/fragment.cpp.o.d"
+  "/root/repo/src/vpn/replay.cpp" "CMakeFiles/endbox_core.dir/src/vpn/replay.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/replay.cpp.o.d"
+  "/root/repo/src/vpn/server.cpp" "CMakeFiles/endbox_core.dir/src/vpn/server.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/server.cpp.o.d"
+  "/root/repo/src/vpn/session_crypto.cpp" "CMakeFiles/endbox_core.dir/src/vpn/session_crypto.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/session_crypto.cpp.o.d"
+  "/root/repo/src/vpn/session_crypto_reference.cpp" "CMakeFiles/endbox_core.dir/src/vpn/session_crypto_reference.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/session_crypto_reference.cpp.o.d"
+  "/root/repo/src/vpn/wire.cpp" "CMakeFiles/endbox_core.dir/src/vpn/wire.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/vpn/wire.cpp.o.d"
+  "/root/repo/src/workload/iperf.cpp" "CMakeFiles/endbox_core.dir/src/workload/iperf.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/workload/iperf.cpp.o.d"
+  "/root/repo/src/workload/pageload.cpp" "CMakeFiles/endbox_core.dir/src/workload/pageload.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/workload/pageload.cpp.o.d"
+  "/root/repo/src/workload/ping.cpp" "CMakeFiles/endbox_core.dir/src/workload/ping.cpp.o" "gcc" "CMakeFiles/endbox_core.dir/src/workload/ping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

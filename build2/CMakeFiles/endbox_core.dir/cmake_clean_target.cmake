@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libendbox_core.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endbox_test.dir/tests/endbox_test.cpp.o"
+  "CMakeFiles/endbox_test.dir/tests/endbox_test.cpp.o.d"
+  "endbox_test"
+  "endbox_test.pdb"
+  "endbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_config_rollout.dir/examples/config_rollout.cpp.o"
+  "CMakeFiles/example_config_rollout.dir/examples/config_rollout.cpp.o.d"
+  "example_config_rollout"
+  "example_config_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_config_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_enterprise_idps.dir/examples/enterprise_idps.cpp.o"
+  "CMakeFiles/example_enterprise_idps.dir/examples/enterprise_idps.cpp.o.d"
+  "example_enterprise_idps"
+  "example_enterprise_idps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_enterprise_idps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_isp_ddos.dir/examples/isp_ddos.cpp.o"
+  "CMakeFiles/example_isp_ddos.dir/examples/isp_ddos.cpp.o.d"
+  "example_isp_ddos"
+  "example_isp_ddos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_isp_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

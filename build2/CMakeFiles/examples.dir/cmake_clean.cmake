@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

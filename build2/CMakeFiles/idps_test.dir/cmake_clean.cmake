@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idps_test.dir/tests/idps_test.cpp.o"
+  "CMakeFiles/idps_test.dir/tests/idps_test.cpp.o.d"
+  "idps_test"
+  "idps_test.pdb"
+  "idps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_path_test.dir/tests/perf_path_test.cpp.o"
+  "CMakeFiles/perf_path_test.dir/tests/perf_path_test.cpp.o.d"
+  "perf_path_test"
+  "perf_path_test.pdb"
+  "perf_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_benches"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/run_benches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_test.dir/tests/scalability_test.cpp.o"
+  "CMakeFiles/scalability_test.dir/tests/scalability_test.cpp.o.d"
+  "scalability_test"
+  "scalability_test.pdb"
+  "scalability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

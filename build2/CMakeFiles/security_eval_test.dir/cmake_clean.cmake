@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_eval_test.dir/tests/security_eval_test.cpp.o"
+  "CMakeFiles/security_eval_test.dir/tests/security_eval_test.cpp.o.d"
+  "security_eval_test"
+  "security_eval_test.pdb"
+  "security_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

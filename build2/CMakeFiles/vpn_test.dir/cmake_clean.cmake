@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpn_test.dir/tests/vpn_test.cpp.o"
+  "CMakeFiles/vpn_test.dir/tests/vpn_test.cpp.o.d"
+  "vpn_test"
+  "vpn_test.pdb"
+  "vpn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

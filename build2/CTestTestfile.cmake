@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/ca_test[1]_include.cmake")
+include("/root/repo/build2/click_test[1]_include.cmake")
+include("/root/repo/build2/common_test[1]_include.cmake")
+include("/root/repo/build2/config_test[1]_include.cmake")
+include("/root/repo/build2/crypto_test[1]_include.cmake")
+include("/root/repo/build2/elements_test[1]_include.cmake")
+include("/root/repo/build2/enclave_test[1]_include.cmake")
+include("/root/repo/build2/endbox_test[1]_include.cmake")
+include("/root/repo/build2/idps_test[1]_include.cmake")
+include("/root/repo/build2/net_test[1]_include.cmake")
+include("/root/repo/build2/netsim_test[1]_include.cmake")
+include("/root/repo/build2/perf_path_test[1]_include.cmake")
+include("/root/repo/build2/property_test[1]_include.cmake")
+include("/root/repo/build2/scalability_test[1]_include.cmake")
+include("/root/repo/build2/security_eval_test[1]_include.cmake")
+include("/root/repo/build2/sgx_test[1]_include.cmake")
+include("/root/repo/build2/sim_test[1]_include.cmake")
+include("/root/repo/build2/tls_test[1]_include.cmake")
+include("/root/repo/build2/vpn_test[1]_include.cmake")
+include("/root/repo/build2/workload_test[1]_include.cmake")
+subdirs("_deps/googletest-build")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../../bin/libgmock.pdb"
+  "../../../lib/libgmock.a"
+  "CMakeFiles/gmock.dir/src/gmock-all.cc.o"
+  "CMakeFiles/gmock.dir/src/gmock-all.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

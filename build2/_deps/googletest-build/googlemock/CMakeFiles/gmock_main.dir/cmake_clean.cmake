@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../../bin/libgmock_main.pdb"
+  "../../../lib/libgmock_main.a"
+  "CMakeFiles/gmock_main.dir/src/gmock_main.cc.o"
+  "CMakeFiles/gmock_main.dir/src/gmock_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmock_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

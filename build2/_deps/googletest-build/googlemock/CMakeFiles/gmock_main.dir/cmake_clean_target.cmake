@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../../../lib/libgmock_main.a"
+)
