@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench_micro --json run against the
+checked-in baseline(s) instead of only archiving it.
+
+Speedup ratios (new path vs in-tree reference path) are compared for
+every result key the current run shares with each baseline; absolute
+ns/op is machine-dependent and deliberately ignored. A key regresses
+when its current speedup falls more than --tolerance (default 15%)
+below the baseline's recorded speedup.
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json [BASELINE2.json ...]
+      [--tolerance 0.15]
+Exit code 1 on any regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("results", {})
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baselines", nargs="+")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional speedup drop (default 0.15)")
+    args = parser.parse_args()
+
+    current = load_results(args.current)
+    if not current:
+        print(f"error: no results in {args.current}")
+        return 1
+
+    failures = []
+    compared = 0
+    for baseline_path in args.baselines:
+        baseline = load_results(baseline_path)
+        shared = sorted(set(current) & set(baseline))
+        for key in shared:
+            base_speedup = baseline[key].get("speedup")
+            cur_speedup = current[key].get("speedup")
+            if not base_speedup or not cur_speedup:
+                continue
+            compared += 1
+            floor = base_speedup * (1.0 - args.tolerance)
+            status = "ok" if cur_speedup >= floor else "REGRESSED"
+            print(f"{key:40s} baseline {base_speedup:6.2f}x  "
+                  f"current {cur_speedup:6.2f}x  floor {floor:6.2f}x  {status}"
+                  f"  [{baseline_path}]")
+            if cur_speedup < floor:
+                failures.append(key)
+
+    if compared == 0:
+        print("error: no comparable result keys between current run and baselines")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} bench regression(s): {', '.join(failures)}")
+        return 1
+    print(f"\nall {compared} compared benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ void Element::push(int /*port*/, net::Packet&& packet) {
   output(0, std::move(packet));
 }
 
+void Element::push_batch(int port, PacketBatch&& batch) {
+  for (net::Packet& packet : batch) push(port, std::move(packet));
+  batch.clear();
+}
+
 void Element::take_state(Element& /*old_element*/) {}
 
 void Element::connect_output(int port, Element* target, int target_port) {
@@ -30,6 +35,17 @@ void Element::output(int port, net::Packet&& packet) {
   if (!output_connected(port)) return;
   auto& out = outputs_[static_cast<std::size_t>(port)];
   out.target->push(out.target_port, std::move(packet));
+}
+
+void Element::output_batch(int port, PacketBatch&& batch) {
+  if (batch.empty()) return;
+  if (!output_connected(port)) {
+    batch.clear();
+    return;
+  }
+  auto& out = outputs_[static_cast<std::size_t>(port)];
+  out.target->push_batch(out.target_port, std::move(batch));
+  batch.clear();
 }
 
 }  // namespace endbox::click

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "click/packet_batch.hpp"
 #include "common/result.hpp"
 #include "net/packet.hpp"
 
@@ -31,6 +32,13 @@ class Element {
 
   /// Receives a packet on input `port`. Default forwards to output 0.
   virtual void push(int port, net::Packet&& packet);
+
+  /// Receives a burst on input `port`. The batch is consumed: when the
+  /// call returns its packets are moved-from and the caller clears it.
+  /// The default loops the per-packet push(), so every element is
+  /// batch-correct; hot elements override it to process the burst with
+  /// one virtual call and re-batch per output port.
+  virtual void push_batch(int port, PacketBatch&& batch);
 
   /// Hot-swap hook: adopt state from the same-named element of the
   /// previous configuration (Click's take_state). Default: nothing.
@@ -52,6 +60,11 @@ class Element {
   /// (Click semantics for a dangling push port would be a config error;
   /// dropping keeps partially-wired test graphs usable).
   void output(int port, net::Packet&& packet);
+
+  /// Forwards a whole burst out of `port` and clears `batch` afterwards
+  /// (the downstream element consumed the packets). Empty bursts are
+  /// not forwarded; unconnected ports drop the burst.
+  void output_batch(int port, PacketBatch&& batch);
 
  private:
   struct Port {

@@ -1,0 +1,91 @@
+// PacketBatch: a burst of packets traversing the element graph together
+// (FastClick-style batch processing). Pushing a batch costs one virtual
+// call per element instead of one per packet, and pass-through elements
+// mutate the burst in place, so the per-packet cost of the graph
+// collapses to the actual per-packet work.
+//
+// Storage is inline (a fixed array of kMaxBurst packets, no heap), so
+// batches live on the stack or as element members and are reused across
+// bursts without allocating. A batch passed to push_batch is consumed:
+// after the call returns its packets are moved-from and the caller (or
+// output_batch) clears it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+
+#include "net/packet.hpp"
+
+namespace endbox::click {
+
+class PacketBatch {
+ public:
+  /// Burst size the data path aims for; producers chunk longer runs.
+  static constexpr std::size_t kMaxBurst = 64;
+
+  PacketBatch() = default;
+  PacketBatch(const PacketBatch&) = delete;
+  PacketBatch& operator=(const PacketBatch&) = delete;
+  PacketBatch(PacketBatch&& other) noexcept : size_(other.size_) {
+    for (std::size_t i = 0; i < size_; ++i) slots_[i] = std::move(other.slots_[i]);
+    other.size_ = 0;
+  }
+  PacketBatch& operator=(PacketBatch&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) slots_[i] = std::move(other.slots_[i]);
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == kMaxBurst; }
+
+  void push_back(net::Packet&& packet) {
+    if (size_ == kMaxBurst) throw std::length_error("PacketBatch: burst overflow");
+    slots_[size_++] = std::move(packet);
+  }
+
+  net::Packet& operator[](std::size_t i) { return slots_[i]; }
+  const net::Packet& operator[](std::size_t i) const { return slots_[i]; }
+
+  net::Packet* begin() { return slots_.data(); }
+  net::Packet* end() { return slots_.data() + size_; }
+  const net::Packet* begin() const { return slots_.data(); }
+  const net::Packet* end() const { return slots_.data() + size_; }
+
+  /// Forgets the contents (packets stay in their slots as moved-from or
+  /// stale values; their buffers are released when overwritten).
+  void clear() { size_ = 0; }
+
+  /// Keeps the first `n` packets; the rest are forgotten.
+  void truncate(std::size_t n) {
+    if (n < size_) size_ = n;
+  }
+
+ private:
+  std::array<net::Packet, kMaxBurst> slots_;
+  std::size_t size_ = 0;
+};
+
+/// Splits `batch` by `keep`: packets for which keep(p) is true stay in
+/// `batch` (compacted, order preserved), the rest move to `rejected` in
+/// order. The standard shape of a two-output element's batch override.
+template <typename Keep>
+void partition_batch(PacketBatch& batch, PacketBatch& rejected, Keep&& keep) {
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (keep(batch[i])) {
+      if (write != i) batch[write] = std::move(batch[i]);
+      ++write;
+    } else {
+      rejected.push_back(std::move(batch[i]));
+    }
+  }
+  batch.truncate(write);
+}
+
+}  // namespace endbox::click

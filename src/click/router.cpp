@@ -56,6 +56,14 @@ bool Router::push_to(const std::string& name, net::Packet&& packet) {
   return true;
 }
 
+bool Router::push_batch_to(const std::string& name, PacketBatch&& batch) {
+  auto* element = find(name);
+  if (!element) return false;
+  element->push_batch(0, std::move(batch));
+  batch.clear();
+  return true;
+}
+
 Status RouterManager::install(const std::string& config_text) {
   auto router = Router::from_config(config_text, registry_);
   if (!router.ok()) return err(router.error());

@@ -34,6 +34,11 @@ class Router {
   /// Returns false when the element does not exist.
   bool push_to(const std::string& name, net::Packet&& packet);
 
+  /// Injects a whole burst into the input port 0 of the named element
+  /// (one virtual call per element for the entire burst). The batch is
+  /// consumed. Returns false when the element does not exist.
+  bool push_batch_to(const std::string& name, PacketBatch&& batch);
+
   std::size_t element_count() const { return owned_.size(); }
   std::size_t connection_count() const { return connection_count_; }
   const std::string& config_text() const { return config_text_; }

@@ -34,6 +34,12 @@ void Counter::push(int /*port*/, net::Packet&& packet) {
   output(0, std::move(packet));
 }
 
+void Counter::push_batch(int /*port*/, PacketBatch&& batch) {
+  packets_ += batch.size();
+  for (const net::Packet& packet : batch) bytes_ += packet.wire_size();
+  output_batch(0, std::move(batch));
+}
+
 void Counter::take_state(Element& old_element) {
   auto& old = static_cast<Counter&>(old_element);
   packets_ = old.packets_;
@@ -43,6 +49,11 @@ void Counter::take_state(Element& old_element) {
 // ---- Discard ----------------------------------------------------------
 
 void Discard::push(int /*port*/, net::Packet&& /*packet*/) { ++discarded_; }
+
+void Discard::push_batch(int /*port*/, PacketBatch&& batch) {
+  discarded_ += batch.size();
+  batch.clear();
+}
 
 // ---- Tee --------------------------------------------------------------
 
@@ -64,6 +75,18 @@ void Tee::push(int /*port*/, net::Packet&& packet) {
   output(0, std::move(packet));
 }
 
+void Tee::push_batch(int /*port*/, PacketBatch&& batch) {
+  for (int i = 1; i < n_outputs_; ++i) {
+    for (const net::Packet& packet : batch) {
+      net::Packet copy = packet;
+      dup_scratch_.push_back(std::move(copy));
+    }
+    output_batch(i, std::move(dup_scratch_));
+    dup_scratch_.clear();
+  }
+  output_batch(0, std::move(batch));
+}
+
 // ---- Queue ------------------------------------------------------------
 
 Status Queue::configure(const std::vector<std::string>& args) {
@@ -82,6 +105,17 @@ void Queue::push(int /*port*/, net::Packet&& packet) {
     return;
   }
   queue_.push_back(std::move(packet));
+}
+
+void Queue::push_batch(int /*port*/, PacketBatch&& batch) {
+  for (net::Packet& packet : batch) {
+    if (queue_.size() >= capacity_) {
+      ++drops_;
+      continue;
+    }
+    queue_.push_back(std::move(packet));
+  }
+  batch.clear();
 }
 
 std::optional<net::Packet> Queue::pop() {
@@ -107,6 +141,11 @@ void SetTos::push(int /*port*/, net::Packet&& packet) {
   output(0, std::move(packet));
 }
 
+void SetTos::push_batch(int /*port*/, PacketBatch&& batch) {
+  for (net::Packet& packet : batch) packet.tos = tos_;
+  output_batch(0, std::move(batch));
+}
+
 // ---- Paint ------------------------------------------------------------
 
 Status Paint::configure(const std::vector<std::string>& args) {
@@ -120,6 +159,11 @@ Status Paint::configure(const std::vector<std::string>& args) {
 void Paint::push(int /*port*/, net::Packet&& packet) {
   packet.flow_hint = color_;
   output(0, std::move(packet));
+}
+
+void Paint::push_batch(int /*port*/, PacketBatch&& batch) {
+  for (net::Packet& packet : batch) packet.flow_hint = color_;
+  output_batch(0, std::move(batch));
 }
 
 // ---- RoundRobinSwitch ---------------------------------------------------
@@ -143,23 +187,37 @@ Status RoundRobinSwitch::configure(const std::vector<std::string>& args) {
   return {};
 }
 
-void RoundRobinSwitch::push(int /*port*/, net::Packet&& packet) {
-  int out;
+int RoundRobinSwitch::route(const net::Packet& packet) {
   if (flow_mode_) {
     auto key = net::FlowKey::of(packet);
     auto it = flow_table_.find(key);
-    if (it == flow_table_.end()) {
-      out = next_;
-      next_ = (next_ + 1) % n_outputs_;
-      flow_table_.emplace(key, out);
-    } else {
-      out = it->second;
-    }
-  } else {
-    out = next_;
+    if (it != flow_table_.end()) return it->second;
+    int out = next_;
     next_ = (next_ + 1) % n_outputs_;
+    flow_table_.emplace(key, out);
+    return out;
   }
-  output(out, std::move(packet));
+  int out = next_;
+  next_ = (next_ + 1) % n_outputs_;
+  return out;
+}
+
+void RoundRobinSwitch::push(int /*port*/, net::Packet&& packet) {
+  output(route(packet), std::move(packet));
+}
+
+void RoundRobinSwitch::push_batch(int /*port*/, PacketBatch&& batch) {
+  // Re-batch per output port (allocated once, reused across bursts) so
+  // every downstream element still sees one virtual call per burst.
+  if (port_scratch_.size() < static_cast<std::size_t>(n_outputs_))
+    port_scratch_.resize(static_cast<std::size_t>(n_outputs_));
+  for (net::Packet& packet : batch)
+    port_scratch_[static_cast<std::size_t>(route(packet))].push_back(std::move(packet));
+  batch.clear();
+  for (int out = 0; out < n_outputs_; ++out) {
+    output_batch(out, std::move(port_scratch_[static_cast<std::size_t>(out)]));
+    port_scratch_[static_cast<std::size_t>(out)].clear();
+  }
 }
 
 void RoundRobinSwitch::take_state(Element& old_element) {
@@ -172,15 +230,32 @@ void RoundRobinSwitch::take_state(Element& old_element) {
 
 // ---- CheckIPHeader -------------------------------------------------------
 
+namespace {
+bool implausible_header(const net::Packet& packet) {
+  return packet.ttl == 0 || packet.src == net::Ipv4() || packet.dst == net::Ipv4();
+}
+}  // namespace
+
 void CheckIPHeader::push(int /*port*/, net::Packet&& packet) {
-  bool bad = packet.ttl == 0 || packet.src == net::Ipv4() || packet.dst == net::Ipv4();
-  if (bad) {
+  if (implausible_header(packet)) {
     ++bad_;
     packet.dropped = true;
     output(1, std::move(packet));
     return;
   }
   output(0, std::move(packet));
+}
+
+void CheckIPHeader::push_batch(int /*port*/, PacketBatch&& batch) {
+  partition_batch(batch, reject_scratch_, [this](net::Packet& packet) {
+    if (!implausible_header(packet)) return true;
+    ++bad_;
+    packet.dropped = true;
+    return false;
+  });
+  output_batch(0, std::move(batch));
+  output_batch(1, std::move(reject_scratch_));
+  reject_scratch_.clear();
 }
 
 // ---- IPFilter -------------------------------------------------------------
@@ -273,18 +348,34 @@ Status IPFilter::configure(const std::vector<std::string>& args) {
   return {};
 }
 
-void IPFilter::push(int /*port*/, net::Packet&& packet) {
+bool IPFilter::allows(const net::Packet& packet) {
   for (const auto& rule : rules_) {
     ++rules_evaluated_;
-    if (rule.matches(packet)) {
-      if (rule.allow) break;
-      ++dropped_;
-      packet.dropped = true;
-      output(1, std::move(packet));
-      return;
-    }
+    if (rule.matches(packet)) return rule.allow;
+  }
+  return true;  // unmatched packets are allowed
+}
+
+void IPFilter::push(int /*port*/, net::Packet&& packet) {
+  if (!allows(packet)) {
+    ++dropped_;
+    packet.dropped = true;
+    output(1, std::move(packet));
+    return;
   }
   output(0, std::move(packet));
+}
+
+void IPFilter::push_batch(int /*port*/, PacketBatch&& batch) {
+  partition_batch(batch, reject_scratch_, [this](net::Packet& packet) {
+    if (allows(packet)) return true;
+    ++dropped_;
+    packet.dropped = true;
+    return false;
+  });
+  output_batch(0, std::move(batch));
+  output_batch(1, std::move(reject_scratch_));
+  reject_scratch_.clear();
 }
 
 // ---- Registration ------------------------------------------------------

@@ -20,6 +20,7 @@ class Counter : public Element {
  public:
   std::string_view class_name() const override { return "Counter"; }
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
 
   std::uint64_t packets() const { return packets_; }
@@ -35,6 +36,7 @@ class Discard : public Element {
  public:
   std::string_view class_name() const override { return "Discard"; }
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   std::uint64_t discarded() const { return discarded_; }
 
  private:
@@ -47,10 +49,12 @@ class Tee : public Element {
   std::string_view class_name() const override { return "Tee"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   int n_outputs() const override { return n_outputs_; }
 
  private:
   int n_outputs_ = 2;
+  PacketBatch dup_scratch_;  ///< reused copy burst for outputs 1..N-1
 };
 
 /// Bounded FIFO; drops at the tail when full. `Queue(capacity)`.
@@ -59,6 +63,7 @@ class Queue : public Element {
   std::string_view class_name() const override { return "Queue"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
   /// Dequeues the head packet, if any (pull side).
   std::optional<net::Packet> pop();
@@ -78,6 +83,7 @@ class SetTos : public Element {
   std::string_view class_name() const override { return "SetTos"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   std::uint8_t tos_ = 0;
@@ -89,6 +95,7 @@ class Paint : public Element {
   std::string_view class_name() const override { return "Paint"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
 
  private:
   std::uint32_t color_ = 0;
@@ -103,16 +110,21 @@ class RoundRobinSwitch : public Element {
   std::string_view class_name() const override { return "RoundRobinSwitch"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
   int n_outputs() const override { return n_outputs_; }
 
   std::size_t tracked_flows() const { return flow_table_.size(); }
 
  private:
+  /// Output port for one packet (advances round-robin/flow state).
+  int route(const net::Packet& packet);
+
   int n_outputs_ = 2;
   bool flow_mode_ = false;
   int next_ = 0;
   std::unordered_map<net::FlowKey, int> flow_table_;
+  std::vector<PacketBatch> port_scratch_;  ///< per-output re-batch buffers
 };
 
 /// Drops packets with implausible IP headers (zero TTL, bad/zero
@@ -122,11 +134,13 @@ class CheckIPHeader : public Element {
  public:
   std::string_view class_name() const override { return "CheckIPHeader"; }
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   int n_outputs() const override { return 2; }
   std::uint64_t bad_packets() const { return bad_; }
 
  private:
   std::uint64_t bad_ = 0;
+  PacketBatch reject_scratch_;  ///< reused bad-packet burst for output 1
 };
 
 /// The FW use case: rule-based packet filter. Each configuration
@@ -159,6 +173,7 @@ class IPFilter : public Element {
   std::string_view class_name() const override { return "IPFilter"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, PacketBatch&& batch) override;
   int n_outputs() const override { return 2; }
 
   std::size_t rule_count() const { return rules_.size(); }
@@ -169,9 +184,13 @@ class IPFilter : public Element {
   static Result<Rule> parse_rule(const std::string& text);
 
  private:
+  /// First-match verdict for one packet (tallies rules_evaluated_).
+  bool allows(const net::Packet& packet);
+
   std::vector<Rule> rules_;
   std::uint64_t dropped_ = 0;
   std::uint64_t rules_evaluated_ = 0;
+  PacketBatch reject_scratch_;  ///< reused dropped-packet burst for output 1
 };
 
 }  // namespace endbox::click

@@ -140,4 +140,8 @@ Bytes ByteReader::rest() {
   return take(remaining());
 }
 
+ByteView ByteReader::rest_view() {
+  return view(remaining());
+}
+
 }  // namespace endbox

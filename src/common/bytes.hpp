@@ -73,6 +73,8 @@ class ByteReader {
   Bytes take(std::size_t n);
   ByteView view(std::size_t n);
   Bytes rest();
+  /// Remaining bytes as a view (no copy); the reader is consumed.
+  ByteView rest_view();
 
  private:
   void need(std::size_t n) const {

@@ -7,6 +7,11 @@ void FromDevice::push(int /*port*/, net::Packet&& packet) {
   output(0, std::move(packet));
 }
 
+void FromDevice::push_batch(int /*port*/, click::PacketBatch&& batch) {
+  packets_ += batch.size();
+  output_batch(0, std::move(batch));
+}
+
 void ToDevice::push(int port, net::Packet&& packet) {
   // A packet arriving on input 1, or one marked dropped anywhere in the
   // graph, was rejected by the middlebox functions.
@@ -14,6 +19,19 @@ void ToDevice::push(int port, net::Packet&& packet) {
   if (accepted) ++accepted_;
   else ++rejected_;
   if (context_.to_device) context_.to_device(std::move(packet), accepted);
+}
+
+void ToDevice::push_batch(int port, click::PacketBatch&& batch) {
+  // Terminal element: the per-packet delivery callback is the protocol
+  // with the VPN layer, so the burst unrolls here (verdict order is the
+  // order packets reached this element).
+  for (net::Packet& packet : batch) {
+    bool accepted = port == 0 && !packet.dropped;
+    if (accepted) ++accepted_;
+    else ++rejected_;
+    if (context_.to_device) context_.to_device(std::move(packet), accepted);
+  }
+  batch.clear();
 }
 
 }  // namespace endbox::elements

@@ -24,6 +24,7 @@ class IDSMatcher : public click::Element {
   std::string_view class_name() const override { return "IDSMatcher"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
   int n_outputs() const override { return 2; }
 
@@ -37,6 +38,8 @@ class IDSMatcher : public click::Element {
   bool drop_mode_ = false;
   std::uint64_t bytes_scanned_ = 0;
   std::uint64_t matches_ = 0;
+  idps::IdpsEngine::BatchScratch scratch_;    ///< reused across bursts
+  click::PacketBatch drop_scratch_;           ///< reused matched burst for output 1
 };
 
 }  // namespace endbox::elements

@@ -40,7 +40,7 @@ Status RateSplitterBase::configure(const std::vector<std::string>& args) {
   return {};
 }
 
-void RateSplitterBase::push(int /*port*/, net::Packet&& packet) {
+bool RateSplitterBase::admit(const net::Packet& packet) {
   sim::Time now = acquire_time();
   if (!primed_) {
     last_refresh_ = now;
@@ -52,15 +52,35 @@ void RateSplitterBase::push(int /*port*/, net::Packet&& packet) {
     last_refresh_ = now;
   }
   double bits = static_cast<double>(packet.wire_size()) * 8.0;
-  if (tokens_ >= bits) {
-    tokens_ -= bits;
-    ++conforming_;
+  if (tokens_ < bits) {
+    ++over_rate_;
+    return false;
+  }
+  tokens_ -= bits;
+  ++conforming_;
+  return true;
+}
+
+void RateSplitterBase::push(int /*port*/, net::Packet&& packet) {
+  if (admit(packet)) {
     output(0, std::move(packet));
   } else {
-    ++over_rate_;
     packet.dropped = true;
     output(1, std::move(packet));
   }
+}
+
+void RateSplitterBase::push_batch(int /*port*/, click::PacketBatch&& batch) {
+  // Admission stays per packet (the bucket and the sampled clock see the
+  // same sequence as the per-packet path); only the forwarding batches.
+  click::partition_batch(batch, over_scratch_, [this](net::Packet& packet) {
+    if (admit(packet)) return true;
+    packet.dropped = true;
+    return false;
+  });
+  output_batch(0, std::move(batch));
+  output_batch(1, std::move(over_scratch_));
+  over_scratch_.clear();
 }
 
 void RateSplitterBase::take_state(Element& old_element) {

@@ -26,6 +26,7 @@ class RateSplitterBase : public click::Element {
 
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
   int n_outputs() const override { return 2; }
 
@@ -45,6 +46,10 @@ class RateSplitterBase : public click::Element {
   std::uint64_t sample_interval_ = 1;  ///< packets between clock reads
 
  private:
+  /// Token-bucket admission for one packet (reads the clock via
+  /// acquire_time, refreshes tokens, tallies conforming/over-rate).
+  bool admit(const net::Packet& packet);
+
   double rate_bps_ = 1e9;
   double burst_bits_ = 0;  ///< 0 = default to one second at rate
   double tokens_ = 0;
@@ -52,6 +57,7 @@ class RateSplitterBase : public click::Element {
   bool primed_ = false;
   std::uint64_t conforming_ = 0;
   std::uint64_t over_rate_ = 0;
+  click::PacketBatch over_scratch_;  ///< reused over-rate burst for output 1
 };
 
 class TrustedSplitter : public RateSplitterBase {

@@ -10,11 +10,10 @@ Status TLSDecrypt::configure(const std::vector<std::string>& args) {
   return {};
 }
 
-void TLSDecrypt::push(int /*port*/, net::Packet&& packet) {
+void TLSDecrypt::process(net::Packet& packet) {
   auto record = tls::TlsRecord::parse(packet.payload);
   if (!record.ok() || record->content_type != 23) {
     ++passthrough_;  // not TLS application data; forward untouched
-    output(0, std::move(packet));
     return;
   }
   // Sessions are resolved through the flow_hint annotation, which the
@@ -24,18 +23,26 @@ void TLSDecrypt::push(int /*port*/, net::Packet&& packet) {
   auto keys = context_.key_store->get(packet.flow_hint);
   if (!keys) {
     ++key_misses_;  // keys not forwarded (vanilla client): cannot inspect
-    output(0, std::move(packet));
     return;
   }
   auto plaintext = tls::open_record(*keys, *record);
   if (!plaintext.ok()) {
     ++key_misses_;
-    output(0, std::move(packet));
     return;
   }
   packet.decrypted_payload = std::move(*plaintext);
   ++decrypted_;
+}
+
+void TLSDecrypt::push(int /*port*/, net::Packet&& packet) {
+  process(packet);
   output(0, std::move(packet));
+}
+
+void TLSDecrypt::push_batch(int /*port*/, click::PacketBatch&& batch) {
+  // Every outcome exits output 0, so the burst stays intact.
+  for (net::Packet& packet : batch) process(packet);
+  output_batch(0, std::move(batch));
 }
 
 void TLSDecrypt::take_state(Element& old_element) {

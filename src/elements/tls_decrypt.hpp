@@ -22,6 +22,7 @@ class TLSDecrypt : public click::Element {
   std::string_view class_name() const override { return "TLSDecrypt"; }
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
 
   std::uint64_t decrypted() const { return decrypted_; }
@@ -29,6 +30,9 @@ class TLSDecrypt : public click::Element {
   std::uint64_t key_misses() const { return key_misses_; }
 
  private:
+  /// The record-parse / key-lookup / decrypt step shared by both paths.
+  void process(net::Packet& packet);
+
   ElementContext& context_;
   std::uint64_t decrypted_ = 0;
   std::uint64_t passthrough_ = 0;   ///< not TLS, or non-app-data records

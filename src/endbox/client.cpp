@@ -60,6 +60,14 @@ Status EndBoxClient::finish_connect(ByteView reply_wire) {
 
 sim::Time EndBoxClient::charge_data_path(sim::Time now, std::size_t payload_bytes,
                                          std::size_t fragments, bool run_click) {
+  return charge_data_path_batch(now, payload_bytes, fragments, 1, run_click);
+}
+
+sim::Time EndBoxClient::charge_data_path_batch(sim::Time now,
+                                               std::size_t payload_bytes,
+                                               std::size_t fragments,
+                                               std::size_t packets,
+                                               bool run_click) {
   double per_byte_crypto = options_.encrypt_data
                                ? model_.vpn_crypto_cycles_per_byte
                                : model_.vpn_integrity_cycles_per_byte;
@@ -74,9 +82,12 @@ sim::Time EndBoxClient::charge_data_path(sim::Time now, std::size_t payload_byte
   double click_cycles = 0;
   if (run_click && enclave_->router())
     click_cycles = model_.enclave_click_packet_cycles +
-                   pipeline_cycles(*enclave_->router(), payload_bytes, model_);
+                   pipeline_cycles_batch(*enclave_->router(), payload_bytes,
+                                         packets, model_);
 
   if (options_.sgx_mode == sgx::SgxMode::Hardware) {
+    // A batch ecall crosses the enclave boundary once for the whole
+    // burst — the transition cost no longer scales with packets.
     unsigned transitions = options_.batched_ecalls
                                ? model_.ecalls_per_packet_optimised
                                : model_.ecalls_per_packet_unoptimised;
@@ -119,12 +130,58 @@ Result<EndBoxClient::RecvResult> EndBoxClient::receive_wire(ByteView wire,
   return result;
 }
 
+Result<EndBoxClient::BatchSendResult> EndBoxClient::send_batch(
+    click::PacketBatch&& batch, EgressBatch& out, sim::Time now) {
+  std::size_t packets = batch.size();
+  auto status = enclave_->ecall_process_egress_batch(std::move(batch), out);
+  if (!status.ok()) return err(status.error());
+
+  BatchSendResult result;
+  result.accepted = out.accepted;
+  result.rejected = out.rejected;
+  result.frames = out.frame_count;
+  // Mirror send_packet's accounting: every packet pays at least one
+  // fragment's per-message cost, even when rejected.
+  std::size_t fragments = out.frame_count + out.rejected;
+  result.done = charge_data_path_batch(now, out.offered_bytes,
+                                       std::max<std::size_t>(fragments, 1),
+                                       packets, /*run_click=*/true);
+  return result;
+}
+
+Result<EndBoxClient::BatchRecvResult> EndBoxClient::receive_batch(
+    std::span<const Bytes> wires, IngressBatch& out, sim::Time now) {
+  auto status = enclave_->ecall_process_ingress_batch(wires, out);
+  if (!status.ok()) return err(status.error());
+
+  BatchRecvResult result;
+  result.complete = out.complete;
+  result.accepted = out.accepted;
+  std::size_t payload_bytes = 0;
+  for (const Bytes& wire : wires) payload_bytes += wire.size();
+  std::size_t ran_click = out.complete - out.bypassed;
+  result.done = charge_data_path_batch(now, payload_bytes,
+                                       std::max<std::size_t>(wires.size(), 1),
+                                       std::max<std::size_t>(ran_click, 1),
+                                       /*run_click=*/ran_click > 0);
+  return result;
+}
+
 Result<Bytes> EndBoxClient::create_ping(sim::Time now, sim::Time* done) {
   auto ping = enclave_->ecall_create_ping();
   if (!ping.ok()) return err(ping.error());
   sim::Time completed = cpu_.charge(now, model_.vpn_control_msg_cycles);
   if (done) *done = completed;
   return ping;
+}
+
+Status EndBoxClient::create_ping_wire(Bytes& frame, sim::Time now,
+                                      sim::Time* done) {
+  auto status = enclave_->ecall_create_ping_wire(frame);
+  if (!status.ok()) return status;
+  sim::Time completed = cpu_.charge(now, model_.vpn_control_msg_cycles);
+  if (done) *done = completed;
+  return {};
 }
 
 Result<EndBoxClient::PingOutcome> EndBoxClient::handle_server_ping(

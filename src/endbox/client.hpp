@@ -76,8 +76,36 @@ class EndBoxClient {
   };
   Result<RecvResult> receive_wire(ByteView wire, sim::Time now);
 
+  // ---- Batched data path -------------------------------------------------
+  /// Sends a whole burst through one batch ecall. `out` is owned by the
+  /// caller and reused across bursts (frame buffers keep capacity);
+  /// virtual-time cost amortises the enclave transition and the
+  /// element-entry chain over the burst, which is the modelled side of
+  /// the FastClick-style win.
+  struct BatchSendResult {
+    std::uint32_t accepted = 0;
+    std::uint32_t rejected = 0;
+    std::size_t frames = 0;  ///< valid prefix of out.frames
+    sim::Time done = 0;      ///< when the client CPU finished the burst
+  };
+  Result<BatchSendResult> send_batch(click::PacketBatch&& batch,
+                                     EgressBatch& out, sim::Time now);
+
+  /// Receives a burst of wire frames through one batch ecall; accepted
+  /// packets come back in `out.packets` backed by the enclave pool.
+  struct BatchRecvResult {
+    std::uint32_t complete = 0;
+    std::uint32_t accepted = 0;
+    sim::Time done = 0;
+  };
+  Result<BatchRecvResult> receive_batch(std::span<const Bytes> wires,
+                                        IngressBatch& out, sim::Time now);
+
   // ---- Control channel ------------------------------------------------------
   Result<Bytes> create_ping(sim::Time now, sim::Time* done = nullptr);
+  /// Scratch-reusing variant: seals the ping into `frame` (caller
+  /// reuses the buffer, keeping the keep-alive loop allocation-free).
+  Status create_ping_wire(Bytes& frame, sim::Time now, sim::Time* done = nullptr);
 
   struct PingOutcome {
     vpn::PingInfo info;
@@ -102,6 +130,12 @@ class EndBoxClient {
   /// tunnel messages, including pipeline and enclave costs.
   sim::Time charge_data_path(sim::Time now, std::size_t payload_bytes,
                              std::size_t fragments, bool run_click);
+  /// Batch variant: `packets` packets in one ecall — per-packet and
+  /// per-byte work unchanged, enclave transitions and the Click entry
+  /// amortised over the burst.
+  sim::Time charge_data_path_batch(sim::Time now, std::size_t payload_bytes,
+                                   std::size_t fragments, std::size_t packets,
+                                   bool run_click);
 
   std::string name_;
   Rng& rng_;

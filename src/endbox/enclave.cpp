@@ -20,8 +20,9 @@ EndBoxEnclave::EndBoxEnclave(sgx::SgxPlatform& platform, sgx::SgxMode mode,
   };
   context_.untrusted_time = [this] { return this->platform().trusted_time(); };
   context_.to_device = [this](net::Packet&& packet, bool accepted) {
-    click_result_ = ClickOutcome{accepted, std::move(packet)};
+    click_results_.push_back(ClickOutcome{accepted, std::move(packet)});
   };
+  click_results_.reserve(click::PacketBatch::kMaxBurst);
 }
 
 const crypto::RsaPublicKey& EndBoxEnclave::ecall_public_key() {
@@ -130,11 +131,15 @@ Status EndBoxEnclave::ecall_handshake_reply(ByteView wire) {
 }
 
 EndBoxEnclave::ClickOutcome EndBoxEnclave::run_click(net::Packet&& packet) {
-  click_result_.reset();
+  click_results_.clear();
   if (!routers_.current() || !routers_.current()->push_to("from_device", std::move(packet)))
     return ClickOutcome{false, {}};
-  if (!click_result_) return ClickOutcome{false, {}};  // packet discarded mid-graph
-  return std::move(*click_result_);
+  if (click_results_.empty()) return ClickOutcome{false, {}};  // discarded mid-graph
+  // Elements may deliver a packet to ToDevice more than once (Tee); the
+  // last verdict wins, matching the pre-batching behaviour.
+  ClickOutcome outcome = std::move(click_results_.back());
+  click_results_.clear();
+  return outcome;
 }
 
 Result<EgressResult> EndBoxEnclave::ecall_process_egress(net::Packet packet) {
@@ -156,6 +161,51 @@ Result<EgressResult> EndBoxEnclave::ecall_process_egress(net::Packet packet) {
   outcome.packet.serialize_into(egress_packet_scratch_);
   session_->seal_packet_wire(egress_packet_scratch_, result.wire);
   return result;
+}
+
+void EndBoxEnclave::seal_egress_packet(net::Packet&& packet, EgressBatch& out) {
+  if (options_.c2c_flagging) packet.set_processed_flag();
+  packet.decrypted_payload.clear();  // never leaks out of the enclave
+  packet.serialize_into(egress_packet_scratch_);
+  out.frame_count = session_->seal_packet_wire_at(egress_packet_scratch_,
+                                                  out.frames, out.frame_count);
+  ++out.accepted;
+  pool_.release(std::move(packet));
+}
+
+Status EndBoxEnclave::ecall_process_egress_batch(click::PacketBatch&& batch,
+                                                 EgressBatch& out) {
+  EcallGuard guard(*this);
+  out.accepted = out.rejected = 0;
+  out.frame_count = 0;
+  out.offered_bytes = 0;
+  if (!connected()) return err("egress: tunnel not established");
+  for (const net::Packet& packet : batch) {
+    if (packet.payload.size() > 512 * 1024) return err("egress: oversized packet");
+    out.offered_bytes += packet.wire_size();
+  }
+
+  std::uint32_t offered = static_cast<std::uint32_t>(batch.size());
+  click_results_.clear();
+  if (!routers_.current() ||
+      !routers_.current()->push_batch_to("from_device", std::move(batch))) {
+    out.rejected = offered;
+    rejected_ += offered;
+    return {};
+  }
+  for (ClickOutcome& outcome : click_results_) {
+    if (!outcome.accepted) {
+      pool_.release(std::move(outcome.packet));
+      continue;
+    }
+    seal_egress_packet(std::move(outcome.packet), out);
+  }
+  click_results_.clear();
+  // Packets that never reached ToDevice (discarded mid-graph) count as
+  // rejected, like the per-packet path's empty-verdict case.
+  out.rejected = offered > out.accepted ? offered - out.accepted : 0;
+  rejected_ += out.rejected;
+  return {};
 }
 
 Result<IngressResult> EndBoxEnclave::ecall_process_ingress(ByteView wire) {
@@ -195,10 +245,91 @@ Result<IngressResult> EndBoxEnclave::ecall_process_ingress(ByteView wire) {
   return result;
 }
 
+Status EndBoxEnclave::ecall_process_ingress_batch(std::span<const Bytes> wires,
+                                                  IngressBatch& out) {
+  EcallGuard guard(*this);
+  out.complete = out.accepted = out.rejected = out.bypassed = 0;
+  out.packets.clear();
+  if (!connected()) return err("ingress: tunnel not established");
+  if (wires.size() > click::PacketBatch::kMaxBurst)
+    return err("ingress: burst larger than kMaxBurst");
+
+  // Stage 1: open every frame (decrypt in place inside pooled scratch)
+  // and collect the completed packets into one burst for Click.
+  ingress_stage_.clear();
+  for (const Bytes& wire : wires) {
+    if (!wire.empty() && static_cast<vpn::MsgType>(wire[0]) == vpn::MsgType::Ping)
+      return err("ingress: ping on data path");
+    auto opened = session_->open_data_frame(wire, pool_.acquire_bytes());
+    if (!opened.ok()) return err(opened.error());
+    if (!opened->has_value()) continue;  // fragment pending
+    ++out.complete;
+
+    net::Packet packet = pool_.acquire();
+    auto parsed = net::Packet::parse_into(**opened, packet);
+    pool_.release_bytes(std::move(**opened));
+    if (!parsed.ok()) return err("ingress: " + parsed.error());
+
+    // Client-to-client optimisation (section IV-A): flagged packets
+    // bypass Click here, exactly as on the per-packet path.
+    if (options_.c2c_flagging && packet.processed_flag()) {
+      ++c2c_bypassed_;
+      ++out.bypassed;
+      ++out.accepted;
+      packet.clear_processed_flag();
+      out.packets.push_back(std::move(packet));
+      continue;
+    }
+    ingress_stage_.push_back(std::move(packet));
+  }
+
+  // Stage 2: one batched Click traversal for everything that needs it.
+  std::uint32_t to_click = static_cast<std::uint32_t>(ingress_stage_.size());
+  if (to_click > 0) {
+    click_results_.clear();
+    if (!routers_.current() ||
+        !routers_.current()->push_batch_to("from_device", std::move(ingress_stage_))) {
+      rejected_ += to_click;
+      out.rejected += to_click;
+      return {};
+    }
+    std::uint32_t accepted_by_click = 0;
+    for (ClickOutcome& outcome : click_results_) {
+      if (outcome.accepted) {
+        // Only fan-out configs (a Tee whose branches both reach
+        // ToDevice) can deliver more packets than came in; fail with
+        // the Status contract instead of overflowing the batch.
+        if (out.packets.full()) {
+          click_results_.clear();
+          return err("ingress: Click fan-out exceeded the batch capacity");
+        }
+        ++accepted_by_click;
+        out.packets.push_back(std::move(outcome.packet));
+      } else {
+        pool_.release(std::move(outcome.packet));
+      }
+    }
+    click_results_.clear();
+    out.accepted += accepted_by_click;
+    std::uint32_t rejected =
+        to_click > accepted_by_click ? to_click - accepted_by_click : 0;
+    out.rejected += rejected;
+    rejected_ += rejected;
+  }
+  return {};
+}
+
 Result<Bytes> EndBoxEnclave::ecall_create_ping() {
   EcallGuard guard(*this);
   if (!connected()) return err("ping: tunnel not established");
   return session_->create_ping().serialize();
+}
+
+Status EndBoxEnclave::ecall_create_ping_wire(Bytes& frame) {
+  EcallGuard guard(*this);
+  if (!connected()) return err("ping: tunnel not established");
+  session_->create_ping_wire(frame);
+  return {};
 }
 
 Result<vpn::PingInfo> EndBoxEnclave::ecall_handle_ping(ByteView wire) {

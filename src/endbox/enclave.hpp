@@ -13,9 +13,11 @@
 #include <string>
 
 #include "ca/authority.hpp"
+#include "click/packet_batch.hpp"
 #include "click/router.hpp"
 #include "config/bundle.hpp"
 #include "elements/context.hpp"
+#include "net/packet_pool.hpp"
 #include "sgx/enclave.hpp"
 #include "tls/keystore.hpp"
 #include "vpn/client.hpp"
@@ -38,6 +40,32 @@ struct IngressResult {
   bool accepted = false;        ///< verdict of the middlebox functions
   bool click_bypassed = false;  ///< skipped via the peer's QoS 0xeb flag
   net::Packet packet;           ///< valid when complete && accepted
+};
+
+/// Result of one egress batch ecall. The caller owns the struct and
+/// passes it back every burst: frame buffers keep their capacity, so
+/// the steady-state batch path writes sealed frames without allocating.
+/// Note: the batch path seals one frame set per ToDevice delivery, so a
+/// config whose Tee branches both reach ToDevice seals a packet once
+/// per delivery (the per-packet ecall keeps only the last verdict); no
+/// standard EndBox configuration wires such a graph.
+struct EgressBatch {
+  std::uint32_t accepted = 0;
+  std::uint32_t rejected = 0;
+  std::size_t frame_count = 0;    ///< valid prefix of `frames`
+  std::size_t offered_bytes = 0;  ///< summed wire_size of the input burst
+  std::vector<Bytes> frames;      ///< sealed wire frames, reused across calls
+};
+
+/// Result of one ingress batch ecall. Accepted packets come back in a
+/// PacketBatch backed by pool buffers; the caller releases them to
+/// packet_pool() (or keeps them) before the next call.
+struct IngressBatch {
+  std::uint32_t complete = 0;   ///< reassembled packets (incl. rejected)
+  std::uint32_t accepted = 0;
+  std::uint32_t rejected = 0;
+  std::uint32_t bypassed = 0;   ///< skipped Click via the peer's QoS flag
+  click::PacketBatch packets;   ///< delivered (accepted) packets, in order
 };
 
 struct EnclaveOptions {
@@ -89,8 +117,28 @@ class EndBoxEnclave : public sgx::Enclave {
   /// already processed), deliver.
   Result<IngressResult> ecall_process_ingress(ByteView wire);
 
+  // ---- Batched data path (one ecall per burst) -------------------------
+  /// Pushes a whole burst through the middlebox functions with one
+  /// enclave transition and one virtual call per element, sealing the
+  /// accepted packets into `out`. Input packet buffers are recycled
+  /// into packet_pool(); `out`'s frame buffers are reused across calls,
+  /// so the steady-state egress burst performs no heap allocation.
+  Status ecall_process_egress_batch(click::PacketBatch&& batch, EgressBatch& out);
+  /// Opens a burst of data frames, runs Click once over the completed
+  /// packets and returns the accepted ones (backed by pool buffers).
+  /// Fails on the first malformed frame, mirroring the hardened
+  /// per-packet interface.
+  Status ecall_process_ingress_batch(std::span<const Bytes> wires,
+                                     IngressBatch& out);
+  /// The payload-buffer free list the batch path recycles through;
+  /// callers acquire input packets here and release delivered ones.
+  net::PacketPool& packet_pool() { return pool_; }
+
   // ---- Control channel ---------------------------------------------------
   Result<Bytes> ecall_create_ping();
+  /// Scratch-reusing variant: seals the ping into `frame` through the
+  /// session buffer (no allocation once `frame` is warm).
+  Status ecall_create_ping_wire(Bytes& frame);
   Result<vpn::PingInfo> ecall_handle_ping(ByteView wire);
 
   // ---- Encrypted traffic analysis (section III-D) ------------------------
@@ -118,6 +166,8 @@ class EndBoxEnclave : public sgx::Enclave {
   /// Pushes a packet through the current router; collects the ToDevice
   /// verdict synchronously.
   ClickOutcome run_click(net::Packet&& packet);
+  /// Seals one accepted packet into `out` and recycles its buffers.
+  void seal_egress_packet(net::Packet&& packet, EgressBatch& out);
 
   Rng& rng_;
   crypto::RsaPublicKey ca_public_key_;
@@ -136,8 +186,11 @@ class EndBoxEnclave : public sgx::Enclave {
 
   std::optional<vpn::VpnClientSession> session_;
 
-  // Scratch state for collecting the ToDevice verdict of one push.
-  std::optional<ClickOutcome> click_result_;
+  // Scratch state collecting ToDevice verdicts of the current push (one
+  // entry per packet that exited the graph, in exit order).
+  std::vector<ClickOutcome> click_results_;
+  click::PacketBatch ingress_stage_;  ///< pre-Click staging for ingress bursts
+  net::PacketPool pool_;
   Bytes egress_packet_scratch_;  ///< reused for egress serialisation
   std::uint64_t rejected_ = 0;
   std::uint64_t c2c_bypassed_ = 0;

@@ -7,19 +7,29 @@ namespace endbox {
 
 double pipeline_cycles(const click::Router& router, std::size_t payload_bytes,
                        const sim::PerfModel& model) {
+  return pipeline_cycles_batch(router, payload_bytes, 1, model);
+}
+
+double pipeline_cycles_batch(const click::Router& router,
+                             std::size_t payload_bytes, std::size_t packets,
+                             const sim::PerfModel& model) {
   // Element costs only; callers add the graph-entry cost appropriate to
   // where the graph runs (in-enclave call vs standalone Click process).
+  // Per-byte terms already scale through `payload_bytes` (the burst
+  // total); per-packet terms multiply by `packets`; the element-entry
+  // (virtual dispatch) cost is per burst — the whole point of batching.
   double cycles = 0;
   double bytes = static_cast<double>(payload_bytes);
+  double n = static_cast<double>(packets == 0 ? 1 : packets);
   for (const click::Element* element : router.elements()) {
     cycles += model.click_element_cycles;
     std::string_view cls = element->class_name();
     if (cls == "IPFilter") {
       auto* filter = dynamic_cast<const click::IPFilter*>(element);
-      cycles += model.fw_rule_cycles *
+      cycles += n * model.fw_rule_cycles *
                 static_cast<double>(filter ? filter->rule_count() : 16);
     } else if (cls == "RoundRobinSwitch") {
-      cycles += model.lb_packet_cycles;
+      cycles += n * model.lb_packet_cycles;
     } else if (cls == "IDSMatcher") {
       cycles += model.idps_cycles_per_byte * bytes;
     } else if (cls == "TrustedSplitter") {
@@ -30,10 +40,10 @@ double pipeline_cycles(const click::Router& router, std::size_t payload_bytes,
       cycles += (model.ddos_cycles_per_byte - model.idps_cycles_per_byte) * bytes;
       double interval =
           splitter ? static_cast<double>(splitter->sample_interval()) : 500'000.0;
-      cycles += model.trusted_time_cycles / interval;
+      cycles += n * model.trusted_time_cycles / interval;
     } else if (cls == "UntrustedSplitter") {
       cycles += (model.ddos_cycles_per_byte - model.idps_cycles_per_byte) * bytes;
-      cycles += 1'500;  // per-packet gettimeofday syscall
+      cycles += n * 1'500;  // per-packet gettimeofday syscall
     } else if (cls == "TLSDecrypt") {
       cycles += model.vpn_crypto_cycles_per_byte * bytes;
     }

@@ -17,4 +17,13 @@ namespace endbox {
 double pipeline_cycles(const click::Router& router, std::size_t payload_bytes,
                        const sim::PerfModel& model);
 
+/// Cycles for a burst of `packets` packets totalling `payload_bytes`
+/// traversing `router` as one batch: per-packet work (rule evaluation,
+/// per-byte scanning, clock reads) scales with the burst, while the
+/// element-entry cost — the virtual-call chain batching amortises — is
+/// paid once per element per burst.
+double pipeline_cycles_batch(const click::Router& router,
+                             std::size_t payload_bytes, std::size_t packets,
+                             const sim::PerfModel& model);
+
 }  // namespace endbox

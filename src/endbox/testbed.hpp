@@ -42,16 +42,20 @@ class Testbed {
   std::size_t add_client();
 
   /// iperf adapter for client `i` sending `write_size`-byte UDP writes;
-  /// `offered_bps` = 0 for closed loop.
+  /// `offered_bps` = 0 for closed loop. `burst` > 1 makes EndBox
+  /// clients push whole PacketBatch bursts through one batch ecall per
+  /// send (pool-backed packets, reused frame buffers); baseline set-ups
+  /// ignore it (their clients have no batch interface — that asymmetry
+  /// is the system under test).
   workload::IperfSource make_source(std::size_t i, std::size_t write_size,
-                                    double offered_bps = 0);
+                                    double offered_bps = 0, std::size_t burst = 1);
 
   /// iperf server-side adapter (counts delivered application writes).
   workload::IperfHarness::ServeFn make_sink();
 
   /// Runs an iperf measurement over all currently-added clients.
   workload::IperfReport run_iperf(std::size_t write_size, double offered_bps,
-                                  sim::Time duration);
+                                  sim::Time duration, std::size_t burst = 1);
 
   /// Server CPU utilisation across [0, duration].
   double server_cpu_utilisation(sim::Time duration) const;

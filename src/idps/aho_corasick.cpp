@@ -134,6 +134,49 @@ std::size_t AhoCorasick::match(
   return count;
 }
 
+std::size_t AhoCorasick::match_multi(
+    std::span<const ByteView> texts,
+    const std::function<bool(std::size_t, const AcMatch&)>& on_match) const {
+  if (!built_) throw std::logic_error("AhoCorasick: match before build");
+  // 16 interleaved walks keep the load buffers busy without spilling
+  // the lane state out of registers/L1.
+  constexpr std::size_t kLanes = 16;
+  std::size_t count = 0;
+  const std::int32_t* transitions = transitions_.data();
+  const std::uint32_t* out_start = out_start_.data();
+  for (std::size_t base = 0; base < texts.size(); base += kLanes) {
+    std::size_t lanes = std::min(kLanes, texts.size() - base);
+    std::uint32_t state[kLanes] = {};
+    const std::uint8_t* data[kLanes];
+    std::size_t len[kLanes];
+    std::size_t max_len = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      data[l] = texts[base + l].data();
+      len[l] = texts[base + l].size();
+      max_len = std::max(max_len, len[l]);
+    }
+    for (std::size_t i = 0; i < max_len; ++i) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (i >= len[l]) continue;
+        std::uint32_t next = static_cast<std::uint32_t>(
+            transitions[(static_cast<std::size_t>(state[l]) << 8) | data[l][i]]);
+        state[l] = next;
+        std::uint32_t begin = out_start[next];
+        std::uint32_t end = out_start[next + 1];
+        for (; begin != end; ++begin) {
+          ++count;
+          if (!on_match(base + l,
+                        {pattern_ids_[static_cast<std::size_t>(
+                             out_patterns_[begin])],
+                         i + 1}))
+            return count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
 std::vector<AcMatch> AhoCorasick::match(ByteView text) const {
   if (!built_) throw std::logic_error("AhoCorasick: match before build");
   std::vector<AcMatch> matches;

@@ -43,6 +43,18 @@ class AhoCorasick {
   std::size_t match(ByteView text,
                     const std::function<bool(const AcMatch&)>& on_match) const;
 
+  /// Batched scan: walks up to 16 texts in lockstep so the dependent
+  /// transition loads of different streams overlap in the memory
+  /// system. A single walk is latency-bound (each step's table load
+  /// depends on the previous one); interleaving independent chains is
+  /// where burst processing beats per-packet scanning. Per-stream
+  /// matches and their order are identical to match() on each text;
+  /// `on_match(stream, match)` receives the stream index. Returns the
+  /// total match count.
+  std::size_t match_multi(
+      std::span<const ByteView> texts,
+      const std::function<bool(std::size_t, const AcMatch&)>& on_match) const;
+
   /// True when any pattern occurs (early exit on first hit).
   bool contains_any(ByteView text) const;
 

@@ -6,9 +6,14 @@
 namespace endbox::idps {
 
 namespace {
-Bytes to_lower(ByteView data) {
-  Bytes out(data.begin(), data.end());
+void to_lower_into(ByteView data, Bytes& out) {
+  out.assign(data.begin(), data.end());
   for (auto& b : out) b = static_cast<std::uint8_t>(std::tolower(b));
+}
+
+Bytes to_lower(ByteView data) {
+  Bytes out;
+  to_lower_into(data, out);
   return out;
 }
 }  // namespace
@@ -45,27 +50,34 @@ bool IdpsEngine::header_matches(const SnortRule& rule,
   return true;
 }
 
-IdpsVerdict IdpsEngine::inspect(const net::Packet& packet) {
-  ++packets_inspected_;
+void IdpsEngine::reset_hits(InspectScratch& scratch) const {
+  // The table is zeroed wholesale only when (re)sized; afterwards just
+  // the rules the previous packet hit are cleared — content hits are
+  // rare, so a warm scratch skips the O(rules) wipe entirely.
+  if (scratch.content_hits.size() != rules_.size()) {
+    scratch.content_hits.assign(rules_.size(), 0);
+  } else {
+    for (std::uint32_t rule : scratch.touched) scratch.content_hits[rule] = 0;
+  }
+  scratch.touched.clear();
+}
 
-  // Per-rule bitmask of matched content indices; sized lazily to the
-  // rules that actually had content hits.
-  std::vector<std::uint64_t> content_hits(rules_.size(), 0);
-  bool any_hit = false;
-  auto record = [&](const AcMatch& m) {
-    std::size_t rule_index = static_cast<std::size_t>(m.pattern_id) >> 8;
-    std::size_t content_index = static_cast<std::size_t>(m.pattern_id) & 0xff;
-    if (content_index < 64) content_hits[rule_index] |= 1ull << content_index;
-    any_hit = true;
-    return true;
-  };
-  cs_automaton_.match(packet.payload, record);
-  if (ci_automaton_.pattern_count() > 0)
-    ci_automaton_.match(to_lower(packet.payload), record);
+void IdpsEngine::record_hit(InspectScratch& scratch, int pattern_id) {
+  std::size_t rule_index = static_cast<std::size_t>(pattern_id) >> 8;
+  std::size_t content_index = static_cast<std::size_t>(pattern_id) & 0xff;
+  if (content_index >= 64) return;
+  std::uint64_t& bits = scratch.content_hits[rule_index];
+  if (bits == 0)
+    scratch.touched.push_back(static_cast<std::uint32_t>(rule_index));
+  bits |= 1ull << content_index;
+}
 
+IdpsVerdict IdpsEngine::evaluate_hits(const net::Packet& packet,
+                                      const InspectScratch& scratch,
+                                      bool any_hit) {
   IdpsVerdict verdict;
   if (!any_hit) return verdict;
-
+  const std::vector<std::uint64_t>& content_hits = scratch.content_hits;
   for (std::size_t r = 0; r < rules_.size(); ++r) {
     const SnortRule& rule = rules_[r];
     if (rule.contents.empty()) continue;
@@ -82,6 +94,72 @@ IdpsVerdict IdpsEngine::inspect(const net::Packet& packet) {
   }
   if (verdict.drop) ++drops_;
   return verdict;
+}
+
+IdpsVerdict IdpsEngine::inspect(const net::Packet& packet) {
+  InspectScratch scratch;
+  return inspect(packet, packet.payload, scratch);
+}
+
+IdpsVerdict IdpsEngine::inspect(const net::Packet& packet, ByteView payload,
+                                InspectScratch& scratch) {
+  ++packets_inspected_;
+  reset_hits(scratch);
+  // Single-pointer capture keeps the callback inside std::function's
+  // small-object buffer — no allocation per scan.
+  struct RecordCtx {
+    InspectScratch* scratch;
+    bool any_hit = false;
+  } ctx{&scratch};
+  auto record = [&ctx](const AcMatch& m) {
+    record_hit(*ctx.scratch, m.pattern_id);
+    ctx.any_hit = true;
+    return true;
+  };
+  cs_automaton_.match(payload, record);
+  if (ci_automaton_.pattern_count() > 0) {
+    to_lower_into(payload, scratch.lowered);
+    ci_automaton_.match(scratch.lowered, record);
+  }
+  return evaluate_hits(packet, scratch, ctx.any_hit);
+}
+
+void IdpsEngine::inspect_batch(std::span<const net::Packet* const> packets,
+                               std::span<const ByteView> payloads,
+                               BatchScratch& scratch, IdpsVerdict* verdicts) {
+  std::size_t n = packets.size();
+  packets_inspected_ += n;
+  if (scratch.matches.size() < n) scratch.matches.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch.matches[i].clear();
+
+  struct RecordCtx {
+    BatchScratch* scratch;
+  } ctx{&scratch};
+  auto record = [&ctx](std::size_t stream, const AcMatch& m) {
+    ctx.scratch->matches[stream].push_back(m);
+    return true;
+  };
+  cs_automaton_.match_multi(payloads, record);
+  if (ci_automaton_.pattern_count() > 0) {
+    if (scratch.lowered.size() < n) scratch.lowered.resize(n);
+    if (scratch.views.size() < n) scratch.views.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      to_lower_into(payloads[i], scratch.lowered[i]);
+      scratch.views[i] = scratch.lowered[i];
+    }
+    ci_automaton_.match_multi({scratch.views.data(), n}, record);
+  }
+
+  // Rule evaluation is per packet and cheap (content hits are rare);
+  // replaying the recorded matches into the sparse hit table makes the
+  // verdicts bit-identical to per-packet inspection.
+  for (std::size_t i = 0; i < n; ++i) {
+    reset_hits(scratch.rules);
+    for (const AcMatch& m : scratch.matches[i])
+      record_hit(scratch.rules, m.pattern_id);
+    verdicts[i] =
+        evaluate_hits(*packets[i], scratch.rules, !scratch.matches[i].empty());
+  }
 }
 
 }  // namespace endbox::idps

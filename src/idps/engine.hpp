@@ -24,8 +24,45 @@ class IdpsEngine {
  public:
   explicit IdpsEngine(std::vector<SnortRule> rules);
 
+  /// Reusable working memory for inspect(): the per-rule content-hit
+  /// bitmasks and the lower-cased payload copy. One scratch reused
+  /// across a burst turns the per-packet heap traffic of inspection
+  /// into capacity reuse, and the hit table resets sparsely — only the
+  /// rules the previous packet touched are cleared, not all N — which
+  /// is the batch path's main win for small packets.
+  struct InspectScratch {
+    std::vector<std::uint64_t> content_hits;
+    std::vector<std::uint32_t> touched;  ///< rules with non-zero bits
+    Bytes lowered;
+  };
+
+  /// Working memory for inspect_batch: per-stream match lists and
+  /// lowered copies on top of the shared rule-evaluation scratch.
+  struct BatchScratch {
+    std::vector<std::vector<AcMatch>> matches;  ///< per stream
+    std::vector<Bytes> lowered;                 ///< per stream (nocase scan)
+    std::vector<ByteView> views;                ///< span storage for lowered
+    InspectScratch rules;
+  };
+
   /// Evaluates one packet; also tallies alert/drop statistics.
   IdpsVerdict inspect(const net::Packet& packet);
+
+  /// Scratch-reusing variant: headers come from `packet`, content is
+  /// scanned from `payload` (the decrypted payload when TLSDecrypt ran
+  /// upstream), so callers need neither a probe copy nor fresh buffers.
+  IdpsVerdict inspect(const net::Packet& packet, ByteView payload,
+                      InspectScratch& scratch);
+
+  /// Burst variant: scans all payloads with the interleaved multi-
+  /// stream Aho-Corasick walk (independent transition chains overlap in
+  /// the memory system, hiding the table-walk latency a single scan is
+  /// bound by), then evaluates each packet's rules exactly as
+  /// inspect(). `verdicts[i]` corresponds to `packets[i]`; verdicts and
+  /// statistics are identical to per-packet inspection.
+  void inspect_batch(std::span<const net::Packet* const> packets,
+                     std::span<const ByteView> payloads, BatchScratch& scratch,
+                     IdpsVerdict* verdicts);
 
   std::size_t rule_count() const { return rules_.size(); }
   std::uint64_t packets_inspected() const { return packets_inspected_; }
@@ -37,6 +74,14 @@ class IdpsEngine {
 
  private:
   bool header_matches(const SnortRule& rule, const net::Packet& packet) const;
+  /// Sparse hit-table reset: zero only the rules touched last time.
+  void reset_hits(InspectScratch& scratch) const;
+  /// Sets the content bit for one pattern hit (tracks touched rules).
+  static void record_hit(InspectScratch& scratch, int pattern_id);
+  /// First-match rule evaluation over a populated hit table; tallies
+  /// alert/drop statistics.
+  IdpsVerdict evaluate_hits(const net::Packet& packet,
+                            const InspectScratch& scratch, bool any_hit);
 
   std::vector<SnortRule> rules_;
   // Pattern ids encode (rule index << 8 | content index within rule).

@@ -278,8 +278,15 @@ std::string format_snort_rule(const SnortRule& rule) {
 
   auto addr = [&](const AddressSpec& a) {
     if (a.any) return std::string("any");
-    std::string s = (a.negated ? "!" : "") + a.addr.str();
-    if (a.prefix != 32) s += "/" + std::to_string(a.prefix);
+    // Built with appends (not `"!" + str()`): GCC 12's -O3 restrict
+    // checker falsely flags the temporary-concatenation form.
+    std::string s;
+    if (a.negated) s += '!';
+    s += a.addr.str();
+    if (a.prefix != 32) {
+      s += '/';
+      s += std::to_string(a.prefix);
+    }
     return s;
   };
   auto port = [&](const PortSpec& p) {

@@ -81,6 +81,13 @@ void Packet::serialize_into(Bytes& out) const {
 }
 
 Result<Packet> Packet::parse(ByteView wire) {
+  Packet p;
+  auto status = parse_into(wire, p);
+  if (!status.ok()) return err(status.error());
+  return p;
+}
+
+Status Packet::parse_into(ByteView wire, Packet& p) {
   if (wire.size() < kIpv4HeaderSize) return err("packet shorter than IPv4 header");
   if ((wire[0] >> 4) != 4) return err("not an IPv4 packet");
   std::size_t ihl = static_cast<std::size_t>(wire[0] & 0xf) * 4;
@@ -88,7 +95,16 @@ Result<Packet> Packet::parse(ByteView wire) {
   if (internet_checksum(wire.subspan(0, kIpv4HeaderSize)) != 0)
     return err("bad IPv4 header checksum");
 
-  Packet p;
+  // Reset every field a reused packet may carry (payload/annotations
+  // keep their buffer capacity, only the contents are replaced).
+  p.src_port = p.dst_port = 0;
+  p.seq = p.ack = 0;
+  p.tcp_flags = p.icmp_type = p.icmp_code = 0;
+  p.icmp_id = p.icmp_seq = 0;
+  p.dropped = false;
+  p.flow_hint = 0;
+  p.decrypted_payload.clear();
+
   p.tos = wire[1];
   std::uint16_t total_len = get_u16(wire.data() + 2);
   if (total_len > wire.size() || total_len < kIpv4HeaderSize)
@@ -140,11 +156,12 @@ Result<Packet> Packet::parse(ByteView wire) {
       default:
         return err("unsupported IP protocol " + std::to_string(proto_num));
     }
-    p.payload = r.rest();
+    ByteView payload = r.rest_view();
+    p.payload.assign(payload.begin(), payload.end());
   } catch (const std::out_of_range&) {
     return err("truncated L4 header");
   }
-  return p;
+  return {};
 }
 
 std::string Packet::summary() const {

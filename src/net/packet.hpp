@@ -75,6 +75,10 @@ struct Packet {
   void serialize_into(Bytes& out) const;
   /// Parses wire bytes; verifies lengths and the IP header checksum.
   static Result<Packet> parse(ByteView wire);
+  /// Parses into an existing packet, reusing its payload capacity (the
+  /// pooled ingress path parses without allocating). All fields are
+  /// overwritten; on error `out` is left in an unspecified state.
+  static Status parse_into(ByteView wire, Packet& out);
 
   std::string summary() const;
 

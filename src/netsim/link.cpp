@@ -14,11 +14,16 @@ sim::Duration Link::serialisation(std::size_t bytes) const {
 }
 
 sim::Time Link::transmit(sim::Time now, std::size_t bytes) {
+  return transmit_burst(now, bytes, 1);
+}
+
+sim::Time Link::transmit_burst(sim::Time now, std::size_t bytes,
+                               std::size_t frames) {
   sim::Time start = std::max(now, free_at_);
   sim::Duration ser = serialisation(bytes);
   free_at_ = start + static_cast<sim::Time>(ser);
   busy_ns_ += static_cast<double>(ser);
-  ++frames_;
+  frames_ += frames;
   bytes_ += bytes;
   return free_at_ + static_cast<sim::Time>(latency_);
 }
@@ -44,6 +49,13 @@ void Link::reset() {
 sim::Time Path::deliver(sim::Time now, std::size_t bytes) {
   sim::Time t = now;
   for (Link* link : links_) t = link->transmit(t, bytes);
+  return t;
+}
+
+sim::Time Path::deliver_burst(sim::Time now, std::size_t bytes,
+                              std::size_t frames) {
+  sim::Time t = now;
+  for (Link* link : links_) t = link->transmit_burst(t, bytes, frames);
   return t;
 }
 

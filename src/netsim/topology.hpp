@@ -53,6 +53,12 @@ class StarTopology {
   /// time and updates per-link counters.
   sim::Time deliver_to_server(std::size_t i, sim::Time now, std::size_t bytes);
 
+  /// Delivers a back-to-back burst of `frames` frames totalling `bytes`
+  /// from client `i` (the wire shape the batched data path produces);
+  /// returns the last frame's arrival.
+  sim::Time deliver_burst_to_server(std::size_t i, sim::Time now,
+                                    std::size_t bytes, std::size_t frames);
+
   /// Total bytes that crossed the shared uplink (the server-side
   /// aggregate the Fig 10 throughput curves measure).
   std::uint64_t aggregate_bytes() const { return uplink_.bytes(); }

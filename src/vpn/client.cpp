@@ -1,5 +1,7 @@
 #include "vpn/client.hpp"
 
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -44,14 +46,14 @@ Status VpnClientSession::process_handshake_reply(const WireMessage& reply) {
     Bytes signature = r.take(8);
 
     // Server authentication: signature over the transcript with the
-    // pinned server key (prevents MITM replies).
-    Bytes transcript;
-    transcript.reserve(2 + client_nonce_->size() + server_nonce.size() +
-                       encrypted_seed.size());
-    put_u16(transcript, chosen_version);
-    append(transcript, *client_nonce_);
-    append(transcript, server_nonce);
-    append(transcript, encrypted_seed);
+    // pinned server key (prevents MITM replies). The transcript layout
+    // is fixed-size ([version:2][client_nonce:16][server_nonce:16]
+    // [encrypted_seed:8]), so it assembles on the stack.
+    std::array<std::uint8_t, 2 + 16 + 16 + 8> transcript;
+    put_u16(transcript.data(), chosen_version);
+    std::memcpy(transcript.data() + 2, client_nonce_->data(), 16);
+    std::memcpy(transcript.data() + 18, server_nonce.data(), 16);
+    std::memcpy(transcript.data() + 34, encrypted_seed.data(), 8);
     if (!crypto::rsa_verify(server_key_, transcript, signature))
       return err("handshake reply signature invalid");
 
@@ -103,9 +105,15 @@ std::vector<WireMessage> VpnClientSession::seal_packet(ByteView ip_packet) {
 
 void VpnClientSession::seal_packet_wire(ByteView ip_packet,
                                         std::vector<Bytes>& frames) {
-  if (!keys_) throw std::logic_error("VpnClientSession: not established");
   frames.resize(fragment_count(ip_packet.size(), config_.mtu));
-  for_each_fragment(
+  seal_packet_wire_at(ip_packet, frames, 0);
+}
+
+std::size_t VpnClientSession::seal_packet_wire_at(ByteView ip_packet,
+                                                  std::vector<Bytes>& frames,
+                                                  std::size_t at) {
+  if (!keys_) throw std::logic_error("VpnClientSession: not established");
+  std::size_t count = for_each_fragment(
       ip_packet, config_.mtu, next_packet_id_, next_frag_id_++,
       [&](const FragmentHeader& frag, ByteView slice) {
         MsgType type = seal_fragment(frag, slice, seal_scratch_);
@@ -114,17 +122,21 @@ void VpnClientSession::seal_packet_wire(ByteView ip_packet,
         std::uint8_t* header = seal_scratch_.prepend(kWireHeaderSize);
         header[0] = static_cast<std::uint8_t>(type);
         put_u32(header + 1, session_id_);
-        frames[frag.index].assign(seal_scratch_.view().begin(),
-                                  seal_scratch_.view().end());
+        std::size_t slot = at + frag.index;
+        if (frames.size() <= slot) frames.emplace_back();
+        frames[slot].assign(seal_scratch_.view().begin(),
+                            seal_scratch_.view().end());
       });
   ++packets_sealed_;
+  return at + count;
 }
 
-Result<std::optional<Bytes>> VpnClientSession::open_data(const WireMessage& msg) {
+Result<std::optional<Bytes>> VpnClientSession::open_body(MsgType type,
+                                                         Bytes&& body) {
   if (!keys_) return err("not established");
-  Result<OpenedBody> opened = msg.type == MsgType::Data
-                                  ? open_data_body(*keys_, msg.body)
-                                  : open_integrity_body(*keys_, msg.body);
+  Result<OpenedBody> opened = type == MsgType::Data
+                                  ? open_data_body(*keys_, std::move(body))
+                                  : open_integrity_body(*keys_, std::move(body));
   if (!opened.ok()) {
     ++auth_failures_;
     return err(opened.error());
@@ -134,6 +146,21 @@ Result<std::optional<Bytes>> VpnClientSession::open_data(const WireMessage& msg)
   if (!whole) return std::optional<Bytes>{};
   ++packets_opened_;
   return std::optional<Bytes>{std::move(*whole)};
+}
+
+Result<std::optional<Bytes>> VpnClientSession::open_data(const WireMessage& msg) {
+  Bytes body(msg.body.begin(), msg.body.end());
+  return open_body(msg.type, std::move(body));
+}
+
+Result<std::optional<Bytes>> VpnClientSession::open_data_frame(
+    ByteView frame, Bytes&& body_scratch) {
+  if (frame.size() < kWireHeaderSize) return err("data frame: truncated header");
+  auto type = static_cast<MsgType>(frame[0]);
+  if (type != MsgType::Data && type != MsgType::DataIntegrityOnly)
+    return err("data frame: not a data message");
+  body_scratch.assign(frame.begin() + kWireHeaderSize, frame.end());
+  return open_body(type, std::move(body_scratch));
 }
 
 WireMessage VpnClientSession::create_ping() {
@@ -147,6 +174,21 @@ WireMessage VpnClientSession::create_ping() {
   msg.session_id = session_id_;
   msg.body = seal_ping_body(*keys_, info);
   return msg;
+}
+
+void VpnClientSession::create_ping_wire(Bytes& frame) {
+  if (!keys_) throw std::logic_error("VpnClientSession: not established");
+  PingInfo info;
+  info.seq = next_ping_seq_++;
+  info.config_version = config_.config_version;
+  info.grace_period_secs = 0;
+  // Same scratch discipline as the data path: body sealed into the
+  // session buffer, wire header prepended into its headroom.
+  seal_ping_body(*keys_, info, seal_scratch_);
+  std::uint8_t* header = seal_scratch_.prepend(kWireHeaderSize);
+  header[0] = static_cast<std::uint8_t>(MsgType::Ping);
+  put_u32(header + 1, session_id_);
+  frame.assign(seal_scratch_.view().begin(), seal_scratch_.view().end());
 }
 
 Result<PingInfo> VpnClientSession::process_ping(const WireMessage& msg) {

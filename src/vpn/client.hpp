@@ -49,12 +49,29 @@ class VpnClientSession {
   /// element's capacity is reused, so steady-state calls with stable
   /// packet sizes perform no heap allocation.
   void seal_packet_wire(ByteView ip_packet, std::vector<Bytes>& frames);
+  /// Batch-friendly variant: writes this packet's frames into
+  /// `frames[at..]`, growing the vector only when the burst needs more
+  /// slots and reusing existing slots' capacity. Returns the index one
+  /// past the last frame written, so callers chain packets:
+  /// `n = seal_packet_wire_at(p0, frames, 0); n = seal_packet_wire_at(p1, frames, n);`
+  std::size_t seal_packet_wire_at(ByteView ip_packet, std::vector<Bytes>& frames,
+                                  std::size_t at);
   /// Opens a data message from the server; returns the reassembled IP
   /// packet when a fragment group completes, nullopt while pending.
   Result<std::optional<Bytes>> open_data(const WireMessage& msg);
+  /// Opens a complete data frame ([type][session_id][body]) without
+  /// materialising a WireMessage: the body is copied into
+  /// `body_scratch` (capacity reused) and decrypted in place, and the
+  /// returned payload occupies that same buffer — recycle it through a
+  /// pool and the steady-state open allocates nothing.
+  Result<std::optional<Bytes>> open_data_frame(ByteView frame, Bytes&& body_scratch);
 
   // ---- Control channel --------------------------------------------------
   WireMessage create_ping();
+  /// Seals a ping directly into a complete wire frame through the
+  /// per-session scratch; reusing `frame` makes the control path
+  /// allocation-free in steady state.
+  void create_ping_wire(Bytes& frame);
   Result<PingInfo> process_ping(const WireMessage& msg);
 
   void set_config_version(std::uint32_t version) { config_.config_version = version; }
@@ -71,6 +88,9 @@ class VpnClientSession {
  private:
   MsgType seal_fragment(const FragmentHeader& frag, ByteView slice,
                         WireBuffer& scratch);
+  /// Shared open core: verify/decrypt `body` in place, replay-check,
+  /// reassemble. `body` is consumed (its buffer becomes the payload).
+  Result<std::optional<Bytes>> open_body(MsgType type, Bytes&& body);
 
   Rng& rng_;
   ca::Certificate certificate_;

@@ -1,5 +1,8 @@
 #include "vpn/server.hpp"
 
+#include <array>
+#include <cstring>
+
 #include "crypto/hmac.hpp"
 
 namespace endbox::vpn {
@@ -59,13 +62,14 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
     Bytes server_nonce = rng_.bytes(16);
     Bytes encrypted_seed = crypto::rsa_encrypt(cert->subject_key, seed);
 
-    Bytes transcript;
-    transcript.reserve(2 + client_nonce.size() + server_nonce.size() +
-                       encrypted_seed.size());
-    put_u16(transcript, chosen_version);
-    append(transcript, client_nonce);
-    append(transcript, server_nonce);
-    append(transcript, encrypted_seed);
+    // Fixed-size transcript ([version:2][client_nonce:16]
+    // [server_nonce:16][encrypted_seed:8]) assembled on the stack —
+    // mirrors the enclave side, no per-handshake heap traffic.
+    std::array<std::uint8_t, 2 + 16 + 16 + 8> transcript;
+    put_u16(transcript.data(), chosen_version);
+    std::memcpy(transcript.data() + 2, client_nonce.data(), 16);
+    std::memcpy(transcript.data() + 18, server_nonce.data(), 16);
+    std::memcpy(transcript.data() + 34, encrypted_seed.data(), 8);
     Bytes signature = crypto::rsa_sign(key_, transcript);
 
     std::uint32_t session_id = next_session_id_++;
@@ -163,19 +167,29 @@ std::vector<WireMessage> VpnServer::seal_packet(std::uint32_t session_id,
 
 void VpnServer::seal_packet_wire(std::uint32_t session_id, ByteView ip_packet,
                                  std::vector<Bytes>& frames) {
+  frames.resize(fragment_count(ip_packet.size(), config_.mtu));
+  seal_packet_wire_at(session_id, ip_packet, frames, 0);
+}
+
+std::size_t VpnServer::seal_packet_wire_at(std::uint32_t session_id,
+                                           ByteView ip_packet,
+                                           std::vector<Bytes>& frames,
+                                           std::size_t at) {
   Session* session = find_session(session_id);
   if (!session) throw std::logic_error("VpnServer: unknown session");
-  frames.resize(fragment_count(ip_packet.size(), config_.mtu));
-  for_each_fragment(
+  std::size_t count = for_each_fragment(
       ip_packet, config_.mtu, session->next_packet_id, session->next_frag_id++,
       [&](const FragmentHeader& frag, ByteView slice) {
         seal_data_body(session->keys, frag, slice, rng_, session->seal_scratch);
         std::uint8_t* header = session->seal_scratch.prepend(kWireHeaderSize);
         header[0] = static_cast<std::uint8_t>(MsgType::Data);
         put_u32(header + 1, session_id);
-        frames[frag.index].assign(session->seal_scratch.view().begin(),
-                                  session->seal_scratch.view().end());
+        std::size_t slot = at + frag.index;
+        if (frames.size() <= slot) frames.emplace_back();
+        frames[slot].assign(session->seal_scratch.view().begin(),
+                            session->seal_scratch.view().end());
       });
+  return at + count;
 }
 
 WireMessage VpnServer::create_ping(std::uint32_t session_id) {

@@ -68,6 +68,11 @@ class VpnServer {
   /// VpnClientSession::seal_packet_wire).
   void seal_packet_wire(std::uint32_t session_id, ByteView ip_packet,
                         std::vector<Bytes>& frames);
+  /// Batch-append variant mirroring VpnClientSession::seal_packet_wire_at:
+  /// writes this packet's frames at `frames[at..]`, reusing slot
+  /// capacity, and returns the index one past the last frame written.
+  std::size_t seal_packet_wire_at(std::uint32_t session_id, ByteView ip_packet,
+                                  std::vector<Bytes>& frames, std::size_t at);
 
   /// Builds the periodic server ping announcing the current config
   /// version and remaining grace (section III-E, step 4).

@@ -161,15 +161,21 @@ Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body) {
   return open_integrity_body(keys, Bytes(body.begin(), body.end()));
 }
 
+void seal_ping_body(const SessionKeys& keys, const PingInfo& info,
+                    WireBuffer& out) {
+  out.reset(kSealHeadroom);
+  out.reserve_tail(16 + kMacSize);
+  std::uint8_t* p = out.append(16);
+  put_u64(p, info.seq);
+  put_u32(p + 8, info.config_version);
+  put_u32(p + 12, info.grace_period_secs);
+  append_mac(keys, "ping", out);
+}
+
 Bytes seal_ping_body(const SessionKeys& keys, const PingInfo& info) {
-  Bytes body;
-  body.reserve(16 + kMacSize);
-  put_u64(body, info.seq);
-  put_u32(body, info.config_version);
-  put_u32(body, info.grace_period_secs);
-  crypto::Sha256Digest mac = mac_over(keys, "ping", body);
-  append(body, ByteView(mac.data(), mac.size()));
-  return body;
+  WireBuffer out;
+  seal_ping_body(keys, info, out);
+  return out.take();
 }
 
 Result<PingInfo> open_ping_body(const SessionKeys& keys, ByteView body) {

@@ -91,6 +91,10 @@ Result<OpenedBody> open_integrity_body(const SessionKeys& keys, ByteView body);
 
 /// Ping bodies (control channel).
 Bytes seal_ping_body(const SessionKeys& keys, const PingInfo& info);
+/// Seals a ping body into `out` (reset with kSealHeadroom so a wire
+/// header can be prepended); steady-state reuse allocates nothing.
+void seal_ping_body(const SessionKeys& keys, const PingInfo& info,
+                    WireBuffer& out);
 Result<PingInfo> open_ping_body(const SessionKeys& keys, ByteView body);
 
 }  // namespace endbox::vpn

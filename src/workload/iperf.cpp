@@ -29,13 +29,14 @@ IperfReport IperfHarness::run() {
     IperfSource& source = sources_[next.source];
 
     SendOutcome sent = source.send(next.ready);
-    ++report.writes_sent;
+    report.writes_sent += sent.writes;
     report.wire_messages += sent.wire.size();
 
     // Deliver wire messages: the source's own path, else the shared
     // bottleneck link (if any), then the server.
     sim::Time server_done = next.ready;
     bool delivered = false;
+    std::uint32_t writes_completed = 0;
     for (const Bytes& wire : sent.wire) {
       sim::Time arrival =
           source.path.hops() > 0
@@ -45,15 +46,23 @@ IperfReport IperfHarness::run() {
       ServeOutcome served = serve_(wire, arrival);
       server_done = std::max(server_done, served.done);
       delivered |= served.delivered;
+      if (served.delivered && served.done < end) ++writes_completed;
     }
-    if (delivered && server_done < end) {
-      ++report.writes_delivered;
+    if (sent.writes <= 1) {
+      // Historical single-write rule: the write counts when any of its
+      // frames completed an application write before the deadline.
+      if (delivered && server_done < end) ++report.writes_delivered;
+    } else {
+      // Burst sources: every completed reassembly is one delivered
+      // application write (capped by the writes actually sent).
+      report.writes_delivered += std::min(writes_completed, sent.writes);
     }
 
-    // Schedule the next write for this source.
+    // Schedule the next write (or burst) for this source.
     sim::Time next_ready = sent.done;
     if (source.offered_bps > 0) {
-      auto gap = static_cast<sim::Time>(static_cast<double>(source.write_size) * 8.0 /
+      auto gap = static_cast<sim::Time>(static_cast<double>(source.write_size) * 8.0 *
+                                        static_cast<double>(sent.writes) /
                                         source.offered_bps * 1e9);
       next_ready = std::max(next_ready, next.ready + gap);
     }

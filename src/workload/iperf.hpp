@@ -22,6 +22,8 @@ namespace endbox::workload {
 struct SendOutcome {
   std::vector<Bytes> wire;  ///< tunnel messages (>= 1 per write when fragmented)
   sim::Time done = 0;       ///< client CPU completion
+  std::uint32_t writes = 1; ///< application writes in this outcome (burst > 1
+                            ///< sources produce several per send call)
 };
 
 struct ServeOutcome {

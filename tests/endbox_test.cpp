@@ -2,6 +2,7 @@
 // middlebox use cases end to end, config updates, optimisations.
 #include <gtest/gtest.h>
 
+#include "endbox/testbed.hpp"
 #include "endbox_world.hpp"
 
 namespace endbox {
@@ -430,6 +431,25 @@ TEST(EndBox, PipelineCostOrdering) {
   EXPECT_LT(nop, fw);
   EXPECT_LT(fw, idps);
   EXPECT_LT(idps, ddos);
+}
+
+TEST(EndBox, TestbedBurstIperfDeliversAtLeastPerPacketGoodput) {
+  // The batched source (PacketBatch + batch ecall + pooled buffers)
+  // must not lose traffic, and amortising the per-packet enclave
+  // transition can only help goodput.
+  Testbed per_packet(Setup::EndBoxSgx, UseCase::Fw);
+  per_packet.add_client();
+  auto single = per_packet.run_iperf(1500, 0, sim::from_seconds(0.05));
+
+  Testbed batched(Setup::EndBoxSgx, UseCase::Fw);
+  batched.add_client();
+  auto burst = batched.run_iperf(1500, 0, sim::from_seconds(0.05), /*burst=*/32);
+
+  ASSERT_GT(single.writes_delivered, 0u);
+  ASSERT_GT(burst.writes_delivered, 0u);
+  EXPECT_GE(burst.throughput_mbps, single.throughput_mbps);
+  // Every write still arrives as its own tunnel frame.
+  EXPECT_EQ(burst.wire_messages, burst.writes_sent);
 }
 
 }  // namespace

@@ -103,6 +103,91 @@ TEST(AhoCorasick, AddAfterBuildThrows) {
   EXPECT_THROW(ac.add_pattern(to_bytes("x"), 1), std::logic_error);
 }
 
+TEST(AhoCorasick, MatchMultiAgreesWithPerTextMatch) {
+  // Property: the interleaved multi-stream walk reports, per stream,
+  // exactly the matches (ids, offsets, order) of a solo match() over
+  // that stream — across mixed lengths, empty texts and >16 streams
+  // (several lane groups).
+  Rng rng(0xac);
+  AhoCorasick automaton;
+  auto rules = generate_community_ruleset(53, rng);
+  int id = 0;
+  for (const auto& rule : rules)
+    for (const auto& content : rule.contents) automaton.add_pattern(content.bytes, id++);
+  automaton.add_pattern(to_bytes("xyz"), id++);
+  automaton.add_pattern(to_bytes("yzx"), id++);
+  automaton.build();
+
+  std::vector<Bytes> texts;
+  for (std::size_t k = 0; k < 41; ++k) {
+    Bytes text = rng.bytes(k * 37 % 600);
+    // Sprinkle known patterns so matches actually occur.
+    if (text.size() > 8 && k % 3 == 0) {
+      Bytes evil = to_bytes("xyzxyz");
+      std::copy(evil.begin(), evil.end(), text.begin() + 2);
+    }
+    texts.push_back(std::move(text));
+  }
+  texts.emplace_back();  // empty stream
+
+  std::vector<ByteView> views(texts.begin(), texts.end());
+  std::vector<std::vector<AcMatch>> multi(views.size());
+  std::size_t total = automaton.match_multi(views, [&](std::size_t s, const AcMatch& m) {
+    multi[s].push_back(m);
+    return true;
+  });
+
+  std::size_t expected_total = 0;
+  for (std::size_t s = 0; s < texts.size(); ++s) {
+    auto solo = automaton.match(texts[s]);
+    expected_total += solo.size();
+    ASSERT_EQ(multi[s].size(), solo.size()) << "stream " << s;
+    for (std::size_t k = 0; k < solo.size(); ++k) {
+      EXPECT_EQ(multi[s][k].pattern_id, solo[k].pattern_id);
+      EXPECT_EQ(multi[s][k].end_offset, solo[k].end_offset);
+    }
+  }
+  EXPECT_EQ(total, expected_total);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(IdpsEngine, InspectBatchAgreesWithPerPacketInspect) {
+  Rng rng(0xeb);
+  IdpsEngine a(generate_community_ruleset(61, rng));
+  Rng rng2(0xeb);
+  IdpsEngine b(generate_community_ruleset(61, rng2));
+
+  std::vector<Packet> packets;
+  for (std::size_t k = 0; k < 40; ++k) {
+    Packet p = Packet::udp(Ipv4(10, 8, 0, 2), Ipv4(10, 0, 0, 1),
+                           static_cast<std::uint16_t>(1000 + k), 80,
+                           rng.bytes(30 + k * 13 % 400));
+    packets.push_back(std::move(p));
+  }
+
+  std::vector<IdpsVerdict> single;
+  for (const Packet& p : packets) single.push_back(a.inspect(p));
+
+  std::vector<const Packet*> ptrs;
+  std::vector<ByteView> payloads;
+  for (const Packet& p : packets) {
+    ptrs.push_back(&p);
+    payloads.push_back(p.payload);
+  }
+  std::vector<IdpsVerdict> batch(packets.size());
+  IdpsEngine::BatchScratch scratch;
+  b.inspect_batch(ptrs, payloads, scratch, batch.data());
+
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    EXPECT_EQ(batch[k].matched, single[k].matched) << k;
+    EXPECT_EQ(batch[k].drop, single[k].drop) << k;
+    EXPECT_EQ(batch[k].sid, single[k].sid) << k;
+  }
+  EXPECT_EQ(a.packets_inspected(), b.packets_inspected());
+  EXPECT_EQ(a.alerts(), b.alerts());
+  EXPECT_EQ(a.drops(), b.drops());
+}
+
 TEST(AhoCorasick, EarlyExitStopsMatching) {
   AhoCorasick ac;
   ac.add_pattern(to_bytes("a"), 1);

@@ -123,6 +123,44 @@ TEST(ScalabilityTest, TopologyCountsAggregateTraffic) {
     EXPECT_EQ(world.topology.client_bytes(i), world.topology.client_bytes(0));
 }
 
+TEST(ScalabilityTest, BatchedWorldDeliversIdenticalTrafficForLess) {
+  // The batched data path (one ecall + one virtual-call chain per
+  // burst) must deliver exactly the same packets as the per-packet
+  // path; the server does the same per-frame work, while clients get
+  // cheaper (amortised transitions), which is the batching win.
+  World per_packet(scale_options(8));
+  auto baseline = per_packet.run_uniform_traffic(kPacketsPerClient);
+
+  World batched(scale_options(8));
+  auto burst = batched.run_uniform_traffic_batched(kPacketsPerClient, 32);
+
+  EXPECT_EQ(burst.offered, baseline.offered);
+  EXPECT_EQ(burst.delivered, baseline.delivered);
+  EXPECT_EQ(burst.per_client_delivered, baseline.per_client_delivered);
+  // Identical frames hit the server, so its work stays within noise.
+  EXPECT_LE(burst.server_busy_core_ns, baseline.server_busy_core_ns * 1.01);
+  // The uplink carried the same bytes and frames (bursts back to back).
+  EXPECT_EQ(batched.topology.aggregate_bytes(),
+            per_packet.topology.aggregate_bytes());
+  EXPECT_EQ(batched.topology.aggregate_frames(),
+            per_packet.topology.aggregate_frames());
+}
+
+TEST(ScalabilityTest, BatchedClientCostBelowPerPacketCost) {
+  // Client-side virtual-time cost per packet must drop under batching:
+  // the enclave transition and the element-entry chain amortise over
+  // the burst.
+  World per_packet(scale_options(1));
+  World batched(scale_options(1));
+  auto r1 = per_packet.run_uniform_traffic(kPacketsPerClient * 4);
+  auto r2 = batched.run_uniform_traffic_batched(kPacketsPerClient * 4, 50);
+  ASSERT_EQ(r1.delivered, r2.delivered);
+  double busy_single = per_packet.rigs[0]->cpu.busy_core_ns();
+  double busy_batched = batched.rigs[0]->cpu.busy_core_ns();
+  EXPECT_LT(busy_batched, busy_single)
+      << "batching did not reduce the modelled client cost";
+}
+
 TEST(ScalabilityTest, DifferentSeedsDifferentKeyMaterial) {
   World a(scale_options(2));
   WorldOptions other = scale_options(2);
