@@ -7,11 +7,14 @@
 // Aho-Corasick) and the PR-3 batched element graph (PacketBatch +
 // PacketPool vs packet-at-a-time pushes) are benchmarked side by side
 // with the per-packet/reference paths that stayed callable for exactly
-// this purpose. Running with `--json [path]` skips google-benchmark and
-// instead writes a before/after summary (default BENCH_pr3.json) that
-// CI diffs against the checked-in baselines.
+// this purpose, and the PR-4 sharded chain (per-core element-graph
+// clones, critical-path costing) against its single-shard baseline.
+// Running with `--json [path]` skips google-benchmark and instead
+// writes a before/after summary (default BENCH_pr4.json) that CI diffs
+// against the checked-in baselines.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +23,7 @@
 
 #include "click/packet_batch.hpp"
 #include "click/router.hpp"
+#include "click/sharded_router.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
@@ -121,6 +125,89 @@ struct ChainBench {
     }
     router->push_batch_to("from_device", std::move(batch));
     recycle = false;
+  }
+};
+
+// The same chain cloned into N element-graph shards with per-shard
+// contexts and pools (the enclave's sharded layout). The canonical
+// burst is 64 packets over 32 flows; each packet's shard follows the
+// RSS FlowKey hash, so the assignment is deterministic. run_shard(s)
+// builds and runs shard s's share of the burst on the calling thread —
+// PR-4's bench methodology times each shard serially and reports the
+// burst's critical path (the slowest shard), i.e. the completion time
+// when every shard owns a core, matching the repo's virtual-time cost
+// model (CI containers often expose a single core, where wall-clock
+// parallel timing would measure the scheduler instead of the router).
+struct ShardedChainBench {
+  static constexpr std::size_t kBurst = click::PacketBatch::kMaxBurst;
+  static constexpr std::size_t kFlows = 32;
+
+  struct Rig {
+    elements::ElementContext context;
+    tls::SessionKeyStore store;
+    click::ElementRegistry registry;
+    net::PacketPool pool;
+    std::uint64_t accepted = 0;
+    Rig() : registry(elements::make_endbox_registry(context)) {}
+  };
+
+  std::vector<idps::SnortRule> rules;
+  std::vector<std::unique_ptr<Rig>> rigs;
+  std::unique_ptr<click::ShardedRouter> router;
+  std::vector<std::size_t> shard_of_packet;  // packet index -> shard
+
+  explicit ShardedChainBench(std::size_t shards, std::size_t ids_rules = 377) {
+    Rng rules_rng(7);
+    rules = idps::generate_community_ruleset(ids_rules, rules_rng);
+    auto built = click::ShardedRouter::create(
+        chain_config(), shards, [this](std::size_t i, const std::string& cfg) {
+          while (rigs.size() <= i) {
+            auto rig = std::make_unique<Rig>();
+            rig->context.key_store = &rig->store;
+            rig->context.rulesets["bench"] = rules;
+            Rig* raw = rig.get();
+            rig->context.to_device = [raw](net::Packet&& packet, bool ok) {
+              raw->accepted += ok;
+              raw->pool.release(std::move(packet));
+            };
+            rigs.push_back(std::move(rig));
+          }
+          return click::Router::from_config(cfg, rigs[i]->registry);
+        });
+    if (!built.ok()) std::abort();
+    router = std::move(*built);
+    for (std::size_t k = 0; k < kBurst; ++k) {
+      net::FlowKey key{net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1),
+                       static_cast<std::uint16_t>(40000 + k % kFlows), 5001,
+                       net::IpProto::Udp};
+      shard_of_packet.push_back(click::shard_of(key, shards));
+    }
+  }
+
+  std::size_t shard_packets(std::size_t s) const {
+    std::size_t n = 0;
+    for (std::size_t shard : shard_of_packet) n += shard == s;
+    return n;
+  }
+
+  /// Builds and runs shard `s`'s share of the canonical burst (pool-
+  /// backed packets, one push_batch into that shard's graph).
+  void run_shard(std::size_t s, const Bytes& payload) {
+    Rig& rig = *rigs[s];
+    click::PacketBatch batch;
+    for (std::size_t k = 0; k < kBurst; ++k) {
+      if (shard_of_packet[k] != s) continue;
+      net::Packet packet = rig.pool.acquire();
+      packet.src = net::Ipv4(10, 8, 0, 2);
+      packet.dst = net::Ipv4(10, 0, 0, 1);
+      packet.proto = net::IpProto::Udp;
+      packet.src_port = static_cast<std::uint16_t>(40000 + k % kFlows);
+      packet.dst_port = 5001;
+      packet.payload.assign(payload.begin(), payload.end());
+      batch.push_back(std::move(packet));
+    }
+    if (!batch.empty())
+      router->shard(s).push_batch_to("from_device", std::move(batch));
   }
 };
 
@@ -464,6 +551,38 @@ int run_json_mode(const std::string& path) {
   chain_pair(64, 377, community64_batch, community64_single);
   chain_pair(1500, 377, community1500_batch, community1500_single);
 
+  // PR-4: the sharded chain. Each shard's share of the canonical
+  // 64-packet/32-flow burst is timed serially (thread CPU time); the
+  // burst's cost at N shards is its critical path — the slowest shard —
+  // which is the completion time when every shard owns a core. Reported
+  // per packet of the whole burst, so the N-shard rows read as
+  // aggregate throughput.
+  constexpr std::size_t kShardBurst = ShardedChainBench::kBurst;
+  Rng shard_rng(9);
+  Bytes shard_payload = shard_rng.bytes(kPayload);
+  auto sharded_burst_ns = [&](std::size_t shards) {
+    ShardedChainBench bench(shards);
+    double critical = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (bench.shard_packets(s) == 0) continue;
+      double ns = time_ns_per_op([&] { bench.run_shard(s, shard_payload); });
+      critical = std::max(critical, ns);
+    }
+    return critical;
+  };
+  double sharded1 = sharded_burst_ns(1) / static_cast<double>(kShardBurst);
+  double sharded2 = sharded_burst_ns(2) / static_cast<double>(kShardBurst);
+  double sharded4 = sharded_burst_ns(4) / static_cast<double>(kShardBurst);
+
+  // Single-shard overhead row: the 1-shard ShardedRouter against the
+  // plain Router driven identically (same flows, pool, payload) —
+  // interleaved so the ratio isolates the sharding layer's overhead.
+  ChainBench plain_chain(377);
+  ShardedChainBench one_shard(1);
+  auto [one_shard_ns, plain_ns] = time_pair_ns_per_op(
+      [&] { one_shard.run_shard(0, shard_payload); },
+      [&] { plain_chain.run_batch(shard_payload, kShardBurst); });
+
   Comparison comparisons[] = {
       {"seal_data_1500B", seal_new, seal_ref},
       {"open_data_1500B", open_new, open_ref},
@@ -474,6 +593,15 @@ int run_json_mode(const std::string& path) {
       {"click_chain_community_64B_burst64", community64_batch, community64_single},
       {"click_chain_community_1500B_burst64", community1500_batch,
        community1500_single},
+      // new = N-shard critical path, ref = the 1-shard burst: speedup is
+      // the aggregate-throughput gain of sharding.
+      {"sharded_chain_community_1500B_burst64_2shards", sharded2, sharded1},
+      {"sharded_chain_community_1500B_burst64_4shards", sharded4, sharded1},
+      // new = 1-shard ShardedRouter, ref = plain Router: speedup ~1.0
+      // shows the sharding layer costs nothing when not sharded.
+      {"sharded_chain_1shard_vs_plain_1500B_burst64",
+       one_shard_ns / static_cast<double>(kShardBurst),
+       plain_ns / static_cast<double>(kShardBurst)},
   };
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -481,11 +609,14 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"pr\": 3,\n  \"payload_bytes\": %zu,\n", kPayload);
+  std::fprintf(f, "{\n  \"pr\": 4,\n  \"payload_bytes\": %zu,\n", kPayload);
   std::fprintf(f,
                "  \"note\": \"ref = pre-PR implementation kept callable "
                "in-tree; click_chain rows are ns/packet for 64-packet bursts "
-               "(batched vs per-packet)\",\n");
+               "(batched vs per-packet); sharded_chain rows are critical-path "
+               "ns/packet for a 64-packet 32-flow burst, each shard timed "
+               "serially and the burst costed at the slowest shard (one core "
+               "per shard, the virtual-time model)\",\n");
   std::fprintf(f, "  \"results\": {\n");
   for (std::size_t i = 0; i < std::size(comparisons); ++i) {
     const Comparison& c = comparisons[i];
@@ -502,7 +633,7 @@ int run_json_mode(const std::string& path) {
   std::fclose(f);
 
   for (const Comparison& c : comparisons)
-    std::printf("%-18s new %9.1f ns/op   ref %9.1f ns/op   speedup %.2fx\n",
+    std::printf("%-45s new %9.1f ns/op   ref %9.1f ns/op   speedup %.2fx\n",
                 c.name, c.ns_new, c.ns_ref, c.speedup());
   std::printf("wrote %s\n", path.c_str());
   return 0;
@@ -513,7 +644,7 @@ int run_json_mode(const std::string& path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      std::string path = "BENCH_pr3.json";
+      std::string path = "BENCH_pr4.json";
       if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
       return run_json_mode(path);
     }

@@ -9,14 +9,19 @@ when its current speedup falls more than --tolerance (default 15%)
 below the baseline's recorded speedup.
 
 Usage:
-  check_bench_regression.py CURRENT.json BASELINE.json [BASELINE2.json ...]
+  check_bench_regression.py CURRENT.json [BASELINE.json ...]
       [--tolerance 0.15]
+With no baselines given, the checked-in BENCH_pr2.json, BENCH_pr3.json
+and BENCH_pr4.json next to this script's repo root are used.
 Exit code 1 on any regression.
 """
 
 import argparse
 import json
+import os
 import sys
+
+DEFAULT_BASELINES = ["BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr4.json"]
 
 
 def load_results(path):
@@ -28,10 +33,14 @@ def load_results(path):
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("current")
-    parser.add_argument("baselines", nargs="+")
+    parser.add_argument("baselines", nargs="*")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional speedup drop (default 0.15)")
     args = parser.parse_args()
+    if not args.baselines:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        args.baselines = [os.path.join(root, name) for name in DEFAULT_BASELINES
+                          if os.path.exists(os.path.join(root, name))]
 
     current = load_results(args.current)
     if not current:

@@ -19,6 +19,8 @@ void Element::push_batch(int port, PacketBatch&& batch) {
 
 void Element::take_state(Element& /*old_element*/) {}
 
+void Element::absorb_state(Element& /*old_element*/) {}
+
 void Element::connect_output(int port, Element* target, int target_port) {
   if (port < 0) throw std::invalid_argument("negative output port");
   if (outputs_.size() <= static_cast<std::size_t>(port))

@@ -44,6 +44,14 @@ class Element {
   /// previous configuration (Click's take_state). Default: nothing.
   virtual void take_state(Element& old_element);
 
+  /// Reshard hook: *merge* state from one same-named element of a
+  /// previous shard set. Unlike take_state (a 1:1 replacement on
+  /// hot-swap), absorb_state may be called several times on the same
+  /// element — once per old shard folded into this one — so
+  /// implementations add counters, append queue contents and union flow
+  /// tables instead of overwriting. Default: nothing.
+  virtual void absorb_state(Element& old_element);
+
   /// Number of output ports this element may use (for wiring checks).
   virtual int n_outputs() const { return 1; }
   virtual int n_inputs() const { return 1; }

@@ -46,6 +46,12 @@ void Counter::take_state(Element& old_element) {
   bytes_ = old.bytes_;
 }
 
+void Counter::absorb_state(Element& old_element) {
+  auto& old = static_cast<Counter&>(old_element);
+  packets_ += old.packets_;
+  bytes_ += old.bytes_;
+}
+
 // ---- Discard ----------------------------------------------------------
 
 void Discard::push(int /*port*/, net::Packet&& /*packet*/) { ++discarded_; }
@@ -53,6 +59,10 @@ void Discard::push(int /*port*/, net::Packet&& /*packet*/) { ++discarded_; }
 void Discard::push_batch(int /*port*/, PacketBatch&& batch) {
   discarded_ += batch.size();
   batch.clear();
+}
+
+void Discard::absorb_state(Element& old_element) {
+  discarded_ += static_cast<Discard&>(old_element).discarded_;
 }
 
 // ---- Tee --------------------------------------------------------------
@@ -116,6 +126,35 @@ void Queue::push_batch(int /*port*/, PacketBatch&& batch) {
     queue_.push_back(std::move(packet));
   }
   batch.clear();
+}
+
+void Queue::append_from(Queue& old) {
+  while (!old.queue_.empty()) {
+    if (queue_.size() >= capacity_) {
+      // This queue's capacity is below the combined occupancy; the
+      // overflow is dropped, like arrivals at a full queue.
+      drops_ += old.queue_.size();
+      old.queue_.clear();
+      break;
+    }
+    queue_.push_back(std::move(old.queue_.front()));
+    old.queue_.pop_front();
+  }
+}
+
+void Queue::take_state(Element& old_element) {
+  auto& old = static_cast<Queue&>(old_element);
+  drops_ = old.drops_;
+  append_from(old);
+}
+
+void Queue::absorb_state(Element& old_element) {
+  // Contents are normally redistributed flow-accurately by the sharded
+  // router *before* absorb runs (old queues arrive empty here); the
+  // append keeps plain absorb correct on its own too.
+  auto& old = static_cast<Queue&>(old_element);
+  drops_ += old.drops_;
+  append_from(old);
 }
 
 std::optional<net::Packet> Queue::pop() {
@@ -228,6 +267,14 @@ void RoundRobinSwitch::take_state(Element& old_element) {
     if (out < n_outputs_) flow_table_.emplace(key, out);
 }
 
+void RoundRobinSwitch::absorb_state(Element& old_element) {
+  auto& old = static_cast<RoundRobinSwitch&>(old_element);
+  // Union the flow tables: a flow pinned by any old shard stays pinned
+  // (emplace keeps the first assignment on the rare key collision).
+  for (const auto& [key, out] : old.flow_table_)
+    if (out < n_outputs_) flow_table_.emplace(key, out);
+}
+
 // ---- CheckIPHeader -------------------------------------------------------
 
 namespace {
@@ -256,6 +303,10 @@ void CheckIPHeader::push_batch(int /*port*/, PacketBatch&& batch) {
   output_batch(0, std::move(batch));
   output_batch(1, std::move(reject_scratch_));
   reject_scratch_.clear();
+}
+
+void CheckIPHeader::absorb_state(Element& old_element) {
+  bad_ += static_cast<CheckIPHeader&>(old_element).bad_;
 }
 
 // ---- IPFilter -------------------------------------------------------------
@@ -376,6 +427,12 @@ void IPFilter::push_batch(int /*port*/, PacketBatch&& batch) {
   output_batch(0, std::move(batch));
   output_batch(1, std::move(reject_scratch_));
   reject_scratch_.clear();
+}
+
+void IPFilter::absorb_state(Element& old_element) {
+  auto& old = static_cast<IPFilter&>(old_element);
+  dropped_ += old.dropped_;
+  rules_evaluated_ += old.rules_evaluated_;
 }
 
 // ---- Registration ------------------------------------------------------

@@ -22,6 +22,7 @@ class Counter : public Element {
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t bytes() const { return bytes_; }
@@ -37,6 +38,7 @@ class Discard : public Element {
   std::string_view class_name() const override { return "Discard"; }
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, PacketBatch&& batch) override;
+  void absorb_state(Element& old_element) override;
   std::uint64_t discarded() const { return discarded_; }
 
  private:
@@ -64,6 +66,8 @@ class Queue : public Element {
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, PacketBatch&& batch) override;
+  void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
 
   /// Dequeues the head packet, if any (pull side).
   std::optional<net::Packet> pop();
@@ -72,6 +76,9 @@ class Queue : public Element {
   std::uint64_t drops() const { return drops_; }
 
  private:
+  /// Moves `old`'s queued packets to this tail; overflow counts as drops.
+  void append_from(Queue& old);
+
   std::size_t capacity_ = 1000;
   std::deque<net::Packet> queue_;
   std::uint64_t drops_ = 0;
@@ -112,6 +119,7 @@ class RoundRobinSwitch : public Element {
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
   int n_outputs() const override { return n_outputs_; }
 
   std::size_t tracked_flows() const { return flow_table_.size(); }
@@ -135,6 +143,7 @@ class CheckIPHeader : public Element {
   std::string_view class_name() const override { return "CheckIPHeader"; }
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, PacketBatch&& batch) override;
+  void absorb_state(Element& old_element) override;
   int n_outputs() const override { return 2; }
   std::uint64_t bad_packets() const { return bad_; }
 
@@ -174,6 +183,7 @@ class IPFilter : public Element {
   Status configure(const std::vector<std::string>& args) override;
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, PacketBatch&& batch) override;
+  void absorb_state(Element& old_element) override;
   int n_outputs() const override { return 2; }
 
   std::size_t rule_count() const { return rules_.size(); }

@@ -12,6 +12,10 @@ void FromDevice::push_batch(int /*port*/, click::PacketBatch&& batch) {
   output_batch(0, std::move(batch));
 }
 
+void FromDevice::absorb_state(Element& old_element) {
+  packets_ += static_cast<FromDevice&>(old_element).packets_;
+}
+
 void ToDevice::push(int port, net::Packet&& packet) {
   // A packet arriving on input 1, or one marked dropped anywhere in the
   // graph, was rejected by the middlebox functions.
@@ -32,6 +36,12 @@ void ToDevice::push_batch(int port, click::PacketBatch&& batch) {
     if (context_.to_device) context_.to_device(std::move(packet), accepted);
   }
   batch.clear();
+}
+
+void ToDevice::absorb_state(Element& old_element) {
+  auto& old = static_cast<ToDevice&>(old_element);
+  accepted_ += old.accepted_;
+  rejected_ += old.rejected_;
 }
 
 }  // namespace endbox::elements

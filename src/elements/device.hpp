@@ -18,6 +18,7 @@ class FromDevice : public click::Element {
   std::string_view class_name() const override { return "FromDevice"; }
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, click::PacketBatch&& batch) override;
+  void absorb_state(Element& old_element) override;
   std::uint64_t packets() const { return packets_; }
 
  private:
@@ -31,6 +32,7 @@ class ToDevice : public click::Element {
   std::string_view class_name() const override { return "ToDevice"; }
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, click::PacketBatch&& batch) override;
+  void absorb_state(Element& old_element) override;
   int n_inputs() const override { return 2; }  ///< port 1 = reject path
 
   std::uint64_t accepted() const { return accepted_; }

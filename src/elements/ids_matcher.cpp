@@ -89,4 +89,13 @@ void IDSMatcher::take_state(Element& old_element) {
   matches_ = old.matches_;
 }
 
+void IDSMatcher::absorb_state(Element& old_element) {
+  // Stream statistics merge additively; the automaton itself stays
+  // per-shard (each engine carries mutable inspection counters, so
+  // sharing one across worker threads would race).
+  auto& old = static_cast<IDSMatcher&>(old_element);
+  bytes_scanned_ += old.bytes_scanned_;
+  matches_ += old.matches_;
+}
+
 }  // namespace endbox::elements

@@ -26,6 +26,7 @@ class IDSMatcher : public click::Element {
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, click::PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
   int n_outputs() const override { return 2; }
 
   const idps::IdpsEngine* engine() const { return engine_.get(); }

@@ -92,6 +92,18 @@ void RateSplitterBase::take_state(Element& old_element) {
   over_rate_ = old.over_rate_;
 }
 
+void RateSplitterBase::absorb_state(Element& old_element) {
+  auto& old = static_cast<RateSplitterBase&>(old_element);
+  conforming_ += old.conforming_;
+  over_rate_ += old.over_rate_;
+  // Bucket state: pool the unspent tokens (capped at the configured
+  // burst) and keep the most recent refresh so merged shards never
+  // mint extra credit.
+  tokens_ = std::min(tokens_ + old.tokens_, burst_bits_);
+  last_refresh_ = std::max(last_refresh_, old.last_refresh_);
+  primed_ = primed_ || old.primed_;
+}
+
 sim::Time TrustedSplitter::acquire_time() {
   if (!have_time_ || ++packets_since_sample_ >= sample_interval_) {
     cached_time_ = context_.trusted_time ? context_.trusted_time() : 0;

@@ -52,4 +52,11 @@ void TLSDecrypt::take_state(Element& old_element) {
   key_misses_ = old.key_misses_;
 }
 
+void TLSDecrypt::absorb_state(Element& old_element) {
+  auto& old = static_cast<TLSDecrypt&>(old_element);
+  decrypted_ += old.decrypted_;
+  passthrough_ += old.passthrough_;
+  key_misses_ += old.key_misses_;
+}
+
 }  // namespace endbox::elements

@@ -24,6 +24,7 @@ class TLSDecrypt : public click::Element {
   void push(int port, net::Packet&& packet) override;
   void push_batch(int port, click::PacketBatch&& batch) override;
   void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
 
   std::uint64_t decrypted() const { return decrypted_; }
   std::uint64_t passthrough() const { return passthrough_; }

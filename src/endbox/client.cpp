@@ -11,6 +11,7 @@ EndBoxClient::EndBoxClient(std::string name, sgx::SgxPlatform& platform, Rng& rn
   enclave_options.encrypt_data = options.encrypt_data;
   enclave_options.c2c_flagging = options.c2c_flagging;
   enclave_options.mtu = options.mtu;
+  enclave_options.shards = options.shards;
   enclave_ = std::make_unique<EndBoxEnclave>(platform, options.sgx_mode,
                                              ca_public_key, rng, enclave_options);
 }
@@ -82,8 +83,9 @@ sim::Time EndBoxClient::charge_data_path_batch(sim::Time now,
   double click_cycles = 0;
   if (run_click && enclave_->router())
     click_cycles = model_.enclave_click_packet_cycles +
-                   pipeline_cycles_batch(*enclave_->router(), payload_bytes,
-                                         packets, model_);
+                   pipeline_cycles_sharded(*enclave_->router(), payload_bytes,
+                                           packets, enclave_->shard_count(),
+                                           model_);
 
   if (options_.sgx_mode == sgx::SgxMode::Hardware) {
     // A batch ecall crosses the enclave boundary once for the whole

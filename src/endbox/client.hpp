@@ -30,6 +30,9 @@ struct EndBoxClientOptions {
   /// IV-A optimisation 2: false = ISP integrity-only traffic protection.
   bool encrypt_data = true;
   std::size_t mtu = 9000;
+  /// Element-graph shards inside the enclave (RSS flow sharding, one
+  /// worker thread per shard); 1 = the single-core batched baseline.
+  std::size_t shards = 1;
 };
 
 class EndBoxClient {

@@ -23,6 +23,33 @@ EndBoxEnclave::EndBoxEnclave(sgx::SgxPlatform& platform, sgx::SgxMode mode,
     click_results_.push_back(ClickOutcome{accepted, std::move(packet)});
   };
   click_results_.reserve(click::PacketBatch::kMaxBurst);
+  if (options_.shards == 0) options_.shards = 1;
+}
+
+void EndBoxEnclave::ensure_shard_rigs(std::size_t count) {
+  while (shard_rigs_.size() < count) {
+    auto rig = std::make_unique<ShardRig>();
+    rig->context.key_store = &key_store_;
+    rig->context.rulesets = context_.rulesets;
+    // No count_ocall here: these lambdas run on shard worker threads,
+    // which must not touch the shared enclave statistics. Trusted-time
+    // reads tally into the per-shard context instead.
+    rig->context.trusted_time = [this] { return this->platform().trusted_time(); };
+    rig->context.untrusted_time = [this] { return this->platform().trusted_time(); };
+    ShardRig* raw = rig.get();
+    rig->context.to_device = [raw](net::Packet&& packet, bool accepted) {
+      // Accepted packets collect in the shard's result list (merged back
+      // into arrival order after the burst); rejected ones recycle their
+      // buffers into the shard-local pool, contention-free.
+      if (accepted) {
+        raw->results.push_back(ClickOutcome{true, std::move(packet)});
+      } else {
+        raw->pool.release(std::move(packet));
+      }
+    };
+    rig->results.reserve(click::PacketBatch::kMaxBurst);
+    shard_rigs_.push_back(std::move(rig));
+  }
 }
 
 const crypto::RsaPublicKey& EndBoxEnclave::ecall_public_key() {
@@ -96,7 +123,17 @@ Status EndBoxEnclave::ecall_install_config(const config::ConfigBundle& bundle) {
   auto text = config::open_bundle(bundle, ca_public_key_, config_key_);
   if (!text.ok()) return err("install config: " + text.error());
 
-  auto status = routers_.current() ? routers_.hot_swap(*text) : routers_.install(*text);
+  Status status;
+  if (sharded_) {
+    status = sharded_->hot_swap(*text);
+  } else if (options_.shards > 1) {
+    auto built =
+        click::ShardedRouter::create(*text, options_.shards, shard_router_factory());
+    if (built.ok()) sharded_ = std::move(*built);
+    else status = err(built.error());
+  } else {
+    status = routers_.current() ? routers_.hot_swap(*text) : routers_.install(*text);
+  }
   if (!status.ok()) return err("install config: " + status.error());
   config_version_ = bundle.version;
   if (session_) session_->set_config_version(bundle.version);
@@ -109,16 +146,51 @@ Status EndBoxEnclave::ecall_install_config(const config::ConfigBundle& bundle) {
   return {};
 }
 
+click::ShardedRouter::RouterFactory EndBoxEnclave::shard_router_factory() {
+  return [this](std::size_t i, const std::string& cfg) {
+    ensure_shard_rigs(i + 1);
+    return click::Router::from_config(cfg, shard_rigs_[i]->registry);
+  };
+}
+
+Status EndBoxEnclave::ecall_reshard(std::size_t shards) {
+  EcallGuard guard(*this);
+  if (shards == 0) return err("reshard: shard count must be positive");
+  if (sharded_) {
+    auto status = sharded_->reshard(shards);
+    if (!status.ok()) return err("reshard: " + status.error());
+    return {};
+  }
+  if (!routers_.current()) return err("reshard: no middlebox configuration installed");
+  if (shards == 1) return {};
+  // Promote the single-core router: clone the config into a one-shard
+  // set, adopt the live element state 1:1 (take_state, like a hot-swap
+  // to the same config), then let reshard redistribute it by flow.
+  auto built = click::ShardedRouter::create(routers_.current()->config_text(), 1,
+                                            shard_router_factory());
+  if (!built.ok()) return err("reshard: " + built.error());
+  for (click::Element* fresh : (*built)->shard(0).elements()) {
+    click::Element* old = routers_.current()->find(fresh->name());
+    if (old && old->class_name() == fresh->class_name()) fresh->take_state(*old);
+  }
+  sharded_ = std::move(*built);
+  auto status = sharded_->reshard(shards);
+  if (!status.ok()) return err("reshard: " + status.error());
+  return {};
+}
+
 Result<Bytes> EndBoxEnclave::ecall_handshake_init(crypto::RsaPublicKey server_key) {
   EcallGuard guard(*this);
   if (!certificate_) return err("handshake: not provisioned (attestation required)");
-  if (!routers_.current()) return err("handshake: no middlebox configuration installed");
+  if (!sharded_ && !routers_.current())
+    return err("handshake: no middlebox configuration installed");
   vpn::VpnClientConfig vpn_config;
   vpn_config.min_version = options_.min_version;
   vpn_config.encrypt_data = options_.encrypt_data;
   vpn_config.mtu = options_.mtu;
   vpn_config.config_version = config_version_;
   session_.emplace(rng_, *certificate_, enclave_key_, server_key, vpn_config);
+  session_->set_buffer_pool(&pool_);
   return session_->create_handshake_init().serialize();
 }
 
@@ -131,6 +203,21 @@ Status EndBoxEnclave::ecall_handshake_reply(ByteView wire) {
 }
 
 EndBoxEnclave::ClickOutcome EndBoxEnclave::run_click(net::Packet&& packet) {
+  if (sharded_) {
+    // Route to the flow's shard and run its graph inline (the calling
+    // thread; per-packet ecalls never touch the worker pool).
+    ShardRig& rig = *shard_rigs_[sharded_->shard_for(packet)];
+    rig.results.clear();
+    bool routed = sharded_->push_to("from_device", std::move(packet));
+    // A rejected packet recycled into the shard-local pool; keep the
+    // main circulation whole on the per-packet path too.
+    pool_.adopt_from(rig.pool);
+    if (!routed) return ClickOutcome{false, {}};
+    if (rig.results.empty()) return ClickOutcome{false, {}};  // rejected/discarded
+    ClickOutcome outcome = std::move(rig.results.back());
+    rig.results.clear();
+    return outcome;
+  }
   click_results_.clear();
   if (!routers_.current() || !routers_.current()->push_to("from_device", std::move(packet)))
     return ClickOutcome{false, {}};
@@ -140,6 +227,53 @@ EndBoxEnclave::ClickOutcome EndBoxEnclave::run_click(net::Packet&& packet) {
   ClickOutcome outcome = std::move(click_results_.back());
   click_results_.clear();
   return outcome;
+}
+
+void EndBoxEnclave::merge_shard_results() {
+  std::size_t shards = sharded_->shard_count();
+  if (shards == 1) {
+    for (ClickOutcome& outcome : shard_rigs_[0]->results)
+      click_results_.push_back(std::move(outcome));
+    shard_rigs_[0]->results.clear();
+    return;
+  }
+  merge_heads_.assign(shards, 0);
+  while (true) {
+    std::size_t best = shards;
+    std::uint32_t best_tag = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto& results = shard_rigs_[s]->results;
+      if (merge_heads_[s] >= results.size()) continue;
+      std::uint32_t tag = results[merge_heads_[s]].packet.burst_tag;
+      if (best == shards || tag < best_tag) {
+        best = s;
+        best_tag = tag;
+      }
+    }
+    if (best == shards) break;
+    click_results_.push_back(
+        std::move(shard_rigs_[best]->results[merge_heads_[best]++]));
+  }
+  for (std::size_t s = 0; s < shards; ++s) shard_rigs_[s]->results.clear();
+}
+
+bool EndBoxEnclave::run_click_burst(click::PacketBatch&& batch) {
+  click_results_.clear();
+  if (sharded_) {
+    std::uint32_t tag = 0;
+    for (net::Packet& packet : batch) packet.burst_tag = tag++;
+    for (auto& rig : shard_rigs_) rig->results.clear();
+    if (!sharded_->push_batch_to("from_device", std::move(batch))) return false;
+    merge_shard_results();
+    // Rejected packets recycled into the shard-local pools on the
+    // worker threads; adopt the buffers back into the main pool here
+    // (single-threaded again) so the ecall-boundary circulation that
+    // callers acquire from never starves.
+    for (auto& rig : shard_rigs_) pool_.adopt_from(rig->pool);
+    return true;
+  }
+  return routers_.current() &&
+         routers_.current()->push_batch_to("from_device", std::move(batch));
 }
 
 Result<EgressResult> EndBoxEnclave::ecall_process_egress(net::Packet packet) {
@@ -186,9 +320,7 @@ Status EndBoxEnclave::ecall_process_egress_batch(click::PacketBatch&& batch,
   }
 
   std::uint32_t offered = static_cast<std::uint32_t>(batch.size());
-  click_results_.clear();
-  if (!routers_.current() ||
-      !routers_.current()->push_batch_to("from_device", std::move(batch))) {
+  if (!run_click_burst(std::move(batch))) {
     out.rejected = offered;
     rejected_ += offered;
     return {};
@@ -286,9 +418,7 @@ Status EndBoxEnclave::ecall_process_ingress_batch(std::span<const Bytes> wires,
   // Stage 2: one batched Click traversal for everything that needs it.
   std::uint32_t to_click = static_cast<std::uint32_t>(ingress_stage_.size());
   if (to_click > 0) {
-    click_results_.clear();
-    if (!routers_.current() ||
-        !routers_.current()->push_batch_to("from_device", std::move(ingress_stage_))) {
+    if (!run_click_burst(std::move(ingress_stage_))) {
       rejected_ += to_click;
       out.rejected += to_click;
       return {};
@@ -353,6 +483,9 @@ Status EndBoxEnclave::ecall_forward_tls_key(const tls::SessionKeys& keys) {
 void EndBoxEnclave::ecall_add_ruleset(const std::string& name,
                                       std::vector<idps::SnortRule> rules) {
   EcallGuard guard(*this);
+  // Shard rigs keep their own copy (their graphs must not share mutable
+  // state); rigs created later copy from context_ at creation.
+  for (auto& rig : shard_rigs_) rig->context.rulesets[name] = rules;
   context_.rulesets[name] = std::move(rules);
 }
 

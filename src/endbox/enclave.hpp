@@ -15,6 +15,7 @@
 #include "ca/authority.hpp"
 #include "click/packet_batch.hpp"
 #include "click/router.hpp"
+#include "click/sharded_router.hpp"
 #include "config/bundle.hpp"
 #include "elements/context.hpp"
 #include "net/packet_pool.hpp"
@@ -73,6 +74,11 @@ struct EnclaveOptions {
   bool c2c_flagging = true;  ///< set/honour the QoS 0xeb flag
   std::uint16_t min_version = vpn::kVersionTls12;
   std::size_t mtu = 9000;
+  /// Element-graph instances the middlebox functions run on (RSS flow
+  /// sharding, one worker thread per shard — SGX enclaves are
+  /// multi-threaded via multiple TCSs). 1 keeps the single-core batched
+  /// path, bit-identical to the pre-sharding enclave.
+  std::size_t shards = 1;
 };
 
 class EndBoxEnclave : public sgx::Enclave {
@@ -102,7 +108,17 @@ class EndBoxEnclave : public sgx::Enclave {
   /// rollback (monotonic versions enforced inside the enclave).
   Status ecall_install_config(const config::ConfigBundle& bundle);
   std::uint32_t config_version() const { return config_version_; }
-  const click::Router* router() const { return routers_.current(); }
+  const click::Router* router() const {
+    return sharded_ ? &sharded_->shard(0) : routers_.current();
+  }
+
+  // ---- Sharding (multi-core scaling) ----------------------------------
+  /// Changes the shard count at runtime, migrating per-element state
+  /// (Counter totals, Queue contents re-hashed per flow, IDPS stream
+  /// statistics) into the new shard set. Requires an installed config.
+  Status ecall_reshard(std::size_t shards);
+  std::size_t shard_count() const { return sharded_ ? sharded_->shard_count() : 1; }
+  const click::ShardedRouter* sharded_router() const { return sharded_.get(); }
 
   // ---- VPN handshake ----------------------------------------------------
   Result<Bytes> ecall_handshake_init(crypto::RsaPublicKey server_key);
@@ -163,9 +179,35 @@ class EndBoxEnclave : public sgx::Enclave {
     bool accepted = false;
     net::Packet packet;
   };
+  /// Per-shard plumbing: each shard owns an ElementContext (its graphs
+  /// share no mutable state with other shards), a result sink its
+  /// ToDevice fills on the shard's worker thread, and a PacketPool that
+  /// recycles rejected packets' buffers without cross-shard contention.
+  /// Trusted-time ocalls of sharded graphs tally into the per-shard
+  /// ElementContext (not the global enclave stats, which worker threads
+  /// must not touch).
+  struct ShardRig {
+    elements::ElementContext context;
+    click::ElementRegistry registry;
+    std::vector<ClickOutcome> results;
+    net::PacketPool pool;
+    ShardRig() : registry(elements::make_endbox_registry(context)) {}
+  };
   /// Pushes a packet through the current router; collects the ToDevice
   /// verdict synchronously.
   ClickOutcome run_click(net::Packet&& packet);
+  /// Runs a whole burst through the graph(s) with one virtual call per
+  /// element (per shard) and fills click_results_ with the delivered
+  /// outcomes in arrival order. Returns false when no configuration is
+  /// installed or the entry element is missing.
+  bool run_click_burst(click::PacketBatch&& batch);
+  /// K-way merge of the per-shard result lists back into arrival order
+  /// (each list is burst_tag-sorted because partitioning keeps order).
+  void merge_shard_results();
+  /// Creates shard rigs up to `count` (contexts wired to this enclave).
+  void ensure_shard_rigs(std::size_t count);
+  /// Factory building shard i's router from shard i's registry.
+  click::ShardedRouter::RouterFactory shard_router_factory();
   /// Seals one accepted packet into `out` and recycles its buffers.
   void seal_egress_packet(net::Packet&& packet, EgressBatch& out);
 
@@ -181,6 +223,11 @@ class EndBoxEnclave : public sgx::Enclave {
   elements::ElementContext context_;
   click::ElementRegistry registry_;
   click::RouterManager routers_;
+  // Sharded mode (options_.shards > 1 or a runtime reshard): the graphs
+  // live in sharded_ and per-shard rigs instead of routers_.
+  std::vector<std::unique_ptr<ShardRig>> shard_rigs_;
+  std::unique_ptr<click::ShardedRouter> sharded_;
+  std::vector<std::size_t> merge_heads_;  ///< merge scratch, reused
   std::uint32_t config_version_ = 0;
   std::size_t config_epc_bytes_ = 0;
 

@@ -1,5 +1,7 @@
 #include "endbox/pipeline_cost.hpp"
 
+#include <algorithm>
+
 #include "click/standard_elements.hpp"
 #include "elements/splitters.hpp"
 
@@ -49,6 +51,25 @@ double pipeline_cycles_batch(const click::Router& router,
     }
   }
   return cycles;
+}
+
+double pipeline_cycles_sharded(const click::Router& shard0,
+                               std::size_t payload_bytes, std::size_t packets,
+                               std::size_t shards, const sim::PerfModel& model) {
+  if (shards <= 1)
+    return pipeline_cycles_batch(shard0, payload_bytes, packets, model);
+  // Split the batch cost into the element-entry chain (paid once per
+  // burst per shard, all shards concurrently, so it appears once on the
+  // critical path) and the per-packet/per-byte work (spread evenly
+  // across the active shards by the RSS dispatcher in the uniform-flow
+  // model this cost layer assumes).
+  double entry =
+      model.click_element_cycles * static_cast<double>(shard0.elements().size());
+  double work =
+      pipeline_cycles_batch(shard0, payload_bytes, packets, model) - entry;
+  double active =
+      static_cast<double>(std::min(shards, packets == 0 ? std::size_t{1} : packets));
+  return entry + work / active;
 }
 
 }  // namespace endbox

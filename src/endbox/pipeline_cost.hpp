@@ -26,4 +26,16 @@ double pipeline_cycles_batch(const click::Router& router,
                              std::size_t payload_bytes, std::size_t packets,
                              const sim::PerfModel& model);
 
+/// Critical-path cycles for a burst traversing a sharded router whose
+/// `shards` graph instances each own a core: the element-entry chain is
+/// amortised per shard (each active shard's sub-burst enters every
+/// element once, concurrently), and the per-packet/per-byte work
+/// spreads across the active shards, so the burst completes in
+/// ~1/shards of the single-core time. `shard0` supplies the element
+/// census (all shards are clones). With shards == 1 this is exactly
+/// pipeline_cycles_batch.
+double pipeline_cycles_sharded(const click::Router& shard0,
+                               std::size_t payload_bytes, std::size_t packets,
+                               std::size_t shards, const sim::PerfModel& model);
+
 }  // namespace endbox

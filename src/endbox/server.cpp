@@ -120,6 +120,88 @@ Result<EndBoxServer::HandleResult> EndBoxServer::handle_wire(ByteView wire,
   return result;
 }
 
+Result<EndBoxServer::BatchResult> EndBoxServer::handle_batch(
+    std::span<const Bytes> wires, sim::Time now) {
+  BatchResult result;
+  result.done = now;
+  if (wires.empty()) return result;
+
+  vpn_.open_batch(wires, now, open_scratch_);
+  result.delivered = open_scratch_.complete;
+  result.pending = open_scratch_.pending;
+  result.rejected = open_scratch_.rejected;
+
+  // Per-frame tunnel cost, accumulated per session (each session's
+  // single-threaded OpenVPN process serialises its own work). Frames
+  // open_batch rejected before any crypto — unknown sessions, non-data
+  // types — charge nothing (mirroring handle_wire, which errors out of
+  // such frames first); frames of a known session charge the data-path
+  // cost whatever their verdict, because the MAC check runs either way.
+  session_cycles_scratch_.clear();
+  auto charge_session = [&](std::uint32_t sid, double cycles) {
+    for (auto& [id, sum] : session_cycles_scratch_) {
+      if (id == sid) {
+        sum += cycles;
+        return;
+      }
+    }
+    session_cycles_scratch_.emplace_back(sid, cycles);
+  };
+  for (const Bytes& wire : wires) {
+    if (wire.size() < vpn::kWireHeaderSize) continue;
+    auto type = static_cast<vpn::MsgType>(wire[0]);
+    if (type != vpn::MsgType::Data && type != vpn::MsgType::DataIntegrityOnly)
+      continue;
+    std::uint32_t sid = get_u32(wire.data() + 1);
+    if (!vpn_.has_session(sid)) continue;
+    double per_byte = type == vpn::MsgType::Data
+                          ? model_.vpn_crypto_cycles_per_byte
+                          : model_.vpn_integrity_cycles_per_byte;
+    charge_session(sid, model_.vpn_packet_cycles +
+                            per_byte * static_cast<double>(wire.size()));
+  }
+
+  for (std::size_t i = 0; i < open_scratch_.packet_count; ++i) {
+    vpn::VpnServer::BatchPacket& packet = open_scratch_.packets[i];
+    ++packets_forwarded_;
+    ++session_packets_[packet.session_id];
+    if (mode_ != ServerMode::WithClick) continue;
+    // Same per-packet chaining model as handle_wire: second tun
+    // traversal, multi-process contention, then the pipeline itself.
+    double cycles = model_.server_chain_packet_cycles;
+    double excess = static_cast<double>(vpn_.session_count()) -
+                    static_cast<double>(cpu_.cores());
+    excess = std::clamp(excess, 0.0, model_.server_contention_max_excess);
+    cycles += model_.server_contention_cycles_per_client * excess;
+    if (click::Router* router = session_router(packet.session_id)) {
+      auto parsed = net::Packet::parse(packet.ip_packet);
+      if (parsed.ok()) {
+        click_verdict_.accepted = true;
+        std::size_t payload = parsed->wire_size();
+        router->push_to("from_device", std::move(*parsed));
+        if (!click_verdict_.accepted) {
+          --result.delivered;
+          ++result.rejected;
+        }
+        double pipeline =
+            model_.click_packet_cycles + pipeline_cycles(*router, payload, model_);
+        pipeline *= 1.0 + model_.server_contention_pipeline_factor * excess;
+        cycles += pipeline;
+      }
+    }
+    charge_session(packet.session_id, cycles);
+  }
+
+  for (const auto& [sid, cycles] : session_cycles_scratch_) {
+    sim::Time& last = session_proc_free_[sid];
+    sim::Time start = std::max(now, last);
+    sim::Time done = cpu_.charge(start, cycles);
+    last = done;
+    result.done = std::max(result.done, done);
+  }
+  return result;
+}
+
 EndBoxServer::SealResult EndBoxServer::seal_packet(std::uint32_t session_id,
                                                    ByteView ip_packet,
                                                    sim::Time now) {

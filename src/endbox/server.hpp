@@ -52,6 +52,21 @@ class EndBoxServer {
   /// cycles and multi-process contention to the server CPU.
   Result<HandleResult> handle_wire(ByteView wire, sim::Time now);
 
+  /// Result of draining one uplink burst of data frames.
+  struct BatchResult {
+    std::uint32_t delivered = 0;  ///< completed packets across all sessions
+    std::uint32_t pending = 0;    ///< fragments still waiting
+    std::uint32_t rejected = 0;   ///< bad frames + server-side Click drops
+    sim::Time done = 0;           ///< when the server CPU finished the burst
+  };
+  /// Drains a burst of data frames delivered back to back by the
+  /// uplink, opening them with one batched pass (VpnServer::open_batch:
+  /// pooled scratch, in-order replay checks) and charging the same
+  /// per-frame cycle model as handle_wire, serialised per session
+  /// process. WithClick mode additionally runs each completed packet
+  /// through that client's Click instance.
+  Result<BatchResult> handle_batch(std::span<const Bytes> wires, sim::Time now);
+
   /// Seals an IP packet towards a client.
   struct SealResult {
     std::vector<Bytes> wire;
@@ -111,6 +126,10 @@ class EndBoxServer {
 
   std::uint64_t packets_forwarded_ = 0;
   std::unordered_map<std::uint32_t, std::uint64_t> session_packets_;
+
+  // handle_batch scratch, reused across bursts.
+  vpn::VpnServer::OpenBatch open_scratch_;
+  std::vector<std::pair<std::uint32_t, double>> session_cycles_scratch_;
 };
 
 }  // namespace endbox

@@ -244,11 +244,26 @@ workload::IperfHarness::ServeFn Testbed::make_sink() {
   };
 }
 
+workload::IperfHarness::ServeBatchFn Testbed::make_batch_sink() {
+  return [this](std::span<const Bytes> wires, sim::Time now) {
+    workload::ServeBatchOutcome outcome;
+    auto handled = server_->handle_batch(wires, now);
+    if (!handled.ok()) return outcome;
+    outcome.delivered = handled->delivered;
+    outcome.done = handled->done;
+    return outcome;
+  };
+}
+
 workload::IperfReport Testbed::run_iperf(std::size_t write_size, double offered_bps,
                                          sim::Time duration, std::size_t burst) {
   workload::IperfConfig config;
   config.duration = duration;
   workload::IperfHarness harness(make_sink(), config);
+  // Burst-mode EndBox runs drain the uplink in batches, mirroring how
+  // the clients sealed them (the server-side half of the batching).
+  bool endbox_mode = setup_ == Setup::EndBoxSim || setup_ == Setup::EndBoxSgx;
+  if (endbox_mode && burst > 1) harness.set_batch_serve(make_batch_sink());
   for (std::size_t i = 0; i < rigs_.size(); ++i) {
     auto source = make_source(i, write_size, offered_bps, burst);
     source.path = topology_.uplink_path(i);

@@ -53,6 +53,11 @@ class Testbed {
   /// iperf server-side adapter (counts delivered application writes).
   workload::IperfHarness::ServeFn make_sink();
 
+  /// Batched server drain (EndBox set-ups): whole uplink frame trains
+  /// go through EndBoxServer::handle_batch instead of one handle_wire
+  /// call per frame.
+  workload::IperfHarness::ServeBatchFn make_batch_sink();
+
   /// Runs an iperf measurement over all currently-added clients.
   workload::IperfReport run_iperf(std::size_t write_size, double offered_bps,
                                   sim::Time duration, std::size_t burst = 1);

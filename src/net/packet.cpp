@@ -103,6 +103,7 @@ Status Packet::parse_into(ByteView wire, Packet& p) {
   p.icmp_id = p.icmp_seq = 0;
   p.dropped = false;
   p.flow_hint = 0;
+  p.burst_tag = 0;
   p.decrypted_payload.clear();
 
   p.tos = wire[1];

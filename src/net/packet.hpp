@@ -57,6 +57,9 @@ struct Packet {
   // --- Metadata (not serialised; used by elements and the simulator) ---
   bool dropped = false;             ///< marked for discard by an element
   std::uint32_t flow_hint = 0;      ///< LB flow assignment annotation
+  std::uint32_t burst_tag = 0;      ///< arrival index within a burst; the
+                                    ///< sharded router merges per-shard
+                                    ///< results back into arrival order by it
   Bytes decrypted_payload;          ///< plaintext attached by TLSDecrypt for
                                     ///< downstream inspection (never sent)
 

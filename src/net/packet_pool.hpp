@@ -57,6 +57,17 @@ class PacketPool {
     free_.push_back(std::move(buffer));
   }
 
+  /// Moves pooled buffers out of `other` into this free list (until it
+  /// is full). Shard-local pools collect buffers on their worker
+  /// threads contention-free; the owner adopts them back into the main
+  /// pool between bursts so the circulation never starves.
+  void adopt_from(PacketPool& other) {
+    while (!other.free_.empty() && free_.size() < max_buffers_) {
+      free_.push_back(std::move(other.free_.back()));
+      other.free_.pop_back();
+    }
+  }
+
   std::size_t pooled() const { return free_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

@@ -8,6 +8,7 @@
 // connection 5-tuple).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -22,13 +23,16 @@ class SessionKeyStore {
   std::optional<SessionKeys> get(std::uint64_t session_id) const;
   bool erase(std::uint64_t session_id);
   std::size_t size() const { return keys_.size(); }
-  std::uint64_t lookups() const { return lookups_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   std::unordered_map<std::uint64_t, SessionKeys> keys_;
-  mutable std::uint64_t lookups_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  // The store is shared by every element-graph shard (keys arrive via
+  // ecalls between bursts; shards only read the map during one), so the
+  // lookup statistics must tolerate concurrent get() calls.
+  mutable std::atomic<std::uint64_t> lookups_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace endbox::tls

@@ -78,6 +78,12 @@ class VpnClientSession {
   std::uint32_t config_version() const { return config_.config_version; }
   bool encrypt_data() const { return config_.encrypt_data; }
 
+  /// Attaches the buffer pool fragment reassembly recycles through
+  /// (part buffers and reassembled wholes), making multi-fragment
+  /// ingress allocation-free in steady state. The pool must outlive the
+  /// session.
+  void set_buffer_pool(net::PacketPool* pool) { reassembler_.set_pool(pool); }
+
   // ---- Stats ---------------------------------------------------------
   std::uint64_t packets_sealed() const { return packets_sealed_; }
   std::uint64_t packets_opened() const { return packets_opened_; }

@@ -21,30 +21,73 @@ std::optional<Bytes> Reassembler::add(const FragmentHeader& frag, Bytes payload)
   if (frag.count == 0 || frag.index >= frag.count) return std::nullopt;
   if (frag.count == 1) return payload;  // fast path: unfragmented
 
-  auto [it, inserted] = groups_.try_emplace(frag.frag_id);
-  Group& group = it->second;
-  if (inserted) {
-    group.parts.resize(frag.count);
-    group.generation = ++generation_;
+  auto it = groups_.find(frag.frag_id);
+  if (it == groups_.end()) {
+    it = emplace_group(frag.frag_id);
+    Group& fresh = it->second;
+    fresh.parts.resize(frag.count);  // capacity survives node reuse
+    fresh.received = 0;
+    fifo_push_back(frag.frag_id, fresh);
     evict_if_needed();
   }
+  Group& group = it->second;
   if (group.parts.size() != frag.count) return std::nullopt;  // inconsistent
   if (group.parts[frag.index].has_value()) return std::nullopt;  // duplicate
   group.parts[frag.index] = std::move(payload);
   if (++group.received < frag.count) return std::nullopt;
 
-  Bytes whole;
-  for (auto& part : group.parts) append(whole, *part);
-  groups_.erase(it);
+  Bytes whole = pool_ ? pool_->acquire_bytes() : Bytes{};
+  std::size_t total = 0;
+  for (const auto& part : group.parts) total += part->size();
+  whole.reserve(total);
+  for (auto& part : group.parts) {
+    append(whole, *part);
+    recycle(std::move(*part));
+    part.reset();
+  }
+  release_group(it);
   return whole;
 }
 
+Reassembler::GroupMap::iterator Reassembler::emplace_group(std::uint32_t frag_id) {
+  if (!node_cache_.empty()) {
+    auto node = std::move(node_cache_.back());
+    node_cache_.pop_back();
+    node.key() = frag_id;
+    return groups_.insert(std::move(node)).position;
+  }
+  return groups_.try_emplace(frag_id).first;
+}
+
+void Reassembler::fifo_push_back(std::uint32_t frag_id, Group& group) {
+  group.prev = fifo_tail_;
+  group.next.reset();
+  if (fifo_tail_) groups_.find(*fifo_tail_)->second.next = frag_id;
+  else fifo_head_ = frag_id;
+  fifo_tail_ = frag_id;
+}
+
+void Reassembler::fifo_unlink(const Group& group) {
+  if (group.prev) groups_.find(*group.prev)->second.next = group.next;
+  else fifo_head_ = group.next;
+  if (group.next) groups_.find(*group.next)->second.prev = group.prev;
+  else fifo_tail_ = group.prev;
+}
+
+void Reassembler::release_group(GroupMap::iterator it) {
+  fifo_unlink(it->second);
+  // Any buffers still held (eviction path) go back to the pool; the
+  // parts vector keeps its capacity inside the cached node.
+  for (auto& part : it->second.parts)
+    if (part.has_value()) recycle(std::move(*part));
+  it->second.parts.clear();
+  node_cache_.push_back(groups_.extract(it));
+}
+
 void Reassembler::evict_if_needed() {
-  while (groups_.size() > max_groups_) {
-    auto oldest = groups_.begin();
-    for (auto it = groups_.begin(); it != groups_.end(); ++it)
-      if (it->second.generation < oldest->second.generation) oldest = it;
-    groups_.erase(oldest);
+  while (groups_.size() > max_groups_ && fifo_head_) {
+    auto oldest = groups_.find(*fifo_head_);
+    release_group(oldest);
     ++evicted_;
   }
 }

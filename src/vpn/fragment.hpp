@@ -5,11 +5,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "net/packet_pool.hpp"
 #include "vpn/wire.hpp"
 
 namespace endbox::vpn {
@@ -48,11 +49,25 @@ std::size_t for_each_fragment(ByteView payload, std::size_t mtu,
 }
 
 /// Reassembles fragment groups; tolerates interleaving across groups
-/// and duplicate fragments. Incomplete groups older than `max_groups`
-/// generations are evicted (loss tolerance).
+/// and duplicate fragments. When more than `max_groups` groups are
+/// pending, the *oldest* incomplete group is evicted in O(1): groups
+/// are threaded onto an intrusive FIFO (doubly-linked by frag id, in
+/// insertion order), so a fragment flood pays constant work per
+/// eviction instead of the old full-scan's O(n²).
+///
+/// With a `net::PacketPool` attached, part buffers and the reassembled
+/// whole cycle through the pool and erased map nodes are cached for
+/// reuse, so steady-state multi-fragment traffic performs no heap
+/// allocation (callers release the returned whole back into the same
+/// pool once consumed).
 class Reassembler {
  public:
-  explicit Reassembler(std::size_t max_groups = 64) : max_groups_(max_groups) {}
+  explicit Reassembler(std::size_t max_groups = 64,
+                       net::PacketPool* pool = nullptr)
+      : max_groups_(max_groups), pool_(pool) {}
+
+  /// Attaches the buffer pool part/whole buffers recycle through.
+  void set_pool(net::PacketPool* pool) { pool_ = pool; }
 
   /// Feeds one fragment; returns the whole payload when the group
   /// completes, nullopt otherwise.
@@ -65,13 +80,29 @@ class Reassembler {
   struct Group {
     std::vector<std::optional<Bytes>> parts;
     std::size_t received = 0;
-    std::uint64_t generation = 0;
+    // Intrusive FIFO neighbours (frag ids), in insertion order.
+    std::optional<std::uint32_t> prev;
+    std::optional<std::uint32_t> next;
   };
+  using GroupMap = std::unordered_map<std::uint32_t, Group>;
+
+  GroupMap::iterator emplace_group(std::uint32_t frag_id);
+  void fifo_push_back(std::uint32_t frag_id, Group& group);
+  void fifo_unlink(const Group& group);
+  /// Recycles part buffers, unlinks and erases the group, caching its
+  /// map node (and parts capacity) for the next insertion.
+  void release_group(GroupMap::iterator it);
   void evict_if_needed();
+  void recycle(Bytes&& buffer) {
+    if (pool_) pool_->release_bytes(std::move(buffer));
+  }
 
   std::size_t max_groups_;
-  std::map<std::uint32_t, Group> groups_;
-  std::uint64_t generation_ = 0;
+  net::PacketPool* pool_ = nullptr;
+  GroupMap groups_;
+  std::vector<GroupMap::node_type> node_cache_;
+  std::optional<std::uint32_t> fifo_head_;
+  std::optional<std::uint32_t> fifo_tail_;
   std::uint64_t evicted_ = 0;
 };
 

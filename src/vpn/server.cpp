@@ -76,6 +76,7 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
     Session session;
     session.keys = derive_vpn_keys(seed, client_nonce, server_nonce);
     session.config_version = client_config_version;
+    session.reassembler.set_pool(&buffer_pool_);
     sessions_.emplace(session_id, std::move(session));
 
     WireMessage reply;
@@ -190,6 +191,81 @@ std::size_t VpnServer::seal_packet_wire_at(std::uint32_t session_id,
                             session->seal_scratch.view().end());
       });
   return at + count;
+}
+
+void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
+                           OpenBatch& out) {
+  out.complete = out.pending = out.rejected = 0;
+  out.packet_count = 0;
+  for (const Bytes& wire : wires) {
+    if (wire.size() < kWireHeaderSize) {
+      ++out.rejected;
+      continue;
+    }
+    auto type = static_cast<MsgType>(wire[0]);
+    if (type != MsgType::Data && type != MsgType::DataIntegrityOnly) {
+      ++out.rejected;
+      continue;
+    }
+    std::uint32_t session_id = get_u32(wire.data() + 1);
+    Session* session = find_session(session_id);
+    if (!session) {
+      ++out.rejected;
+      continue;
+    }
+    bool encrypted = type == MsgType::Data;
+    if (!encrypted && !config_.allow_integrity_only) {
+      ++auth_failures_;
+      ++out.rejected;
+      continue;
+    }
+    if (session->config_version < config_version_ && grace_active_ &&
+        now >= grace_deadline_) {
+      ++stale_config_drops_;
+      ++out.rejected;
+      continue;
+    }
+    Bytes body = buffer_pool_.acquire_bytes();
+    body.assign(wire.begin() + kWireHeaderSize, wire.end());
+    auto opened = encrypted ? open_data_body(session->keys, std::move(body))
+                            : open_integrity_body(session->keys, std::move(body));
+    if (!opened.ok()) {
+      // Failed opens never consume the body (the move happens only on
+      // success), so the pooled buffer survives a bad-frame flood.
+      buffer_pool_.release_bytes(std::move(body));
+      ++auth_failures_;
+      ++out.rejected;
+      continue;
+    }
+    if (!session->replay.accept(opened->frag.packet_id)) {
+      buffer_pool_.release_bytes(std::move(opened->payload));
+      ++replays_rejected_;
+      ++out.rejected;
+      continue;
+    }
+    auto whole = session->reassembler.add(opened->frag, std::move(opened->payload));
+    if (!whole) {
+      ++out.pending;
+      continue;
+    }
+    ++out.complete;
+    if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+    BatchPacket& slot = out.packets[out.packet_count++];
+    slot.session_id = session_id;
+    slot.was_encrypted = encrypted;
+    // The slot's previous buffer cycles back into the pool, where the
+    // next frame's body scratch picks it up.
+    buffer_pool_.release_bytes(std::move(slot.ip_packet));
+    slot.ip_packet = std::move(*whole);
+  }
+}
+
+std::size_t VpnServer::seal_batch(std::uint32_t session_id,
+                                  std::span<const ByteView> ip_packets,
+                                  std::vector<Bytes>& frames, std::size_t at) {
+  for (ByteView ip_packet : ip_packets)
+    at = seal_packet_wire_at(session_id, ip_packet, frames, at);
+  return at;
 }
 
 WireMessage VpnServer::create_ping(std::uint32_t session_id) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <variant>
@@ -74,6 +75,43 @@ class VpnServer {
   std::size_t seal_packet_wire_at(std::uint32_t session_id, ByteView ip_packet,
                                   std::vector<Bytes>& frames, std::size_t at);
 
+  // ---- Batched data path (the uplink drains bursts back to back) -----
+  /// One opened data frame of a batch; `ip_packet` keeps its buffer
+  /// capacity across calls (valid-prefix contract, like the enclave's
+  /// EgressBatch::frames).
+  struct BatchPacket {
+    std::uint32_t session_id = 0;
+    bool was_encrypted = true;
+    Bytes ip_packet;
+  };
+  /// Result of open_batch. The caller owns it and passes it back every
+  /// burst so the packet buffers are reused.
+  struct OpenBatch {
+    std::uint32_t complete = 0;    ///< fully reassembled packets
+    std::uint32_t pending = 0;     ///< fragments still waiting
+    std::uint32_t rejected = 0;    ///< malformed/auth/replay/stale/unknown
+    std::size_t packet_count = 0;  ///< valid prefix of `packets`
+    std::vector<BatchPacket> packets;
+  };
+
+  /// Opens a burst of data frames, mirroring the enclave's ingress
+  /// batch: bodies are copied into pooled scratch and decrypted in
+  /// place, replay windows advance in arrival order, and completed
+  /// packets land in `out.packets[0..packet_count)`. Frames may belong
+  /// to different sessions. Unlike the enclave's hardened single-client
+  /// interface, a bad frame rejects that frame only — a shared server
+  /// keeps serving its other clients. Non-data frames (ping/handshake)
+  /// are rejected here; they belong on handle().
+  void open_batch(std::span<const Bytes> wires, sim::Time now, OpenBatch& out);
+
+  /// Seals a run of IP packets to one session, appending each packet's
+  /// frames at `frames[at..]` with slot-capacity reuse (the batched
+  /// counterpart of seal_packet_wire_at). Returns one past the last
+  /// frame written.
+  std::size_t seal_batch(std::uint32_t session_id,
+                         std::span<const ByteView> ip_packets,
+                         std::vector<Bytes>& frames, std::size_t at = 0);
+
   /// Builds the periodic server ping announcing the current config
   /// version and remaining grace (section III-E, step 4).
   WireMessage create_ping(std::uint32_t session_id);
@@ -85,6 +123,9 @@ class VpnServer {
 
   std::uint32_t current_config_version() const { return config_version_; }
   std::size_t session_count() const { return sessions_.size(); }
+  bool has_session(std::uint32_t session_id) const {
+    return sessions_.count(session_id) > 0;
+  }
   /// Last config version a session reported via ping/handshake.
   std::uint32_t session_config_version(std::uint32_t session_id) const;
 
@@ -117,6 +158,7 @@ class VpnServer {
   crypto::RsaKeyPair key_;
   std::unordered_map<std::uint32_t, Session> sessions_;
   std::uint32_t next_session_id_ = 1;
+  net::PacketPool buffer_pool_;  ///< open_batch scratch + reassembly buffers
 
   std::uint32_t config_version_ = 1;
   std::uint32_t grace_secs_ = 0;

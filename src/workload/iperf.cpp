@@ -37,16 +37,33 @@ IperfReport IperfHarness::run() {
     sim::Time server_done = next.ready;
     bool delivered = false;
     std::uint32_t writes_completed = 0;
-    for (const Bytes& wire : sent.wire) {
-      sim::Time arrival =
-          source.path.hops() > 0
-              ? source.path.deliver(next.ready, wire.size())
-              : (config_.link ? config_.link->transmit(next.ready, wire.size())
-                              : next.ready);
-      ServeOutcome served = serve_(wire, arrival);
+    if (serve_batch_ && sent.wire.size() > 1) {
+      // The frames travel the link back to back; the server drains the
+      // whole train in one batched pass once it has fully arrived.
+      sim::Time arrival = next.ready;
+      for (const Bytes& wire : sent.wire) {
+        arrival = source.path.hops() > 0
+                      ? source.path.deliver(next.ready, wire.size())
+                      : (config_.link
+                             ? config_.link->transmit(next.ready, wire.size())
+                             : next.ready);
+      }
+      ServeBatchOutcome served = serve_batch_(sent.wire, arrival);
       server_done = std::max(server_done, served.done);
-      delivered |= served.delivered;
-      if (served.delivered && served.done < end) ++writes_completed;
+      delivered = served.delivered > 0;
+      if (served.done < end) writes_completed = served.delivered;
+    } else {
+      for (const Bytes& wire : sent.wire) {
+        sim::Time arrival =
+            source.path.hops() > 0
+                ? source.path.deliver(next.ready, wire.size())
+                : (config_.link ? config_.link->transmit(next.ready, wire.size())
+                                : next.ready);
+        ServeOutcome served = serve_(wire, arrival);
+        server_done = std::max(server_done, served.done);
+        delivered |= served.delivered;
+        if (served.delivered && served.done < end) ++writes_completed;
+      }
     }
     if (sent.writes <= 1) {
       // Historical single-write rule: the write counts when any of its

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -29,6 +30,11 @@ struct SendOutcome {
 struct ServeOutcome {
   bool delivered = false;   ///< an application write fully arrived
   sim::Time done = 0;       ///< server CPU completion
+};
+
+struct ServeBatchOutcome {
+  std::uint32_t delivered = 0;  ///< application writes completed
+  sim::Time done = 0;           ///< server CPU completion for the burst
 };
 
 struct IperfSource {
@@ -63,9 +69,19 @@ struct IperfReport {
 class IperfHarness {
  public:
   using ServeFn = std::function<ServeOutcome(const Bytes& wire, sim::Time now)>;
+  /// Batched drain: the whole frame train of one send, handed over once
+  /// it has fully arrived (the last frame's arrival time).
+  using ServeBatchFn =
+      std::function<ServeBatchOutcome(std::span<const Bytes> wires, sim::Time now)>;
 
   IperfHarness(ServeFn serve, IperfConfig config)
       : serve_(std::move(serve)), config_(config) {}
+
+  /// Installs a batched server drain used for multi-frame sends (burst
+  /// sources); single-frame sends stay on the per-frame path.
+  void set_batch_serve(ServeBatchFn serve_batch) {
+    serve_batch_ = std::move(serve_batch);
+  }
 
   void add_source(IperfSource source) { sources_.push_back(std::move(source)); }
 
@@ -74,6 +90,7 @@ class IperfHarness {
 
  private:
   ServeFn serve_;
+  ServeBatchFn serve_batch_;
   IperfConfig config_;
   std::vector<IperfSource> sources_;
 };

@@ -233,13 +233,19 @@ struct World {
   }
 
   /// Batched counterpart of run_uniform_traffic: clients push bursts of
-  /// `burst` packets through one batch ecall, the sealed frames travel
-  /// the topology back to back (transmit_burst) and the server handles
-  /// each frame on arrival — the Fig 10a world exercising real bursts.
+  /// `burst` packets through one batch ecall (sharded clients spread
+  /// them over their element-graph shards by flow), the sealed frames
+  /// travel the topology back to back (transmit_burst) and the server
+  /// drains each train with one batched open (handle_batch) — the Fig
+  /// 10a world exercising real bursts end to end. `flows` spreads each
+  /// client's packets over that many 5-tuples (distinct source ports)
+  /// so RSS sharding has flows to balance.
   TrafficReport run_uniform_traffic_batched(std::uint64_t packets_per_client,
                                             std::size_t burst = 32,
-                                            std::size_t payload = 1400) {
+                                            std::size_t payload = 1400,
+                                            std::size_t flows = 1) {
     burst = std::min(burst, click::PacketBatch::kMaxBurst);
+    if (flows == 0) flows = 1;
     TrafficReport report;
     report.per_client_delivered.assign(rigs.size(), 0);
     double busy_before = server_cpu.busy_core_ns();
@@ -253,6 +259,8 @@ struct World {
         net::PacketPool& pool = rig.client.enclave().packet_pool();
         for (std::size_t k = 0; k < n; ++k) {
           net::Packet packet = benign_packet_from(i, payload);
+          packet.src_port = static_cast<std::uint16_t>(
+              40000 + (sent_so_far + k) % flows);
           // Steal pooled capacity for the payload before filling it, so
           // warm worlds stop allocating per packet.
           Bytes pooled = pool.acquire_bytes();
@@ -272,13 +280,11 @@ struct World {
           bytes += egress.frames[f].size();
         sim::Time arrival =
             topology.deliver_burst_to_server(i, now, bytes, sent->frames);
-        for (std::size_t f = 0; f < sent->frames; ++f) {
-          auto handled = server.handle_wire(egress.frames[f], arrival);
-          if (!handled.ok()) continue;
-          if (std::holds_alternative<vpn::VpnServer::PacketIn>(handled->event)) {
-            ++report.delivered;
-            ++report.per_client_delivered[i];
-          }
+        auto handled = server.handle_batch(
+            std::span<const Bytes>(egress.frames.data(), sent->frames), arrival);
+        if (handled.ok()) {
+          report.delivered += handled->delivered;
+          report.per_client_delivered[i] += handled->delivered;
         }
       }
       sent_so_far += n;

@@ -508,6 +508,99 @@ TEST_F(EnclaveLoopFixture, SteadyStateIngressBatchLoopDoesNotAllocate) {
       << "the pooled ingress burst (open -> parse -> Click chain) allocated";
 }
 
+struct FragmentedLoopFixture : ::testing::Test {
+  // MTU 512 on both tunnel directions: a 1400-byte payload fragments
+  // into 3 wire frames each way, exercising the Reassembler (pooled
+  // part buffers, node cache, intrusive FIFO) on every packet.
+  testing::World world = [] {
+    testing::WorldOptions opts;
+    opts.vpn_config.mtu = 512;
+    opts.client_options.mtu = 512;
+    return testing::World(opts);
+  }();
+  EndBoxClient* client = nullptr;
+
+  FragmentedLoopFixture() {
+    auto bundle = world.server.publish_config(2, kChainConfig, true, 0, 0);
+    if (!bundle.ok()) throw std::runtime_error(bundle.error());
+    EndBoxClientOptions options;
+    options.mtu = 512;
+    client = &world.add_client(*bundle, options);
+  }
+};
+
+TEST_F(FragmentedLoopFixture, SteadyStateFragmentedEgressBurstDoesNotAllocate) {
+  auto& enclave = client->enclave();
+  click::PacketBatch batch;
+  EgressBatch out;
+  constexpr std::size_t kBurst = 10;
+
+  auto fill = [&] {
+    net::PacketPool& pool = enclave.packet_pool();
+    for (std::size_t k = 0; k < kBurst; ++k) {
+      net::Packet packet = pool.acquire();
+      packet.src = net::Ipv4(10, 8, 0, 2);
+      packet.dst = net::Ipv4(10, 0, 0, 1);
+      packet.proto = net::IpProto::Udp;
+      packet.src_port = 40000;
+      packet.dst_port = 5001;
+      packet.payload.assign(1400, 'x');
+      batch.push_back(std::move(packet));
+    }
+  };
+  for (int warm = 0; warm < 6; ++warm) {
+    fill();
+    ASSERT_TRUE(enclave.ecall_process_egress_batch(std::move(batch), out).ok());
+    batch.clear();
+    ASSERT_EQ(out.accepted, kBurst);
+    ASSERT_EQ(out.frame_count, kBurst * 3);  // 1428B packets, MTU 512
+  }
+  std::uint64_t before = g_allocations;
+  for (int iter = 0; iter < 50; ++iter) {
+    fill();
+    ASSERT_TRUE(enclave.ecall_process_egress_batch(std::move(batch), out).ok());
+    batch.clear();
+    ASSERT_EQ(out.frame_count, kBurst * 3);
+  }
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "the fragmented egress burst (Click -> 3-frame seal) allocated";
+}
+
+TEST_F(FragmentedLoopFixture, SteadyStateFragmentedIngressRoundTripDoesNotAllocate) {
+  auto& enclave = client->enclave();
+  std::uint32_t session = enclave.session()->session_id();
+  Rng payload_rng(78);
+  Bytes ip_packet =
+      net::Packet::udp(net::Ipv4(10, 8, 0, 9), net::Ipv4(10, 0, 0, 1), 4000, 5001,
+                       payload_rng.bytes(1400))
+          .serialize();
+
+  constexpr std::size_t kPackets = 10;
+  std::vector<Bytes> wires;
+  IngressBatch in;
+  auto run_burst = [&] {
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < kPackets; ++k)
+      n = world.server.vpn().seal_packet_wire_at(session, ip_packet, wires, n);
+    ASSERT_EQ(n, kPackets * 3);  // server MTU 512 -> 3 frames per packet
+    ASSERT_TRUE(enclave
+                    .ecall_process_ingress_batch(
+                        std::span<const Bytes>(wires.data(), n), in)
+                    .ok());
+    ASSERT_EQ(in.complete, kPackets);
+    ASSERT_EQ(in.accepted, kPackets);
+    for (net::Packet& packet : in.packets)
+      enclave.packet_pool().release(std::move(packet));
+    in.packets.clear();
+  };
+
+  for (int warm = 0; warm < 6; ++warm) run_burst();
+  std::uint64_t before = g_allocations;
+  for (int iter = 0; iter < 50; ++iter) run_burst();
+  EXPECT_EQ(g_allocations - before, 0u)
+      << "the fragmented ingress burst (open x3 -> reassemble -> Click) allocated";
+}
+
 TEST_F(EnclaveLoopFixture, SteadyStatePingPathDoesNotAllocate) {
   auto& enclave = client->enclave();
   Bytes frame;

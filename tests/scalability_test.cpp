@@ -161,6 +161,35 @@ TEST(ScalabilityTest, BatchedClientCostBelowPerPacketCost) {
       << "batching did not reduce the modelled client cost";
 }
 
+TEST(ScalabilityTest, ShardedClientsDeliverIdenticalTrafficForLess) {
+  // Fig 10a with multi-core clients: 1/2/4-shard element graphs must
+  // deliver exactly the same packets (RSS sharding never drops or
+  // reorders within a flow), while the modelled client cost falls as
+  // shards spread the per-burst Click work across cores.
+  WorldOptions opts = scale_options(2);
+  opts.use_case = UseCase::Idps;
+
+  std::vector<std::uint64_t> delivered;
+  std::vector<double> client_busy;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    WorldOptions sharded = opts;
+    sharded.client_options.shards = shards;
+    World world(sharded);
+    auto report = world.run_uniform_traffic_batched(kPacketsPerClient * 4, 32,
+                                                    1400, /*flows=*/8);
+    EXPECT_EQ(report.delivered, report.offered) << shards << " shards";
+    delivered.push_back(report.delivered);
+    client_busy.push_back(world.rigs[0]->cpu.busy_core_ns());
+    EXPECT_EQ(world.rigs[0]->client.enclave().shard_count(), shards);
+  }
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_EQ(delivered[0], delivered[2]);
+  // Modelled client cost strictly decreases with the shard count (the
+  // scan-heavy IDPS pipeline dominates, and it parallelises).
+  EXPECT_LT(client_busy[1], client_busy[0]);
+  EXPECT_LT(client_busy[2], client_busy[1]);
+}
+
 TEST(ScalabilityTest, DifferentSeedsDifferentKeyMaterial) {
   World a(scale_options(2));
   WorldOptions other = scale_options(2);

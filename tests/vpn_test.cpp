@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <set>
+#include <span>
 
 #include "ca/authority.hpp"
 #include "common/rng.hpp"
@@ -211,6 +213,86 @@ TEST(Fragment, BogusHeadersRejected) {
   EXPECT_FALSE(reasm.add({1, 1, 0, 0}, to_bytes("x")).has_value());  // count == 0
 }
 
+TEST(Fragment, FloodEvictsOldestFirstByThousands) {
+  // Regression for the O(n) eviction scan: a fragment flood of
+  // thousands of never-completed groups must evict strictly oldest
+  // first (FIFO order) while the live set stays bounded. With the old
+  // full-scan this test was O(n^2); the intrusive FIFO makes each
+  // eviction O(1).
+  constexpr std::uint32_t kFlood = 5000;
+  Reassembler reasm(64);
+  for (std::uint32_t g = 0; g < kFlood; ++g)
+    reasm.add({g, g, 0, 2}, to_bytes("x"));
+  EXPECT_EQ(reasm.pending_groups(), 64u);
+  EXPECT_EQ(reasm.evicted(), kFlood - 64);
+
+  // The survivors are exactly the newest 64 groups: completing each
+  // of them must succeed, and completing any evicted group must not
+  // (its first half is gone, so the second half reopens the group).
+  for (std::uint32_t g = kFlood - 64; g < kFlood; ++g) {
+    auto whole = reasm.add({kFlood + g, g, 1, 2}, to_bytes("y"));
+    ASSERT_TRUE(whole.has_value()) << "group " << g << " was wrongly evicted";
+    EXPECT_EQ(to_string(*whole), "xy");
+  }
+  EXPECT_EQ(reasm.pending_groups(), 0u);
+  auto stale = reasm.add({2 * kFlood, 0, 1, 2}, to_bytes("y"));
+  EXPECT_FALSE(stale.has_value());  // group 0 was evicted long ago
+}
+
+TEST(Fragment, CompletionUnlinksFifoMiddle) {
+  Reassembler reasm(3);
+  // Open 1..3, complete 2 (unlinks the FIFO's middle entry), refill,
+  // overflow: the eviction must take group 1 (the true oldest), not
+  // trip over the unlinked entry.
+  reasm.add({1, 1, 0, 2}, to_bytes("a"));
+  reasm.add({2, 2, 0, 2}, to_bytes("b"));
+  reasm.add({3, 3, 0, 2}, to_bytes("c"));
+  ASSERT_TRUE(reasm.add({4, 2, 1, 2}, to_bytes("B")).has_value());
+  reasm.add({5, 4, 0, 2}, to_bytes("d"));  // fills the freed slot
+  EXPECT_EQ(reasm.evicted(), 0u);
+  reasm.add({6, 5, 0, 2}, to_bytes("e"));  // overflow: evicts group 1
+  EXPECT_EQ(reasm.evicted(), 1u);
+  // Group 3 survived (group 1 went first) and completes normally.
+  auto g3 = reasm.add({7, 3, 1, 2}, to_bytes("C"));
+  ASSERT_TRUE(g3.has_value());
+  EXPECT_EQ(to_string(*g3), "cC");
+  // Group 1 is gone: its second half reopens a fresh group instead.
+  EXPECT_FALSE(reasm.add({8, 1, 1, 2}, to_bytes("A")).has_value());
+}
+
+TEST(Fragment, PoolRecyclesPartAndWholeBuffers) {
+  net::PacketPool pool(16);
+  Reassembler reasm(8, &pool);
+  Rng rng(11);
+  Bytes payload = rng.bytes(4000);
+  auto frags = fragment_payload(payload, 1500);
+  ASSERT_EQ(frags.size(), 3u);
+
+  std::uint64_t id = 1;
+  std::uint32_t group = 1;
+  auto round_trip = [&] {
+    std::optional<Bytes> whole;
+    for (std::size_t i = 0; i < frags.size(); ++i) {
+      Bytes part = pool.acquire_bytes();
+      part.assign(frags[i].begin(), frags[i].end());
+      whole = reasm.add({id++, group, static_cast<std::uint16_t>(i),
+                         static_cast<std::uint16_t>(frags.size())},
+                        std::move(part));
+    }
+    ++group;
+    ASSERT_TRUE(whole.has_value());
+    EXPECT_EQ(*whole, payload);
+    pool.release_bytes(std::move(*whole));
+  };
+  round_trip();
+  // Warmed up: part buffers and the reassembled whole now cycle through
+  // the pool, so further round trips are pure pool hits.
+  std::uint64_t misses_before = pool.misses();
+  for (int i = 0; i < 20; ++i) round_trip();
+  EXPECT_EQ(pool.misses(), misses_before);
+  EXPECT_GT(pool.hits(), 0u);
+}
+
 // ---- Wire format ------------------------------------------------------------
 
 TEST(Wire, MessageRoundTrip) {
@@ -325,6 +407,143 @@ TEST_F(TunnelFixture, LargePacketsFragmentAndReassemble) {
   auto last = server.handle(messages.back().serialize(), clock.now());
   ASSERT_TRUE(last.ok());
   EXPECT_EQ(std::get<VpnServer::PacketIn>(*last).ip_packet, big);
+}
+
+TEST_F(TunnelFixture, OpenBatchDeliversMixedSessionsInArrivalOrder) {
+  auto alice = connect();
+  auto bob = connect();
+  // An interleaved uplink train: alice, bob, alice.
+  std::vector<Bytes> frames;
+  std::size_t n = 0;
+  n = alice.seal_packet_wire_at(to_bytes("alice-1"), frames, n);
+  n = bob.seal_packet_wire_at(to_bytes("bob-1"), frames, n);
+  n = alice.seal_packet_wire_at(to_bytes("alice-2"), frames, n);
+  ASSERT_EQ(n, 3u);
+
+  VpnServer::OpenBatch out;
+  server.open_batch(std::span<const Bytes>(frames.data(), n), clock.now(), out);
+  EXPECT_EQ(out.complete, 3u);
+  EXPECT_EQ(out.rejected, 0u);
+  EXPECT_EQ(out.pending, 0u);
+  ASSERT_EQ(out.packet_count, 3u);
+  EXPECT_EQ(to_string(out.packets[0].ip_packet), "alice-1");
+  EXPECT_EQ(out.packets[0].session_id, alice.session_id());
+  EXPECT_EQ(to_string(out.packets[1].ip_packet), "bob-1");
+  EXPECT_EQ(out.packets[1].session_id, bob.session_id());
+  EXPECT_EQ(to_string(out.packets[2].ip_packet), "alice-2");
+}
+
+TEST_F(TunnelFixture, OpenBatchReassemblesFragmentsAcrossTheTrain) {
+  VpnClientConfig config;
+  config.mtu = 100;
+  auto client = connect(config);
+  Rng data_rng(9);
+  Bytes big = data_rng.bytes(250);  // 3 fragments
+  std::vector<Bytes> frames;
+  std::size_t n = client.seal_packet_wire_at(big, frames, 0);
+  ASSERT_EQ(n, 3u);
+
+  VpnServer::OpenBatch out;
+  server.open_batch(std::span<const Bytes>(frames.data(), n), clock.now(), out);
+  EXPECT_EQ(out.complete, 1u);
+  EXPECT_EQ(out.pending, 2u);
+  ASSERT_EQ(out.packet_count, 1u);
+  EXPECT_EQ(out.packets[0].ip_packet, big);
+}
+
+TEST_F(TunnelFixture, OpenBatchRejectsBadFramesIndividually) {
+  auto client = connect();
+  std::vector<Bytes> frames;
+  std::size_t n = 0;
+  n = client.seal_packet_wire_at(to_bytes("good-1"), frames, n);
+  n = client.seal_packet_wire_at(to_bytes("tampered"), frames, n);
+  n = client.seal_packet_wire_at(to_bytes("good-2"), frames, n);
+  ASSERT_EQ(n, 3u);
+  frames[1].back() ^= 0x01;  // corrupt the MAC of the middle frame
+
+  std::uint64_t auth_before = server.auth_failures();
+  VpnServer::OpenBatch out;
+  server.open_batch(std::span<const Bytes>(frames.data(), n), clock.now(), out);
+  EXPECT_EQ(out.complete, 2u);
+  EXPECT_EQ(out.rejected, 1u);
+  EXPECT_EQ(server.auth_failures(), auth_before + 1);
+  ASSERT_EQ(out.packet_count, 2u);
+  EXPECT_EQ(to_string(out.packets[0].ip_packet), "good-1");
+  EXPECT_EQ(to_string(out.packets[1].ip_packet), "good-2");
+
+  // A ping frame does not belong on the batched data drain.
+  Bytes ping = client.create_ping().serialize();
+  std::vector<Bytes> control{ping};
+  server.open_batch(std::span<const Bytes>(control.data(), 1), clock.now(), out);
+  EXPECT_EQ(out.rejected, 1u);
+  EXPECT_EQ(out.complete, 0u);
+}
+
+TEST_F(TunnelFixture, OpenBatchEnforcesReplayWindowInOrder) {
+  auto client = connect();
+  std::vector<Bytes> frames;
+  std::size_t n = 0;
+  n = client.seal_packet_wire_at(to_bytes("one"), frames, n);
+  n = client.seal_packet_wire_at(to_bytes("two"), frames, n);
+
+  VpnServer::OpenBatch out;
+  server.open_batch(std::span<const Bytes>(frames.data(), n), clock.now(), out);
+  EXPECT_EQ(out.complete, 2u);
+
+  // Replaying the identical train: every frame rejected, none delivered.
+  std::uint64_t replays_before = server.replays_rejected();
+  server.open_batch(std::span<const Bytes>(frames.data(), n), clock.now(), out);
+  EXPECT_EQ(out.complete, 0u);
+  EXPECT_EQ(out.rejected, 2u);
+  EXPECT_EQ(server.replays_rejected(), replays_before + 2);
+}
+
+TEST_F(TunnelFixture, OpenBatchMatchesPerFrameReplayAndDeliveryCounts) {
+  // The same train through open_batch and through frame-at-a-time
+  // handle() on a twin session must deliver identical packet sequences.
+  auto batch_client = connect();
+  auto frame_client = connect();
+  Rng data_rng(21);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 8; ++i) payloads.push_back(data_rng.bytes(40 + 13 * i));
+
+  std::vector<Bytes> batch_frames;
+  std::size_t n = 0;
+  for (const Bytes& p : payloads)
+    n = batch_client.seal_packet_wire_at(p, batch_frames, n);
+  VpnServer::OpenBatch out;
+  server.open_batch(std::span<const Bytes>(batch_frames.data(), n), clock.now(), out);
+  ASSERT_EQ(out.packet_count, payloads.size());
+
+  std::vector<Bytes> frame_frames;
+  std::size_t m = 0;
+  for (const Bytes& p : payloads)
+    m = frame_client.seal_packet_wire_at(p, frame_frames, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto event = server.handle(frame_frames[i], clock.now());
+    ASSERT_TRUE(event.ok()) << event.error();
+    auto* in = std::get_if<VpnServer::PacketIn>(&*event);
+    ASSERT_NE(in, nullptr);
+    EXPECT_EQ(in->ip_packet, out.packets[i].ip_packet);
+  }
+}
+
+TEST_F(TunnelFixture, SealBatchRoundTripsThroughTheClient) {
+  auto client = connect();
+  Bytes a = to_bytes("downlink-a");
+  Bytes b = to_bytes("downlink-b-longer");
+  std::array<ByteView, 2> packets{ByteView(a), ByteView(b)};
+  std::vector<Bytes> frames;
+  std::size_t n = server.seal_batch(client.session_id(), packets, frames);
+  ASSERT_EQ(n, 2u);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto msg = WireMessage::parse(frames[i]);
+    ASSERT_TRUE(msg.ok());
+    auto opened = client.open_data(*msg);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    ASSERT_TRUE(opened->has_value());
+    EXPECT_EQ(**opened, i == 0 ? a : b);
+  }
 }
 
 TEST_F(TunnelFixture, CiphertextRevealsNothingObvious) {
