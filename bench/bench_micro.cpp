@@ -7,11 +7,19 @@
 // Aho-Corasick) and the PR-3 batched element graph (PacketBatch +
 // PacketPool vs packet-at-a-time pushes) are benchmarked side by side
 // with the per-packet/reference paths that stayed callable for exactly
-// this purpose, and the PR-4 sharded chain (per-core element-graph
-// clones, critical-path costing) against its single-shard baseline.
+// this purpose, the PR-4 sharded chain (per-core element-graph clones,
+// critical-path costing) against its single-shard baseline, and the
+// PR-5 session-sharded VPN server (open_batch + seal_jobs across
+// session shards) against the pre-sharding single-threaded loop.
 // Running with `--json [path]` skips google-benchmark and instead
-// writes a before/after summary (default BENCH_pr4.json) that CI diffs
-// against the checked-in baselines.
+// writes a before/after summary (default BENCH_pr5.json) that CI diffs
+// against the checked-in baselines. Note on refreshing baselines: the
+// JSON mode always emits every row (that is what CI's bench-current
+// run needs), but each checked-in BENCH_prN.json should keep only the
+// rows its PR introduced or materially changed — the regression gate
+// takes the most recent baseline per key, so re-recording untouched
+// rows would silently move their expectations to whatever machine the
+// refresh ran on. Trim before committing.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +29,7 @@
 #include <iterator>
 #include <string>
 
+#include "ca/authority.hpp"
 #include "click/packet_batch.hpp"
 #include "click/router.hpp"
 #include "click/sharded_router.hpp"
@@ -31,6 +40,10 @@
 #include "endbox/configs.hpp"
 #include "idps/engine.hpp"
 #include "net/packet_pool.hpp"
+#include "sgx/enclave.hpp"
+#include "sgx/platform.hpp"
+#include "vpn/client.hpp"
+#include "vpn/server.hpp"
 #include "vpn/session_crypto.hpp"
 #include "vpn/session_crypto_reference.hpp"
 
@@ -208,6 +221,107 @@ struct ShardedChainBench {
     }
     if (!batch.empty())
       router->shard(s).push_batch_to("from_device", std::move(batch));
+  }
+};
+
+// The session-sharded VPN server driven the way the uplink drives it:
+// a 64-frame train spanning 16 sessions (4 frames each) opened with
+// open_batch, then the 64 reassembled packets sealed back downlink
+// with seal_jobs. PR-4's methodology applies: run_shard(s) runs shard
+// s's slice of both halves inline on the calling thread, each shard is
+// timed serially, and the burst is costed at the slowest shard — the
+// completion time when every shard worker owns a core (wall-clock
+// parallel timing on a 1-2 core CI box would measure the scheduler).
+// reset_replay_windows() makes the identical pre-sealed train fresh
+// every iteration, so the open side times real MAC+decrypt work
+// instead of replay rejections.
+struct ServerShardBench {
+  static constexpr std::size_t kSessions = 16;
+  static constexpr std::size_t kFramesPerSession = 4;
+  static constexpr std::size_t kBurst = kSessions * kFramesPerSession;  // 64
+
+  Rng pki_rng{0x5eed5a};
+  sim::Clock clock;
+  sgx::AttestationService ias{pki_rng};
+  ca::CertificateAuthority authority{pki_rng, ias};
+  sgx::SgxPlatform platform{"bench-client", pki_rng, clock};
+  sgx::Enclave enclave{platform, "endbox-v1", sgx::SgxMode::Hardware};
+  crypto::RsaKeyPair enclave_key = crypto::rsa_generate(pki_rng);
+  ca::Certificate certificate;
+
+  Rng server_rng{0xbe9c5};
+  vpn::VpnServer server;
+  std::vector<std::unique_ptr<Rng>> client_rngs;
+  std::vector<vpn::VpnClientSession> clients;
+  Bytes payload;
+  std::vector<Bytes> burst;  ///< pre-sealed uplink train
+  std::vector<vpn::VpnServer::SealJob> jobs;
+  std::vector<Bytes> seal_frames;
+  vpn::VpnServer::OpenBatch out;
+
+  explicit ServerShardBench(std::size_t shards, std::size_t payload_bytes = 1500)
+      : server(server_rng, authority.public_key(), [&] {
+          vpn::VpnServerConfig config;
+          config.session_shards = shards;
+          return config;
+        }()) {
+    ias.register_platform("bench-client", platform.attestation_key().pub);
+    authority.allow_measurement(enclave.measurement());
+    sgx::QuotingEnclave qe(platform);
+    auto quote = qe.quote(enclave.create_report(
+        sgx::bind_report_data(enclave_key.pub.serialize())));
+    auto response = authority.provision(quote->serialize(), enclave_key.pub);
+    if (!response.ok()) std::abort();
+    certificate = response->certificate;
+
+    Rng data_rng(9);
+    payload = data_rng.bytes(payload_bytes);
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      client_rngs.push_back(std::make_unique<Rng>(0x2000 + i));
+      clients.emplace_back(*client_rngs.back(), certificate, enclave_key,
+                           server.public_key(), vpn::VpnClientConfig{});
+      auto init = clients.back().create_handshake_init();
+      auto event = server.handle(init.serialize(), 0);
+      if (!event.ok()) std::abort();
+      auto reply = vpn::WireMessage::parse(
+          std::get<vpn::VpnServer::HandshakeDone>(*event).reply_wire);
+      if (!clients.back().process_handshake_reply(*reply).ok()) std::abort();
+    }
+    for (std::size_t f = 0; f < kFramesPerSession; ++f)
+      for (std::size_t i = 0; i < kSessions; ++i)
+        clients[i].seal_packet_wire_at(payload, burst, burst.size());
+    for (std::size_t k = 0; k < kBurst; ++k)
+      jobs.push_back({clients[k % kSessions].session_id(), payload});
+  }
+
+  bool shard_has_work(std::size_t s) const {
+    for (const auto& client : clients)
+      if (server.shard_of_session(client.session_id()) == s) return true;
+    return false;
+  }
+
+  /// Shard s's slice of the open+seal burst, inline on the caller.
+  void run_shard(std::size_t s) {
+    server.reset_replay_windows();
+    server.open_batch_shard(s, burst, 0, out);
+    server.seal_jobs_shard(s, jobs, seal_frames);
+  }
+
+  /// The full staged path (as the server runs it in production).
+  void run_full() {
+    server.reset_replay_windows();
+    server.open_batch(burst, 0, out);
+    server.seal_jobs(jobs, seal_frames);
+  }
+
+  /// The pre-sharding single-threaded loop kept callable in-tree.
+  void run_reference() {
+    server.reset_replay_windows();
+    server.open_batch_reference(burst, 0, out);
+    std::size_t at = 0;
+    for (const auto& job : jobs)
+      at = server.seal_packet_wire_at(job.session_id, job.ip_packet,
+                                      seal_frames, at);
   }
 };
 
@@ -404,6 +518,20 @@ static void BM_VpnSealOpenReference(benchmark::State& state) {
 }
 BENCHMARK(BM_VpnSealOpenReference);
 
+// Arg: session-shard count. Runs the production staged path (worker
+// pool and all); the --json mode instead times shards serially and
+// reports the critical path, which is what CI gates on.
+static void BM_ServerShardOpenSeal(benchmark::State& state) {
+  ServerShardBench bench(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bench.run_full();
+    benchmark::DoNotOptimize(bench.out.complete);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ServerShardBench::kBurst));
+}
+BENCHMARK(BM_ServerShardOpenSeal)->Arg(1)->Arg(2)->Arg(4);
+
 // ---------------------------------------------------------------------------
 // --json mode: deterministic before/after summary for the bench trajectory.
 // ---------------------------------------------------------------------------
@@ -583,6 +711,29 @@ int run_json_mode(const std::string& path) {
       [&] { one_shard.run_shard(0, shard_payload); },
       [&] { plain_chain.run_batch(shard_payload, kShardBurst); });
 
+  // PR-5: the session-sharded VPN server. Each shard's slice of the
+  // 64-frame open+seal burst is timed serially; the burst is costed at
+  // the slowest shard (one core per shard worker). The 1-shard row
+  // compares the staged path, end to end, against the pre-sharding
+  // single-threaded loop kept callable in-tree.
+  auto server_burst_ns = [&](std::size_t shards) {
+    ServerShardBench bench(shards);
+    double critical = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!bench.shard_has_work(s)) continue;
+      double ns = time_ns_per_op([&] { bench.run_shard(s); });
+      critical = std::max(critical, ns);
+    }
+    return critical;
+  };
+  constexpr double kServerBurst = static_cast<double>(ServerShardBench::kBurst);
+  double server1 = server_burst_ns(1);
+  double server2 = server_burst_ns(2);
+  double server4 = server_burst_ns(4);
+  ServerShardBench staged_server(1), prepr_server(1);
+  auto [server_staged_ns, server_prepr_ns] = time_pair_ns_per_op(
+      [&] { staged_server.run_full(); }, [&] { prepr_server.run_reference(); });
+
   Comparison comparisons[] = {
       {"seal_data_1500B", seal_new, seal_ref},
       {"open_data_1500B", open_new, open_ref},
@@ -602,6 +753,18 @@ int run_json_mode(const std::string& path) {
       {"sharded_chain_1shard_vs_plain_1500B_burst64",
        one_shard_ns / static_cast<double>(kShardBurst),
        plain_ns / static_cast<double>(kShardBurst)},
+      // new = N-shard critical path of the server's open+seal burst,
+      // ref = the 1-shard burst: speedup is the aggregate server
+      // throughput gain of session sharding.
+      {"server_shard_open_seal_2shards", server2 / kServerBurst,
+       server1 / kServerBurst},
+      {"server_shard_open_seal_4shards", server4 / kServerBurst,
+       server1 / kServerBurst},
+      // new = staged 1-shard path end to end, ref = the pre-sharding
+      // single-threaded loop: speedup ~1.0 shows staging costs nothing
+      // when not sharded.
+      {"server_shard_1shard_vs_prepr", server_staged_ns / kServerBurst,
+       server_prepr_ns / kServerBurst},
   };
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -609,14 +772,15 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"pr\": 4,\n  \"payload_bytes\": %zu,\n", kPayload);
+  std::fprintf(f, "{\n  \"pr\": 5,\n  \"payload_bytes\": %zu,\n", kPayload);
   std::fprintf(f,
                "  \"note\": \"ref = pre-PR implementation kept callable "
                "in-tree; click_chain rows are ns/packet for 64-packet bursts "
-               "(batched vs per-packet); sharded_chain rows are critical-path "
-               "ns/packet for a 64-packet 32-flow burst, each shard timed "
-               "serially and the burst costed at the slowest shard (one core "
-               "per shard, the virtual-time model)\",\n");
+               "(batched vs per-packet); sharded_chain and server_shard rows "
+               "are critical-path ns/packet for 64-packet bursts, each shard "
+               "timed serially and the burst costed at the slowest shard (one "
+               "core per shard, the virtual-time model); server_shard rows "
+               "cover open_batch + seal_jobs over 16 sessions\",\n");
   std::fprintf(f, "  \"results\": {\n");
   for (std::size_t i = 0; i < std::size(comparisons); ++i) {
     const Comparison& c = comparisons[i];
@@ -644,7 +808,7 @@ int run_json_mode(const std::string& path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      std::string path = "BENCH_pr4.json";
+      std::string path = "BENCH_pr5.json";
       if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
       return run_json_mode(path);
     }

@@ -3,16 +3,21 @@
 checked-in baseline(s) instead of only archiving it.
 
 Speedup ratios (new path vs in-tree reference path) are compared for
-every result key the current run shares with each baseline; absolute
-ns/op is machine-dependent and deliberately ignored. A key regresses
-when its current speedup falls more than --tolerance (default 15%)
-below the baseline's recorded speedup.
+every result key the current run shares with the baselines; absolute
+ns/op is machine-dependent and deliberately ignored. When several
+baselines record the same key, the MOST RECENT one (last on the
+command line / highest-numbered default) wins: it was measured on the
+machine class closest to the current run, while older files document
+the trajectory. A key regresses when its current speedup falls more
+than --tolerance (default 15%) below the winning baseline's recorded
+speedup.
 
 Usage:
   check_bench_regression.py CURRENT.json [BASELINE.json ...]
       [--tolerance 0.15]
-With no baselines given, the checked-in BENCH_pr2.json, BENCH_pr3.json
-and BENCH_pr4.json next to this script's repo root are used.
+With no baselines given, the checked-in BENCH_pr2.json, BENCH_pr3.json,
+BENCH_pr4.json and BENCH_pr5.json next to this script's repo root are
+used.
 Exit code 1 on any regression.
 """
 
@@ -21,7 +26,8 @@ import json
 import os
 import sys
 
-DEFAULT_BASELINES = ["BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr4.json"]
+DEFAULT_BASELINES = ["BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr4.json",
+                     "BENCH_pr5.json"]
 
 
 def load_results(path):
@@ -47,24 +53,29 @@ def main():
         print(f"error: no results in {args.current}")
         return 1
 
+    # Later baselines override earlier ones per key: the newest recorded
+    # speedup is the live expectation, older files are history.
+    expected = {}
+    for baseline_path in args.baselines:
+        for key, row in load_results(baseline_path).items():
+            if row.get("speedup"):
+                expected[key] = (row["speedup"], baseline_path)
+
     failures = []
     compared = 0
-    for baseline_path in args.baselines:
-        baseline = load_results(baseline_path)
-        shared = sorted(set(current) & set(baseline))
-        for key in shared:
-            base_speedup = baseline[key].get("speedup")
-            cur_speedup = current[key].get("speedup")
-            if not base_speedup or not cur_speedup:
-                continue
-            compared += 1
-            floor = base_speedup * (1.0 - args.tolerance)
-            status = "ok" if cur_speedup >= floor else "REGRESSED"
-            print(f"{key:40s} baseline {base_speedup:6.2f}x  "
-                  f"current {cur_speedup:6.2f}x  floor {floor:6.2f}x  {status}"
-                  f"  [{baseline_path}]")
-            if cur_speedup < floor:
-                failures.append(key)
+    for key in sorted(set(current) & set(expected)):
+        cur_speedup = current[key].get("speedup")
+        if not cur_speedup:
+            continue
+        base_speedup, baseline_path = expected[key]
+        compared += 1
+        floor = base_speedup * (1.0 - args.tolerance)
+        status = "ok" if cur_speedup >= floor else "REGRESSED"
+        print(f"{key:40s} baseline {base_speedup:6.2f}x  "
+              f"current {cur_speedup:6.2f}x  floor {floor:6.2f}x  {status}"
+              f"  [{baseline_path}]")
+        if cur_speedup < floor:
+            failures.append(key)
 
     if compared == 0:
         print("error: no comparable result keys between current run and baselines")

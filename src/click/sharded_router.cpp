@@ -103,10 +103,11 @@ Result<std::vector<std::unique_ptr<Router>>> ShardedRouter::build_shards(
 void ShardedRouter::adopt(std::vector<std::unique_ptr<Router>> shards) {
   shards_ = std::move(shards);
   partition_scratch_.resize(shards_.size());
-  // One worker per shard; with one shard everything runs inline on the
-  // calling thread and the pool is not even constructed.
-  pool_ = shards_.size() > 1 ? std::make_unique<ShardWorkerPool>(shards_.size())
-                             : nullptr;
+  // One worker per shard; a reshard to fewer (but still >1) shards
+  // keeps the existing pool and its warmed-up threads, so shrinking
+  // never pays thread teardown/spawn on what is supposed to be a
+  // lossless live transition (ShardWorkerPool::ensure's policy).
+  ShardWorkerPool::ensure(pool_, shards_.size());
 }
 
 bool ShardedRouter::push_to(const std::string& name, net::Packet&& packet) {

@@ -43,9 +43,24 @@ inline std::size_t shard_of(const net::FlowKey& key, std::size_t shards) {
 
 /// A fixed pool of worker threads running indexed jobs. run(jobs, fn)
 /// executes fn(0..jobs-1) across the workers and the calling thread and
-/// returns when all jobs finished; the mutex hand-offs order everything
-/// a job wrote before everything the caller reads after, so per-shard
-/// element state needs no further synchronisation.
+/// returns when all jobs finished.
+///
+/// Hand-off protocol (what makes cross-thread state safe and the pool
+/// reusable across reshards):
+///  - run() publishes {fn, jobs} under the mutex and wakes the workers;
+///    each thread (workers and the caller alike) claims job indices
+///    from the shared cursor under the mutex and executes them outside
+///    it, so a job index runs exactly once.
+///  - The mutex acquire/release pairs order everything a job wrote
+///    before everything the caller reads after run() returns — per-job
+///    (per-shard) state needs no further synchronisation.
+///  - `jobs` may be *smaller* than the worker count: surplus workers
+///    find the cursor exhausted and go back to sleep. This is what
+///    lets a reshard to a lower shard count keep the existing pool
+///    (and its warmed-up threads) instead of tearing it down — only
+///    growing beyond worker_count() requires a new pool.
+///  - If any job threw, the first exception is rethrown to run()'s
+///    caller after the burst fully drains.
 class ShardWorkerPool {
  public:
   explicit ShardWorkerPool(std::size_t workers);
@@ -61,6 +76,17 @@ class ShardWorkerPool {
   void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
 
   std::size_t worker_count() const { return threads_.size(); }
+
+  /// The one reuse policy every sharded data plane applies on a
+  /// (re)shard: one shard runs inline (no pool), a shrink keeps the
+  /// existing pool (surplus workers park, see the hand-off protocol
+  /// above), and only growing past worker_count() rebuilds it.
+  static void ensure(std::unique_ptr<ShardWorkerPool>& pool, std::size_t shards) {
+    if (shards <= 1)
+      pool.reset();
+    else if (!pool || pool->worker_count() < shards)
+      pool = std::make_unique<ShardWorkerPool>(shards);
+  }
 
  private:
   void worker_loop();
@@ -95,6 +121,10 @@ class ShardedRouter {
   std::size_t shard_count() const { return shards_.size(); }
   const std::string& config_text() const { return config_text_; }
   std::uint64_t reshard_count() const { return reshard_count_; }
+  /// Threads in the worker pool (0 when running single-shard inline).
+  /// After a shrinking reshard this stays at the previous high-water
+  /// mark: the pool is reused, not rebuilt (see ShardWorkerPool docs).
+  std::size_t worker_threads() const { return pool_ ? pool_->worker_count() : 0; }
 
   Router& shard(std::size_t i) { return *shards_[i]; }
   const Router& shard(std::size_t i) const { return *shards_[i]; }

@@ -1,0 +1,22 @@
+// Shared integer hashing: the splitmix64 finaliser, used wherever the
+// repo needs a full-avalanche mix of a small integer key — the FlowKey
+// RSS dispatch, Rng stream forking, and the session-shard pinning of
+// the sharded VPN server. Kept in one place so every sharding layer
+// agrees on what "well spread" means.
+#pragma once
+
+#include <cstdint>
+
+namespace endbox {
+
+/// splitmix64 finaliser: diffuses every input bit into every output
+/// bit, so sequential or strided keys (ports, session ids, fork
+/// labels) still spread uniformly.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace endbox

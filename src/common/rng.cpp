@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include "common/hash.hpp"
+
 namespace endbox {
 
 std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
@@ -29,11 +31,11 @@ void Rng::fill(std::span<std::uint8_t> out) {
 
 Rng Rng::fork(std::uint64_t label) const {
   // splitmix64 finaliser over (seed, label) — decorrelates children even
-  // for adjacent labels, and depends only on the original seed.
+  // for adjacent labels, and depends only on the original seed. The
+  // pre-mix multiply keeps the historical stream: splitmix64 adds the
+  // golden-ratio increment itself, so back it out of the seed first.
   std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (label + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return Rng(z ^ (z >> 31));
+  return Rng(splitmix64(z - 0x9e3779b97f4a7c15ULL));
 }
 
 }  // namespace endbox

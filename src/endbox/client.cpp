@@ -80,13 +80,16 @@ sim::Time EndBoxClient::charge_data_path_batch(sim::Time now,
   cycles += static_cast<double>(fragments) * model_.partition_packet_cycles +
             model_.partition_cycles_per_byte * static_cast<double>(payload_bytes);
 
+  std::size_t shards = enclave_->shard_count();
+  bool sharded_click = run_click && shards > 1 && enclave_->router();
+
   double click_cycles = 0;
-  if (run_click && enclave_->router())
+  if (run_click && !sharded_click && enclave_->router())
     click_cycles = model_.enclave_click_packet_cycles +
                    pipeline_cycles_sharded(*enclave_->router(), payload_bytes,
-                                           packets, enclave_->shard_count(),
-                                           model_);
+                                           packets, shards, model_);
 
+  double compute_multiplier = 1.0;
   if (options_.sgx_mode == sgx::SgxMode::Hardware) {
     // A batch ecall crosses the enclave boundary once for the whole
     // burst — the transition cost no longer scales with packets.
@@ -95,10 +98,29 @@ sim::Time EndBoxClient::charge_data_path_batch(sim::Time now,
                                : model_.ecalls_per_packet_unoptimised;
     cycles += static_cast<double>(transitions) * model_.enclave_transition_cycles;
     cycles += model_.epc_cycles_per_byte * static_cast<double>(payload_bytes);
-    click_cycles *= model_.enclave_compute_multiplier;
+    compute_multiplier = model_.enclave_compute_multiplier;
+    click_cycles *= compute_multiplier;
   }
   cycles += click_cycles;
-  return cpu_.charge(now, cycles);
+
+  if (!sharded_click) return cpu_.charge(now, cycles);
+
+  // Sharded burst, honest multi-core accounting: the single-threaded
+  // part (tunnel crypto, boundary copies, the graph-entry call, the
+  // per-frame partition/merge staging) charges first, then every
+  // shard's slice of the pipeline runs as its own core's job. The
+  // burst completes at the critical path while *all* shards' cycles
+  // count as busy time — shard-count sweeps no longer get the work of
+  // N cores for the price of one.
+  // Staging (partition/merge) runs inside the batch ecall like the
+  // rest of the Click work, so it pays the EPC compute multiplier too.
+  cycles += model_.enclave_click_packet_cycles * compute_multiplier;
+  cycles += model_.shard_staging_cycles_per_frame * static_cast<double>(packets) *
+            compute_multiplier;
+  pipeline_cycles_per_shard(*enclave_->router(), payload_bytes, packets, shards,
+                            model_, shard_cycles_scratch_);
+  for (double& shard : shard_cycles_scratch_) shard *= compute_multiplier;
+  return cpu_.charge_parallel(now, cycles, shard_cycles_scratch_);
 }
 
 Result<EndBoxClient::SendResult> EndBoxClient::send_packet(net::Packet packet,

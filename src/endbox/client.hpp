@@ -147,6 +147,7 @@ class EndBoxClient {
   EndBoxClientOptions options_;
   std::unique_ptr<EndBoxEnclave> enclave_;
   Bytes sealed_credentials_;
+  std::vector<double> shard_cycles_scratch_;  ///< charge_parallel jobs, reused
 };
 
 }  // namespace endbox

@@ -72,4 +72,23 @@ double pipeline_cycles_sharded(const click::Router& shard0,
   return entry + work / active;
 }
 
+std::size_t pipeline_cycles_per_shard(const click::Router& shard0,
+                                      std::size_t payload_bytes,
+                                      std::size_t packets, std::size_t shards,
+                                      const sim::PerfModel& model,
+                                      std::vector<double>& out) {
+  std::size_t active =
+      std::min(shards == 0 ? std::size_t{1} : shards,
+               packets == 0 ? std::size_t{1} : packets);
+  double entry =
+      model.click_element_cycles * static_cast<double>(shard0.elements().size());
+  double work =
+      pipeline_cycles_batch(shard0, payload_bytes, packets, model) - entry;
+  // Uniform-flow assumption (same as pipeline_cycles_sharded): the RSS
+  // dispatcher spreads the burst's work evenly over the active shards,
+  // and every active shard pays its own element-entry chain.
+  out.assign(active, entry + work / static_cast<double>(active));
+  return active;
+}
+
 }  // namespace endbox

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "click/router.hpp"
 #include "sim/perf_model.hpp"
@@ -37,5 +38,19 @@ double pipeline_cycles_batch(const click::Router& router,
 double pipeline_cycles_sharded(const click::Router& shard0,
                                std::size_t payload_bytes, std::size_t packets,
                                std::size_t shards, const sim::PerfModel& model);
+
+/// Per-shard decomposition of the same burst: fills `out` with one
+/// entry per *active* shard (min(shards, packets)), each carrying its
+/// own element-entry chain plus its share of the per-packet/per-byte
+/// work. Feeding the vector to MultiCoreAccount::charge_parallel
+/// charges every shard's cycles as busy core time while the burst
+/// completes at the critical path — the honest multi-core accounting
+/// pipeline_cycles_sharded's scalar critical path cannot express.
+/// Returns the number of active shards written.
+std::size_t pipeline_cycles_per_shard(const click::Router& shard0,
+                                      std::size_t payload_bytes,
+                                      std::size_t packets, std::size_t shards,
+                                      const sim::PerfModel& model,
+                                      std::vector<double>& out);
 
 }  // namespace endbox

@@ -1,0 +1,73 @@
+#include "endbox/reshard_controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace endbox {
+
+AdaptiveReshardController::AdaptiveReshardController(ReshardPolicy policy,
+                                                     std::size_t initial_shards)
+    : policy_(policy), shards_(initial_shards) {
+  // Validate before clamping: std::clamp(lo > hi) is undefined.
+  if (policy_.min_shards == 0 || policy_.max_shards < policy_.min_shards)
+    throw std::invalid_argument("ReshardPolicy: bad shard bounds");
+  shards_ = std::clamp(initial_shards, policy_.min_shards, policy_.max_shards);
+  if (policy_.shard_capacity <= 0)
+    throw std::invalid_argument("ReshardPolicy: shard_capacity must be positive");
+  if (policy_.ewma_alpha <= 0 || policy_.ewma_alpha > 1)
+    throw std::invalid_argument("ReshardPolicy: ewma_alpha must be in (0, 1]");
+  if (policy_.shrink_below > policy_.grow_above / 2)
+    throw std::invalid_argument(
+        "ReshardPolicy: shrink_below must be <= grow_above / 2 (a doubling "
+        "must never land in the shrink band, and an overloaded grow must "
+        "never be vetoed by the anti-flap projection)");
+}
+
+double AdaptiveReshardController::utilisation_at(std::size_t shards) const {
+  return ewma_ / (static_cast<double>(shards) * policy_.shard_capacity);
+}
+
+double AdaptiveReshardController::utilisation() const {
+  return utilisation_at(shards_);
+}
+
+void AdaptiveReshardController::note_applied(std::size_t shards) {
+  shards_ = std::clamp(shards, policy_.min_shards, policy_.max_shards);
+}
+
+std::size_t AdaptiveReshardController::observe(double offered_load) {
+  if (offered_load < 0) offered_load = 0;
+  ewma_ = primed_ ? policy_.ewma_alpha * offered_load +
+                        (1.0 - policy_.ewma_alpha) * ewma_
+                  : offered_load;
+  primed_ = true;
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return shards_;
+  }
+
+  double u = utilisation_at(shards_);
+  if (u > policy_.grow_above && shards_ < policy_.max_shards) {
+    std::size_t target = std::min(shards_ * 2, policy_.max_shards);
+    // Projection guard: growing must not land the smoothed load inside
+    // the shrink band, or the next quiet interval would flap back.
+    if (utilisation_at(target) >= policy_.shrink_below) {
+      shards_ = target;
+      ++grows_;
+      cooldown_left_ = policy_.cooldown_intervals;
+    }
+  } else if (u < policy_.shrink_below && shards_ > policy_.min_shards) {
+    std::size_t target = std::max(shards_ / 2, policy_.min_shards);
+    // Mirror guard: shrinking must not push utilisation into the grow
+    // band, or the next interval would double straight back.
+    if (utilisation_at(target) <= policy_.grow_above) {
+      shards_ = target;
+      ++shrinks_;
+      cooldown_left_ = policy_.cooldown_intervals;
+    }
+  }
+  return shards_;
+}
+
+}  // namespace endbox

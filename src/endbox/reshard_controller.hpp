@@ -1,0 +1,87 @@
+// AdaptiveReshardController: the load monitor that finally drives the
+// reshard machinery (EndBoxEnclave::ecall_reshard on clients,
+// VpnServer::reshard_sessions on the server) instead of leaving it a
+// manual knob.
+//
+// The controller is policy only — it owns no threads and touches no
+// data plane. The driver feeds it one load observation per control
+// interval (offered packets, queue depth, busy nanoseconds — any
+// monotone load unit, as long as `shard_capacity` is stated in the
+// same unit); the controller maintains an EWMA of the signal and
+// answers with a target shard count. Decisions double or halve the
+// count (the shapes the lossless reshard migrates cheapest) and are
+// guarded three ways against oscillation:
+//
+//   - hysteresis band: grow above `grow_above` per-shard utilisation,
+//     shrink below `shrink_below`, hold in between;
+//   - projection guards: never grow into the shrink band or shrink
+//     into the grow band — a steady load that triggered one decision
+//     can never trigger the opposite one;
+//   - cooldown: after any decision the controller holds for
+//     `cooldown_intervals` observations, so the EWMA refills with
+//     post-transition samples before the next move.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace endbox {
+
+struct ReshardPolicy {
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 8;
+  /// Load units per interval one shard absorbs at full utilisation
+  /// (the calibration constant tying the signal to the shard count).
+  double shard_capacity = 1.0;
+  /// EWMA smoothing factor in (0, 1]: weight of the newest sample.
+  double ewma_alpha = 0.35;
+  /// Per-shard utilisation above which the controller doubles.
+  double grow_above = 0.85;
+  /// Per-shard utilisation below which the controller halves. Must be
+  /// <= grow_above / 2 (enforced at construction): with doubling and
+  /// halving steps that invariant makes the projection guards provably
+  /// never block a decision, so an overloaded controller can never be
+  /// pinned below max_shards, and a doubling can never land in the
+  /// shrink band.
+  double shrink_below = 0.35;
+  /// Observations to hold after any decision.
+  unsigned cooldown_intervals = 2;
+};
+
+class AdaptiveReshardController {
+ public:
+  explicit AdaptiveReshardController(ReshardPolicy policy = {},
+                                     std::size_t initial_shards = 1);
+
+  /// Feeds one interval's load observation; returns the shard count
+  /// the data plane should run with from now on (== shards() when
+  /// nothing changes). The caller applies the transition (the
+  /// controller assumes it succeeded; call note_applied() with the
+  /// actual count if it did not).
+  std::size_t observe(double offered_load);
+
+  /// Re-anchors the controller on the data plane's actual shard count
+  /// (e.g. when a reshard failed or something else changed it).
+  void note_applied(std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+  double load_ewma() const { return ewma_; }
+  /// Smoothed per-shard utilisation: load_ewma / (shards * capacity).
+  double utilisation() const;
+  std::uint64_t grow_decisions() const { return grows_; }
+  std::uint64_t shrink_decisions() const { return shrinks_; }
+  const ReshardPolicy& policy() const { return policy_; }
+
+ private:
+  double utilisation_at(std::size_t shards) const;
+
+  ReshardPolicy policy_;
+  std::size_t shards_;
+  double ewma_ = 0;
+  bool primed_ = false;        ///< first sample seeds the EWMA directly
+  unsigned cooldown_left_ = 0;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+};
+
+}  // namespace endbox

@@ -130,6 +130,9 @@ Result<EndBoxServer::BatchResult> EndBoxServer::handle_batch(
   result.delivered = open_scratch_.complete;
   result.pending = open_scratch_.pending;
   result.rejected = open_scratch_.rejected;
+  opened_sorted_scratch_.assign(open_scratch_.opened_sessions.begin(),
+                                open_scratch_.opened_sessions.end());
+  std::sort(opened_sorted_scratch_.begin(), opened_sorted_scratch_.end());
 
   // Per-frame tunnel cost, accumulated per session (each session's
   // single-threaded OpenVPN process serialises its own work). Frames
@@ -192,14 +195,70 @@ Result<EndBoxServer::BatchResult> EndBoxServer::handle_batch(
     charge_session(packet.session_id, cycles);
   }
 
+  // The batched drain runs on the VPN server's N session-shard workers
+  // (one single thread at the default 1 shard — exactly what
+  // open_batch's implementation is): each shard's sessions serialise
+  // onto that shard's worker, so their cycles aggregate into one job
+  // per shard. The single-threaded staging pass (header parse,
+  // partition, merge) charges first, then the shard jobs run in
+  // parallel on the server's cores — completion is the burst's
+  // critical path, while every shard's cycles count as busy time. The
+  // per-frame handle_wire path keeps the per-client OpenVPN process
+  // model; this path models the one sharded server process.
+  std::size_t shards = vpn_.session_shard_count();
+  shard_cycles_scratch_.assign(shards, 0.0);
+  shard_earliest_scratch_.assign(shards, now);
   for (const auto& [sid, cycles] : session_cycles_scratch_) {
-    sim::Time& last = session_proc_free_[sid];
-    sim::Time start = std::max(now, last);
-    sim::Time done = cpu_.charge(start, cycles);
-    last = done;
-    result.done = std::max(result.done, done);
+    std::size_t s = vpn_.shard_of_session(sid);
+    shard_cycles_scratch_[s] += cycles;
+    // A session still busy from a previous burst holds back only its
+    // own shard's worker, not the whole train.
+    auto it = session_proc_free_.find(sid);
+    if (it != session_proc_free_.end())
+      shard_earliest_scratch_[s] = std::max(shard_earliest_scratch_[s], it->second);
+  }
+  job_cycles_scratch_.clear();
+  job_earliest_scratch_.clear();
+  shard_job_scratch_.assign(shards, shards);  // `shards` = no job
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (shard_cycles_scratch_[s] <= 0.0) continue;
+    shard_job_scratch_[s] = job_cycles_scratch_.size();
+    job_cycles_scratch_.push_back(shard_cycles_scratch_[s]);
+    job_earliest_scratch_.push_back(shard_earliest_scratch_[s]);
+  }
+  double staging = model_.shard_staging_cycles_per_frame *
+                   static_cast<double>(wires.size());
+  job_done_scratch_.assign(job_cycles_scratch_.size(), 0);
+  sim::Time done =
+      cpu_.charge_parallel(now, staging, job_cycles_scratch_, job_done_scratch_,
+                           job_earliest_scratch_);
+  result.done = std::max(result.done, done);
+  for (const auto& [sid, cycles] : session_cycles_scratch_) {
+    std::size_t job = shard_job_scratch_[vpn_.shard_of_session(sid)];
+    if (job < job_done_scratch_.size()) note_session_done(sid, job_done_scratch_[job]);
   }
   return result;
+}
+
+void EndBoxServer::note_session_done(std::uint32_t session_id, sim::Time done) {
+  auto it = session_proc_free_.find(session_id);
+  if (it != session_proc_free_.end()) {
+    it->second = std::max(it->second, done);
+    return;
+  }
+  // First successful open creates the ledger entry — a frame that
+  // passed MAC+replay counts even while its fragment group is still
+  // pending (matching handle_wire's FragmentPending behaviour).
+  // Sessions whose frames all failed in this burst stay off the ledger:
+  // they paid the MAC-check cycles, but a garbage flood must not grow
+  // per-session state. opened_sorted_scratch_ is the burst's
+  // opened_sessions sorted once in handle_batch, so this lookup stays
+  // logarithmic however many sessions a train spans.
+  bool opened_this_burst =
+      std::binary_search(opened_sorted_scratch_.begin(),
+                         opened_sorted_scratch_.end(), session_id);
+  if (opened_this_burst || session_packets_.count(session_id))
+    session_proc_free_.emplace(session_id, done);
 }
 
 EndBoxServer::SealResult EndBoxServer::seal_packet(std::uint32_t session_id,

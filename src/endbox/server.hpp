@@ -63,8 +63,13 @@ class EndBoxServer {
   /// uplink, opening them with one batched pass (VpnServer::open_batch:
   /// pooled scratch, in-order replay checks) and charging the same
   /// per-frame cycle model as handle_wire, serialised per session
-  /// process. WithClick mode additionally runs each completed packet
-  /// through that client's Click instance.
+  /// process. With a session-sharded VPN server, each shard's sessions
+  /// serialise onto that shard's core and the shards charge as
+  /// parallel jobs after a per-frame staging pass — the burst
+  /// completes at the critical path while every shard's cycles count
+  /// as busy time (MultiCoreAccount::charge_parallel). WithClick mode
+  /// additionally runs each completed packet through that client's
+  /// Click instance.
   Result<BatchResult> handle_batch(std::span<const Bytes> wires, sim::Time now);
 
   /// Seals an IP packet towards a client.
@@ -99,9 +104,19 @@ class EndBoxServer {
   /// Sessions that have forwarded at least one data packet (distinct
   /// from vpn().session_count(), which counts established tunnels).
   std::size_t sessions_with_traffic() const { return session_packets_.size(); }
+  /// Sessions holding a process-ledger entry (completion time of their
+  /// single-threaded OpenVPN process). A session earns its entry on its
+  /// first successful open (including fragments still pending) — bursts
+  /// whose frames all fail to open charge the CPU but never grow the
+  /// ledger, so a flood of garbage frames cannot inflate per-session
+  /// state.
+  std::size_t session_process_entries() const { return session_proc_free_.size(); }
 
  private:
   click::Router* session_router(std::uint32_t session_id);
+  /// Records `done` as the session's process completion, creating the
+  /// ledger entry only for sessions that have delivered at least once.
+  void note_session_done(std::uint32_t session_id, sim::Time done);
 
   Rng& rng_;
   ca::CertificateAuthority& authority_;
@@ -129,7 +144,14 @@ class EndBoxServer {
 
   // handle_batch scratch, reused across bursts.
   vpn::VpnServer::OpenBatch open_scratch_;
+  std::vector<std::uint32_t> opened_sorted_scratch_;  ///< ledger lookups
   std::vector<std::pair<std::uint32_t, double>> session_cycles_scratch_;
+  std::vector<double> shard_cycles_scratch_;     ///< per-shard serialised sums
+  std::vector<sim::Time> shard_earliest_scratch_;///< per-shard earliest starts
+  std::vector<double> job_cycles_scratch_;       ///< non-empty shard jobs
+  std::vector<sim::Time> job_earliest_scratch_;  ///< their earliest starts
+  std::vector<sim::Time> job_done_scratch_;      ///< their completion times
+  std::vector<std::size_t> shard_job_scratch_;   ///< shard -> job index
 };
 
 }  // namespace endbox

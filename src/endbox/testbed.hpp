@@ -84,7 +84,10 @@ class Testbed {
               const sim::PerfModel& model, crypto::RsaPublicKey ca_key,
               EndBoxClientOptions options)
         : platform(name, rng, clock),
-          cpu(1, model.client_hz),
+          // One core per enclave shard worker (single-core baseline at
+          // the default shards = 1).
+          cpu(static_cast<unsigned>(std::max<std::size_t>(1, options.shards)),
+              model.client_hz),
           client(name, platform, rng, cpu, model, ca_key, options) {}
   };
   struct VanillaRig {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/hash.hpp"
 #include "common/result.hpp"
 #include "net/ip.hpp"
 
@@ -118,17 +119,12 @@ struct std::hash<endbox::net::FlowKey> {
     // tables degrade under adversarial (sequential or strided) port
     // patterns; the finaliser diffuses every input bit into every
     // output bit.
-    auto mix = [](std::uint64_t x) {
-      x += 0x9e3779b97f4a7c15ull;
-      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-      return x ^ (x >> 31);
-    };
     std::uint64_t addrs = (static_cast<std::uint64_t>(k.src.value()) << 32) |
                           k.dst.value();
     std::uint64_t rest = (static_cast<std::uint64_t>(k.src_port) << 24) |
                          (static_cast<std::uint64_t>(k.dst_port) << 8) |
                          static_cast<std::uint64_t>(k.proto);
-    return static_cast<std::size_t>(mix(addrs ^ mix(rest)));
+    return static_cast<std::size_t>(
+        endbox::splitmix64(addrs ^ endbox::splitmix64(rest)));
   }
 };

@@ -28,6 +28,10 @@ class Host {
   /// (OpenVPN, vanilla Click) that cannot use all cores.
   sim::CpuAccount make_single_core() const;
 
+  /// A `cores`-core slice of this host (capped at the machine's core
+  /// count): what a sharded enclave client pins for its worker threads.
+  sim::CpuAccount make_account(unsigned cores) const;
+
  private:
   std::string name_;
   MachineClass machine_class_;

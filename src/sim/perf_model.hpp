@@ -86,6 +86,12 @@ struct PerfModel {
   double idps_cycles_per_byte = 4.1;        // Aho-Corasick scan
   double ddos_cycles_per_byte = 6.0;        // matching + rate accounting
 
+  // ---- Sharded data planes (client enclave and VPN server) ------------
+  // Single-threaded staging a sharded burst pays per frame before the
+  // shard workers start: wire-header parse, shard lookup, partition
+  // append, and the k-way merge's share afterwards.
+  double shard_staging_cycles_per_frame = 120;
+
   // ---- Server-side chaining (OpenVPN+Click set-up) --------------------
   // Handing packets from per-client OpenVPN processes to Click instances
   // costs a second tun traversal plus scheduling.

@@ -2,22 +2,53 @@
 
 #include <array>
 #include <cstring>
+#include <stdexcept>
 
 #include "crypto/hmac.hpp"
 
 namespace endbox::vpn {
 
 VpnServer::VpnServer(Rng& rng, crypto::RsaPublicKey ca_key, VpnServerConfig config)
-    : rng_(rng), ca_key_(ca_key), config_(config), key_(crypto::rsa_generate(rng)) {}
+    : rng_(rng), ca_key_(ca_key), config_(config), key_(crypto::rsa_generate(rng)) {
+  std::size_t shards = config_.session_shards == 0 ? 1 : config_.session_shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<SessionShard>());
+  ensure_worker_pool();
+}
+
+void VpnServer::ensure_worker_pool() {
+  click::ShardWorkerPool::ensure(pool_, shards_.size());
+}
 
 VpnServer::Session* VpnServer::find_session(std::uint32_t id) {
-  auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : &it->second;
+  auto& sessions = shard_of(id).sessions;
+  auto it = sessions.find(id);
+  return it == sessions.end() ? nullptr : &it->second;
 }
 
 std::uint32_t VpnServer::session_config_version(std::uint32_t session_id) const {
-  auto it = sessions_.find(session_id);
-  return it == sessions_.end() ? 0 : it->second.config_version;
+  const auto& sessions = shards_[shard_of_session(session_id)]->sessions;
+  auto it = sessions.find(session_id);
+  return it == sessions.end() ? 0 : it->second.config_version;
+}
+
+std::uint64_t VpnServer::auth_failures() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->auth_failures;
+  return n;
+}
+
+std::uint64_t VpnServer::replays_rejected() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->replays_rejected;
+  return n;
+}
+
+std::uint64_t VpnServer::stale_config_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->stale_config_drops;
+  return n;
 }
 
 Result<VpnServer::Event> VpnServer::handle(ByteView wire, sim::Time now) {
@@ -73,11 +104,16 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
     Bytes signature = crypto::rsa_sign(key_, transcript);
 
     std::uint32_t session_id = next_session_id_++;
+    SessionShard& shard = shard_of(session_id);
     Session session;
     session.keys = derive_vpn_keys(seed, client_nonce, server_nonce);
     session.config_version = client_config_version;
-    session.reassembler.set_pool(&buffer_pool_);
-    sessions_.emplace(session_id, std::move(session));
+    // The IV stream is per session (seeded here, on the single-threaded
+    // handshake path), so seal paths are shard-safe and the session's
+    // ciphertext stream does not depend on the shard count.
+    session.iv_rng = Rng(rng_.next_u64());
+    session.reassembler.set_pool(&shard.pool);
+    shard.sessions.emplace(session_id, std::move(session));
 
     WireMessage reply;
     reply.type = MsgType::HandshakeReply;
@@ -99,10 +135,11 @@ Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
                                                 sim::Time now) {
   Session* session = find_session(msg.session_id);
   if (!session) return err("unknown session");
+  SessionShard& shard = shard_of(msg.session_id);
 
   bool encrypted = msg.type == MsgType::Data;
   if (!encrypted && !config_.allow_integrity_only) {
-    ++auth_failures_;
+    ++shard.auth_failures;
     return err("integrity-only mode not allowed by server policy");
   }
 
@@ -110,7 +147,7 @@ Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
   // only clients running the current configuration may send traffic.
   if (session->config_version < config_version_ && grace_active_ &&
       now >= grace_deadline_) {
-    ++stale_config_drops_;
+    ++shard.stale_config_drops;
     return err("stale middlebox configuration (have v" +
                std::to_string(session->config_version) + ", need v" +
                std::to_string(config_version_) + ")");
@@ -119,11 +156,11 @@ Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
   auto opened = encrypted ? open_data_body(session->keys, msg.body)
                           : open_integrity_body(session->keys, msg.body);
   if (!opened.ok()) {
-    ++auth_failures_;
+    ++shard.auth_failures;
     return err(opened.error());
   }
   if (!session->replay.accept(opened->frag.packet_id)) {
-    ++replays_rejected_;
+    ++shard.replays_rejected;
     return err("replayed packet");
   }
   auto whole = session->reassembler.add(opened->frag, std::move(opened->payload));
@@ -136,7 +173,7 @@ Result<VpnServer::Event> VpnServer::handle_ping(const WireMessage& msg) {
   if (!session) return err("unknown session");
   auto info = open_ping_body(session->keys, msg.body);
   if (!info.ok()) {
-    ++auth_failures_;
+    ++shard_of(msg.session_id).auth_failures;
     return err(info.error());
   }
   // Record the client's (authenticated) configuration version. A ping
@@ -158,7 +195,8 @@ std::vector<WireMessage> VpnServer::seal_packet(std::uint32_t session_id,
         WireMessage msg;
         msg.type = MsgType::Data;
         msg.session_id = session_id;
-        seal_data_body(session->keys, frag, slice, rng_, session->seal_scratch);
+        seal_data_body(session->keys, frag, slice, session->iv_rng,
+                       session->seal_scratch);
         msg.body.assign(session->seal_scratch.view().begin(),
                         session->seal_scratch.view().end());
         messages.push_back(std::move(msg));
@@ -172,32 +210,200 @@ void VpnServer::seal_packet_wire(std::uint32_t session_id, ByteView ip_packet,
   seal_packet_wire_at(session_id, ip_packet, frames, 0);
 }
 
+std::size_t VpnServer::seal_fragments(std::uint32_t session_id, Session& session,
+                                      ByteView ip_packet,
+                                      std::vector<Bytes>& frames, std::size_t at,
+                                      bool may_grow) {
+  std::size_t count = for_each_fragment(
+      ip_packet, config_.mtu, session.next_packet_id, session.next_frag_id++,
+      [&](const FragmentHeader& frag, ByteView slice) {
+        seal_data_body(session.keys, frag, slice, session.iv_rng,
+                       session.seal_scratch);
+        std::uint8_t* header = session.seal_scratch.prepend(kWireHeaderSize);
+        header[0] = static_cast<std::uint8_t>(MsgType::Data);
+        put_u32(header + 1, session_id);
+        std::size_t slot = at + frag.index;
+        // Workers write into pre-sized disjoint slot ranges; only the
+        // single-threaded callers may grow the vector.
+        if (may_grow && frames.size() <= slot) frames.emplace_back();
+        frames[slot].assign(session.seal_scratch.view().begin(),
+                            session.seal_scratch.view().end());
+      });
+  return at + count;
+}
+
 std::size_t VpnServer::seal_packet_wire_at(std::uint32_t session_id,
                                            ByteView ip_packet,
                                            std::vector<Bytes>& frames,
                                            std::size_t at) {
   Session* session = find_session(session_id);
   if (!session) throw std::logic_error("VpnServer: unknown session");
-  std::size_t count = for_each_fragment(
-      ip_packet, config_.mtu, session->next_packet_id, session->next_frag_id++,
-      [&](const FragmentHeader& frag, ByteView slice) {
-        seal_data_body(session->keys, frag, slice, rng_, session->seal_scratch);
-        std::uint8_t* header = session->seal_scratch.prepend(kWireHeaderSize);
-        header[0] = static_cast<std::uint8_t>(MsgType::Data);
-        put_u32(header + 1, session_id);
-        std::size_t slot = at + frag.index;
-        if (frames.size() <= slot) frames.emplace_back();
-        frames[slot].assign(session->seal_scratch.view().begin(),
-                            session->seal_scratch.view().end());
-      });
-  return at + count;
+  return seal_fragments(session_id, *session, ip_packet, frames, at,
+                        /*may_grow=*/true);
+}
+
+void VpnServer::open_shard_frames(SessionShard& shard,
+                                  std::span<const Bytes> wires, sim::Time now) {
+  OpenBatch& out = shard.scratch;
+  for (std::uint32_t idx : shard.frame_idx) {
+    const Bytes& wire = wires[idx];
+    auto type = static_cast<MsgType>(wire[0]);
+    std::uint32_t session_id = get_u32(wire.data() + 1);
+    // Staging guaranteed existence; sessions never leave mid-burst.
+    Session& session = shard.sessions.find(session_id)->second;
+    bool encrypted = type == MsgType::Data;
+    if (!encrypted && !config_.allow_integrity_only) {
+      ++shard.auth_failures;
+      ++out.rejected;
+      continue;
+    }
+    if (session.config_version < config_version_ && grace_active_ &&
+        now >= grace_deadline_) {
+      ++shard.stale_config_drops;
+      ++out.rejected;
+      continue;
+    }
+    Bytes body = shard.pool.acquire_bytes();
+    body.assign(wire.begin() + kWireHeaderSize, wire.end());
+    auto opened = encrypted ? open_data_body(session.keys, std::move(body))
+                            : open_integrity_body(session.keys, std::move(body));
+    if (!opened.ok()) {
+      // Failed opens never consume the body (the move happens only on
+      // success), so the pooled buffer survives a bad-frame flood.
+      shard.pool.release_bytes(std::move(body));
+      ++shard.auth_failures;
+      ++out.rejected;
+      continue;
+    }
+    if (!session.replay.accept(opened->frag.packet_id)) {
+      shard.pool.release_bytes(std::move(opened->payload));
+      ++shard.replays_rejected;
+      ++out.rejected;
+      continue;
+    }
+    out.opened_sessions.push_back(session_id);
+    auto whole = session.reassembler.add(opened->frag, std::move(opened->payload));
+    if (!whole) {
+      ++out.pending;
+      continue;
+    }
+    ++out.complete;
+    if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+    BatchPacket& slot = out.packets[out.packet_count++];
+    slot.session_id = session_id;
+    slot.burst_tag = idx;
+    slot.was_encrypted = encrypted;
+    // The slot's previous buffer cycles back into the shard's pool,
+    // where the next frame's body scratch picks it up.
+    shard.pool.release_bytes(std::move(slot.ip_packet));
+    slot.ip_packet = std::move(*whole);
+  }
+}
+
+void VpnServer::merge_opened(OpenBatch& out) {
+  std::size_t shards = shards_.size();
+  merge_heads_.assign(shards, 0);
+  while (true) {
+    std::size_t best = shards;
+    std::uint32_t best_tag = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const OpenBatch& scratch = shards_[s]->scratch;
+      if (merge_heads_[s] >= scratch.packet_count) continue;
+      std::uint32_t tag = scratch.packets[merge_heads_[s]].burst_tag;
+      if (best == shards || tag < best_tag) {
+        best = s;
+        best_tag = tag;
+      }
+    }
+    if (best == shards) break;
+    BatchPacket& src = shards_[best]->scratch.packets[merge_heads_[best]++];
+    if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+    BatchPacket& dst = out.packets[out.packet_count++];
+    // Swap, not move: the caller slot's previous buffer parks in the
+    // shard scratch slot, where the shard's next burst recycles it into
+    // its pool — the whole circulation stays allocation-free.
+    std::swap(dst.ip_packet, src.ip_packet);
+    dst.session_id = src.session_id;
+    dst.burst_tag = src.burst_tag;
+    dst.was_encrypted = src.was_encrypted;
+  }
 }
 
 void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
                            OpenBatch& out) {
   out.complete = out.pending = out.rejected = 0;
   out.packet_count = 0;
+  out.opened_sessions.clear();
+  for (auto& shard : shards_) {
+    shard->frame_idx.clear();
+    shard->scratch.complete = shard->scratch.pending = shard->scratch.rejected = 0;
+    shard->scratch.packet_count = 0;
+    shard->scratch.opened_sessions.clear();
+  }
+
+  // Stage on the caller: header parse, session-shard lookup, partition.
+  // Frames no shard could own — malformed, non-data, unknown session —
+  // reject here, exactly as the pre-sharding loop did.
+  std::size_t staged_shards = 0;
+  std::size_t last_staged = 0;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const Bytes& wire = wires[i];
+    if (wire.size() < kWireHeaderSize) {
+      ++out.rejected;
+      continue;
+    }
+    auto type = static_cast<MsgType>(wire[0]);
+    if (type != MsgType::Data && type != MsgType::DataIntegrityOnly) {
+      ++out.rejected;
+      continue;
+    }
+    std::uint32_t session_id = get_u32(wire.data() + 1);
+    std::size_t s = shard_of_session(session_id);
+    if (shards_[s]->sessions.count(session_id) == 0) {
+      ++out.rejected;
+      continue;
+    }
+    if (shards_[s]->frame_idx.empty()) {
+      ++staged_shards;
+      last_staged = s;
+    }
+    shards_[s]->frame_idx.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Run the shards: concurrently when more than one has work (caller
+  // participates via the pool), inline otherwise — a single-shard
+  // server never touches a lock.
+  if (staged_shards == 1) {
+    open_shard_frames(*shards_[last_staged], wires, now);
+  } else if (staged_shards > 1) {
+    pool_->run(shards_.size(), [&](std::size_t s) {
+      if (!shards_[s]->frame_idx.empty())
+        open_shard_frames(*shards_[s], wires, now);
+    });
+  }
+
+  for (const auto& shard : shards_) {
+    out.complete += shard->scratch.complete;
+    out.pending += shard->scratch.pending;
+    out.rejected += shard->scratch.rejected;
+    out.opened_sessions.insert(out.opened_sessions.end(),
+                               shard->scratch.opened_sessions.begin(),
+                               shard->scratch.opened_sessions.end());
+  }
+  merge_opened(out);
+}
+
+void VpnServer::open_batch_reference(std::span<const Bytes> wires, sim::Time now,
+                                     OpenBatch& out) {
+  // The pre-sharding single-threaded loop, byte for byte (modulo the
+  // session table now living behind shard_of): the honest baseline the
+  // staged path is benchmarked and property-tested against.
+  out.complete = out.pending = out.rejected = 0;
+  out.packet_count = 0;
+  out.opened_sessions.clear();
+  std::uint32_t tag = 0;
   for (const Bytes& wire : wires) {
+    std::uint32_t idx = tag++;
     if (wire.size() < kWireHeaderSize) {
       ++out.rejected;
       continue;
@@ -213,36 +419,36 @@ void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
       ++out.rejected;
       continue;
     }
+    SessionShard& shard = shard_of(session_id);
     bool encrypted = type == MsgType::Data;
     if (!encrypted && !config_.allow_integrity_only) {
-      ++auth_failures_;
+      ++shard.auth_failures;
       ++out.rejected;
       continue;
     }
     if (session->config_version < config_version_ && grace_active_ &&
         now >= grace_deadline_) {
-      ++stale_config_drops_;
+      ++shard.stale_config_drops;
       ++out.rejected;
       continue;
     }
-    Bytes body = buffer_pool_.acquire_bytes();
+    Bytes body = shard.pool.acquire_bytes();
     body.assign(wire.begin() + kWireHeaderSize, wire.end());
     auto opened = encrypted ? open_data_body(session->keys, std::move(body))
                             : open_integrity_body(session->keys, std::move(body));
     if (!opened.ok()) {
-      // Failed opens never consume the body (the move happens only on
-      // success), so the pooled buffer survives a bad-frame flood.
-      buffer_pool_.release_bytes(std::move(body));
-      ++auth_failures_;
+      shard.pool.release_bytes(std::move(body));
+      ++shard.auth_failures;
       ++out.rejected;
       continue;
     }
     if (!session->replay.accept(opened->frag.packet_id)) {
-      buffer_pool_.release_bytes(std::move(opened->payload));
-      ++replays_rejected_;
+      shard.pool.release_bytes(std::move(opened->payload));
+      ++shard.replays_rejected;
       ++out.rejected;
       continue;
     }
+    out.opened_sessions.push_back(session_id);
     auto whole = session->reassembler.add(opened->frag, std::move(opened->payload));
     if (!whole) {
       ++out.pending;
@@ -252,12 +458,54 @@ void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
     if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
     BatchPacket& slot = out.packets[out.packet_count++];
     slot.session_id = session_id;
+    slot.burst_tag = idx;
     slot.was_encrypted = encrypted;
-    // The slot's previous buffer cycles back into the pool, where the
-    // next frame's body scratch picks it up.
-    buffer_pool_.release_bytes(std::move(slot.ip_packet));
+    shard.pool.release_bytes(std::move(slot.ip_packet));
     slot.ip_packet = std::move(*whole);
   }
+}
+
+void VpnServer::open_batch_shard(std::size_t shard, std::span<const Bytes> wires,
+                                 sim::Time now, OpenBatch& out) {
+  out.complete = out.pending = out.rejected = 0;
+  out.packet_count = 0;
+  out.opened_sessions.clear();
+  SessionShard& target = *shards_.at(shard);
+  target.frame_idx.clear();
+  target.scratch.complete = target.scratch.pending = target.scratch.rejected = 0;
+  target.scratch.packet_count = 0;
+  target.scratch.opened_sessions.clear();
+  // Frames not pinned to `shard` — including frames no shard could own —
+  // are skipped silently: this hook times one shard's slice of a burst.
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const Bytes& wire = wires[i];
+    if (wire.size() < kWireHeaderSize) continue;
+    auto type = static_cast<MsgType>(wire[0]);
+    if (type != MsgType::Data && type != MsgType::DataIntegrityOnly) continue;
+    std::uint32_t session_id = get_u32(wire.data() + 1);
+    if (shard_of_session(session_id) != shard) continue;
+    if (target.sessions.count(session_id) == 0) continue;
+    target.frame_idx.push_back(static_cast<std::uint32_t>(i));
+  }
+  open_shard_frames(target, wires, now);
+  out.complete = target.scratch.complete;
+  out.pending = target.scratch.pending;
+  out.rejected = target.scratch.rejected;
+  out.opened_sessions = target.scratch.opened_sessions;
+  for (std::size_t k = 0; k < target.scratch.packet_count; ++k) {
+    BatchPacket& src = target.scratch.packets[k];
+    if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+    BatchPacket& dst = out.packets[out.packet_count++];
+    std::swap(dst.ip_packet, src.ip_packet);
+    dst.session_id = src.session_id;
+    dst.burst_tag = src.burst_tag;
+    dst.was_encrypted = src.was_encrypted;
+  }
+}
+
+void VpnServer::reset_replay_windows() {
+  for (auto& shard : shards_)
+    for (auto& [id, session] : shard->sessions) session.replay = ReplayWindow{};
 }
 
 std::size_t VpnServer::seal_batch(std::uint32_t session_id,
@@ -266,6 +514,101 @@ std::size_t VpnServer::seal_batch(std::uint32_t session_id,
   for (ByteView ip_packet : ip_packets)
     at = seal_packet_wire_at(session_id, ip_packet, frames, at);
   return at;
+}
+
+std::size_t VpnServer::stage_seal_jobs(std::span<const SealJob> jobs,
+                                       std::vector<Bytes>& frames) {
+  for (auto& shard : shards_) shard->seal_idx.clear();
+  seal_bases_.resize(jobs.size());
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!find_session(jobs[j].session_id))
+      throw std::logic_error("VpnServer: unknown session");
+    seal_bases_[j] = total;
+    total += fragment_count(jobs[j].ip_packet.size(), config_.mtu);
+    shard_of(jobs[j].session_id).seal_idx.push_back(static_cast<std::uint32_t>(j));
+  }
+  // Size the output once, up front: every job's slot range is disjoint,
+  // so shard workers write without ever touching the vector itself.
+  if (frames.size() < total) frames.resize(total);
+  return total;
+}
+
+std::size_t VpnServer::seal_jobs(std::span<const SealJob> jobs,
+                                 std::vector<Bytes>& frames) {
+  std::size_t total = stage_seal_jobs(jobs, frames);
+  auto seal_shard = [&](SessionShard& shard) {
+    for (std::uint32_t j : shard.seal_idx) {
+      Session& session = shard.sessions.find(jobs[j].session_id)->second;
+      seal_fragments(jobs[j].session_id, session, jobs[j].ip_packet, frames,
+                     seal_bases_[j], /*may_grow=*/false);
+    }
+  };
+  std::size_t busy_shards = 0;
+  std::size_t last_busy = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->seal_idx.empty()) continue;
+    ++busy_shards;
+    last_busy = s;
+  }
+  if (busy_shards == 1) {
+    seal_shard(*shards_[last_busy]);
+  } else if (busy_shards > 1) {
+    pool_->run(shards_.size(), [&](std::size_t s) {
+      if (!shards_[s]->seal_idx.empty()) seal_shard(*shards_[s]);
+    });
+  }
+  return total;
+}
+
+std::size_t VpnServer::seal_jobs_shard(std::size_t shard,
+                                       std::span<const SealJob> jobs,
+                                       std::vector<Bytes>& frames) {
+  std::size_t total = stage_seal_jobs(jobs, frames);
+  SessionShard& target = *shards_.at(shard);
+  for (std::uint32_t j : target.seal_idx) {
+    Session& session = target.sessions.find(jobs[j].session_id)->second;
+    seal_fragments(jobs[j].session_id, session, jobs[j].ip_packet, frames,
+                   seal_bases_[j], /*may_grow=*/false);
+  }
+  return total;
+}
+
+Status VpnServer::reshard_sessions(std::size_t new_shards) {
+  if (new_shards == 0)
+    return err("reshard: session-shard count must be positive");
+  if (new_shards == shards_.size()) return {};
+
+  std::vector<std::unique_ptr<SessionShard>> built;
+  built.reserve(new_shards);
+  for (std::size_t i = 0; i < new_shards; ++i)
+    built.push_back(std::make_unique<SessionShard>());
+
+  for (std::size_t o = 0; o < shards_.size(); ++o) {
+    SessionShard& old_shard = *shards_[o];
+    // Sessions move wholesale to the shard their id now hashes to:
+    // keys, replay window, pending fragment groups and seal scratch all
+    // travel, so in-flight reassembly and anti-replay survive the
+    // transition (the lossless property the adaptive controller needs).
+    for (auto& [id, session] : old_shard.sessions) {
+      SessionShard& target = *built[shard_of_id(id, new_shards)];
+      session.reassembler.set_pool(&target.pool);
+      target.sessions.emplace(id, std::move(session));
+    }
+    // Statistics fold like ShardedRouter::reshard: old shard o merges
+    // into new shard o % n exactly once, preserving aggregate totals.
+    SessionShard& fold = *built[o % new_shards];
+    fold.auth_failures += old_shard.auth_failures;
+    fold.replays_rejected += old_shard.replays_rejected;
+    fold.stale_config_drops += old_shard.stale_config_drops;
+    // Pooled buffers are capacity, not state: adopt them so the new
+    // shard set starts warm instead of re-allocating its way up.
+    fold.pool.adopt_from(old_shard.pool);
+  }
+  shards_ = std::move(built);
+  ensure_worker_pool();
+  ++reshard_count_;
+  return {};
 }
 
 WireMessage VpnServer::create_ping(std::uint32_t session_id) {

@@ -5,9 +5,23 @@
 // configuration-version freshness: after a configurable grace period,
 // traffic from clients still running an old middlebox configuration is
 // blocked (section III-E).
+//
+// The data plane is session-sharded (NFOS-style state partitioning,
+// mirroring the enclave's RSS flow sharding): sessions are pinned to
+// one of N shards by splitmix64(session_id) % N, each shard owns its
+// sessions, buffer pool and data-path statistics, and open_batch /
+// seal_jobs partition a wire burst by shard, run the shards on a
+// worker pool (caller participates; with one shard everything stays
+// inline on the caller, the pre-sharding baseline) and k-way merge the
+// results back into arrival order by burst_tag. No mutable state is
+// shared between shards, so per-session order needs no locks.
+// reshard_sessions() changes the shard count at runtime without losing
+// replay windows or pending fragment groups — the hook an adaptive
+// load controller drives.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -15,6 +29,8 @@
 #include <vector>
 
 #include "ca/certificate.hpp"
+#include "click/sharded_router.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "sim/clock.hpp"
 #include "vpn/fragment.hpp"
@@ -28,6 +44,9 @@ struct VpnServerConfig {
   std::uint16_t min_version = kVersionTls12;  ///< server-side downgrade floor
   bool allow_integrity_only = false;  ///< accept ISP-mode unencrypted data
   std::size_t mtu = 9000;
+  /// Session shards of the server data plane (one worker thread per
+  /// shard beyond the first). 1 keeps the single-threaded baseline.
+  std::size_t session_shards = 1;
 };
 
 class VpnServer {
@@ -81,6 +100,7 @@ class VpnServer {
   /// EgressBatch::frames).
   struct BatchPacket {
     std::uint32_t session_id = 0;
+    std::uint32_t burst_tag = 0;  ///< arrival index within the burst
     bool was_encrypted = true;
     Bytes ip_packet;
   };
@@ -92,17 +112,46 @@ class VpnServer {
     std::uint32_t rejected = 0;    ///< malformed/auth/replay/stale/unknown
     std::size_t packet_count = 0;  ///< valid prefix of `packets`
     std::vector<BatchPacket> packets;
+    /// One entry per frame that opened successfully this burst — MAC
+    /// verified and replay-fresh, whether it completed a packet or
+    /// left a fragment group pending (so session ids repeat). Unlike
+    /// `packets`, the order is per-shard concatenation, NOT arrival
+    /// order: this is a membership multiset for the cost layer (which
+    /// sessions did real work vs pure garbage), not a sequence.
+    std::vector<std::uint32_t> opened_sessions;
   };
 
   /// Opens a burst of data frames, mirroring the enclave's ingress
-  /// batch: bodies are copied into pooled scratch and decrypted in
-  /// place, replay windows advance in arrival order, and completed
-  /// packets land in `out.packets[0..packet_count)`. Frames may belong
+  /// batch: the caller stages the burst (header parse, shard lookup,
+  /// partition), each session shard opens its frames on its own worker
+  /// (bodies copied into shard-pooled scratch and decrypted in place,
+  /// replay windows advancing in arrival order), and the per-shard
+  /// results k-way merge back into arrival order by burst_tag, so
+  /// completed packets land in `out.packets[0..packet_count)` exactly
+  /// as a single-threaded pass would deliver them. Frames may belong
   /// to different sessions. Unlike the enclave's hardened single-client
   /// interface, a bad frame rejects that frame only — a shared server
   /// keeps serving its other clients. Non-data frames (ping/handshake)
   /// are rejected here; they belong on handle().
   void open_batch(std::span<const Bytes> wires, sim::Time now, OpenBatch& out);
+
+  /// The pre-sharding open_batch loop, kept callable so benches and
+  /// equivalence tests compare the staged/sharded path against the
+  /// exact code it replaced (same contract as open_batch; always runs
+  /// single-threaded on the caller, whatever the shard count).
+  void open_batch_reference(std::span<const Bytes> wires, sim::Time now,
+                            OpenBatch& out);
+
+  /// Bench/test hook: stages `wires` and opens only the frames pinned
+  /// to `shard`, inline on the calling thread — the exact per-shard
+  /// body open_batch runs on the worker pool, so per-shard serial
+  /// timing measures the real work (results in arrival order).
+  void open_batch_shard(std::size_t shard, std::span<const Bytes> wires,
+                        sim::Time now, OpenBatch& out);
+
+  /// Bench/test hook: forgets all replay history so an identical
+  /// pre-sealed burst can be opened repeatedly for timing.
+  void reset_replay_windows();
 
   /// Seals a run of IP packets to one session, appending each packet's
   /// frames at `frames[at..]` with slot-capacity reuse (the batched
@@ -111,6 +160,54 @@ class VpnServer {
   std::size_t seal_batch(std::uint32_t session_id,
                          std::span<const ByteView> ip_packets,
                          std::vector<Bytes>& frames, std::size_t at = 0);
+
+  /// One downlink packet of a multi-session seal burst.
+  struct SealJob {
+    std::uint32_t session_id = 0;
+    ByteView ip_packet;
+  };
+  /// Seals a burst of packets spanning any number of sessions: the
+  /// caller computes every job's fragment count and output slot range
+  /// up front (so `frames` is sized once and jobs never contend for
+  /// slots), partitions jobs by session shard, and the shards seal
+  /// concurrently on the worker pool — each job's frames land at its
+  /// precomputed `frames` range, preserving input order. Returns the
+  /// total frame count. Throws std::logic_error on unknown sessions
+  /// (like seal_packet_wire_at; validated before any worker starts).
+  std::size_t seal_jobs(std::span<const SealJob> jobs, std::vector<Bytes>& frames);
+
+  /// Bench/test hook: seals only the jobs pinned to `shard`, inline on
+  /// the caller, into their precomputed slots of `frames` (which is
+  /// sized for the whole burst). Returns the total frame count of the
+  /// burst, like seal_jobs.
+  std::size_t seal_jobs_shard(std::size_t shard, std::span<const SealJob> jobs,
+                              std::vector<Bytes>& frames);
+
+  // ---- Session sharding ----------------------------------------------
+  std::size_t session_shard_count() const { return shards_.size(); }
+  /// The shard `session_id` is pinned to (splitmix64 spread, so
+  /// sequentially assigned ids still balance).
+  std::size_t shard_of_session(std::uint32_t session_id) const {
+    return shard_of_id(session_id, shards_.size());
+  }
+  /// Sessions currently pinned to `shard`.
+  std::size_t shard_session_count(std::size_t shard) const {
+    return shards_.at(shard)->sessions.size();
+  }
+  std::uint64_t reshard_count() const { return reshard_count_; }
+  /// Worker threads backing the shard pool (0 = single-shard inline).
+  std::size_t worker_threads() const { return pool_ ? pool_->worker_count() : 0; }
+
+  /// Changes the session-shard count at runtime: every session moves
+  /// wholesale to the shard its id now hashes to — keys, replay
+  /// window, pending fragment groups and seal scratch intact — pooled
+  /// buffers are adopted into the new shards, and per-shard statistics
+  /// fold into the new shard set, so nothing is lost or double-counted
+  /// across the transition. The worker pool is reused when shrinking
+  /// (see ShardWorkerPool's hand-off protocol). This is the server
+  /// half of what an adaptive reshard controller drives; the client
+  /// half is EndBoxEnclave::ecall_reshard.
+  Status reshard_sessions(std::size_t new_shards);
 
   /// Builds the periodic server ping announcing the current config
   /// version and remaining grace (section III-E, step 4).
@@ -122,17 +219,24 @@ class VpnServer {
                        sim::Time now);
 
   std::uint32_t current_config_version() const { return config_version_; }
-  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t session_count() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) n += shard->sessions.size();
+    return n;
+  }
   bool has_session(std::uint32_t session_id) const {
-    return sessions_.count(session_id) > 0;
+    const SessionShard& shard = *shards_[shard_of_session(session_id)];
+    return shard.sessions.count(session_id) > 0;
   }
   /// Last config version a session reported via ping/handshake.
   std::uint32_t session_config_version(std::uint32_t session_id) const;
 
   // ---- Stats -----------------------------------------------------------
-  std::uint64_t auth_failures() const { return auth_failures_; }
-  std::uint64_t replays_rejected() const { return replays_rejected_; }
-  std::uint64_t stale_config_drops() const { return stale_config_drops_; }
+  // Data-path rejections tally on the shard that processed the frame;
+  // the accessors sum across shards (plus handshake-time counts).
+  std::uint64_t auth_failures() const;
+  std::uint64_t replays_rejected() const;
+  std::uint64_t stale_config_drops() const;
   std::uint64_t handshakes_rejected() const { return handshakes_rejected_; }
 
  private:
@@ -140,6 +244,10 @@ class VpnServer {
     SessionKeys keys;
     ReplayWindow replay;
     Reassembler reassembler;
+    Rng iv_rng{0};  ///< per-session IV stream: seal paths never touch
+                    ///< the shared server Rng, so shards seal without
+                    ///< synchronisation and byte-identically at any
+                    ///< shard count
     std::uint32_t config_version = 0;
     std::uint64_t next_packet_id = 1;
     std::uint32_t next_frag_id = 1;
@@ -147,27 +255,69 @@ class VpnServer {
     WireBuffer seal_scratch;  ///< reused by the seal fast path
   };
 
+  /// One session shard: sessions, buffer pool, data-path statistics
+  /// and per-burst scratch, owned exclusively by one worker during a
+  /// staged burst (the staging thread writes frame_idx/seal_idx before
+  /// the pool runs; the pool's hand-off orders everything else).
+  struct SessionShard {
+    std::unordered_map<std::uint32_t, Session> sessions;
+    net::PacketPool pool;  ///< open scratch + reassembly buffers
+    std::uint64_t auth_failures = 0;
+    std::uint64_t replays_rejected = 0;
+    std::uint64_t stale_config_drops = 0;
+    std::vector<std::uint32_t> frame_idx;  ///< staged arrival indices
+    std::vector<std::uint32_t> seal_idx;   ///< staged seal-job indices
+    OpenBatch scratch;                     ///< per-shard open results
+  };
+
+  static std::size_t shard_of_id(std::uint32_t session_id, std::size_t shards) {
+    return shards <= 1 ? 0 : splitmix64(session_id) % shards;
+  }
+
   Result<Event> handle_handshake(const WireMessage& msg);
   Result<Event> handle_data(const WireMessage& msg, sim::Time now);
   Result<Event> handle_ping(const WireMessage& msg);
   Session* find_session(std::uint32_t id);
+  SessionShard& shard_of(std::uint32_t session_id) {
+    return *shards_[shard_of_session(session_id)];
+  }
+  /// (Re)creates the worker pool for the current shard count, reusing
+  /// it when the count shrank (ShardWorkerPool hand-off protocol).
+  void ensure_worker_pool();
+  /// Opens the staged frames of `shard` in arrival order (the worker
+  /// body of open_batch; also run inline for single-shard bursts).
+  void open_shard_frames(SessionShard& shard, std::span<const Bytes> wires,
+                         sim::Time now);
+  /// K-way merges the shards' opened packets into `out` by burst_tag.
+  void merge_opened(OpenBatch& out);
+  /// Seals one packet's fragments for `session` into frames[at..]; when
+  /// `may_grow` is false the caller pre-sized `frames` and slots are
+  /// written without touching the vector itself (worker-safe).
+  std::size_t seal_fragments(std::uint32_t session_id, Session& session,
+                             ByteView ip_packet, std::vector<Bytes>& frames,
+                             std::size_t at, bool may_grow);
+  /// Stages `jobs` (validating sessions, computing slot ranges and the
+  /// per-shard partition) and returns the total frame count; `bases`
+  /// receives each job's first output slot.
+  std::size_t stage_seal_jobs(std::span<const SealJob> jobs,
+                              std::vector<Bytes>& frames);
 
   Rng& rng_;
   crypto::RsaPublicKey ca_key_;
   VpnServerConfig config_;
   crypto::RsaKeyPair key_;
-  std::unordered_map<std::uint32_t, Session> sessions_;
+  std::vector<std::unique_ptr<SessionShard>> shards_;
+  std::unique_ptr<click::ShardWorkerPool> pool_;  ///< absent for 1 shard
+  std::vector<std::size_t> merge_heads_;          ///< merge scratch, reused
+  std::vector<std::size_t> seal_bases_;           ///< seal_jobs slot bases
   std::uint32_t next_session_id_ = 1;
-  net::PacketPool buffer_pool_;  ///< open_batch scratch + reassembly buffers
+  std::uint64_t reshard_count_ = 0;
 
   std::uint32_t config_version_ = 1;
   std::uint32_t grace_secs_ = 0;
   sim::Time grace_deadline_ = 0;
   bool grace_active_ = false;
 
-  std::uint64_t auth_failures_ = 0;
-  std::uint64_t replays_rejected_ = 0;
-  std::uint64_t stale_config_drops_ = 0;
   std::uint64_t handshakes_rejected_ = 0;
 };
 

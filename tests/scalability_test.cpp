@@ -6,6 +6,9 @@
 // experiment seed).
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
+#include "endbox/reshard_controller.hpp"
 #include "endbox_world.hpp"
 
 namespace endbox {
@@ -161,16 +164,20 @@ TEST(ScalabilityTest, BatchedClientCostBelowPerPacketCost) {
       << "batching did not reduce the modelled client cost";
 }
 
-TEST(ScalabilityTest, ShardedClientsDeliverIdenticalTrafficForLess) {
-  // Fig 10a with multi-core clients: 1/2/4-shard element graphs must
-  // deliver exactly the same packets (RSS sharding never drops or
-  // reorders within a flow), while the modelled client cost falls as
-  // shards spread the per-burst Click work across cores.
+TEST(ScalabilityTest, ShardedClientsDeliverIdenticalTrafficFaster) {
+  // Fig 10a with multi-core clients under honest accounting: 1/2/4-shard
+  // element graphs must deliver exactly the same packets (RSS sharding
+  // never drops or reorders within a flow); spreading the Click work
+  // across cores shrinks the burst *completion latency* (the critical
+  // path), while busy core time stays ~flat — the work does not
+  // disappear, it runs on more cores (each shard even pays its own
+  // element-entry chain, so total work grows slightly).
   WorldOptions opts = scale_options(2);
   opts.use_case = UseCase::Idps;
 
   std::vector<std::uint64_t> delivered;
   std::vector<double> client_busy;
+  std::vector<double> client_latency;
   for (std::size_t shards : {1u, 2u, 4u}) {
     WorldOptions sharded = opts;
     sharded.client_options.shards = shards;
@@ -180,14 +187,219 @@ TEST(ScalabilityTest, ShardedClientsDeliverIdenticalTrafficForLess) {
     EXPECT_EQ(report.delivered, report.offered) << shards << " shards";
     delivered.push_back(report.delivered);
     client_busy.push_back(world.rigs[0]->cpu.busy_core_ns());
+    client_latency.push_back(report.client_burst_latency_ns);
     EXPECT_EQ(world.rigs[0]->client.enclave().shard_count(), shards);
+    EXPECT_EQ(world.rigs[0]->cpu.cores(), shards);
   }
   EXPECT_EQ(delivered[0], delivered[1]);
   EXPECT_EQ(delivered[0], delivered[2]);
-  // Modelled client cost strictly decreases with the shard count (the
-  // scan-heavy IDPS pipeline dominates, and it parallelises).
-  EXPECT_LT(client_busy[1], client_busy[0]);
-  EXPECT_LT(client_busy[2], client_busy[1]);
+  // Completion latency strictly decreases with the shard count (the
+  // scan-heavy IDPS pipeline dominates the parallel phase).
+  EXPECT_LT(client_latency[1], client_latency[0]);
+  EXPECT_LT(client_latency[2], client_latency[1]);
+  // Busy core time is ~flat: within a small band of the single-shard
+  // total (a little above it — per-shard entry chains + staging).
+  for (std::size_t i : {1u, 2u}) {
+    EXPECT_GE(client_busy[i], client_busy[0] * 0.99);
+    EXPECT_LE(client_busy[i], client_busy[0] * 1.25);
+  }
+}
+
+TEST(ScalabilityTest, ServerShardsDeliverIdenticalTrafficForFlatCost) {
+  // Sweeping the server's session-shard count must change nothing about
+  // what is delivered, and busy core time stays ~flat (1-shard total
+  // plus the explicit per-frame staging cost): spreading the drain over
+  // workers is not free capacity, it is the same work on more cores.
+  std::vector<std::uint64_t> delivered;
+  std::vector<double> busy;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    WorldOptions opts = scale_options(8);
+    opts.vpn_config.session_shards = shards;
+    World world(opts);
+    auto report = world.run_uniform_traffic_batched(kPacketsPerClient * 2, 32);
+    EXPECT_EQ(world.server.vpn().session_shard_count(), shards);
+    delivered.push_back(report.delivered);
+    busy.push_back(report.server_busy_core_ns);
+    EXPECT_EQ(report.delivered, report.offered) << shards << " server shards";
+  }
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_EQ(delivered[0], delivered[2]);
+  for (std::size_t i : {1u, 2u}) {
+    EXPECT_GE(busy[i], busy[0] * 0.999);
+    EXPECT_LE(busy[i], busy[0] * 1.001);
+  }
+}
+
+TEST(ScalabilityTest, ServerShardsCutMixedTrainDrainLatency) {
+  // Fig 10a server side: when the uplink delivers one interleaved train
+  // spanning every session, the batched drain completes at the critical
+  // path of the shard workers — more shards, shorter drain. (Per-client
+  // trains carry one session each and cannot parallelise further; this
+  // is the mixed-train case the session sharding exists for.)
+  std::vector<double> latency;
+  std::vector<std::uint32_t> delivered;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    WorldOptions opts = scale_options(8);
+    opts.vpn_config.session_shards = shards;
+    World world(opts);
+    click::PacketBatch batch;
+    EgressBatch egress;
+    std::vector<Bytes> train;
+    for (std::uint64_t round = 0; round < 4; ++round) {
+      for (std::size_t i = 0; i < world.rigs.size(); ++i) {
+        batch.push_back(world.benign_packet_from(i, 1400));
+        auto sent = world.rigs[i]->client.send_batch(std::move(batch), egress,
+                                                     world.clock.now());
+        batch.clear();
+        ASSERT_TRUE(sent.ok());
+        for (std::size_t f = 0; f < sent->frames; ++f)
+          train.push_back(egress.frames[f]);
+      }
+    }
+    sim::Time now = world.clock.now();
+    auto handled = world.server.handle_batch(train, now);
+    ASSERT_TRUE(handled.ok());
+    delivered.push_back(handled->delivered);
+    latency.push_back(static_cast<double>(handled->done - now));
+  }
+  EXPECT_EQ(delivered[0], 32u);
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_EQ(delivered[0], delivered[2]);
+  EXPECT_LT(latency[1], latency[0]);
+  EXPECT_LT(latency[2], latency[1]);
+}
+
+TEST(ScalabilityTest, GarbageBurstsDoNotGrowServerLedgers) {
+  // Satellite regression: a burst whose frames all fail to open for a
+  // known session charges the server CPU (the MAC check ran) but must
+  // not create per-session ledger entries — only the first successful
+  // open does.
+  World world(scale_options(1));
+  const auto* session = world.rigs[0]->client.enclave().session();
+  ASSERT_NE(session, nullptr);
+  Bytes bad(64, 0xab);
+  bad[0] = static_cast<std::uint8_t>(vpn::MsgType::Data);
+  put_u32(bad.data() + 1, session->session_id());
+  std::vector<Bytes> burst(8, bad);
+  double busy_before = world.server_cpu.busy_core_ns();
+  auto handled = world.server.handle_batch(burst, world.clock.now());
+  ASSERT_TRUE(handled.ok());
+  EXPECT_EQ(handled->rejected, 8u);
+  EXPECT_GT(world.server_cpu.busy_core_ns(), busy_before);
+  EXPECT_EQ(world.server.sessions_with_traffic(), 0u);
+  EXPECT_EQ(world.server.session_process_entries(), 0u);
+
+  // A successfully opened frame whose fragment group is still pending
+  // is real work: it earns the ledger entry even though no packet has
+  // completed yet (matching handle_wire's FragmentPending behaviour).
+  click::PacketBatch batch;
+  EgressBatch egress;
+  batch.push_back(world.benign_packet(20000));  // 3 fragments at MTU 9000
+  auto sent = world.rigs[0]->client.send_batch(std::move(batch), egress,
+                                               world.clock.now());
+  ASSERT_TRUE(sent.ok());
+  ASSERT_EQ(sent->frames, 3u);
+  auto partial = world.server.handle_batch(
+      std::span<const Bytes>(egress.frames.data(), 2), world.clock.now());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->delivered, 0u);
+  EXPECT_EQ(partial->pending, 2u);
+  EXPECT_EQ(world.server.sessions_with_traffic(), 0u);
+  EXPECT_EQ(world.server.session_process_entries(), 1u);
+  auto rest = world.server.handle_batch(
+      std::span<const Bytes>(egress.frames.data() + 2, 1), world.clock.now());
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->delivered, 1u);
+  EXPECT_EQ(world.server.sessions_with_traffic(), 1u);
+
+  auto report = world.run_uniform_traffic_batched(4, 4);
+  EXPECT_EQ(report.delivered, 4u);
+  EXPECT_EQ(world.server.sessions_with_traffic(), 1u);
+  EXPECT_EQ(world.server.session_process_entries(), 1u);
+}
+
+TEST(ScalabilityTest, AdaptiveControllerFollowsLoadLosslessly) {
+  // The acceptance scenario: one controller watches the per-interval
+  // offered frame count and drives both halves of the reshard
+  // machinery — VpnServer::reshard_sessions and every client's
+  // ecall_reshard — growing 1 -> 4 as load rises and shrinking back as
+  // it falls, while every packet is delivered and every session's
+  // payload sequence arrives strictly in order across the transitions.
+  WorldOptions opts = scale_options(8);
+  World world(opts);
+
+  ReshardPolicy policy;
+  policy.max_shards = 4;
+  policy.shard_capacity = 100;  // frames per interval per shard
+  policy.ewma_alpha = 0.5;
+  policy.cooldown_intervals = 1;
+  AdaptiveReshardController controller(policy, 1);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> next_seq;
+  std::unordered_map<std::size_t, std::uint32_t> sent_seq;
+  std::uint64_t offered = 0, delivered_total = 0;
+  std::size_t max_shards_seen = 1;
+  std::uint64_t reorders = 0;
+
+  click::PacketBatch batch;
+  EgressBatch egress;
+  vpn::VpnServer::OpenBatch opened;
+  auto run_interval = [&](std::size_t packets_per_client) {
+    std::size_t frames_this_interval = 0;
+    for (std::size_t i = 0; i < world.rigs.size(); ++i) {
+      auto& rig = *world.rigs[i];
+      for (std::size_t k = 0; k < packets_per_client; ++k) {
+        std::uint32_t seq = sent_seq[i]++;
+        Bytes payload(64, 0);
+        put_u32(payload.data(), seq);
+        net::Packet packet = net::Packet::udp(
+            net::Ipv4(10, 8, 0, static_cast<std::uint8_t>(i + 2)),
+            net::Ipv4(10, 0, 0, 1),
+            static_cast<std::uint16_t>(40000 + seq % 8), 5001, payload);
+        batch.push_back(std::move(packet));
+      }
+      offered += packets_per_client;
+      auto sent = rig.client.send_batch(std::move(batch), egress, world.clock.now());
+      batch.clear();
+      ASSERT_TRUE(sent.ok()) << sent.error();
+      frames_this_interval += sent->frames;
+      world.server.vpn().open_batch(
+          std::span<const Bytes>(egress.frames.data(), sent->frames),
+          world.clock.now(), opened);
+      delivered_total += opened.complete;
+      for (std::size_t p = 0; p < opened.packet_count; ++p) {
+        auto parsed = net::Packet::parse(opened.packets[p].ip_packet);
+        ASSERT_TRUE(parsed.ok());
+        std::uint32_t seq = get_u32(parsed->payload.data());
+        std::uint32_t sid = opened.packets[p].session_id;
+        if (seq != next_seq[sid]) ++reorders;
+        next_seq[sid] = seq + 1;
+      }
+    }
+    std::size_t target = controller.observe(static_cast<double>(frames_this_interval));
+    if (target != world.server.vpn().session_shard_count()) {
+      ASSERT_TRUE(world.server.vpn().reshard_sessions(target).ok());
+      for (auto& rig : world.rigs)
+        ASSERT_TRUE(rig->client.enclave().ecall_reshard(target).ok());
+    }
+    max_shards_seen = std::max(max_shards_seen, world.server.vpn().session_shard_count());
+  };
+
+  for (int i = 0; i < 4; ++i) run_interval(6);    // ~48 frames: 1 shard
+  EXPECT_EQ(world.server.vpn().session_shard_count(), 1u);
+  for (int i = 0; i < 12; ++i) run_interval(48);  // ~384 frames: grow to 4
+  EXPECT_EQ(world.server.vpn().session_shard_count(), 4u);
+  EXPECT_EQ(world.rigs[0]->client.enclave().shard_count(), 4u);
+  for (int i = 0; i < 12; ++i) run_interval(6);   // load falls: shrink back
+  EXPECT_EQ(world.server.vpn().session_shard_count(), 1u);
+
+  EXPECT_EQ(max_shards_seen, 4u);
+  EXPECT_GE(controller.grow_decisions(), 2u);
+  EXPECT_GE(controller.shrink_decisions(), 2u);
+  // Zero loss, zero reordering within any session, across every
+  // transition the controller drove.
+  EXPECT_EQ(delivered_total, offered);
+  EXPECT_EQ(reorders, 0u);
 }
 
 TEST(ScalabilityTest, DifferentSeedsDifferentKeyMaterial) {

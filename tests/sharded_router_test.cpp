@@ -385,6 +385,39 @@ TEST(Reshard, CounterQueueIdpsStateSurvives1To4To2WithNoLoss) {
   EXPECT_EQ(counted(), counted_4 + 100);
 }
 
+TEST(Reshard, ShrinkReusesTheWorkerPool) {
+  // Satellite regression: reshard used to tear down and respawn the
+  // worker threads on every transition. Shrinking must keep the pool
+  // (surplus workers park — the hand-off protocol documented in
+  // sharded_router.hpp); only growing past its size rebuilds it.
+  const std::string config =
+      "from_device :: FromDevice; cnt :: Counter; to_device :: ToDevice;"
+      "from_device -> cnt -> to_device;";
+  ShardHarness harness(config, 4);
+  Rng rng(91);
+  EXPECT_EQ(harness.router->worker_threads(), 4u);
+
+  ASSERT_TRUE(harness.router->reshard(2).ok());
+  EXPECT_EQ(harness.router->worker_threads(), 4u) << "shrink rebuilt the pool";
+  harness.run_burst(random_burst(rng, 40));
+
+  ASSERT_TRUE(harness.router->reshard(3).ok());
+  EXPECT_EQ(harness.router->worker_threads(), 4u) << "regrow within the pool";
+  harness.run_burst(random_burst(rng, 40));
+
+  ASSERT_TRUE(harness.router->reshard(6).ok());
+  EXPECT_EQ(harness.router->worker_threads(), 6u);
+  harness.run_burst(random_burst(rng, 40));
+
+  ASSERT_TRUE(harness.router->reshard(1).ok());
+  EXPECT_EQ(harness.router->worker_threads(), 0u) << "single shard runs inline";
+  harness.run_burst(random_burst(rng, 40));
+
+  std::uint64_t total = harness.sum<click::Counter>(
+      "cnt", [](const click::Counter& c) { return c.packets(); });
+  EXPECT_EQ(total, 160u);
+}
+
 TEST(Reshard, HotSwapTransfersStatePerShard) {
   const std::string config_a =
       "from_device :: FromDevice; cnt :: Counter; to_device :: ToDevice;"
