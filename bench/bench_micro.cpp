@@ -10,9 +10,11 @@
 // this purpose, the PR-4 sharded chain (per-core element-graph clones,
 // critical-path costing) against its single-shard baseline, and the
 // PR-5 session-sharded VPN server (open_batch + seal_jobs across
-// session shards) against the pre-sharding single-threaded loop.
+// session shards) against the pre-sharding single-threaded loop, and
+// the PR-6 timer-wheel session-table churn against a periodic
+// full-scan map.
 // Running with `--json [path]` skips google-benchmark and instead
-// writes a before/after summary (default BENCH_pr5.json) that CI diffs
+// writes a before/after summary (default BENCH_pr6.json) that CI diffs
 // against the checked-in baselines. Note on refreshing baselines: the
 // JSON mode always emits every row (that is what CI's bench-current
 // run needs), but each checked-in BENCH_prN.json should keep only the
@@ -28,9 +30,11 @@
 #include <cstring>
 #include <iterator>
 #include <string>
+#include <unordered_map>
 
 #include "ca/authority.hpp"
 #include "click/packet_batch.hpp"
+#include "common/lifecycle_table.hpp"
 #include "click/router.hpp"
 #include "click/sharded_router.hpp"
 #include "crypto/aes.hpp"
@@ -532,6 +536,103 @@ static void BM_ServerShardOpenSeal(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerShardOpenSeal)->Arg(1)->Arg(2)->Arg(4);
 
+// PR-6: session-table churn. One step = one expiry pass + one admission
+// + one touch of a random live session at a steady-state population —
+// the per-packet bookkeeping the VPN server's session shards pay. New
+// path: LifecycleTable fronted by the hierarchical timer wheel
+// (amortised O(1) expiry per step). Reference: the naive bounded map a
+// leak fix usually starts with — an unordered_map plus a periodic
+// full-table sweep (every kScanInterval steps), whose amortised cost
+// grows with the population instead of the expiry rate.
+struct ChurnWheelBench {
+  using Table = LifecycleTable<std::uint64_t, std::uint64_t>;
+  Table table;
+  std::uint64_t population;
+  sim::Time now = 0;
+  std::uint64_t next_key = 0;
+  Rng rng{0x0c11e47};
+
+  explicit ChurnWheelBench(std::uint64_t population_in)
+      : table([&] {
+          Table::Options options;
+          options.capacity = static_cast<std::size_t>(population_in) * 2;
+          options.idle_timeout = static_cast<sim::Time>(population_in);
+          options.wheel.tick = 1;  // churn time is the step count
+          return options;
+        }()),
+        population(population_in) {
+    for (std::uint64_t i = 0; i < population; ++i) step();
+  }
+
+  void step() {
+    ++now;
+    table.expire_idle(now, [](const std::uint64_t&, std::uint64_t&&) {});
+    table.insert(next_key++, std::uint64_t{now}, now);
+    if (next_key > population)
+      table.find_touch(
+          next_key - 1 - rng.uniform(std::uint64_t{0}, population - 1), now);
+  }
+};
+
+struct ChurnScanBench {
+  static constexpr std::uint64_t kScanInterval = 1024;
+  struct Entry {
+    std::uint64_t value;
+    sim::Time last_activity;
+  };
+  std::unordered_map<std::uint64_t, Entry> table;
+  std::uint64_t population;
+  sim::Time now = 0;
+  std::uint64_t next_key = 0;
+  Rng rng{0x0c11e47};
+
+  explicit ChurnScanBench(std::uint64_t population_in)
+      : population(population_in) {
+    table.reserve(static_cast<std::size_t>(population) * 2);
+    for (std::uint64_t i = 0; i < population; ++i) step();
+  }
+
+  void step() {
+    ++now;
+    if (now % kScanInterval == 0) {
+      const sim::Time timeout = static_cast<sim::Time>(population);
+      for (auto it = table.begin(); it != table.end();) {
+        if (it->second.last_activity + timeout <= now)
+          it = table.erase(it);
+        else
+          ++it;
+      }
+    }
+    table.emplace(next_key++, Entry{static_cast<std::uint64_t>(now), now});
+    if (next_key > population) {
+      auto it = table.find(next_key - 1 -
+                           rng.uniform(std::uint64_t{0}, population - 1));
+      if (it != table.end()) it->second.last_activity = now;
+    }
+  }
+};
+
+// Arg: steady-state session population.
+static void BM_SessionTableChurn(benchmark::State& state) {
+  ChurnWheelBench bench(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    bench.step();
+    benchmark::DoNotOptimize(bench.now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionTableChurn)->Arg(8192)->Arg(65536);
+
+static void BM_SessionTableChurnFullScan(benchmark::State& state) {
+  ChurnScanBench bench(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    bench.step();
+    benchmark::DoNotOptimize(bench.now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionTableChurnFullScan)->Arg(8192)->Arg(65536);
+
 // ---------------------------------------------------------------------------
 // --json mode: deterministic before/after summary for the bench trajectory.
 // ---------------------------------------------------------------------------
@@ -734,6 +835,22 @@ int run_json_mode(const std::string& path) {
   auto [server_staged_ns, server_prepr_ns] = time_pair_ns_per_op(
       [&] { staged_server.run_full(); }, [&] { prepr_server.run_reference(); });
 
+  // PR-6: session-table churn at steady state — timer-wheel lifecycle
+  // table vs the periodic full-scan map, interleaved per population.
+  auto churn_pair = [&](std::uint64_t population, double& ns_wheel,
+                        double& ns_scan) {
+    ChurnWheelBench wheel(population);
+    ChurnScanBench scan(population);
+    auto [w, s] =
+        time_pair_ns_per_op([&] { wheel.step(); }, [&] { scan.step(); });
+    ns_wheel = w;
+    ns_scan = s;
+  };
+  double churn8k_wheel = 0, churn8k_scan = 0;
+  double churn64k_wheel = 0, churn64k_scan = 0;
+  churn_pair(8192, churn8k_wheel, churn8k_scan);
+  churn_pair(65536, churn64k_wheel, churn64k_scan);
+
   Comparison comparisons[] = {
       {"seal_data_1500B", seal_new, seal_ref},
       {"open_data_1500B", open_new, open_ref},
@@ -765,6 +882,11 @@ int run_json_mode(const std::string& path) {
       // when not sharded.
       {"server_shard_1shard_vs_prepr", server_staged_ns / kServerBurst,
        server_prepr_ns / kServerBurst},
+      // new = LifecycleTable + timer wheel, ref = unordered_map with a
+      // periodic full-table expiry scan, per churn step (expiry pass +
+      // admission + touch) at a steady-state session population.
+      {"session_table_churn_8k", churn8k_wheel, churn8k_scan},
+      {"session_table_churn_64k", churn64k_wheel, churn64k_scan},
   };
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -772,7 +894,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"pr\": 5,\n  \"payload_bytes\": %zu,\n", kPayload);
+  std::fprintf(f, "{\n  \"pr\": 6,\n  \"payload_bytes\": %zu,\n", kPayload);
   std::fprintf(f,
                "  \"note\": \"ref = pre-PR implementation kept callable "
                "in-tree; click_chain rows are ns/packet for 64-packet bursts "
@@ -780,7 +902,11 @@ int run_json_mode(const std::string& path) {
                "are critical-path ns/packet for 64-packet bursts, each shard "
                "timed serially and the burst costed at the slowest shard (one "
                "core per shard, the virtual-time model); server_shard rows "
-               "cover open_batch + seal_jobs over 16 sessions\",\n");
+               "cover open_batch + seal_jobs over 16 sessions; "
+               "session_table_churn rows are ns per churn step (expiry pass + "
+               "admission + touch) at a steady-state population, timer-wheel "
+               "LifecycleTable vs an unordered_map with a periodic full-table "
+               "expiry scan (mb_per_s is meaningless for these rows)\",\n");
   std::fprintf(f, "  \"results\": {\n");
   for (std::size_t i = 0; i < std::size(comparisons); ++i) {
     const Comparison& c = comparisons[i];
@@ -808,7 +934,7 @@ int run_json_mode(const std::string& path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      std::string path = "BENCH_pr5.json";
+      std::string path = "BENCH_pr6.json";
       if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
       return run_json_mode(path);
     }

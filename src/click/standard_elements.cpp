@@ -208,13 +208,13 @@ void Paint::push_batch(int /*port*/, PacketBatch&& batch) {
 // ---- RoundRobinSwitch ---------------------------------------------------
 
 Status RoundRobinSwitch::configure(const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 2)
-    return err("RoundRobinSwitch requires 1 or 2 arguments");
+  if (args.empty() || args.size() > 4)
+    return err("RoundRobinSwitch requires 1 to 4 arguments");
   auto n = parse_int(args[0]);
   if (!n.ok()) return err(n.error());
   if (*n < 1 || *n > 256) return err("RoundRobinSwitch output count out of range");
   n_outputs_ = static_cast<int>(*n);
-  if (args.size() == 2) {
+  if (args.size() >= 2) {
     if (args[1] == "FLOW") {
       flow_mode_ = true;
     } else if (args[1] == "PACKET") {
@@ -223,17 +223,37 @@ Status RoundRobinSwitch::configure(const std::vector<std::string>& args) {
       return err("RoundRobinSwitch mode must be FLOW or PACKET");
     }
   }
+  FlowTable::Options options;
+  options.capacity = std::size_t{1} << 16;
+  options.wheel.tick = 1;  // flow-table time is the element packet count
+  if (args.size() >= 3) {
+    auto max_flows = parse_int(args[2]);
+    if (!max_flows.ok()) return err(max_flows.error());
+    if (*max_flows < 1) return err("RoundRobinSwitch MAX_FLOWS must be positive");
+    options.capacity = static_cast<std::size_t>(*max_flows);
+  }
+  if (args.size() == 4) {
+    auto idle = parse_int(args[3]);
+    if (!idle.ok()) return err(idle.error());
+    if (*idle < 0) return err("RoundRobinSwitch IDLE_PKTS must be non-negative");
+    options.idle_timeout = static_cast<sim::Time>(*idle);
+  }
+  flow_table_ = FlowTable(options);
   return {};
 }
 
 int RoundRobinSwitch::route(const net::Packet& packet) {
   if (flow_mode_) {
+    ++logical_now_;
+    flow_table_.expire_idle(logical_now_, [](const net::FlowKey&, int&&) {});
     auto key = net::FlowKey::of(packet);
-    auto it = flow_table_.find(key);
-    if (it != flow_table_.end()) return it->second;
+    if (auto* entry = flow_table_.find_touch(key, logical_now_))
+      return entry->value;
     int out = next_;
     next_ = (next_ + 1) % n_outputs_;
-    flow_table_.emplace(key, out);
+    // A full table routes without pinning: bounded memory, the flow
+    // merely loses stickiness until older pins expire.
+    if (!flow_table_.insert(key, int{out}, logical_now_)) ++unpinned_;
     return out;
   }
   int out = next_;
@@ -259,20 +279,27 @@ void RoundRobinSwitch::push_batch(int /*port*/, PacketBatch&& batch) {
   }
 }
 
+void RoundRobinSwitch::adopt_flows(const RoundRobinSwitch& old) {
+  // Pins whose port survives migrate, first assignment winning on a
+  // key collision; ages restart at this element's clock (the old
+  // element's packet count is a different timeline). The capacity
+  // bound holds — an over-full union sheds the excess as unpinned.
+  old.flow_table_.for_each([&](const net::FlowKey& key, const int& out) {
+    if (out >= n_outputs_ || flow_table_.contains(key)) return;
+    if (!flow_table_.insert(key, int{out}, logical_now_)) ++unpinned_;
+  });
+}
+
 void RoundRobinSwitch::take_state(Element& old_element) {
   auto& old = static_cast<RoundRobinSwitch&>(old_element);
   // Keep flow stickiness across hot-swaps (stateful middlebox scaling).
   next_ = old.next_ % n_outputs_;
-  for (const auto& [key, out] : old.flow_table_)
-    if (out < n_outputs_) flow_table_.emplace(key, out);
+  adopt_flows(old);
 }
 
 void RoundRobinSwitch::absorb_state(Element& old_element) {
-  auto& old = static_cast<RoundRobinSwitch&>(old_element);
-  // Union the flow tables: a flow pinned by any old shard stays pinned
-  // (emplace keeps the first assignment on the rare key collision).
-  for (const auto& [key, out] : old.flow_table_)
-    if (out < n_outputs_) flow_table_.emplace(key, out);
+  // Union the flow tables: a flow pinned by any old shard stays pinned.
+  adopt_flows(static_cast<RoundRobinSwitch&>(old_element));
 }
 
 // ---- CheckIPHeader -------------------------------------------------------

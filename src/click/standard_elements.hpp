@@ -11,7 +11,9 @@
 #include <unordered_map>
 
 #include "click/element.hpp"
+#include "common/lifecycle_table.hpp"
 #include "net/ip.hpp"
+#include "net/packet.hpp"
 
 namespace endbox::click {
 
@@ -112,6 +114,14 @@ class Paint : public Element {
 /// outputs. `RoundRobinSwitch(N)` is per-packet; an optional second
 /// argument FLOW pins each 5-tuple flow to one output, as stateful
 /// middleboxes require (section II-B).
+///
+/// The flow table is bounded lifecycle state (cf. FastClick's bounded
+/// flow managers): `RoundRobinSwitch(N, FLOW, MAX_FLOWS, IDLE_PKTS)`
+/// caps the table at MAX_FLOWS pins (overflow traffic still balances
+/// round-robin, it just loses stickiness — counted in
+/// unpinned_flows()) and expires pins idle for IDLE_PKTS packets of
+/// element time (a packet-count timer wheel; 0 = never). Defaults keep
+/// the former unbounded-feeling behaviour at a 64k cap.
 class RoundRobinSwitch : public Element {
  public:
   std::string_view class_name() const override { return "RoundRobinSwitch"; }
@@ -123,15 +133,26 @@ class RoundRobinSwitch : public Element {
   int n_outputs() const override { return n_outputs_; }
 
   std::size_t tracked_flows() const { return flow_table_.size(); }
+  std::size_t max_flows() const { return flow_table_.capacity(); }
+  std::uint64_t expired_flows() const { return flow_table_.stats().expired_idle; }
+  std::uint64_t unpinned_flows() const { return unpinned_; }
 
  private:
+  /// Flow pins live in a bounded LifecycleTable whose "clock" is the
+  /// element's packet count (tick = 1 packet).
+  using FlowTable = LifecycleTable<net::FlowKey, int>;
+
   /// Output port for one packet (advances round-robin/flow state).
   int route(const net::Packet& packet);
+  /// Re-pins a predecessor's surviving flows (hot-swap / reshard).
+  void adopt_flows(const RoundRobinSwitch& old);
 
   int n_outputs_ = 2;
   bool flow_mode_ = false;
   int next_ = 0;
-  std::unordered_map<net::FlowKey, int> flow_table_;
+  FlowTable flow_table_;
+  std::uint64_t logical_now_ = 0;  ///< packets routed (flow-table time)
+  std::uint64_t unpinned_ = 0;     ///< routed without a pin: table full
   std::vector<PacketBatch> port_scratch_;  ///< per-output re-batch buffers
 };
 

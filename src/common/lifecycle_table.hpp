@@ -1,0 +1,360 @@
+// Bounded session/flow state with incremental idle expiry — the
+// state-lifecycle layer every per-session map hangs off (VPN session
+// shards, TLS key store, Click flow tables). Design follows NFOS /
+// FastClick bounded flow managers: open addressing over a fixed
+// capacity, generation-stamped slots so stale timers and dangling
+// references can be detected in O(1), and a hierarchical timer wheel
+// (sim::TimerWheel) expiring idle entries amortised O(1) per tick.
+//
+// Expiry is *lazy*: touch() is a single relaxed timestamp store (safe
+// from concurrent readers during a sharded burst), and a fired timer
+// either expires the entry or re-arms itself at the entry's true
+// deadline. A live entry therefore never expires early, and expires no
+// later than the first expire_idle() at least one wheel tick past its
+// deadline.
+//
+// Entries live in a free-listed deque and never relocate (Entry* stays
+// valid for the table's lifetime), so the wheel's cookies —
+// (generation << 32) | entry index — survive index rehashes, and
+// values that are expensive or impossible to copy (a Session's
+// Reassembler holds move-only node handles) are never forced through a
+// vector reallocation.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "sim/timer_wheel.hpp"
+
+namespace endbox {
+
+/// Copyable wrapper over a relaxed atomic timestamp: last-activity
+/// stamps are written by whichever shard worker touches the entry and
+/// read by the (single-threaded, between-burst) expiry pass, so plain
+/// loads/stores would be a data race under TSan without ordering being
+/// needed.
+class RelaxedTime {
+ public:
+  RelaxedTime() = default;
+  explicit RelaxedTime(sim::Time t) : t_(t) {}
+  RelaxedTime(const RelaxedTime& other) : t_(other.load()) {}
+  RelaxedTime& operator=(const RelaxedTime& other) {
+    store(other.load());
+    return *this;
+  }
+  sim::Time load() const { return t_.load(std::memory_order_relaxed); }
+  void store(sim::Time t) const { t_.store(t, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<sim::Time> t_{0};
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LifecycleTable {
+ public:
+  struct Options {
+    /// Admission bound: insert() fails once `capacity` entries are
+    /// live. Migration (insert_migrated) bypasses it so a reshard is
+    /// never lossy; the bound re-applies to new admissions.
+    std::size_t capacity = std::size_t{1} << 20;
+    /// Entries untouched for this long expire on expire_idle(). 0
+    /// disables expiry entirely (no wheel is kept).
+    sim::Time idle_timeout = 0;
+    sim::TimerWheel::Options wheel = {};
+  };
+
+  struct Stats {
+    std::uint64_t inserted = 0;      ///< new admissions (upserts excluded)
+    std::uint64_t erased = 0;        ///< explicit erasures
+    std::uint64_t expired_idle = 0;  ///< idle-timeout evictions
+    std::uint64_t rejected_full = 0; ///< admissions refused at capacity
+    std::size_t peak_size = 0;
+  };
+
+  struct Entry {
+    // "= T()" rather than "{}": value braces would aggregate-initialise
+    // values whose members have explicit constructors (Session's
+    // Reassembler), which list-init forbids.
+    Key key = Key();
+    Value value = Value();
+
+   private:
+    friend class LifecycleTable;
+    RelaxedTime last_activity{};
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  LifecycleTable() : LifecycleTable(Options{}) {}
+  explicit LifecycleTable(Options options) : options_(options) {
+    if (options_.idle_timeout != 0) wheel_.emplace(options_.wheel);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return options_.capacity; }
+  sim::Time idle_timeout() const { return options_.idle_timeout; }
+  const Stats& stats() const { return stats_; }
+  /// Pending wheel entries (live + lazily-cancelled); tests only.
+  std::size_t pending_timers() const { return wheel_ ? wheel_->size() : 0; }
+
+  /// Folds another table's counters into this one (reshard o -> o%n,
+  /// like the shard statistics it sits beside).
+  void absorb_stats(const Stats& other) {
+    stats_.inserted += other.inserted;
+    stats_.erased += other.erased;
+    stats_.expired_idle += other.expired_idle;
+    stats_.rejected_full += other.rejected_full;
+    stats_.peak_size = std::max(stats_.peak_size, other.peak_size);
+  }
+
+  Entry* find(const Key& key) {
+    std::size_t pos = 0;
+    std::uint32_t idx = probe(key, pos);
+    return idx == kNil ? nullptr : &entries_[idx];
+  }
+  const Entry* find(const Key& key) const {
+    return const_cast<LifecycleTable*>(this)->find(key);
+  }
+  bool contains(const Key& key) const { return find(key) != nullptr; }
+
+  /// Marks activity: a single timestamp store. The entry's pending
+  /// wheel timer is NOT moved — when it fires, expire_idle() sees the
+  /// fresh stamp and re-arms at the true deadline (lazy reschedule).
+  void touch(const Entry& entry, sim::Time now) const {
+    entry.last_activity.store(now);
+  }
+  Entry* find_touch(const Key& key, sim::Time now) {
+    Entry* entry = find(key);
+    if (entry) touch(*entry, now);
+    return entry;
+  }
+  /// Last-activity stamp, or nullopt for unknown keys (tests/migration).
+  std::optional<sim::Time> last_activity(const Key& key) const {
+    const Entry* entry = find(key);
+    if (!entry) return std::nullopt;
+    return entry->last_activity.load();
+  }
+
+  /// Inserts or overwrites. Returns nullptr (counting rejected_full)
+  /// when a *new* key would exceed capacity; overwrites always succeed.
+  /// The returned pointer stays valid until the next new admission.
+  Entry* insert(const Key& key, Value&& value, sim::Time now) {
+    if (Entry* existing = find(key)) {
+      existing->value = std::move(value);
+      touch(*existing, now);
+      return existing;
+    }
+    if (size_ >= options_.capacity) {
+      ++stats_.rejected_full;
+      return nullptr;
+    }
+    return emplace_new(key, std::move(value), now, /*count_insert=*/true);
+  }
+
+  /// Reshard/migration insert: bypasses the capacity bound (a reshard
+  /// must be lossless) and preserves the original activity stamp, so
+  /// the migrated entry expires exactly when it would have.
+  Entry* insert_migrated(const Key& key, Value&& value, sim::Time last_activity) {
+    if (Entry* existing = find(key)) {
+      existing->value = std::move(value);
+      touch(*existing, last_activity);
+      return existing;
+    }
+    // Not counted as an insertion: the entry was admitted (and counted)
+    // by the table it migrated from, whose stats fold into this one.
+    return emplace_new(key, std::move(value), last_activity,
+                       /*count_insert=*/false);
+  }
+
+  bool erase(const Key& key) {
+    std::size_t pos = 0;
+    std::uint32_t idx = probe(key, pos);
+    if (idx == kNil) return false;
+    ++stats_.erased;
+    erase_at(pos, idx);
+    return true;
+  }
+
+  /// Advances the wheel to `now` and evicts every entry idle for at
+  /// least idle_timeout, invoking `on_expire(key, std::move(value))`
+  /// after removal. Amortised O(1) per tick + O(1) per fired timer.
+  template <typename Fn>
+  std::size_t expire_idle(sim::Time now, Fn&& on_expire) {
+    if (!wheel_) return 0;
+    std::size_t expired = 0;
+    wheel_->advance(now, [&](std::uint64_t cookie, sim::Time) {
+      std::uint32_t idx = static_cast<std::uint32_t>(cookie);
+      std::uint32_t generation = static_cast<std::uint32_t>(cookie >> 32);
+      if (idx >= entries_.size()) return;
+      Entry& entry = entries_[idx];
+      if (!entry.live || entry.generation != generation) return;  // stale timer
+      sim::Time deadline = entry.last_activity.load() + options_.idle_timeout;
+      if (deadline > now) {
+        wheel_->schedule(cookie, deadline);  // touched since: re-arm
+        return;
+      }
+      Key key = entry.key;  // keys are small (ids / flow tuples)
+      Value value = std::move(entry.value);
+      std::size_t pos = 0;
+      std::uint32_t found = probe(key, pos);
+      erase_at(pos, found);
+      ++stats_.expired_idle;
+      ++expired;
+      on_expire(key, std::move(value));
+    });
+    return expired;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Entry& entry : entries_)
+      if (entry.live) fn(entry.key, entry.value);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& entry : entries_)
+      if (entry.live) fn(entry.key, entry.value);
+  }
+
+  /// Moves every entry out — `fn(Key&&, Value&&, last_activity)` — and
+  /// resets the table (index, entries, wheel). Counters survive; the
+  /// receiving tables fold them via absorb_stats.
+  template <typename Fn>
+  void extract_all(Fn&& fn) {
+    for (Entry& entry : entries_)
+      if (entry.live)
+        fn(std::move(entry.key), std::move(entry.value),
+           entry.last_activity.load());
+    entries_.clear();
+    free_.clear();
+    index_.clear();
+    slot_mask_ = 0;
+    tombstones_ = 0;
+    size_ = 0;
+    if (wheel_) wheel_.emplace(options_.wheel);
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+
+  // Re-mix the user hash so probe order is independent of any structure
+  // in its low bits (session ids within one shard all agree mod the
+  // shard count, for example — without the remix they would stride).
+  std::size_t bucket_of(const Key& key) const {
+    return static_cast<std::size_t>(
+               splitmix64(static_cast<std::uint64_t>(Hash{}(key)))) &
+           slot_mask_;
+  }
+
+  /// Finds `key`'s entry index (kNil if absent); `pos` receives its
+  /// index slot (valid only on a hit).
+  std::uint32_t probe(const Key& key, std::size_t& pos) const {
+    if (index_.empty()) return kNil;
+    std::size_t p = bucket_of(key);
+    while (true) {
+      std::uint32_t v = index_[p];
+      if (v == kEmpty) return kNil;
+      if (v != kTombstone) {
+        const Entry& entry = entries_[v];
+        if (entry.live && entry.key == key) {
+          pos = p;
+          return v;
+        }
+      }
+      p = (p + 1) & slot_mask_;
+    }
+  }
+
+  Entry* emplace_new(const Key& key, Value&& value, sim::Time last_activity,
+                     bool count_insert) {
+    ensure_index_room();
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      entries_.emplace_back();
+      idx = static_cast<std::uint32_t>(entries_.size() - 1);
+    }
+    Entry& entry = entries_[idx];
+    entry.key = key;
+    entry.value = std::move(value);
+    entry.last_activity.store(last_activity);
+    entry.live = true;
+    index_insert(key, idx);
+    ++size_;
+    if (count_insert) ++stats_.inserted;
+    stats_.peak_size = std::max(stats_.peak_size, size_);
+    if (wheel_)
+      wheel_->schedule(cookie_of(idx, entry.generation),
+                       last_activity + options_.idle_timeout);
+    return &entry;
+  }
+
+  void erase_at(std::size_t pos, std::uint32_t idx) {
+    Entry& entry = entries_[idx];
+    entry.live = false;
+    ++entry.generation;  // invalidates pending timers and stale refs
+    entry.key = Key();
+    entry.value = Value();  // release held resources immediately
+    free_.push_back(idx);
+    index_[pos] = kTombstone;
+    ++tombstones_;
+    --size_;
+  }
+
+  static std::uint64_t cookie_of(std::uint32_t idx, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | idx;
+  }
+
+  void index_insert(const Key& key, std::uint32_t idx) {
+    std::size_t p = bucket_of(key);
+    while (index_[p] != kEmpty && index_[p] != kTombstone)
+      p = (p + 1) & slot_mask_;
+    if (index_[p] == kTombstone) --tombstones_;
+    index_[p] = idx;
+  }
+
+  /// Keeps (live + tombstones) under 3/4 of the slots so probes always
+  /// terminate: grow for live load, rebuild in place for tombstones.
+  void ensure_index_room() {
+    std::size_t slots = index_.size();
+    if (slots == 0) {
+      rebuild_index(64);
+      return;
+    }
+    if ((size_ + 1) * 2 > slots) {
+      rebuild_index(slots * 2);
+    } else if ((size_ + 1 + tombstones_) * 4 > slots * 3) {
+      rebuild_index(slots);
+    }
+  }
+
+  void rebuild_index(std::size_t slots) {
+    index_.assign(slots, kEmpty);
+    slot_mask_ = slots - 1;
+    tombstones_ = 0;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i)
+      if (entries_[i].live) index_insert(entries_[i].key, i);
+  }
+
+  Options options_;
+  Stats stats_;
+  std::deque<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> index_;
+  std::size_t slot_mask_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t size_ = 0;
+  std::optional<sim::TimerWheel> wheel_;
+};
+
+}  // namespace endbox

@@ -10,6 +10,8 @@ EndBoxEnclave::EndBoxEnclave(sgx::SgxPlatform& platform, sgx::SgxMode mode,
       ca_public_key_(ca_public_key),
       options_(options),
       enclave_key_(crypto::rsa_generate(rng)),
+      key_store_(tls::SessionKeyStore::Options{options.tls_key_capacity,
+                                               options.tls_key_idle_timeout}),
       registry_(elements::make_endbox_registry(context_)),
       routers_(registry_) {
   context_.key_store = &key_store_;
@@ -476,8 +478,13 @@ Status EndBoxEnclave::ecall_forward_tls_key(const tls::SessionKeys& keys) {
   EcallGuard guard(*this);
   if (keys.enc_key.size() != 16 || keys.mac_key.size() != 32)
     return err("forward key: malformed key material");
-  key_store_.put(keys);
+  if (!key_store_.put(keys)) return err("forward key: key store at capacity");
   return {};
+}
+
+std::size_t EndBoxEnclave::ecall_expire_tls_keys(sim::Time now) {
+  EcallGuard guard(*this);
+  return key_store_.expire_idle(now);
 }
 
 void EndBoxEnclave::ecall_add_ruleset(const std::string& name,

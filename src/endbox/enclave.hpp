@@ -74,6 +74,11 @@ struct EnclaveOptions {
   bool c2c_flagging = true;  ///< set/honour the QoS 0xeb flag
   std::uint16_t min_version = vpn::kVersionTls12;
   std::size_t mtu = 9000;
+  /// Bound + idle horizon for the in-enclave TLS key store: forwarded
+  /// keys beyond the capacity are refused, and keys unused for the
+  /// timeout are pruned by ecall_expire_tls_keys (0 = teardown-only).
+  std::size_t tls_key_capacity = std::size_t{1} << 20;
+  sim::Time tls_key_idle_timeout = 0;
   /// Element-graph instances the middlebox functions run on (RSS flow
   /// sharding, one worker thread per shard — SGX enclaves are
   /// multi-threaded via multiple TCSs). 1 keeps the single-core batched
@@ -161,6 +166,10 @@ class EndBoxEnclave : public sgx::Enclave {
   /// Receives session keys forwarded by the instrumented TLS library
   /// via the management interface.
   Status ecall_forward_tls_key(const tls::SessionKeys& keys);
+  /// Prunes TLS keys idle past tls_key_idle_timeout (lifecycle sweep,
+  /// driven between bursts like key forwarding). Returns the count.
+  std::size_t ecall_expire_tls_keys(sim::Time now);
+  const tls::SessionKeyStore& tls_key_store() const { return key_store_; }
 
   /// Registers a named IDPS rule set available to IDSMatcher configs.
   void ecall_add_ruleset(const std::string& name,

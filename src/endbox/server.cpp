@@ -18,6 +18,15 @@ EndBoxServer::EndBoxServer(Rng& rng, ca::CertificateAuthority& authority,
   };
   click_context_.untrusted_time = [] { return sim::Time{0}; };
   click_context_.trusted_time = [] { return sim::Time{0}; };
+  // Session lifecycle: when the VPN layer drops a session (explicit
+  // close or idle expiry), every server-side map keyed by its id goes
+  // with it — the router instance, the process ledger and the traffic
+  // counter used to leak for the lifetime of the server.
+  vpn_.set_session_close_hook([this](std::uint32_t session_id) {
+    session_routers_.erase(session_id);
+    session_proc_free_.erase(session_id);
+    session_packets_.erase(session_id);
+  });
 }
 
 void EndBoxServer::add_ruleset(const std::string& name,

@@ -111,6 +111,9 @@ class EndBoxServer {
   /// ledger, so a flood of garbage frames cannot inflate per-session
   /// state.
   std::size_t session_process_entries() const { return session_proc_free_.size(); }
+  /// Live server-side Click instances (WithClick; torn down with their
+  /// session by the VPN close hook — the storm regression checks this).
+  std::size_t session_router_count() const { return session_routers_.size(); }
 
  private:
   click::Router* session_router(std::uint32_t session_id);

@@ -1,0 +1,243 @@
+// Hierarchical timer wheel over virtual time (the expiry engine behind
+// LifecycleTable, cf. NFOS's EXP_TIME incremental packet-set expiry).
+//
+// Four levels of 256 slots each: level 0 resolves single ticks, every
+// higher level covers 256x the span below it, so one wheel spans
+// 2^32 ticks (~49 days at the default 1 ms tick) before entries merely
+// re-cascade. schedule() and each fired/cascaded entry cost O(1);
+// advance() is amortised O(1) per tick, with an O(entries + slots)
+// rebuild path for large jumps so idle periods cost less than ticking
+// through them. There is no cancel(): owners stamp entries with a
+// cookie (index + generation) and discard stale firings — lazy
+// cancellation keeps the hot path free of bookkeeping.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace endbox::sim {
+
+class TimerWheel {
+ public:
+  struct Options {
+    /// Wheel resolution: deadlines round down to a tick and fire on the
+    /// first advance() whose target tick reaches them.
+    Time tick = kMillisecond;
+  };
+
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlotBits = 8;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+
+  TimerWheel() : TimerWheel(Options{}) {}
+  explicit TimerWheel(Options options)
+      : tick_(options.tick == 0 ? 1 : options.tick) {
+    for (auto& level : heads_) level.fill(kNil);
+  }
+
+  std::size_t size() const { return size_; }
+  Time tick() const { return tick_; }
+  /// Virtual time the wheel has advanced to (start of current tick).
+  Time horizon() const { return current_tick_ * tick_; }
+
+  /// Arms a timer. `cookie` is opaque to the wheel and handed back on
+  /// fire; deadlines at or before the horizon fire on the next advance.
+  void schedule(std::uint64_t cookie, Time deadline) {
+    std::uint64_t target = deadline / tick_;
+    if (target <= current_tick_) target = current_tick_ + 1;
+    std::uint32_t idx = acquire();
+    entries_[idx].cookie = cookie;
+    entries_[idx].deadline = deadline;
+    place(idx, target);
+    ++size_;
+  }
+
+  /// Advances the wheel to `now`, invoking `fire(cookie, deadline)` for
+  /// every timer whose deadline tick has been reached. The callback may
+  /// schedule() new timers (future deadlines land correctly, past ones
+  /// fire on the next advance). Returns the number fired.
+  template <typename Fn>
+  std::size_t advance(Time now, Fn&& fire) {
+    std::uint64_t target = now / tick_;
+    if (target <= current_tick_) return 0;
+    if (size_ == 0) {
+      current_tick_ = target;
+      return 0;
+    }
+    if (target - current_tick_ > kRebuildThresholdTicks)
+      return rebuild_advance(target, fire);
+    std::size_t fired = 0;
+    while (current_tick_ < target) {
+      ++current_tick_;
+      cascade(current_tick_);
+      fired += fire_slot(current_tick_ & kMask, fire);
+      if (size_ == 0) {  // nothing left: snap to the target
+        current_tick_ = target;
+        break;
+      }
+    }
+    return fired;
+  }
+
+  /// Removes every pending timer, invoking `fn(cookie, deadline)` for
+  /// each (migration/teardown; order is unspecified).
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    for (auto& level : heads_) {
+      for (auto& head : level) {
+        std::uint32_t idx = head;
+        head = kNil;
+        while (idx != kNil) {
+          std::uint32_t next = entries_[idx].next;
+          std::uint64_t cookie = entries_[idx].cookie;
+          Time deadline = entries_[idx].deadline;
+          release(idx);
+          fn(cookie, deadline);
+          idx = next;
+        }
+      }
+    }
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kMask = kSlots - 1;
+  // Past this many ticks, rebuilding every entry beats ticking through
+  // the gap (1024 slot heads + size_ entries vs one cascade per tick).
+  static constexpr std::uint64_t kRebuildThresholdTicks = 4 * kSlots;
+
+  struct Entry {
+    std::uint64_t cookie = 0;
+    Time deadline = 0;
+    std::uint32_t next = kNil;
+  };
+
+  std::uint32_t acquire() {
+    if (free_ != kNil) {
+      std::uint32_t idx = free_;
+      free_ = entries_[idx].next;
+      return idx;
+    }
+    entries_.emplace_back();
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  }
+
+  void release(std::uint32_t idx) {
+    entries_[idx].next = free_;
+    free_ = idx;
+  }
+
+  /// Files `idx` under the level whose span covers target_tick -
+  /// current_tick_. Level-0 slots hold exactly one tick's entries
+  /// (delta < 256 and absolute slot addressing make collisions between
+  /// different ticks impossible), which is what lets fire_slot() fire a
+  /// slot wholesale without per-entry deadline checks.
+  void place(std::uint32_t idx, std::uint64_t target_tick) {
+    std::uint64_t delta = target_tick - current_tick_;
+    std::size_t level = 0;
+    while (level + 1 < kLevels &&
+           delta >= (std::uint64_t{1} << (kSlotBits * (level + 1))))
+      ++level;
+    std::size_t slot = (target_tick >> (kSlotBits * level)) & kMask;
+    entries_[idx].next = heads_[level][slot];
+    heads_[level][slot] = idx;
+  }
+
+  /// Re-files entries of every higher-level slot that opens at tick
+  /// `t`, outermost level first so re-placed entries can land in inner
+  /// slots that drain later in this same call.
+  void cascade(std::uint64_t t) {
+    for (int level = kLevels - 1; level >= 1; --level) {
+      std::uint64_t span_mask =
+          (std::uint64_t{1} << (kSlotBits * static_cast<std::size_t>(level))) - 1;
+      if ((t & span_mask) != 0) continue;
+      std::size_t slot = (t >> (kSlotBits * static_cast<std::size_t>(level))) & kMask;
+      std::uint32_t idx = heads_[static_cast<std::size_t>(level)][slot];
+      heads_[static_cast<std::size_t>(level)][slot] = kNil;
+      while (idx != kNil) {
+        std::uint32_t next = entries_[idx].next;
+        std::uint64_t target = entries_[idx].deadline / tick_;
+        place(idx, std::max(target, t));
+        idx = next;
+      }
+    }
+  }
+
+  template <typename Fn>
+  std::size_t fire_slot(std::size_t slot, Fn&& fire) {
+    // Detach, restore insertion order (push-front built the list LIFO),
+    // then release each entry *before* its callback runs: the callback
+    // may schedule(), which reuses the free list and may grow entries_.
+    std::uint32_t idx = heads_[0][slot];
+    heads_[0][slot] = kNil;
+    std::uint32_t ordered = kNil;
+    while (idx != kNil) {
+      std::uint32_t next = entries_[idx].next;
+      entries_[idx].next = ordered;
+      ordered = idx;
+      idx = next;
+    }
+    std::size_t fired = 0;
+    while (ordered != kNil) {
+      std::uint32_t next = entries_[ordered].next;
+      std::uint64_t cookie = entries_[ordered].cookie;
+      Time deadline = entries_[ordered].deadline;
+      release(ordered);
+      --size_;
+      ++fired;
+      fire(cookie, deadline);
+      ordered = next;
+    }
+    return fired;
+  }
+
+  /// Large-jump path: pull every entry out once, fire the expired set
+  /// in deterministic (deadline, cookie) order, re-file the rest at the
+  /// new horizon. O(entries + slots) regardless of the jump size.
+  template <typename Fn>
+  std::size_t rebuild_advance(std::uint64_t target, Fn&& fire) {
+    scratch_.clear();
+    expired_scratch_.clear();
+    for (auto& level : heads_) {
+      for (auto& head : level) {
+        std::uint32_t idx = head;
+        head = kNil;
+        while (idx != kNil) {
+          std::uint32_t next = entries_[idx].next;
+          scratch_.push_back(idx);
+          idx = next;
+        }
+      }
+    }
+    current_tick_ = target;
+    for (std::uint32_t idx : scratch_) {
+      if (entries_[idx].deadline / tick_ <= target) {
+        expired_scratch_.push_back({entries_[idx].deadline, entries_[idx].cookie});
+        release(idx);
+        --size_;
+      } else {
+        place(idx, entries_[idx].deadline / tick_);
+      }
+    }
+    std::sort(expired_scratch_.begin(), expired_scratch_.end());
+    for (const auto& [deadline, cookie] : expired_scratch_) fire(cookie, deadline);
+    return expired_scratch_.size();
+  }
+
+  Time tick_;
+  std::uint64_t current_tick_ = 0;
+  std::size_t size_ = 0;
+  std::array<std::array<std::uint32_t, kSlots>, kLevels> heads_;
+  std::vector<Entry> entries_;
+  std::uint32_t free_ = kNil;
+  std::vector<std::uint32_t> scratch_;
+  std::vector<std::pair<Time, std::uint64_t>> expired_scratch_;
+};
+
+}  // namespace endbox::sim

@@ -2,22 +2,32 @@
 
 namespace endbox::tls {
 
-void SessionKeyStore::put(const SessionKeys& keys) {
-  keys_[keys.session_id] = keys;
+bool SessionKeyStore::put(const SessionKeys& keys) {
+  SessionKeys copy = keys;
+  return keys_.insert(keys.session_id, std::move(copy),
+                      now_hint_.load(std::memory_order_relaxed)) != nullptr;
 }
 
 std::optional<SessionKeys> SessionKeyStore::get(std::uint64_t session_id) const {
   ++lookups_;
-  auto it = keys_.find(session_id);
-  if (it == keys_.end()) {
+  const KeyTable::Entry* entry = keys_.find(session_id);
+  if (!entry) {
     ++misses_;
     return std::nullopt;
   }
-  return it->second;
+  // Activity stamp only — a relaxed store, safe from concurrent shard
+  // readers; the wheel is re-armed lazily by the next expire_idle.
+  keys_.touch(*entry, now_hint_.load(std::memory_order_relaxed));
+  return entry->value;
 }
 
 bool SessionKeyStore::erase(std::uint64_t session_id) {
-  return keys_.erase(session_id) > 0;
+  return keys_.erase(session_id);
+}
+
+std::size_t SessionKeyStore::expire_idle(sim::Time now) {
+  note_time(now);
+  return keys_.expire_idle(now, [](std::uint64_t, SessionKeys&&) {});
 }
 
 }  // namespace endbox::tls

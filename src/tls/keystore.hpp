@@ -6,28 +6,64 @@
 // through the tunnel. Keys are indexed by session id (carried in each
 // record's sequence space by our miniature TLS; real EndBox indexes by
 // connection 5-tuple).
+//
+// The store is bounded lifecycle state (common/lifecycle_table.hpp):
+// keys are pruned on session teardown (erase) or after sitting unused
+// for the configured idle timeout (expire_idle, driven between bursts
+// from the enclave), so a long-lived enclave cannot leak one entry per
+// TLS session ever negotiated. Each successful get() refreshes the
+// key's activity stamp with a relaxed store — safe under the shard
+// model where writes (put/erase/expire) happen via ecalls between
+// bursts and shards only read during one.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/lifecycle_table.hpp"
 #include "tls/session.hpp"
 
 namespace endbox::tls {
 
 class SessionKeyStore {
  public:
-  void put(const SessionKeys& keys);
+  struct Options {
+    std::size_t capacity = std::size_t{1} << 20;
+    sim::Time idle_timeout = 0;  ///< 0: prune on teardown only
+  };
+
+  SessionKeyStore() = default;
+  explicit SessionKeyStore(Options options)
+      : keys_(KeyTable::Options{options.capacity, options.idle_timeout, {}}) {}
+
+  /// Inserts or refreshes a key. Returns false (and counts the
+  /// rejection) when a new session would exceed capacity.
+  bool put(const SessionKeys& keys);
   std::optional<SessionKeys> get(std::uint64_t session_id) const;
   bool erase(std::uint64_t session_id);
+
+  /// Advances the store's view of virtual time: get() stamps activity
+  /// at this time, and expire_idle() evicts keys idle past the
+  /// timeout. Call between bursts (single-threaded), like put/erase.
+  void note_time(sim::Time now) {
+    now_hint_.store(now, std::memory_order_relaxed);
+  }
+  /// Prunes keys idle past the timeout (no-op with idle_timeout 0).
+  /// A pruned key looked up later counts as an honest miss.
+  std::size_t expire_idle(sim::Time now);
+
   std::size_t size() const { return keys_.size(); }
   std::uint64_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t expired() const { return keys_.stats().expired_idle; }
+  std::uint64_t rejected_full() const { return keys_.stats().rejected_full; }
 
  private:
-  std::unordered_map<std::uint64_t, SessionKeys> keys_;
+  using KeyTable = LifecycleTable<std::uint64_t, SessionKeys>;
+
+  KeyTable keys_;
+  std::atomic<sim::Time> now_hint_{0};
   // The store is shared by every element-graph shard (keys arrive via
   // ecalls between bursts; shards only read the map during one), so the
   // lookup statistics must tolerate concurrent get() calls.

@@ -17,7 +17,9 @@ std::vector<Bytes> fragment_payload(ByteView payload, std::size_t mtu) {
   return fragments;
 }
 
-std::optional<Bytes> Reassembler::add(const FragmentHeader& frag, Bytes payload) {
+std::optional<Bytes> Reassembler::add(const FragmentHeader& frag, Bytes payload,
+                                      sim::Time now) {
+  expire_stale(now);
   if (frag.count == 0 || frag.index >= frag.count) return std::nullopt;
   if (frag.count == 1) return payload;  // fast path: unfragmented
 
@@ -27,6 +29,7 @@ std::optional<Bytes> Reassembler::add(const FragmentHeader& frag, Bytes payload)
     Group& fresh = it->second;
     fresh.parts.resize(frag.count);  // capacity survives node reuse
     fresh.received = 0;
+    fresh.born = now;
     fifo_push_back(frag.frag_id, fresh);
     evict_if_needed();
   }
@@ -90,6 +93,21 @@ void Reassembler::evict_if_needed() {
     release_group(oldest);
     ++evicted_;
   }
+}
+
+std::size_t Reassembler::expire_stale(sim::Time now) {
+  if (horizon_ == 0 || now < horizon_) return 0;
+  // The FIFO is insertion-ordered, so born times are monotone along it:
+  // stop at the first group young enough to keep.
+  std::size_t dropped = 0;
+  while (fifo_head_) {
+    auto oldest = groups_.find(*fifo_head_);
+    if (oldest->second.born > now - horizon_) break;
+    release_group(oldest);
+    ++expired_;
+    ++dropped;
+  }
+  return dropped;
 }
 
 }  // namespace endbox::vpn

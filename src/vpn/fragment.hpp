@@ -11,6 +11,7 @@
 
 #include "common/bytes.hpp"
 #include "net/packet_pool.hpp"
+#include "sim/clock.hpp"
 #include "vpn/wire.hpp"
 
 namespace endbox::vpn {
@@ -60,6 +61,12 @@ std::size_t for_each_fragment(ByteView payload, std::size_t mtu,
 /// reuse, so steady-state multi-fragment traffic performs no heap
 /// allocation (callers release the returned whole back into the same
 /// pool once consumed).
+///
+/// Besides the count cap, groups can age out: with a horizon set,
+/// add() first expires every group born more than `horizon` ago — the
+/// FIFO is insertion-ordered, so age expiry is the same O(1) head pops
+/// as capacity eviction, and a dead session's incomplete groups cannot
+/// outlive the horizon just because the table stays under capacity.
 class Reassembler {
  public:
   explicit Reassembler(std::size_t max_groups = 64,
@@ -69,17 +76,29 @@ class Reassembler {
   /// Attaches the buffer pool part/whole buffers recycle through.
   void set_pool(net::PacketPool* pool) { pool_ = pool; }
 
+  /// Sets the age horizon for incomplete groups (0 disables).
+  void set_horizon(sim::Time horizon) { horizon_ = horizon; }
+
   /// Feeds one fragment; returns the whole payload when the group
-  /// completes, nullopt otherwise.
-  std::optional<Bytes> add(const FragmentHeader& frag, Bytes payload);
+  /// completes, nullopt otherwise. `now` stamps new groups and drives
+  /// the age horizon; callers without a clock may omit it (the count
+  /// cap still applies).
+  std::optional<Bytes> add(const FragmentHeader& frag, Bytes payload,
+                           sim::Time now = 0);
+
+  /// Expires every incomplete group older than the horizon at `now`.
+  /// Returns the number dropped (also counted in expired()).
+  std::size_t expire_stale(sim::Time now);
 
   std::size_t pending_groups() const { return groups_.size(); }
   std::uint64_t evicted() const { return evicted_; }
+  std::uint64_t expired() const { return expired_; }
 
  private:
   struct Group {
     std::vector<std::optional<Bytes>> parts;
     std::size_t received = 0;
+    sim::Time born = 0;
     // Intrusive FIFO neighbours (frag ids), in insertion order.
     std::optional<std::uint32_t> prev;
     std::optional<std::uint32_t> next;
@@ -98,12 +117,14 @@ class Reassembler {
   }
 
   std::size_t max_groups_;
+  sim::Time horizon_ = 0;
   net::PacketPool* pool_ = nullptr;
   GroupMap groups_;
   std::vector<GroupMap::node_type> node_cache_;
   std::optional<std::uint32_t> fifo_head_;
   std::optional<std::uint32_t> fifo_tail_;
   std::uint64_t evicted_ = 0;
+  std::uint64_t expired_ = 0;
 };
 
 }  // namespace endbox::vpn

@@ -12,8 +12,7 @@ VpnServer::VpnServer(Rng& rng, crypto::RsaPublicKey ca_key, VpnServerConfig conf
     : rng_(rng), ca_key_(ca_key), config_(config), key_(crypto::rsa_generate(rng)) {
   std::size_t shards = config_.session_shards == 0 ? 1 : config_.session_shards;
   shards_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i)
-    shards_.push_back(std::make_unique<SessionShard>());
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(make_shard());
   ensure_worker_pool();
 }
 
@@ -22,15 +21,18 @@ void VpnServer::ensure_worker_pool() {
 }
 
 VpnServer::Session* VpnServer::find_session(std::uint32_t id) {
-  auto& sessions = shard_of(id).sessions;
-  auto it = sessions.find(id);
-  return it == sessions.end() ? nullptr : &it->second;
+  SessionTable::Entry* entry = shard_of(id).sessions.find(id);
+  return entry ? &entry->value : nullptr;
+}
+
+VpnServer::SessionTable::Entry* VpnServer::find_session_entry(std::uint32_t id) {
+  return shard_of(id).sessions.find(id);
 }
 
 std::uint32_t VpnServer::session_config_version(std::uint32_t session_id) const {
   const auto& sessions = shards_[shard_of_session(session_id)]->sessions;
-  auto it = sessions.find(session_id);
-  return it == sessions.end() ? 0 : it->second.config_version;
+  const SessionTable::Entry* entry = sessions.find(session_id);
+  return entry ? entry->value.config_version : 0;
 }
 
 std::uint64_t VpnServer::auth_failures() const {
@@ -51,20 +53,58 @@ std::uint64_t VpnServer::stale_config_drops() const {
   return n;
 }
 
+std::uint64_t VpnServer::sessions_expired() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->sessions.stats().expired_idle;
+  return n;
+}
+
+std::uint64_t VpnServer::sessions_rejected_full() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->sessions.stats().rejected_full;
+  return n;
+}
+
+std::uint64_t VpnServer::fragments_expired() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_)
+    shard->sessions.for_each([&](std::uint32_t, const Session& session) {
+      n += session.reassembler.expired();
+    });
+  return n;
+}
+
+std::size_t VpnServer::expire_idle_sessions(sim::Time now) {
+  if (config_.session_idle_timeout == 0) return 0;
+  std::size_t expired = 0;
+  for (auto& shard : shards_)
+    expired += shard->sessions.expire_idle(
+        now, [&](std::uint32_t id, Session&&) { fire_close_hook(id); });
+  return expired;
+}
+
+bool VpnServer::close_session(std::uint32_t session_id) {
+  if (!shard_of(session_id).sessions.erase(session_id)) return false;
+  fire_close_hook(session_id);
+  return true;
+}
+
 Result<VpnServer::Event> VpnServer::handle(ByteView wire, sim::Time now) {
+  expire_idle_sessions(now);
   auto msg = WireMessage::parse(wire);
   if (!msg.ok()) return err(msg.error());
   switch (msg->type) {
-    case MsgType::HandshakeInit: return handle_handshake(*msg);
+    case MsgType::HandshakeInit: return handle_handshake(*msg, now);
     case MsgType::HandshakeReply: return err("unexpected handshake reply at server");
     case MsgType::Data:
     case MsgType::DataIntegrityOnly: return handle_data(*msg, now);
-    case MsgType::Ping: return handle_ping(*msg);
+    case MsgType::Ping: return handle_ping(*msg, now);
   }
   return err("unreachable");
 }
 
-Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
+Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg,
+                                                     sim::Time now) {
   try {
     ByteReader r(msg.body);
     std::uint16_t proposed_version = r.u16();
@@ -113,7 +153,12 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
     // ciphertext stream does not depend on the shard count.
     session.iv_rng = Rng(rng_.next_u64());
     session.reassembler.set_pool(&shard.pool);
-    shard.sessions.emplace(session_id, std::move(session));
+    session.reassembler.set_horizon(config_.fragment_horizon);
+    if (!shard.sessions.insert(session_id, std::move(session), now)) {
+      // Shard at capacity: bounded enclave memory beats a connect storm.
+      ++handshakes_rejected_;
+      return err("handshake: session shard at capacity");
+    }
 
     WireMessage reply;
     reply.type = MsgType::HandshakeReply;
@@ -133,8 +178,9 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg) {
 
 Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
                                                 sim::Time now) {
-  Session* session = find_session(msg.session_id);
-  if (!session) return err("unknown session");
+  SessionTable::Entry* entry = find_session_entry(msg.session_id);
+  if (!entry) return err("unknown session");
+  Session* session = &entry->value;
   SessionShard& shard = shard_of(msg.session_id);
 
   bool encrypted = msg.type == MsgType::Data;
@@ -163,19 +209,25 @@ Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
     ++shard.replays_rejected;
     return err("replayed packet");
   }
-  auto whole = session->reassembler.add(opened->frag, std::move(opened->payload));
+  // Only authenticated, replay-fresh traffic refreshes the idle timer.
+  shard.sessions.touch(*entry, now);
+  auto whole =
+      session->reassembler.add(opened->frag, std::move(opened->payload), now);
   if (!whole) return Event{FragmentPending{msg.session_id}};
   return Event{PacketIn{msg.session_id, std::move(*whole), encrypted}};
 }
 
-Result<VpnServer::Event> VpnServer::handle_ping(const WireMessage& msg) {
-  Session* session = find_session(msg.session_id);
-  if (!session) return err("unknown session");
+Result<VpnServer::Event> VpnServer::handle_ping(const WireMessage& msg,
+                                                sim::Time now) {
+  SessionTable::Entry* entry = find_session_entry(msg.session_id);
+  if (!entry) return err("unknown session");
+  Session* session = &entry->value;
   auto info = open_ping_body(session->keys, msg.body);
   if (!info.ok()) {
     ++shard_of(msg.session_id).auth_failures;
     return err(info.error());
   }
+  shard_of(msg.session_id).sessions.touch(*entry, now);
   // Record the client's (authenticated) configuration version. A ping
   // cannot roll the version back: versions increase monotonically.
   if (info->config_version > session->config_version)
@@ -249,8 +301,10 @@ void VpnServer::open_shard_frames(SessionShard& shard,
     const Bytes& wire = wires[idx];
     auto type = static_cast<MsgType>(wire[0]);
     std::uint32_t session_id = get_u32(wire.data() + 1);
-    // Staging guaranteed existence; sessions never leave mid-burst.
-    Session& session = shard.sessions.find(session_id)->second;
+    // Staging guaranteed existence; sessions never leave mid-burst
+    // (expiry runs on the caller before staging, never during).
+    SessionTable::Entry& entry = *shard.sessions.find(session_id);
+    Session& session = entry.value;
     bool encrypted = type == MsgType::Data;
     if (!encrypted && !config_.allow_integrity_only) {
       ++shard.auth_failures;
@@ -281,8 +335,12 @@ void VpnServer::open_shard_frames(SessionShard& shard,
       ++out.rejected;
       continue;
     }
+    // Touch = one relaxed timestamp store, so shard workers refresh
+    // idle timers without ever taking the wheel (lazy reschedule).
+    shard.sessions.touch(entry, now);
     out.opened_sessions.push_back(session_id);
-    auto whole = session.reassembler.add(opened->frag, std::move(opened->payload));
+    auto whole =
+        session.reassembler.add(opened->frag, std::move(opened->payload), now);
     if (!whole) {
       ++out.pending;
       continue;
@@ -331,6 +389,7 @@ void VpnServer::merge_opened(OpenBatch& out) {
 
 void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
                            OpenBatch& out) {
+  expire_idle_sessions(now);  // on the caller, before staging pins sessions
   out.complete = out.pending = out.rejected = 0;
   out.packet_count = 0;
   out.opened_sessions.clear();
@@ -359,7 +418,7 @@ void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
     }
     std::uint32_t session_id = get_u32(wire.data() + 1);
     std::size_t s = shard_of_session(session_id);
-    if (shards_[s]->sessions.count(session_id) == 0) {
+    if (!shards_[s]->sessions.contains(session_id)) {
       ++out.rejected;
       continue;
     }
@@ -398,6 +457,7 @@ void VpnServer::open_batch_reference(std::span<const Bytes> wires, sim::Time now
   // The pre-sharding single-threaded loop, byte for byte (modulo the
   // session table now living behind shard_of): the honest baseline the
   // staged path is benchmarked and property-tested against.
+  expire_idle_sessions(now);
   out.complete = out.pending = out.rejected = 0;
   out.packet_count = 0;
   out.opened_sessions.clear();
@@ -414,11 +474,12 @@ void VpnServer::open_batch_reference(std::span<const Bytes> wires, sim::Time now
       continue;
     }
     std::uint32_t session_id = get_u32(wire.data() + 1);
-    Session* session = find_session(session_id);
-    if (!session) {
+    SessionTable::Entry* entry = find_session_entry(session_id);
+    if (!entry) {
       ++out.rejected;
       continue;
     }
+    Session* session = &entry->value;
     SessionShard& shard = shard_of(session_id);
     bool encrypted = type == MsgType::Data;
     if (!encrypted && !config_.allow_integrity_only) {
@@ -448,8 +509,10 @@ void VpnServer::open_batch_reference(std::span<const Bytes> wires, sim::Time now
       ++out.rejected;
       continue;
     }
+    shard.sessions.touch(*entry, now);
     out.opened_sessions.push_back(session_id);
-    auto whole = session->reassembler.add(opened->frag, std::move(opened->payload));
+    auto whole =
+        session->reassembler.add(opened->frag, std::move(opened->payload), now);
     if (!whole) {
       ++out.pending;
       continue;
@@ -484,7 +547,7 @@ void VpnServer::open_batch_shard(std::size_t shard, std::span<const Bytes> wires
     if (type != MsgType::Data && type != MsgType::DataIntegrityOnly) continue;
     std::uint32_t session_id = get_u32(wire.data() + 1);
     if (shard_of_session(session_id) != shard) continue;
-    if (target.sessions.count(session_id) == 0) continue;
+    if (!target.sessions.contains(session_id)) continue;
     target.frame_idx.push_back(static_cast<std::uint32_t>(i));
   }
   open_shard_frames(target, wires, now);
@@ -505,7 +568,8 @@ void VpnServer::open_batch_shard(std::size_t shard, std::span<const Bytes> wires
 
 void VpnServer::reset_replay_windows() {
   for (auto& shard : shards_)
-    for (auto& [id, session] : shard->sessions) session.replay = ReplayWindow{};
+    shard->sessions.for_each(
+        [](std::uint32_t, Session& session) { session.replay = ReplayWindow{}; });
 }
 
 std::size_t VpnServer::seal_batch(std::uint32_t session_id,
@@ -539,7 +603,7 @@ std::size_t VpnServer::seal_jobs(std::span<const SealJob> jobs,
   std::size_t total = stage_seal_jobs(jobs, frames);
   auto seal_shard = [&](SessionShard& shard) {
     for (std::uint32_t j : shard.seal_idx) {
-      Session& session = shard.sessions.find(jobs[j].session_id)->second;
+      Session& session = shard.sessions.find(jobs[j].session_id)->value;
       seal_fragments(jobs[j].session_id, session, jobs[j].ip_packet, frames,
                      seal_bases_[j], /*may_grow=*/false);
     }
@@ -567,7 +631,7 @@ std::size_t VpnServer::seal_jobs_shard(std::size_t shard,
   std::size_t total = stage_seal_jobs(jobs, frames);
   SessionShard& target = *shards_.at(shard);
   for (std::uint32_t j : target.seal_idx) {
-    Session& session = target.sessions.find(jobs[j].session_id)->second;
+    Session& session = target.sessions.find(jobs[j].session_id)->value;
     seal_fragments(jobs[j].session_id, session, jobs[j].ip_packet, frames,
                    seal_bases_[j], /*may_grow=*/false);
   }
@@ -581,8 +645,7 @@ Status VpnServer::reshard_sessions(std::size_t new_shards) {
 
   std::vector<std::unique_ptr<SessionShard>> built;
   built.reserve(new_shards);
-  for (std::size_t i = 0; i < new_shards; ++i)
-    built.push_back(std::make_unique<SessionShard>());
+  for (std::size_t i = 0; i < new_shards; ++i) built.push_back(make_shard());
 
   for (std::size_t o = 0; o < shards_.size(); ++o) {
     SessionShard& old_shard = *shards_[o];
@@ -590,17 +653,25 @@ Status VpnServer::reshard_sessions(std::size_t new_shards) {
     // keys, replay window, pending fragment groups and seal scratch all
     // travel, so in-flight reassembly and anti-replay survive the
     // transition (the lossless property the adaptive controller needs).
-    for (auto& [id, session] : old_shard.sessions) {
-      SessionShard& target = *built[shard_of_id(id, new_shards)];
-      session.reassembler.set_pool(&target.pool);
-      target.sessions.emplace(id, std::move(session));
-    }
+    // Activity stamps travel too, and insert_migrated re-arms each
+    // session's idle timer at last_activity + timeout on the new
+    // shard's wheel — a reshard neither expires a session early nor
+    // immortalises it. Migration bypasses the admission bound (moves
+    // must be lossless); the bound re-applies to new handshakes.
+    old_shard.sessions.extract_all(
+        [&](std::uint32_t id, Session&& session, sim::Time last_activity) {
+          SessionShard& target = *built[shard_of_id(id, new_shards)];
+          session.reassembler.set_pool(&target.pool);
+          target.sessions.insert_migrated(id, std::move(session), last_activity);
+        });
     // Statistics fold like ShardedRouter::reshard: old shard o merges
-    // into new shard o % n exactly once, preserving aggregate totals.
+    // into new shard o % n exactly once, preserving aggregate totals
+    // (including the lifecycle counters: expiries, capacity rejects).
     SessionShard& fold = *built[o % new_shards];
     fold.auth_failures += old_shard.auth_failures;
     fold.replays_rejected += old_shard.replays_rejected;
     fold.stale_config_drops += old_shard.stale_config_drops;
+    fold.sessions.absorb_stats(old_shard.sessions.stats());
     // Pooled buffers are capacity, not state: adopt them so the new
     // shard set starts warm instead of re-allocating its way up.
     fold.pool.adopt_from(old_shard.pool);

@@ -21,16 +21,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "ca/certificate.hpp"
 #include "click/sharded_router.hpp"
 #include "common/hash.hpp"
+#include "common/lifecycle_table.hpp"
 #include "common/rng.hpp"
 #include "sim/clock.hpp"
 #include "vpn/fragment.hpp"
@@ -47,6 +49,18 @@ struct VpnServerConfig {
   /// Session shards of the server data plane (one worker thread per
   /// shard beyond the first). 1 keeps the single-threaded baseline.
   std::size_t session_shards = 1;
+  /// Session-table admission bound per shard: handshakes beyond it are
+  /// rejected (counted in handshakes_rejected / sessions_rejected_full)
+  /// so enclave memory stays bounded under a connect storm.
+  std::size_t session_capacity_per_shard = std::size_t{1} << 20;
+  /// Sessions with no authenticated traffic for this long expire from
+  /// their shard's timer wheel (checked at the top of handle() and
+  /// open_batch(), amortised O(1)). 0 keeps sessions forever.
+  sim::Time session_idle_timeout = 0;
+  /// Age horizon for incomplete fragment groups within a session —
+  /// Reassembler::set_horizon for every session's reassembler. 0 keeps
+  /// the count-based cap only.
+  sim::Time fragment_horizon = 0;
 };
 
 class VpnServer {
@@ -226,10 +240,35 @@ class VpnServer {
   }
   bool has_session(std::uint32_t session_id) const {
     const SessionShard& shard = *shards_[shard_of_session(session_id)];
-    return shard.sessions.count(session_id) > 0;
+    return shard.sessions.contains(session_id);
   }
   /// Last config version a session reported via ping/handshake.
   std::uint32_t session_config_version(std::uint32_t session_id) const;
+
+  // ---- Session lifecycle ----------------------------------------------
+  /// Expires sessions idle past session_idle_timeout as of `now`
+  /// (per-shard timer wheels, amortised O(1) per tick). Runs
+  /// automatically at the top of handle(), open_batch() and
+  /// open_batch_reference(); exposed for explicit sweeps. Only
+  /// authenticated traffic (MAC-verified, replay-fresh) counts as
+  /// activity — a garbage flood cannot keep a session alive. Returns
+  /// the number expired (close hook fires per session).
+  std::size_t expire_idle_sessions(sim::Time now);
+  /// Drops one session explicitly (client disconnect / re-key): keys,
+  /// replay window and pending fragments go at once, and the close
+  /// hook fires. Returns false for unknown sessions.
+  bool close_session(std::uint32_t session_id);
+  /// Invoked with the session id whenever a session ends — explicit
+  /// close or idle expiry — so state keyed by session id elsewhere
+  /// (EndBoxServer's per-session routers and ledgers) is torn down in
+  /// the same step instead of leaking.
+  void set_session_close_hook(std::function<void(std::uint32_t)> hook) {
+    session_close_hook_ = std::move(hook);
+  }
+  /// Activity stamp driving a session's idle expiry (tests/migration).
+  std::optional<sim::Time> session_last_activity(std::uint32_t session_id) const {
+    return shards_[shard_of_session(session_id)]->sessions.last_activity(session_id);
+  }
 
   // ---- Stats -----------------------------------------------------------
   // Data-path rejections tally on the shard that processed the frame;
@@ -238,6 +277,20 @@ class VpnServer {
   std::uint64_t replays_rejected() const;
   std::uint64_t stale_config_drops() const;
   std::uint64_t handshakes_rejected() const { return handshakes_rejected_; }
+  /// Sessions evicted by the idle timer wheels (folds across reshards).
+  std::uint64_t sessions_expired() const;
+  /// Handshakes refused because the target shard was at capacity.
+  std::uint64_t sessions_rejected_full() const;
+  /// Fragment groups dropped by the per-session reassembly age horizon
+  /// (live sessions only — a session's count goes with it when it ends).
+  std::uint64_t fragments_expired() const;
+  /// Peak concurrent sessions a shard has held (occupancy ceiling).
+  std::size_t shard_peak_sessions(std::size_t shard) const {
+    return shards_.at(shard)->sessions.stats().peak_size;
+  }
+  std::size_t session_capacity_per_shard() const {
+    return config_.session_capacity_per_shard;
+  }
 
  private:
   struct Session {
@@ -254,13 +307,19 @@ class VpnServer {
     std::uint64_t next_ping_seq = 1;
     WireBuffer seal_scratch;  ///< reused by the seal fast path
   };
+  /// Bounded per-shard session store: open addressing under the
+  /// configured capacity, generation-stamped slots, idle expiry via
+  /// the shard's timer wheel (common/lifecycle_table.hpp).
+  using SessionTable = LifecycleTable<std::uint32_t, Session>;
 
   /// One session shard: sessions, buffer pool, data-path statistics
   /// and per-burst scratch, owned exclusively by one worker during a
   /// staged burst (the staging thread writes frame_idx/seal_idx before
   /// the pool runs; the pool's hand-off orders everything else).
   struct SessionShard {
-    std::unordered_map<std::uint32_t, Session> sessions;
+    explicit SessionShard(SessionTable::Options options)
+        : sessions(options) {}
+    SessionTable sessions;
     net::PacketPool pool;  ///< open scratch + reassembly buffers
     std::uint64_t auth_failures = 0;
     std::uint64_t replays_rejected = 0;
@@ -274,12 +333,20 @@ class VpnServer {
     return shards <= 1 ? 0 : splitmix64(session_id) % shards;
   }
 
-  Result<Event> handle_handshake(const WireMessage& msg);
+  Result<Event> handle_handshake(const WireMessage& msg, sim::Time now);
   Result<Event> handle_data(const WireMessage& msg, sim::Time now);
-  Result<Event> handle_ping(const WireMessage& msg);
+  Result<Event> handle_ping(const WireMessage& msg, sim::Time now);
   Session* find_session(std::uint32_t id);
+  SessionTable::Entry* find_session_entry(std::uint32_t id);
   SessionShard& shard_of(std::uint32_t session_id) {
     return *shards_[shard_of_session(session_id)];
+  }
+  std::unique_ptr<SessionShard> make_shard() const {
+    return std::make_unique<SessionShard>(SessionTable::Options{
+        config_.session_capacity_per_shard, config_.session_idle_timeout, {}});
+  }
+  void fire_close_hook(std::uint32_t session_id) {
+    if (session_close_hook_) session_close_hook_(session_id);
   }
   /// (Re)creates the worker pool for the current shard count, reusing
   /// it when the count shrank (ShardWorkerPool hand-off protocol).
@@ -319,6 +386,7 @@ class VpnServer {
   bool grace_active_ = false;
 
   std::uint64_t handshakes_rejected_ = 0;
+  std::function<void(std::uint32_t)> session_close_hook_;
 };
 
 }  // namespace endbox::vpn

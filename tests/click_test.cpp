@@ -307,6 +307,86 @@ TEST(Elements, RoundRobinRejectsBadMode) {
   EXPECT_FALSE(rr.configure({}).ok());
 }
 
+TEST(Elements, RoundRobinFlowTableIsBounded) {
+  // MAX_FLOWS caps the pin table: overflow traffic still balances but
+  // loses stickiness, and the loss is counted instead of growing state.
+  RoundRobinSwitch rr;
+  ASSERT_TRUE(rr.configure({"2", "FLOW", "2"}).ok());
+  EXPECT_EQ(rr.max_flows(), 2u);
+  CaptureSink s0, s1;
+  rr.connect_output(0, &s0, 0);
+  rr.connect_output(1, &s1, 0);
+  auto flow = [](std::uint16_t sport) {
+    return Packet::udp(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 9), sport, 80, {});
+  };
+  for (int i = 0; i < 3; ++i) {
+    rr.push(0, flow(1000));
+    rr.push(0, flow(2000));
+    rr.push(0, flow(3000));  // table full: routed, never pinned
+  }
+  EXPECT_EQ(rr.tracked_flows(), 2u);
+  EXPECT_EQ(rr.unpinned_flows(), 3u);
+  // The two pinned flows kept perfect stickiness through the overflow:
+  // flow 1000 pinned to output 0, flow 2000 to output 1.
+  std::size_t sticky = 0;
+  for (const auto& p : s0.packets) {
+    if (p.src_port == 3000) continue;
+    EXPECT_EQ(p.src_port, 1000);
+    ++sticky;
+  }
+  for (const auto& p : s1.packets) {
+    if (p.src_port == 3000) continue;
+    EXPECT_EQ(p.src_port, 2000);
+    ++sticky;
+  }
+  EXPECT_EQ(sticky, 6u);
+}
+
+TEST(Elements, RoundRobinIdlePinsExpireByPacketCount) {
+  // IDLE_PKTS expires a pin after that many packets of element time
+  // without traffic on the flow — the packet-count timer wheel at work.
+  RoundRobinSwitch rr;
+  ASSERT_TRUE(rr.configure({"2", "FLOW", "64", "4"}).ok());
+  CaptureSink s0, s1;
+  rr.connect_output(0, &s0, 0);
+  rr.connect_output(1, &s1, 0);
+  auto flow = [](std::uint16_t sport) {
+    return Packet::udp(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 9), sport, 80, {});
+  };
+  rr.push(0, flow(1000));  // t=1: pin A, deadline t=5
+  for (int i = 0; i < 3; ++i) rr.push(0, flow(2000));  // t=2..4: B touched
+  EXPECT_EQ(rr.tracked_flows(), 2u);
+  EXPECT_EQ(rr.expired_flows(), 0u);
+  rr.push(0, flow(2000));  // t=5: A idle for 4 packets, pin reclaimed
+  EXPECT_EQ(rr.tracked_flows(), 1u);
+  EXPECT_EQ(rr.expired_flows(), 1u);
+  // The returning flow simply re-pins; nothing is lost but stickiness.
+  rr.push(0, flow(1000));
+  EXPECT_EQ(rr.tracked_flows(), 2u);
+  EXPECT_EQ(rr.unpinned_flows(), 0u);
+}
+
+TEST(Elements, RoundRobinAdoptionHonoursTheBound) {
+  // Hot-swap adoption: surviving pins migrate, but never past the new
+  // element's MAX_FLOWS — the excess is shed as unpinned, not leaked.
+  RoundRobinSwitch old_rr;
+  ASSERT_TRUE(old_rr.configure({"2", "FLOW"}).ok());
+  CaptureSink s0, s1;
+  old_rr.connect_output(0, &s0, 0);
+  old_rr.connect_output(1, &s1, 0);
+  auto flow = [](std::uint16_t sport) {
+    return Packet::udp(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 9), sport, 80, {});
+  };
+  for (std::uint16_t sport : {1000, 2000, 3000}) old_rr.push(0, flow(sport));
+  ASSERT_EQ(old_rr.tracked_flows(), 3u);
+
+  RoundRobinSwitch new_rr;
+  ASSERT_TRUE(new_rr.configure({"2", "FLOW", "2"}).ok());
+  new_rr.take_state(old_rr);
+  EXPECT_EQ(new_rr.tracked_flows(), 2u);
+  EXPECT_EQ(new_rr.unpinned_flows(), 1u);
+}
+
 TEST(Elements, CheckIPHeaderSplitsBadPackets) {
   CheckIPHeader check;
   CaptureSink good, bad;

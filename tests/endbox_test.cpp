@@ -452,5 +452,70 @@ TEST(EndBox, TestbedBurstIperfDeliversAtLeastPerPacketGoodput) {
   EXPECT_EQ(burst.wire_messages, burst.writes_sent);
 }
 
+TEST(EndBox, DisconnectStormLeavesNoPerSessionState) {
+  // Regression: the server keeps three maps keyed by session id
+  // (per-session Click routers, the per-process CPU ledger, per-session
+  // packet counts). Every one of them must empty out when sessions
+  // close, across repeated connect/disconnect storms — before the VPN
+  // close hook they leaked for the life of the process.
+  testing::WorldOptions opts;
+  opts.clients = 6;
+  opts.use_case = UseCase::Fw;
+  opts.server_mode = ServerMode::WithClick;
+  World world(opts);
+  ASSERT_TRUE(world.server.set_click_config(use_case_config(UseCase::Fw)).ok());
+  std::size_t n = world.rigs.size();
+  for (std::uint32_t wave = 0; wave < 3; ++wave) {
+    if (wave > 0)
+      for (auto& rig : world.rigs) world.connect(rig->client);  // re-key
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_TRUE(world.send_from(i, world.benign_packet_from(i)).ok());
+    EXPECT_EQ(world.server.vpn().session_count(), n);
+    EXPECT_EQ(world.server.sessions_with_traffic(), n);
+    EXPECT_EQ(world.server.session_router_count(), n);
+    EXPECT_GE(world.server.session_process_entries(), n);
+
+    // The storm: every session disconnects at once. Session ids are
+    // assigned sequentially, so sweep every id issued so far.
+    std::size_t closed = 0;
+    for (std::uint32_t id = 1; id <= (wave + 1) * n; ++id)
+      if (world.server.vpn().close_session(id)) ++closed;
+    EXPECT_EQ(closed, n);
+    EXPECT_EQ(world.server.vpn().session_count(), 0u);
+    EXPECT_EQ(world.server.sessions_with_traffic(), 0u);
+    EXPECT_EQ(world.server.session_router_count(), 0u);
+    EXPECT_EQ(world.server.session_process_entries(), 0u);
+  }
+}
+
+TEST(EndBox, IdleExpiryTearsDownPerSessionServerState) {
+  vpn::VpnServerConfig vpn_config;
+  vpn_config.session_idle_timeout = 30 * sim::kSecond;
+  testing::WorldOptions opts;
+  opts.clients = 4;
+  opts.use_case = UseCase::Fw;
+  opts.server_mode = ServerMode::WithClick;
+  opts.vpn_config = vpn_config;
+  World world(opts);
+  ASSERT_TRUE(world.server.set_click_config(use_case_config(UseCase::Fw)).ok());
+  for (std::size_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(world.send_from(i, world.benign_packet_from(i)).ok());
+  EXPECT_EQ(world.server.session_router_count(), 4u);
+
+  // Client 0 keeps talking; the rest go silent.
+  world.clock.advance_to(20 * sim::kSecond);
+  ASSERT_TRUE(world.send_from(0, world.benign_packet_from(0)).ok());
+  world.clock.advance_to(31 * sim::kSecond);
+  ASSERT_TRUE(world.send_from(0, world.benign_packet_from(0)).ok());
+
+  // The sweep at 31 s expired sessions idle since t=0 — and their
+  // per-session server state went with them via the close hook.
+  EXPECT_EQ(world.server.vpn().session_count(), 1u);
+  EXPECT_EQ(world.server.vpn().sessions_expired(), 3u);
+  EXPECT_EQ(world.server.sessions_with_traffic(), 1u);
+  EXPECT_EQ(world.server.session_router_count(), 1u);
+  EXPECT_EQ(world.server.session_process_entries(), 1u);
+}
+
 }  // namespace
 }  // namespace endbox

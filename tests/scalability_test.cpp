@@ -6,10 +6,16 @@
 // experiment seed).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <unordered_map>
 
+#include "ca/authority.hpp"
 #include "endbox/reshard_controller.hpp"
 #include "endbox_world.hpp"
+#include "sgx/enclave.hpp"
+#include "sgx/platform.hpp"
+#include "vpn/client.hpp"
+#include "vpn/server.hpp"
 
 namespace endbox {
 namespace {
@@ -400,6 +406,113 @@ TEST(ScalabilityTest, AdaptiveControllerFollowsLoadLosslessly) {
   // transition the controller drove.
   EXPECT_EQ(delivered_total, offered);
   EXPECT_EQ(reorders, 0u);
+}
+
+TEST(ScalabilityTest, MillionSessionChurnStaysBounded) {
+  // Lifecycle acceptance: ~1M sessions churn through handshake ->
+  // traffic -> idle-expiry -> re-key while every per-shard table stays
+  // within its configured capacity, nothing live is lost, and the timer
+  // wheel reclaims everything. Set ENDBOX_CHURN_WAVES to shrink the
+  // sweep for slow (sanitizer) runs.
+  std::size_t waves = 256;
+  if (const char* env = std::getenv("ENDBOX_CHURN_WAVES"))
+    waves = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  ASSERT_GE(waves, 2u);
+  constexpr std::size_t kSessionsPerWave = 4096;
+  constexpr sim::Time kWaveSpacing = 60 * sim::kSecond;
+
+  // Minimal PKI: one attested client identity re-handshaking for every
+  // churned session (the server treats each handshake as a new session,
+  // so one client object drives the whole fleet cheaply).
+  Rng rng(0x10a9c5e5);
+  sim::Clock clock;
+  sgx::AttestationService ias(rng);
+  ca::CertificateAuthority authority(rng, ias);
+  sgx::SgxPlatform platform("churn-client", rng, clock);
+  sgx::Enclave enclave(platform, "endbox-v1", sgx::SgxMode::Hardware);
+  crypto::RsaKeyPair enclave_key = crypto::rsa_generate(rng);
+  ias.register_platform("churn-client", platform.attestation_key().pub);
+  authority.allow_measurement(enclave.measurement());
+  sgx::QuotingEnclave qe(platform);
+  auto quote = qe.quote(enclave.create_report(
+      sgx::bind_report_data(enclave_key.pub.serialize())));
+  auto response = authority.provision(quote->serialize(), enclave_key.pub);
+  ASSERT_TRUE(response.ok()) << response.error();
+
+  vpn::VpnServerConfig config;
+  config.session_shards = 4;
+  config.session_capacity_per_shard = 2048;
+  config.session_idle_timeout = 30 * sim::kSecond;
+  Rng server_rng(0xc5e5);
+  vpn::VpnServer server(server_rng, authority.public_key(), config);
+  Rng client_rng(0xc11e47);
+  vpn::VpnClientSession client(client_rng, response->certificate, enclave_key,
+                               server.public_key(), {});
+
+  const Bytes payload = to_bytes("churn-traffic");
+  std::uint64_t created = 0;
+  std::uint64_t rekeyed = 0;
+  std::uint64_t delivered = 0;
+  for (std::size_t wave = 0; wave < waves; ++wave) {
+    const sim::Time now = static_cast<sim::Time>(wave) * kWaveSpacing;
+    for (std::size_t i = 0; i < kSessionsPerWave; ++i) {
+      // Handshake: the sweep at the top of handle() retires the
+      // previous wave (idle > 30s) before this admission, so occupancy
+      // never exceeds one wave's worth of sessions.
+      auto init = client.create_handshake_init();
+      auto hs = server.handle(init.serialize(), now);
+      ASSERT_TRUE(hs.ok()) << "wave " << wave << " #" << i << ": "
+                           << hs.error();
+      auto reply = vpn::WireMessage::parse(
+          std::get<vpn::VpnServer::HandshakeDone>(*hs).reply_wire);
+      ASSERT_TRUE(reply.ok());
+      ASSERT_TRUE(client.process_handshake_reply(*reply).ok());
+      ++created;
+
+      // Traffic: a live session's packet must always land (zero loss).
+      auto frames = client.seal_packet(payload);
+      ASSERT_EQ(frames.size(), 1u);
+      auto event = server.handle(frames[0].serialize(), now);
+      ASSERT_TRUE(event.ok()) << event.error();
+      auto* in = std::get_if<vpn::VpnServer::PacketIn>(&*event);
+      ASSERT_NE(in, nullptr);
+      ASSERT_EQ(in->ip_packet, payload);
+      ++delivered;
+
+      // Re-key a slice of the fleet: explicit teardown followed by a
+      // fresh handshake, exercising erase + immediate re-admission.
+      if (i % 512 == 0) {
+        ASSERT_TRUE(server.close_session(client.session_id()));
+        auto again = client.create_handshake_init();
+        auto hs2 = server.handle(again.serialize(), now);
+        ASSERT_TRUE(hs2.ok()) << hs2.error();
+        auto reply2 = vpn::WireMessage::parse(
+            std::get<vpn::VpnServer::HandshakeDone>(*hs2).reply_wire);
+        ASSERT_TRUE(reply2.ok());
+        ASSERT_TRUE(client.process_handshake_reply(*reply2).ok());
+        ++created;
+        ++rekeyed;
+      }
+    }
+    // The bound is enforced continuously, not just at the end.
+    for (std::size_t s = 0; s < server.session_shard_count(); ++s)
+      ASSERT_LE(server.shard_peak_sessions(s),
+                server.session_capacity_per_shard())
+          << "wave " << wave << " shard " << s;
+    ASSERT_EQ(server.sessions_rejected_full(), 0u) << "wave " << wave;
+  }
+
+  EXPECT_EQ(created, waves * kSessionsPerWave + rekeyed);
+  EXPECT_EQ(delivered, waves * kSessionsPerWave);
+
+  // Drain: one idle timeout after the last wave, the wheel has
+  // reclaimed every remaining session.
+  const sim::Time drain =
+      static_cast<sim::Time>(waves) * kWaveSpacing + 31 * sim::kSecond;
+  server.expire_idle_sessions(drain);
+  EXPECT_EQ(server.session_count(), 0u);
+  EXPECT_EQ(server.sessions_expired() + rekeyed, created);
+  EXPECT_EQ(server.sessions_rejected_full(), 0u);
 }
 
 TEST(ScalabilityTest, DifferentSeedsDifferentKeyMaterial) {

@@ -333,6 +333,59 @@ TEST(ServerShard, ReshardUnderLoadKeepsReplayWindowsAndFragments) {
   ASSERT_TRUE(server.reshard_sessions(0).ok() == false);
 }
 
+TEST(ServerShard, ReshardMigratesExpiryDeadlinesExactly) {
+  // Property: reshard_sessions(n) must migrate idle-expiry state
+  // losslessly — every surviving session keeps its exact last-activity
+  // stamp (no early expiry, no immortalised sessions) and the expiry
+  // statistics fold o -> o%n without double counting.
+  Pki pki;
+  VpnServerConfig config;
+  config.session_idle_timeout = 30 * sim::kSecond;
+  constexpr std::size_t kSessions = 12;
+  ServerRig rig(pki, 1, kSessions, 0xfeedf00d, config);
+  VpnServer& server = rig.server;
+
+  // Distinct stamps: session k last talks at t = k seconds (session 0
+  // keeps its handshake-time stamp of 0).
+  for (std::size_t k = 1; k < kSessions; ++k) {
+    auto wire = rig.clients[k].seal_packet(to_bytes("stamp"))[0].serialize();
+    ASSERT_TRUE(server.handle(wire, k * sim::kSecond).ok());
+  }
+  // Session 0 expires on the old sharding; its count must fold through.
+  EXPECT_EQ(server.expire_idle_sessions(30 * sim::kSecond - sim::kMillisecond),
+            0u);
+  EXPECT_EQ(server.expire_idle_sessions(30 * sim::kSecond), 1u);
+  EXPECT_EQ(server.sessions_expired(), 1u);
+
+  ASSERT_TRUE(server.reshard_sessions(4).ok());
+  EXPECT_EQ(server.session_count(), kSessions - 1);
+  EXPECT_EQ(server.sessions_expired(), 1u) << "stats must fold, not reset";
+
+  // Activity stamps migrated exactly.
+  for (std::size_t k = 1; k < kSessions; ++k)
+    EXPECT_EQ(server.session_last_activity(rig.clients[k].session_id()),
+              k * sim::kSecond)
+        << "session " << k;
+
+  std::vector<std::uint32_t> closed;
+  server.set_session_close_hook([&](std::uint32_t id) { closed.push_back(id); });
+
+  // No early expiry: one wheel tick before the earliest migrated
+  // deadline (session 1 at t=31 s) nothing fires...
+  EXPECT_EQ(server.expire_idle_sessions(31 * sim::kSecond - sim::kMillisecond),
+            0u);
+  // ...and no immortalised sessions: each deadline fires exactly on
+  // time, one session per second, in order.
+  for (std::size_t k = 1; k < kSessions; ++k) {
+    EXPECT_EQ(server.expire_idle_sessions((30 + k) * sim::kSecond), 1u)
+        << "session " << k;
+    ASSERT_EQ(closed.size(), k);
+    EXPECT_EQ(closed.back(), rig.clients[k].session_id());
+  }
+  EXPECT_EQ(server.session_count(), 0u);
+  EXPECT_EQ(server.sessions_expired(), kSessions);
+}
+
 TEST(ServerShard, OpenBatchShardHookCoversTheWholeBurst) {
   Pki pki;
   constexpr std::size_t kSessions = 8;

@@ -2,6 +2,10 @@
 // hook, downgrade protection, key store.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "tls/keystore.hpp"
 #include "tls/session.hpp"
 
@@ -163,6 +167,77 @@ TEST(KeyStore, OverwriteSameSession) {
   store.put({Bytes(16, 9), Bytes(32, 9), 7});
   EXPECT_EQ(store.size(), 1u);
   EXPECT_EQ(store.get(7)->enc_key, Bytes(16, 9));
+}
+
+TEST(KeyStore, CapacityBoundRejectsNewSessions) {
+  SessionKeyStore::Options options;
+  options.capacity = 2;
+  SessionKeyStore store(options);
+  EXPECT_TRUE(store.put({Bytes(16, 1), Bytes(32, 1), 1}));
+  EXPECT_TRUE(store.put({Bytes(16, 2), Bytes(32, 2), 2}));
+  EXPECT_FALSE(store.put({Bytes(16, 3), Bytes(32, 3), 3}));
+  EXPECT_EQ(store.rejected_full(), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  // Refreshing a live session's keys is not a new admission.
+  EXPECT_TRUE(store.put({Bytes(16, 9), Bytes(32, 9), 2}));
+  // Teardown makes room again.
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_TRUE(store.put({Bytes(16, 3), Bytes(32, 3), 3}));
+}
+
+TEST(KeyStore, IdleKeysExpireAndCountHonestMisses) {
+  constexpr sim::Time kMs = sim::kMillisecond;
+  SessionKeyStore::Options options;
+  options.idle_timeout = 100 * kMs;
+  SessionKeyStore store(options);
+  store.note_time(0);
+  store.put({Bytes(16, 1), Bytes(32, 1), 1});
+  store.put({Bytes(16, 2), Bytes(32, 2), 2});
+  // Key 1 is used at t=80ms (activity stamp refreshed); key 2 idles.
+  store.note_time(80 * kMs);
+  ASSERT_TRUE(store.get(1).has_value());
+  EXPECT_EQ(store.expire_idle(100 * kMs), 1u);  // key 2, idle since 0
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.expired(), 1u);
+  ASSERT_TRUE(store.get(1).has_value());
+  // The pruned key is an honest miss, not a phantom hit.
+  std::uint64_t misses = store.misses();
+  EXPECT_FALSE(store.get(2).has_value());
+  EXPECT_EQ(store.misses(), misses + 1);
+  // Key 1 was last used at t=100ms (the hit above, after expire_idle
+  // advanced the store's clock): it expires at exactly t=200ms.
+  EXPECT_EQ(store.expire_idle(199 * kMs), 0u);
+  EXPECT_EQ(store.expire_idle(200 * kMs), 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KeyStore, ConcurrentLookupsAreRaceFreeAndCounted) {
+  // Shard workers call get() concurrently during a burst while the
+  // stamp refresh is a relaxed store: must be clean under TSan and the
+  // counters must still add up exactly.
+  SessionKeyStore::Options options;
+  options.idle_timeout = 100 * sim::kMillisecond;
+  SessionKeyStore store(options);
+  for (std::uint64_t id = 0; id < 64; ++id)
+    ASSERT_TRUE(store.put(
+        {Bytes(16, static_cast<std::uint8_t>(id)), Bytes(32, 2), id}));
+  constexpr int kThreads = 4;
+  constexpr int kLookups = 128 * 150;  // full cycles of the id range
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&store, &hits, t] {
+      std::uint64_t local = 0;
+      for (int i = 0; i < kLookups; ++i) {
+        std::uint64_t id = static_cast<std::uint64_t>((i + t) % 128);
+        if (store.get(id).has_value()) ++local;  // ids 64..127 miss
+      }
+      hits += local;
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.lookups(), static_cast<std::uint64_t>(kThreads) * kLookups);
+  EXPECT_EQ(store.misses(), store.lookups() - hits.load());
+  EXPECT_EQ(hits.load(), store.lookups() / 2);
 }
 
 }  // namespace

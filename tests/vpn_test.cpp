@@ -293,6 +293,50 @@ TEST(Fragment, PoolRecyclesPartAndWholeBuffers) {
   EXPECT_GT(pool.hits(), 0u);
 }
 
+TEST(Fragment, AgeHorizonExpiresStaleGroups) {
+  Reassembler reasm;
+  reasm.set_horizon(100);
+  reasm.add({1, 1, 0, 2}, to_bytes("a"), 0);
+  reasm.add({2, 2, 0, 2}, to_bytes("b"), 50);
+  EXPECT_EQ(reasm.pending_groups(), 2u);
+  // At 99 nothing has aged out yet (horizon not reached for anyone).
+  EXPECT_EQ(reasm.expire_stale(99), 0u);
+  // At 100 group 1 (born 0) is exactly horizon old and goes; group 2
+  // (born 50) survives and still completes.
+  EXPECT_EQ(reasm.expire_stale(100), 1u);
+  EXPECT_EQ(reasm.expired(), 1u);
+  auto g2 = reasm.add({3, 2, 1, 2}, to_bytes("B"), 100);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(to_string(*g2), "bB");
+  // Group 1 is gone: its second half reopens a fresh group.
+  EXPECT_FALSE(reasm.add({4, 1, 1, 2}, to_bytes("A"), 100).has_value());
+}
+
+TEST(Fragment, ZeroHorizonNeverAgesOut) {
+  Reassembler reasm;  // horizon defaults to 0: count-based cap only
+  reasm.add({1, 1, 0, 2}, to_bytes("a"), 0);
+  EXPECT_EQ(reasm.expire_stale(1'000'000'000), 0u);
+  EXPECT_EQ(reasm.pending_groups(), 1u);
+}
+
+TEST(Fragment, FloodThenIdleReclaimsEveryStaleGroup) {
+  // Regression for unbounded-age fragment state: a flood of
+  // never-completed groups followed by idle time must be reclaimed in
+  // full by the age horizon — without the horizon the only bound was
+  // the LRU cap, so a slow trickle below the cap leaked forever.
+  constexpr std::uint32_t kFlood = 5000;
+  Reassembler reasm(8192);
+  reasm.set_horizon(1000);
+  for (std::uint32_t g = 0; g < kFlood; ++g)
+    reasm.add({g, g, 0, 2}, to_bytes("x"), g / 100);  // born 0..49
+  EXPECT_EQ(reasm.pending_groups(), kFlood);
+  EXPECT_EQ(reasm.evicted(), 0u);  // under the LRU cap: age is the bound
+  // One packet after a long idle gap sweeps the whole backlog.
+  reasm.add({kFlood, kFlood, 0, 2}, to_bytes("y"), 10'000);
+  EXPECT_EQ(reasm.pending_groups(), 1u);
+  EXPECT_EQ(reasm.expired(), kFlood);
+}
+
 // ---- Wire format ------------------------------------------------------------
 
 TEST(Wire, MessageRoundTrip) {
@@ -346,11 +390,12 @@ struct TunnelFixture : ::testing::Test {
                             config);
   }
 
-  /// Runs the handshake; returns the established client session.
-  VpnClientSession connect(VpnClientConfig config = {}) {
-    auto client = make_client(config);
+  /// Runs the handshake against an arbitrary server instance.
+  VpnClientSession connect_to(VpnServer& target, VpnClientConfig config = {}) {
+    VpnClientSession client(rng, certificate, enclave_key, target.public_key(),
+                            config);
     auto init = client.create_handshake_init();
-    auto event = server.handle(init.serialize(), clock.now());
+    auto event = target.handle(init.serialize(), clock.now());
     EXPECT_TRUE(event.ok()) << event.error();
     auto& done = std::get<VpnServer::HandshakeDone>(*event);
     auto reply = WireMessage::parse(done.reply_wire);
@@ -358,6 +403,11 @@ struct TunnelFixture : ::testing::Test {
     auto status = client.process_handshake_reply(*reply);
     EXPECT_TRUE(status.ok()) << status.error();
     return client;
+  }
+
+  /// Runs the handshake; returns the established client session.
+  VpnClientSession connect(VpnClientConfig config = {}) {
+    return connect_to(server, config);
   }
 };
 
@@ -736,6 +786,133 @@ TEST_F(TunnelFixture, MultipleClients) {
   ASSERT_TRUE(e2.ok());
   EXPECT_EQ(std::get<VpnServer::PacketIn>(*e1).session_id, c1.session_id());
   EXPECT_EQ(std::get<VpnServer::PacketIn>(*e2).session_id, c2.session_id());
+}
+
+// ---- Session lifecycle ------------------------------------------------------
+
+TEST_F(TunnelFixture, IdleSessionExpiresAndFiresCloseHook) {
+  VpnServerConfig config;
+  config.session_idle_timeout = 30 * sim::kSecond;
+  VpnServer srv(rng, authority.public_key(), config);
+  std::vector<std::uint32_t> closed;
+  srv.set_session_close_hook([&](std::uint32_t id) { closed.push_back(id); });
+
+  auto active = connect_to(srv);
+  auto idle = connect_to(srv);
+  EXPECT_EQ(srv.session_count(), 2u);
+
+  // Only `active` keeps talking.
+  clock.advance_to(20 * sim::kSecond);
+  ASSERT_TRUE(srv.handle(active.seal_packet(to_bytes("keepalive"))[0].serialize(),
+                         clock.now())
+                  .ok());
+  // 31 s in: `idle` (silent since its handshake at t=0) is past the
+  // timeout; the sweep runs on the next frame the server sees.
+  clock.advance_to(31 * sim::kSecond);
+  ASSERT_TRUE(srv.handle(active.seal_packet(to_bytes("tick"))[0].serialize(),
+                         clock.now())
+                  .ok());
+  EXPECT_EQ(srv.session_count(), 1u);
+  EXPECT_EQ(srv.sessions_expired(), 1u);
+  EXPECT_EQ(closed, (std::vector<std::uint32_t>{idle.session_id()}));
+  EXPECT_TRUE(srv.has_session(active.session_id()));
+  // The expired session's traffic is now rejected like any unknown id.
+  EXPECT_FALSE(srv.handle(idle.seal_packet(to_bytes("x"))[0].serialize(),
+                          clock.now())
+                   .ok());
+}
+
+TEST_F(TunnelFixture, CloseSessionDropsStateAndFiresHook) {
+  std::vector<std::uint32_t> closed;
+  server.set_session_close_hook([&](std::uint32_t id) { closed.push_back(id); });
+  auto client = connect();
+  EXPECT_TRUE(server.close_session(client.session_id()));
+  EXPECT_FALSE(server.close_session(client.session_id()));  // already gone
+  EXPECT_EQ(server.session_count(), 0u);
+  EXPECT_EQ(closed, (std::vector<std::uint32_t>{client.session_id()}));
+  EXPECT_FALSE(server.handle(client.seal_packet(to_bytes("x"))[0].serialize(),
+                             clock.now())
+                   .ok());
+  // Re-key: a fresh handshake establishes a brand-new session.
+  auto again = connect();
+  EXPECT_TRUE(server.has_session(again.session_id()));
+  EXPECT_EQ(server.session_count(), 1u);
+}
+
+TEST_F(TunnelFixture, HandshakeRejectedWhenShardAtCapacity) {
+  VpnServerConfig config;
+  config.session_capacity_per_shard = 2;
+  VpnServer srv(rng, authority.public_key(), config);
+  auto a = connect_to(srv);
+  connect_to(srv);
+  VpnClientSession third(rng, certificate, enclave_key, srv.public_key(), {});
+  auto event = srv.handle(third.create_handshake_init().serialize(), clock.now());
+  EXPECT_FALSE(event.ok());
+  EXPECT_NE(event.error().find("capacity"), std::string::npos);
+  EXPECT_EQ(srv.sessions_rejected_full(), 1u);
+  EXPECT_EQ(srv.handshakes_rejected(), 1u);
+  EXPECT_EQ(srv.session_count(), 2u);
+  // Closing one session makes room for the next admission.
+  EXPECT_TRUE(srv.close_session(a.session_id()));
+  connect_to(srv);
+  EXPECT_EQ(srv.session_count(), 2u);
+  EXPECT_EQ(srv.shard_peak_sessions(0), 2u);
+}
+
+TEST_F(TunnelFixture, GarbageFloodDoesNotKeepSessionAlive) {
+  // Only authenticated traffic counts as session activity: an attacker
+  // spraying tampered frames at a session id must not extend its life.
+  VpnServerConfig config;
+  config.session_idle_timeout = 30 * sim::kSecond;
+  VpnServer srv(rng, authority.public_key(), config);
+  auto client = connect_to(srv);
+  auto msg = client.seal_packet(to_bytes("payload"))[0];
+  msg.body[msg.body.size() / 2] ^= 1;  // break the MAC
+  Bytes tampered = msg.serialize();
+  for (sim::Time t = 5; t <= 25; t += 10) {
+    clock.advance_to(t * sim::kSecond);
+    EXPECT_FALSE(srv.handle(tampered, clock.now()).ok());
+    EXPECT_EQ(srv.session_last_activity(client.session_id()), 0u);
+  }
+  clock.advance_to(30 * sim::kSecond);
+  EXPECT_FALSE(srv.handle(tampered, clock.now()).ok());
+  EXPECT_EQ(srv.session_count(), 0u);
+  EXPECT_EQ(srv.sessions_expired(), 1u);
+}
+
+TEST_F(TunnelFixture, FragmentHorizonDropsStaleGroupsInTheServer) {
+  VpnServerConfig config;
+  config.fragment_horizon = 5 * sim::kSecond;
+  VpnServer srv(rng, authority.public_key(), config);
+  VpnClientConfig client_config;
+  client_config.mtu = 100;
+  auto client = connect_to(srv, client_config);
+  Rng data_rng(17);
+  Bytes big = data_rng.bytes(250);  // 3 fragments
+  auto messages = client.seal_packet(big);
+  ASSERT_EQ(messages.size(), 3u);
+  for (int i = 0; i < 2; ++i) {
+    auto event = srv.handle(messages[static_cast<std::size_t>(i)].serialize(),
+                            clock.now());
+    ASSERT_TRUE(event.ok());
+    EXPECT_TRUE(std::holds_alternative<VpnServer::FragmentPending>(*event));
+  }
+  // The last fragment lands 10 s later: the half-built group (born at
+  // t=0) aged out, so instead of completing it reopens a fresh group.
+  clock.advance_to(10 * sim::kSecond);
+  auto late = srv.handle(messages[2].serialize(), clock.now());
+  ASSERT_TRUE(late.ok());
+  EXPECT_TRUE(std::holds_alternative<VpnServer::FragmentPending>(*late));
+  EXPECT_EQ(srv.fragments_expired(), 1u);
+  // A fresh large packet delivered promptly still reassembles fine.
+  Bytes big2 = data_rng.bytes(250);
+  auto messages2 = client.seal_packet(big2);
+  ASSERT_EQ(messages2.size(), 3u);
+  for (std::size_t i = 0; i + 1 < messages2.size(); ++i)
+    ASSERT_TRUE(srv.handle(messages2[i].serialize(), clock.now()).ok());
+  auto done = srv.handle(messages2.back().serialize(), clock.now());
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*done).ip_packet, big2);
 }
 
 TEST_F(TunnelFixture, SealBeforeHandshakeThrows) {
