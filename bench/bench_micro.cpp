@@ -12,9 +12,11 @@
 // PR-5 session-sharded VPN server (open_batch + seal_jobs across
 // session shards) against the pre-sharding single-threaded loop, and
 // the PR-6 timer-wheel session-table churn against a periodic
-// full-scan map.
+// full-scan map, and the PR-7 robustness layer (control-plane connect
+// cycle vs the raw handshake, LRU-eviction admission churn vs manual
+// recycle).
 // Running with `--json [path]` skips google-benchmark and instead
-// writes a before/after summary (default BENCH_pr6.json) that CI diffs
+// writes a before/after summary (default BENCH_pr7.json) that CI diffs
 // against the checked-in baselines. Note on refreshing baselines: the
 // JSON mode always emits every row (that is what CI's bench-current
 // run needs), but each checked-in BENCH_prN.json should keep only the
@@ -29,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -47,6 +50,7 @@
 #include "sgx/enclave.hpp"
 #include "sgx/platform.hpp"
 #include "vpn/client.hpp"
+#include "vpn/control.hpp"
 #include "vpn/server.hpp"
 #include "vpn/session_crypto.hpp"
 #include "vpn/session_crypto_reference.hpp"
@@ -633,6 +637,166 @@ static void BM_SessionTableChurnFullScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionTableChurnFullScan)->Arg(8192)->Arg(65536);
 
+// PR-7: the control-plane reliability layer on a loss-free loopback —
+// one full connect cycle through ClientControlPlane (timer-wheel
+// arm/cancel, backoff bookkeeping, cached-init management) against the
+// raw three-message handshake it wraps. Keepalives are off so both
+// sides time exactly one handshake; a ratio near 1.0 shows the retry
+// machinery is free when the network behaves.
+struct ControlRetryBench {
+  Rng pki_rng{0x7e77a1};
+  sim::Clock clock;
+  sgx::AttestationService ias{pki_rng};
+  ca::CertificateAuthority authority{pki_rng, ias};
+  sgx::SgxPlatform platform{"bench-retry", pki_rng, clock};
+  sgx::Enclave enclave{platform, "endbox-v1", sgx::SgxMode::Hardware};
+  crypto::RsaKeyPair enclave_key = crypto::rsa_generate(pki_rng);
+  ca::Certificate certificate;
+
+  Rng server_rng{0xbe7717};
+  vpn::VpnServer server;
+  Rng client_rng{0x301711};
+  std::optional<vpn::VpnClientSession> client;
+  std::unique_ptr<vpn::ClientControlPlane> cp;
+  Bytes pending_reply;
+  sim::Time now = 0;
+
+  ControlRetryBench()
+      : server(server_rng, authority.public_key(), [] {
+          vpn::VpnServerConfig config;
+          config.handshake_dedupe_horizon = 0;  // every cycle mints fresh
+          return config;
+        }()) {
+    ias.register_platform("bench-retry", platform.attestation_key().pub);
+    authority.allow_measurement(enclave.measurement());
+    sgx::QuotingEnclave qe(platform);
+    auto quote = qe.quote(enclave.create_report(
+        sgx::bind_report_data(enclave_key.pub.serialize())));
+    auto response = authority.provision(quote->serialize(), enclave_key.pub);
+    if (!response.ok()) std::abort();
+    certificate = response->certificate;
+    client.emplace(client_rng, certificate, enclave_key, server.public_key(),
+                   vpn::VpnClientConfig{});
+
+    vpn::ControlPlaneConfig config;
+    config.keepalive_interval = 0;   // isolate the connect cycle
+    config.retry_initial = sim::kMillisecond;  // orphan drains in 2 ticks
+    vpn::ClientControlPlane::Hooks hooks;
+    hooks.make_init = [this]() -> Result<Bytes> {
+      return client->create_handshake_init().serialize();
+    };
+    hooks.on_reply = [this](ByteView wire) -> Status {
+      auto parsed = vpn::WireMessage::parse(wire);
+      if (!parsed.ok()) return err(parsed.error());
+      return client->process_handshake_reply(*parsed);
+    };
+    hooks.send = [this](ByteView wire, sim::Time t) {
+      auto event = server.handle(wire, t);
+      if (!event.ok()) return;
+      if (auto* done = std::get_if<vpn::VpnServer::HandshakeDone>(&*event))
+        pending_reply = done->reply_wire;
+    };
+    cp = std::make_unique<vpn::ClientControlPlane>(config, std::move(hooks));
+  }
+
+  /// One connect cycle through the reliability layer (loopback reply,
+  /// delivered after start() returns, as a transport would).
+  void cycle_control_plane() {
+    now += 2 * sim::kMillisecond;
+    cp->advance(now);  // drain the previous cycle's orphaned retry timer
+    if (!cp->start(now).ok()) std::abort();
+    if (!cp->deliver(pending_reply, now).ok()) std::abort();
+    if (!cp->established()) std::abort();
+    server.close_session(client->session_id());
+  }
+
+  /// The raw handshake the layer wraps.
+  void cycle_direct() {
+    auto init = client->create_handshake_init();
+    auto event = server.handle(init.serialize(), now);
+    if (!event.ok()) std::abort();
+    auto reply = vpn::WireMessage::parse(
+        std::get<vpn::VpnServer::HandshakeDone>(*event).reply_wire);
+    if (!reply.ok() || !client->process_handshake_reply(*reply).ok())
+      std::abort();
+    server.close_session(client->session_id());
+  }
+};
+
+static void BM_ControlPlaneConnectCycle(benchmark::State& state) {
+  ControlRetryBench bench;
+  for (auto _ : state) {
+    bench.cycle_control_plane();
+    benchmark::DoNotOptimize(bench.now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControlPlaneConnectCycle);
+
+static void BM_DirectConnectCycle(benchmark::State& state) {
+  ControlRetryBench bench;
+  for (auto _ : state) {
+    bench.cycle_direct();
+    benchmark::DoNotOptimize(bench.now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectConnectCycle);
+
+// PR-7: admission churn at a full table. The LRU side admits by
+// evicting the idle-longest unpinned entry (clock-hand victim scan +
+// slot recycle — the VPN server's admission-storm policy); the manual
+// side is the exact-oldest recycle a caller would hand-roll (erase the
+// tracked oldest key, then insert).
+struct LruChurnBench {
+  using Table = LifecycleTable<std::uint64_t, std::uint64_t>;
+  static constexpr std::size_t kCapacity = 4096;
+  Table lru;
+  Table manual;
+  std::uint64_t next_lru_key = 0;
+  std::uint64_t next_manual_key = 0;
+  sim::Time now = 0;
+
+  LruChurnBench()
+      : lru([] {
+          Table::Options options;
+          options.capacity = kCapacity;
+          options.eviction = EvictionPolicy::EvictIdleLongest;
+          return options;
+        }()),
+        manual([] {
+          Table::Options options;
+          options.capacity = kCapacity;
+          return options;
+        }()) {
+    for (std::size_t i = 0; i < kCapacity; ++i) {
+      ++now;
+      lru.insert(next_lru_key++, 0, now);
+      manual.insert(next_manual_key++, 0, now);
+    }
+  }
+
+  void step_lru() {
+    ++now;
+    if (!lru.insert(next_lru_key++, 0, now)) std::abort();
+  }
+  void step_manual() {
+    ++now;
+    manual.erase(next_manual_key - kCapacity);
+    if (!manual.insert(next_manual_key++, 0, now)) std::abort();
+  }
+};
+
+static void BM_LruEvictionChurn(benchmark::State& state) {
+  LruChurnBench bench;
+  for (auto _ : state) {
+    bench.step_lru();
+    benchmark::DoNotOptimize(bench.now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruEvictionChurn);
+
 // ---------------------------------------------------------------------------
 // --json mode: deterministic before/after summary for the bench trajectory.
 // ---------------------------------------------------------------------------
@@ -851,6 +1015,16 @@ int run_json_mode(const std::string& path) {
   churn_pair(8192, churn8k_wheel, churn8k_scan);
   churn_pair(65536, churn64k_wheel, churn64k_scan);
 
+  // PR-7: the robustness layer — a loopback connect cycle through the
+  // ClientControlPlane vs the raw handshake it wraps, and LRU-eviction
+  // admission churn vs an exact-oldest manual recycle.
+  ControlRetryBench retry;
+  auto [retry_cp_ns, retry_direct_ns] = time_pair_ns_per_op(
+      [&] { retry.cycle_control_plane(); }, [&] { retry.cycle_direct(); });
+  LruChurnBench lru_churn;
+  auto [lru_ns, manual_ns] = time_pair_ns_per_op(
+      [&] { lru_churn.step_lru(); }, [&] { lru_churn.step_manual(); });
+
   Comparison comparisons[] = {
       {"seal_data_1500B", seal_new, seal_ref},
       {"open_data_1500B", open_new, open_ref},
@@ -887,6 +1061,13 @@ int run_json_mode(const std::string& path) {
       // admission + touch) at a steady-state session population.
       {"session_table_churn_8k", churn8k_wheel, churn8k_scan},
       {"session_table_churn_64k", churn64k_wheel, churn64k_scan},
+      // new = one connect cycle through the ClientControlPlane (timers
+      // + backoff bookkeeping), ref = the raw three-message handshake:
+      // speedup ~1.0 shows retry reliability is free on a clean link.
+      {"control_plane_connect_cycle", retry_cp_ns, retry_direct_ns},
+      // new = LRU admission into a full table (clock-hand victim scan
+      // + recycle), ref = exact-oldest erase+insert by hand.
+      {"lru_eviction_churn_4k", lru_ns, manual_ns},
   };
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -894,7 +1075,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"pr\": 6,\n  \"payload_bytes\": %zu,\n", kPayload);
+  std::fprintf(f, "{\n  \"pr\": 7,\n  \"payload_bytes\": %zu,\n", kPayload);
   std::fprintf(f,
                "  \"note\": \"ref = pre-PR implementation kept callable "
                "in-tree; click_chain rows are ns/packet for 64-packet bursts "
@@ -906,7 +1087,11 @@ int run_json_mode(const std::string& path) {
                "session_table_churn rows are ns per churn step (expiry pass + "
                "admission + touch) at a steady-state population, timer-wheel "
                "LifecycleTable vs an unordered_map with a periodic full-table "
-               "expiry scan (mb_per_s is meaningless for these rows)\",\n");
+               "expiry scan (mb_per_s is meaningless for these rows); "
+               "control_plane_connect_cycle is one loopback connect through "
+               "the ClientControlPlane vs the raw handshake; "
+               "lru_eviction_churn_4k is one at-capacity admission, clock-hand "
+               "LRU eviction vs exact-oldest manual recycle\",\n");
   std::fprintf(f, "  \"results\": {\n");
   for (std::size_t i = 0; i < std::size(comparisons); ++i) {
     const Comparison& c = comparisons[i];
@@ -934,7 +1119,7 @@ int run_json_mode(const std::string& path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      std::string path = "BENCH_pr6.json";
+      std::string path = "BENCH_pr7.json";
       if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
       return run_json_mode(path);
     }

@@ -5,6 +5,7 @@
 // agrees on what "well spread" means.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace endbox {
@@ -17,6 +18,20 @@ inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte range, splitmix-finalised: the content hash for
+/// small control-plane blobs (handshake dedupe keys, link-name fault
+/// stream labels). Not collision-resistant — pair it with an equality
+/// check on the underlying bytes when identity matters.
+inline std::uint64_t hash_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
 }
 
 }  // namespace endbox

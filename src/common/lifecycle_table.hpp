@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -55,6 +56,16 @@ class RelaxedTime {
   mutable std::atomic<sim::Time> t_{0};
 };
 
+/// What insert() does when the table is at capacity.
+enum class EvictionPolicy {
+  /// Refuse the new key (counts rejected_full) — the pre-PR-7 default.
+  RejectAtCapacity,
+  /// Evict the idle-longest unpinned entry to admit the new key, so an
+  /// admission storm recycles stale state instead of locking out new
+  /// sessions. Pinned entries (mid-handshake) are never victimised.
+  EvictIdleLongest,
+};
+
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class LifecycleTable {
  public:
@@ -67,6 +78,13 @@ class LifecycleTable {
     /// disables expiry entirely (no wheel is kept).
     sim::Time idle_timeout = 0;
     sim::TimerWheel::Options wheel = {};
+    EvictionPolicy eviction = EvictionPolicy::RejectAtCapacity;
+    /// Eviction examines up to this many unpinned candidates from a
+    /// clock-hand cursor and victimises the idle-longest among them —
+    /// bounded work per insert, approximate LRU (like FastClick's
+    /// sampled flow eviction), exact enough that an idle-for-hours
+    /// session always loses to an active one.
+    std::size_t eviction_scan = 16;
   };
 
   struct Stats {
@@ -74,6 +92,7 @@ class LifecycleTable {
     std::uint64_t erased = 0;        ///< explicit erasures
     std::uint64_t expired_idle = 0;  ///< idle-timeout evictions
     std::uint64_t rejected_full = 0; ///< admissions refused at capacity
+    std::uint64_t evicted_lru = 0;   ///< capacity evictions (EvictIdleLongest)
     std::size_t peak_size = 0;
   };
 
@@ -87,6 +106,10 @@ class LifecycleTable {
    private:
     friend class LifecycleTable;
     RelaxedTime last_activity{};
+    /// Eviction shield: while now < pin_until the entry cannot be a
+    /// capacity-eviction victim (it can still idle-expire). RelaxedTime
+    /// because shard workers unpin on the first authenticated frame.
+    RelaxedTime pin_until{};
     std::uint32_t generation = 0;
     bool live = false;
   };
@@ -110,7 +133,26 @@ class LifecycleTable {
     stats_.erased += other.erased;
     stats_.expired_idle += other.expired_idle;
     stats_.rejected_full += other.rejected_full;
+    stats_.evicted_lru += other.evicted_lru;
     stats_.peak_size = std::max(stats_.peak_size, other.peak_size);
+  }
+
+  /// Invoked with the victim's key and value whenever a capacity
+  /// eviction fires (the same contract as expire_idle's on_expire), so
+  /// owners can run their close hooks.
+  void set_evict_hook(std::function<void(Key, Value&&)> hook) {
+    evict_hook_ = std::move(hook);
+  }
+
+  /// Shields the entry from capacity eviction until `until` (e.g. for
+  /// the handshake grace period). Pins do not survive extract_all
+  /// migration — by then the handshake completed or the grace lapsed.
+  void pin(const Entry& entry, sim::Time until) const {
+    entry.pin_until.store(until);
+  }
+  void unpin(const Entry& entry) const { entry.pin_until.store(0); }
+  bool pinned_at(const Entry& entry, sim::Time now) const {
+    return entry.pin_until.load() > now;
   }
 
   Entry* find(const Key& key) {
@@ -151,8 +193,11 @@ class LifecycleTable {
       return existing;
     }
     if (size_ >= options_.capacity) {
-      ++stats_.rejected_full;
-      return nullptr;
+      if (options_.eviction != EvictionPolicy::EvictIdleLongest ||
+          !evict_one(now)) {
+        ++stats_.rejected_full;
+        return nullptr;
+      }
     }
     return emplace_new(key, std::move(value), now, /*count_insert=*/true);
   }
@@ -237,6 +282,7 @@ class LifecycleTable {
     slot_mask_ = 0;
     tombstones_ = 0;
     size_ = 0;
+    evict_cursor_ = 0;
     if (wheel_) wheel_.emplace(options_.wheel);
   }
 
@@ -244,6 +290,41 @@ class LifecycleTable {
   static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
   static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+
+  /// Victimises the idle-longest of up to eviction_scan unpinned
+  /// entries met by a clock-hand sweep (at most one full cycle, so a
+  /// fully-pinned table costs O(n) and rejects rather than wedging).
+  /// Returns false if no evictable entry exists.
+  bool evict_one(sim::Time now) {
+    std::size_t n = entries_.size();
+    if (n == 0) return false;
+    std::uint32_t victim = kNil;
+    sim::Time victim_stamp = 0;
+    std::size_t candidates = 0;
+    for (std::size_t step = 0;
+         step < n && candidates < options_.eviction_scan; ++step) {
+      std::uint32_t idx = static_cast<std::uint32_t>(evict_cursor_);
+      evict_cursor_ = (evict_cursor_ + 1) % n;
+      Entry& entry = entries_[idx];
+      if (!entry.live || pinned_at(entry, now)) continue;
+      ++candidates;
+      sim::Time stamp = entry.last_activity.load();
+      if (victim == kNil || stamp < victim_stamp) {
+        victim = idx;
+        victim_stamp = stamp;
+      }
+    }
+    if (victim == kNil) return false;
+    Entry& entry = entries_[victim];
+    Key key = entry.key;
+    Value value = std::move(entry.value);
+    std::size_t pos = 0;
+    std::uint32_t found = probe(key, pos);
+    erase_at(pos, found);
+    ++stats_.evicted_lru;
+    if (evict_hook_) evict_hook_(key, std::move(value));
+    return true;
+  }
 
   // Re-mix the user hash so probe order is independent of any structure
   // in its low bits (session ids within one shard all agree mod the
@@ -288,6 +369,7 @@ class LifecycleTable {
     entry.key = key;
     entry.value = std::move(value);
     entry.last_activity.store(last_activity);
+    entry.pin_until.store(0);  // a recycled slot must not inherit a pin
     entry.live = true;
     index_insert(key, idx);
     ++size_;
@@ -348,6 +430,8 @@ class LifecycleTable {
 
   Options options_;
   Stats stats_;
+  std::function<void(Key, Value&&)> evict_hook_;
+  std::size_t evict_cursor_ = 0;
   std::deque<Entry> entries_;
   std::vector<std::uint32_t> free_;
   std::vector<std::uint32_t> index_;

@@ -35,6 +35,12 @@ void AdaptiveReshardController::note_applied(std::size_t shards) {
   shards_ = std::clamp(shards, policy_.min_shards, policy_.max_shards);
 }
 
+std::size_t AdaptiveReshardController::observe(double offered_load,
+                                               std::uint64_t evictions) {
+  return observe(offered_load + policy_.eviction_pressure *
+                                    static_cast<double>(evictions));
+}
+
 std::size_t AdaptiveReshardController::observe(double offered_load) {
   if (offered_load < 0) offered_load = 0;
   ewma_ = primed_ ? policy_.ewma_alpha * offered_load +

@@ -46,6 +46,13 @@ struct ReshardPolicy {
   double shrink_below = 0.35;
   /// Observations to hold after any decision.
   unsigned cooldown_intervals = 2;
+  /// Load units one LRU eviction adds to the observed signal (the
+  /// two-argument observe()). Evictions mean the session tables are
+  /// shedding idle-longest sessions to admit new ones — capacity
+  /// pressure that queue depth alone can miss, because an admission
+  /// storm of short-lived sessions keeps per-shard queues shallow
+  /// while the tables thrash. 0 (the default) ignores the signal.
+  double eviction_pressure = 0.0;
 };
 
 class AdaptiveReshardController {
@@ -59,6 +66,12 @@ class AdaptiveReshardController {
   /// controller assumes it succeeded; call note_applied() with the
   /// actual count if it did not).
   std::size_t observe(double offered_load);
+
+  /// Overload fed from the server's session tables: `evictions` is the
+  /// interval's LRU-eviction count (e.g. the delta of
+  /// VpnServer::sessions_evicted_lru), folded into the load signal at
+  /// `eviction_pressure` units each before the EWMA.
+  std::size_t observe(double offered_load, std::uint64_t evictions);
 
   /// Re-anchors the controller on the data plane's actual shard count
   /// (e.g. when a reshard failed or something else changed it).

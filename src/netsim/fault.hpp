@@ -1,0 +1,130 @@
+// Deterministic fault injection for links and paths.
+//
+// A FaultPlan attaches impairments to a Link: seeded per-frame drop,
+// duplication, reordering (an extra hold-back delay), single-byte
+// corruption, and scripted down windows (link flaps) over sim::Time.
+// Links model timing only — callers carry the actual bytes — so a
+// faulty transmit returns a FaultOutcome: zero (dropped), one, or two
+// (duplicated) Delivery records, each with an arrival time and the
+// byte corruptions to apply to that copy. The caller materialises the
+// copies it delivers, which keeps the fault layer allocation-free and
+// lets one frame fan out differently per hop.
+//
+// Every draw comes from a per-link Rng forked from the plan's seed and
+// the link's name, so a fixed experiment seed reproduces the exact
+// same loss pattern regardless of how many other links exist.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace endbox::netsim {
+
+/// Half-open window [start, end) during which a link is down: every
+/// frame offered inside it is dropped (a link flap or a scripted
+/// blackout of the segment in front of a restarting server).
+struct FaultWindow {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool contains(sim::Time t) const { return t >= start && t < end; }
+};
+
+/// Impairment probabilities and scripted outages for one link. All
+/// probabilities are per frame and independent; `seed` roots the
+/// per-link random stream.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedfa171;
+  double drop = 0.0;       ///< P(frame lost after serialising)
+  double duplicate = 0.0;  ///< P(frame delivered twice)
+  double reorder = 0.0;    ///< P(frame held back by reorder_delay)
+  double corrupt = 0.0;    ///< P(one byte of the copy flipped)
+  /// Hold-back applied to a reordered frame; later frames overtake it.
+  sim::Duration reorder_delay = sim::from_millis(2.0);
+  /// Scripted outages (link flaps / blackout windows).
+  std::vector<FaultWindow> down;
+
+  bool enabled() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           !down.empty();
+  }
+};
+
+/// Frame- and byte-granular counters for one link's fault stream.
+struct FaultStats {
+  std::uint64_t frames_offered = 0;
+  std::uint64_t bytes_offered = 0;
+  std::uint64_t frames_dropped = 0;  ///< random drops + flap drops
+  std::uint64_t bytes_dropped = 0;
+  std::uint64_t frames_flap_dropped = 0;  ///< subset dropped by down windows
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t bytes_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t frames_corrupted = 0;
+};
+
+/// One flipped byte in a delivered copy. The offset is reduced modulo
+/// the frame length on application, and the mask is never zero, so a
+/// corruption always changes the bytes.
+struct Corruption {
+  std::uint32_t offset = 0;
+  std::uint8_t mask = 1;
+};
+
+/// One arrival produced by a faulty transmit: when it lands and which
+/// corruptions (accumulated across hops) to apply to that copy.
+struct Delivery {
+  sim::Time at = 0;
+  bool reordered = false;
+  std::uint8_t corruption_count = 0;
+  std::array<Corruption, 2> corruptions{};
+
+  bool corrupted() const { return corruption_count > 0; }
+
+  /// True if another corruption was recorded; at the cap the copy is
+  /// already corrupt, so dropping the extra flip loses no behaviour.
+  bool add_corruption(Corruption c) {
+    if (corruption_count >= corruptions.size()) return false;
+    corruptions[corruption_count++] = c;
+    return true;
+  }
+
+  /// Applies the recorded corruptions to a materialised copy.
+  void apply(std::span<std::uint8_t> frame) const {
+    if (frame.empty()) return;
+    for (std::uint8_t i = 0; i < corruption_count; ++i)
+      frame[corruptions[i].offset % frame.size()] ^= corruptions[i].mask;
+  }
+};
+
+/// Outcome of transmitting one frame over a faulty link or path: the
+/// surviving copies, in no particular order. Empty means dropped.
+/// Duplication across a multi-hop path multiplies copies; the fixed
+/// capacity (4) caps the fan-out, which a two-hop path with per-hop
+/// duplication cannot exceed.
+class FaultOutcome {
+ public:
+  static constexpr std::size_t kMaxDeliveries = 4;
+
+  std::size_t size() const { return count_; }
+  bool dropped() const { return count_ == 0; }
+  const Delivery& operator[](std::size_t i) const { return deliveries_[i]; }
+  Delivery& operator[](std::size_t i) { return deliveries_[i]; }
+  const Delivery* begin() const { return deliveries_.data(); }
+  const Delivery* end() const { return deliveries_.data() + count_; }
+
+  void push(const Delivery& d) {
+    if (count_ < kMaxDeliveries) deliveries_[count_++] = d;
+  }
+  void clear() { count_ = 0; }
+
+ private:
+  std::array<Delivery, kMaxDeliveries> deliveries_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace endbox::netsim

@@ -59,6 +59,19 @@ class StarTopology {
   sim::Time deliver_burst_to_server(std::size_t i, sim::Time now,
                                     std::size_t bytes, std::size_t frames);
 
+  /// Installs `plan` on every link (each forks its own stream from the
+  /// plan seed and its name). Links added later inherit the plan.
+  void set_fault_plan_all(const FaultPlan& plan);
+
+  /// Delivers one frame from client `i` through the per-link fault
+  /// plans (access link, then uplink).
+  FaultOutcome deliver_to_server_faulty(std::size_t i, sim::Time now,
+                                        std::size_t bytes);
+  /// Delivers one frame from the server towards client `i` (uplink,
+  /// then access link).
+  FaultOutcome deliver_to_client_faulty(std::size_t i, sim::Time now,
+                                        std::size_t bytes);
+
   /// Total bytes that crossed the shared uplink (the server-side
   /// aggregate the Fig 10 throughput curves measure).
   std::uint64_t aggregate_bytes() const { return uplink_.bytes(); }
@@ -75,6 +88,8 @@ class StarTopology {
   Link uplink_;
   std::vector<std::unique_ptr<Host>> client_hosts_;
   std::vector<std::unique_ptr<Link>> access_links_;
+  FaultPlan shared_fault_plan_;  ///< applied to links added later
+  bool have_shared_fault_plan_ = false;
 };
 
 }  // namespace endbox::netsim

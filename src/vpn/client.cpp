@@ -21,6 +21,16 @@ VpnClientSession::VpnClientSession(Rng& rng, ca::Certificate certificate,
 WireMessage VpnClientSession::create_handshake_init(std::uint16_t proposed_version) {
   proposed_version_ = proposed_version;
   client_nonce_ = rng_.bytes(16);
+  // Starting (or restarting) a handshake invalidates the previous
+  // session: keys go (so a stale duplicate of an old reply can no
+  // longer complete anything), and the replay window and pending
+  // fragments reset — the new session's packet ids restart from 1 and
+  // old fragments must never mix into new packets.
+  keys_.reset();
+  session_id_ = 0;
+  negotiated_version_ = 0;
+  replay_ = ReplayWindow{};
+  reassembler_.clear();
 
   WireMessage msg;
   msg.type = MsgType::HandshakeInit;
@@ -38,6 +48,11 @@ WireMessage VpnClientSession::create_handshake_init(std::uint16_t proposed_versi
 Status VpnClientSession::process_handshake_reply(const WireMessage& reply) {
   if (reply.type != MsgType::HandshakeReply) return err("not a handshake reply");
   if (!client_nonce_) return err("handshake not started");
+  // Idempotent completion: a duplicated delivery of the reply we
+  // already accepted must not re-derive keys or reset the replay
+  // window (the network duplicates frames; the reliability layer
+  // retransmits). Success with no state change.
+  if (keys_ && reply.session_id == session_id_) return {};
   try {
     ByteReader r(reply.body);
     std::uint16_t chosen_version = r.u16();
@@ -47,13 +62,16 @@ Status VpnClientSession::process_handshake_reply(const WireMessage& reply) {
 
     // Server authentication: signature over the transcript with the
     // pinned server key (prevents MITM replies). The transcript layout
-    // is fixed-size ([version:2][client_nonce:16][server_nonce:16]
-    // [encrypted_seed:8]), so it assembles on the stack.
-    std::array<std::uint8_t, 2 + 16 + 16 + 8> transcript;
+    // is fixed-size ([version:2][session_id:4][client_nonce:16]
+    // [server_nonce:16][encrypted_seed:8]), so it assembles on the
+    // stack. The session id is covered, so a flipped wire header
+    // cannot bind us to a different session.
+    std::array<std::uint8_t, 2 + 4 + 16 + 16 + 8> transcript;
     put_u16(transcript.data(), chosen_version);
-    std::memcpy(transcript.data() + 2, client_nonce_->data(), 16);
-    std::memcpy(transcript.data() + 18, server_nonce.data(), 16);
-    std::memcpy(transcript.data() + 34, encrypted_seed.data(), 8);
+    put_u32(transcript.data() + 2, reply.session_id);
+    std::memcpy(transcript.data() + 6, client_nonce_->data(), 16);
+    std::memcpy(transcript.data() + 22, server_nonce.data(), 16);
+    std::memcpy(transcript.data() + 38, encrypted_seed.data(), 8);
     if (!crypto::rsa_verify(server_key_, transcript, signature))
       return err("handshake reply signature invalid");
 

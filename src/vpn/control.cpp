@@ -1,0 +1,154 @@
+#include "vpn/control.hpp"
+
+#include <algorithm>
+
+namespace endbox::vpn {
+
+ClientControlPlane::ClientControlPlane(ControlPlaneConfig config, Hooks hooks)
+    : config_(config), hooks_(std::move(hooks)), jitter_rng_(config.seed) {}
+
+sim::Time ClientControlPlane::retry_delay(unsigned attempt) {
+  double delay = static_cast<double>(config_.retry_initial);
+  for (unsigned i = 1; i < attempt; ++i) {
+    delay *= config_.retry_backoff;
+    if (delay >= static_cast<double>(config_.retry_max)) break;
+  }
+  delay = std::min(delay, static_cast<double>(config_.retry_max));
+  if (config_.retry_jitter > 0) {
+    double swing = config_.retry_jitter * (2.0 * jitter_rng_.uniform01() - 1.0);
+    delay *= 1.0 + swing;
+  }
+  return std::max<sim::Time>(1, static_cast<sim::Time>(delay));
+}
+
+void ClientControlPlane::arm(TimerKind kind, sim::Time deadline) {
+  std::uint64_t generation =
+      kind == TimerKind::Retry ? retry_gen_ : keepalive_gen_;
+  wheel_.schedule(cookie_of(kind, generation), deadline);
+}
+
+Status ClientControlPlane::begin_cycle(sim::Time now, bool rekey) {
+  auto init = hooks_.make_init();
+  if (!init.ok()) {
+    fail(now, init.error());
+    return err(init.error());
+  }
+  init_wire_ = std::move(*init);
+  state_ = State::Connecting;
+  attempt_ = 1;
+  auth_failure_streak_ = 0;
+  ++handshakes_started_;
+  if (rekey) ++rehandshakes_;
+  // Orphan whatever was pending; the new cycle owns the schedule.
+  ++retry_gen_;
+  ++keepalive_gen_;
+  hooks_.send(init_wire_, now);
+  arm(TimerKind::Retry, now + retry_delay(attempt_));
+  return {};
+}
+
+Status ClientControlPlane::start(sim::Time now) {
+  return begin_cycle(now, /*rekey=*/false);
+}
+
+void ClientControlPlane::fail(sim::Time now, const std::string& why) {
+  state_ = State::Failed;
+  last_error_ = why;
+  ++connect_failures_;
+  ++retry_gen_;
+  ++keepalive_gen_;
+  if (hooks_.on_failed) hooks_.on_failed(now, why);
+}
+
+void ClientControlPlane::advance(sim::Time now) {
+  wheel_.advance(now,
+                 [&](std::uint64_t cookie, sim::Time) { fire(cookie, now); });
+}
+
+void ClientControlPlane::fire(std::uint64_t cookie, sim::Time now) {
+  auto kind = static_cast<TimerKind>(cookie >> 56);
+  std::uint64_t generation = cookie & ((std::uint64_t{1} << 56) - 1);
+  if (kind == TimerKind::Retry) {
+    if (generation != retry_gen_ || state_ != State::Connecting) return;
+    if (attempt_ >= config_.max_attempts) {
+      fail(now, "handshake: retries exhausted");
+      return;
+    }
+    // Retransmit the SAME init bytes: the server's dedupe cache then
+    // answers every copy with the same session (no double admission).
+    ++attempt_;
+    ++handshake_retransmits_;
+    hooks_.send(init_wire_, now);
+    arm(TimerKind::Retry, now + retry_delay(attempt_));
+    return;
+  }
+  if (kind == TimerKind::Keepalive) {
+    if (generation != keepalive_gen_ || state_ != State::Established) return;
+    if (now >= last_peer_activity_ &&
+        now - last_peer_activity_ >= dead_interval()) {
+      // Peer silent across the whole detection window: assume it
+      // restarted or the path died, and re-key from scratch.
+      ++dead_peer_events_;
+      begin_cycle(now, /*rekey=*/true);
+      return;
+    }
+    if (hooks_.make_ping) {
+      if (hooks_.make_ping(ping_scratch_).ok()) {
+        ++pings_sent_;
+        hooks_.send(ping_scratch_, now);
+      }
+    }
+    arm(TimerKind::Keepalive, now + config_.keepalive_interval);
+  }
+}
+
+Status ClientControlPlane::deliver(ByteView wire, sim::Time now) {
+  if (wire.empty()) return err("control: empty frame");
+  auto type = static_cast<MsgType>(wire[0]);
+  if (type == MsgType::HandshakeReply) {
+    Status accepted = hooks_.on_reply(wire);
+    if (!accepted.ok()) {
+      // Corrupt or stale reply: no state change, the retry timer keeps
+      // the cycle alive.
+      ++replies_rejected_;
+      return accepted;
+    }
+    if (state_ == State::Connecting) {
+      state_ = State::Established;
+      ++retry_gen_;  // the pending retransmit is now moot
+      note_peer_activity(now);
+      if (config_.keepalive_interval > 0) {
+        ++keepalive_gen_;
+        arm(TimerKind::Keepalive, now + config_.keepalive_interval);
+      }
+      if (hooks_.on_established) hooks_.on_established(now);
+    }
+    return {};
+  }
+  if (type == MsgType::Ping) {
+    if (!hooks_.on_ping) return err("control: no ping handler");
+    Status accepted = hooks_.on_ping(wire, now);
+    if (accepted.ok()) note_peer_activity(now);
+    return accepted;
+  }
+  return err("control: not a control frame");
+}
+
+void ClientControlPlane::note_peer_activity(sim::Time now) {
+  last_peer_activity_ = std::max(last_peer_activity_, now);
+  auth_failure_streak_ = 0;
+}
+
+void ClientControlPlane::note_auth_failure(sim::Time now) {
+  if (state_ != State::Established || config_.rehandshake_auth_failures == 0)
+    return;
+  if (++auth_failure_streak_ >= config_.rehandshake_auth_failures) {
+    // Epoch change: everything from the peer fails our MACs, so our
+    // keys are for a session the server no longer has. Re-key now
+    // rather than waiting out the keepalive window.
+    ++dead_peer_events_;
+    begin_cycle(now, /*rekey=*/true);
+  }
+}
+
+}  // namespace endbox::vpn

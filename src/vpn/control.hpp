@@ -1,0 +1,155 @@
+// Client-side control-channel reliability (the piece a one-shot
+// handshake lacks on a real network): timer-wheel-scheduled handshake
+// retransmission with exponential backoff + jitter and capped
+// attempts, keepalive-based dead-peer detection, and automatic
+// re-handshake (re-key) when the peer goes silent or an epoch change
+// shows up as a burst of MAC failures (a restarted server shares no
+// keys with us).
+//
+// The class is transport- and crypto-agnostic: it owns *when* control
+// frames move, callbacks own *what* they contain. The EndBox client
+// wires the hooks to its enclave ecalls; tests wire them to raw
+// VpnClientSession calls. All scheduling runs on virtual time via a
+// sim::TimerWheel, so chaos experiments stay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/timer_wheel.hpp"
+#include "vpn/wire.hpp"
+
+namespace endbox::vpn {
+
+struct ControlPlaneConfig {
+  /// First retransmit fires this long after an unanswered init.
+  sim::Time retry_initial = 200 * sim::kMillisecond;
+  /// Delay multiplier per attempt (exponential backoff).
+  double retry_backoff = 2.0;
+  /// Backoff ceiling.
+  sim::Time retry_max = 5 * sim::kSecond;
+  /// Each delay is scaled by (1 ± retry_jitter), drawn from `seed`, so
+  /// a fleet thundering in after a blackout decorrelates.
+  double retry_jitter = 0.15;
+  /// Attempts (first send included) before a connect cycle fails.
+  unsigned max_attempts = 8;
+  /// Keepalive ping period while established.
+  sim::Time keepalive_interval = sim::kSecond;
+  /// No authenticated peer activity for this many keepalive intervals
+  /// declares the peer dead and starts a re-handshake.
+  unsigned dead_after_intervals = 3;
+  /// This many consecutive MAC failures with no authenticated frame in
+  /// between re-keys immediately (epoch change: the server restarted
+  /// and our keys are gone). 0 disables the trigger.
+  unsigned rehandshake_auth_failures = 4;
+  /// Jitter stream seed (forked per client by the owner).
+  std::uint64_t seed = 0xc0117a75;
+};
+
+class ClientControlPlane {
+ public:
+  enum class State { Idle, Connecting, Established, Failed };
+
+  /// All hooks with a Status/Result return feed errors back into the
+  /// state machine; `send` hands a finished control frame to the
+  /// transport (the owner decides which link it rides).
+  struct Hooks {
+    /// Builds a fresh HandshakeInit wire (new nonce — calling this IS
+    /// the re-key). Required.
+    std::function<Result<Bytes>()> make_init;
+    /// Feeds a HandshakeReply wire to the session. Required.
+    std::function<Status(ByteView)> on_reply;
+    /// Seals a keepalive ping into `frame`. Required when
+    /// keepalive_interval > 0.
+    std::function<Status(Bytes&)> make_ping;
+    /// Transmits a control frame. Required.
+    std::function<void(ByteView, sim::Time)> send;
+    /// Feeds a server ping wire to the session (config-version
+    /// machinery). Optional; success counts as peer activity.
+    std::function<Status(ByteView, sim::Time)> on_ping;
+    std::function<void(sim::Time)> on_established;  ///< optional
+    std::function<void(sim::Time, const std::string&)> on_failed;  ///< optional
+  };
+
+  ClientControlPlane(ControlPlaneConfig config, Hooks hooks);
+
+  /// Begins (or restarts) a connect cycle: sends a fresh init and arms
+  /// the retry timer. Callable from Idle, Failed, or to force a re-key.
+  Status start(sim::Time now);
+
+  /// Drives the timers (retransmits, keepalives, dead-peer checks).
+  /// Call whenever virtual time moves — cost is amortised O(1).
+  void advance(sim::Time now);
+
+  /// Routes a server->client control frame (HandshakeReply or Ping).
+  /// Corrupt frames return the session's error and change no state —
+  /// the pending retry/keepalive schedule is untouched.
+  Status deliver(ByteView wire, sim::Time now);
+
+  /// Authenticated traffic from the peer (an opened data frame): feeds
+  /// dead-peer detection and clears the MAC-failure streak.
+  void note_peer_activity(sim::Time now);
+  /// A frame from the peer failed authentication. A streak of these
+  /// while established triggers the epoch-change re-key.
+  void note_auth_failure(sim::Time now);
+
+  State state() const { return state_; }
+  bool established() const { return state_ == State::Established; }
+  const std::string& last_error() const { return last_error_; }
+  /// Attempt number of the current connect cycle (1 = first send).
+  unsigned attempt() const { return attempt_; }
+
+  std::uint64_t handshakes_started() const { return handshakes_started_; }
+  std::uint64_t handshake_retransmits() const { return handshake_retransmits_; }
+  std::uint64_t rehandshakes() const { return rehandshakes_; }
+  std::uint64_t pings_sent() const { return pings_sent_; }
+  std::uint64_t dead_peer_events() const { return dead_peer_events_; }
+  std::uint64_t replies_rejected() const { return replies_rejected_; }
+  std::uint64_t connect_failures() const { return connect_failures_; }
+
+ private:
+  enum class TimerKind : std::uint64_t { Retry = 1, Keepalive = 2 };
+
+  static std::uint64_t cookie_of(TimerKind kind, std::uint64_t generation) {
+    return (static_cast<std::uint64_t>(kind) << 56) | generation;
+  }
+
+  void arm(TimerKind kind, sim::Time deadline);
+  void fire(std::uint64_t cookie, sim::Time now);
+  sim::Time retry_delay(unsigned attempt);
+  Status begin_cycle(sim::Time now, bool rekey);
+  void fail(sim::Time now, const std::string& why);
+  sim::Time dead_interval() const {
+    return config_.keepalive_interval *
+           static_cast<sim::Time>(config_.dead_after_intervals);
+  }
+
+  ControlPlaneConfig config_;
+  Hooks hooks_;
+  sim::TimerWheel wheel_;
+  Rng jitter_rng_;
+
+  State state_ = State::Idle;
+  Bytes init_wire_;  ///< cached: retransmits resend the same bytes
+  unsigned attempt_ = 0;
+  sim::Time last_peer_activity_ = 0;
+  unsigned auth_failure_streak_ = 0;
+  std::string last_error_;
+  // Lazy cancellation: bumping a generation orphans every timer of
+  // that kind already in the wheel (same scheme as LifecycleTable).
+  std::uint64_t retry_gen_ = 0;
+  std::uint64_t keepalive_gen_ = 0;
+
+  std::uint64_t handshakes_started_ = 0;
+  std::uint64_t handshake_retransmits_ = 0;
+  std::uint64_t rehandshakes_ = 0;
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t dead_peer_events_ = 0;
+  std::uint64_t replies_rejected_ = 0;
+  std::uint64_t connect_failures_ = 0;
+  Bytes ping_scratch_;
+};
+
+}  // namespace endbox::vpn

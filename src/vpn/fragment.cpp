@@ -95,6 +95,10 @@ void Reassembler::evict_if_needed() {
   }
 }
 
+void Reassembler::clear() {
+  while (fifo_head_) release_group(groups_.find(*fifo_head_));
+}
+
 std::size_t Reassembler::expire_stale(sim::Time now) {
   if (horizon_ == 0 || now < horizon_) return 0;
   // The FIFO is insertion-ordered, so born times are monotone along it:

@@ -90,6 +90,10 @@ class Reassembler {
   /// Returns the number dropped (also counted in expired()).
   std::size_t expire_stale(sim::Time now);
 
+  /// Drops every pending group, recycling held buffers — a re-key must
+  /// not let fragments of the old session complete under the new one.
+  void clear();
+
   std::size_t pending_groups() const { return groups_.size(); }
   std::uint64_t evicted() const { return evicted_; }
   std::uint64_t expired() const { return expired_; }

@@ -14,6 +14,16 @@ VpnServer::VpnServer(Rng& rng, crypto::RsaPublicKey ca_key, VpnServerConfig conf
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) shards_.push_back(make_shard());
   ensure_worker_pool();
+  if (config_.handshake_dedupe_horizon > 0 &&
+      config_.handshake_dedupe_capacity > 0) {
+    HandshakeCache::Options options{config_.handshake_dedupe_capacity,
+                                    config_.handshake_dedupe_horizon,
+                                    {}};
+    // A full cache recycles its oldest entry: a connect storm degrades
+    // dedupe coverage, never admission.
+    options.eviction = EvictionPolicy::EvictIdleLongest;
+    handshake_cache_.emplace(options);
+  }
 }
 
 void VpnServer::ensure_worker_pool() {
@@ -65,6 +75,12 @@ std::uint64_t VpnServer::sessions_rejected_full() const {
   return n;
 }
 
+std::uint64_t VpnServer::sessions_evicted_lru() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->sessions.stats().evicted_lru;
+  return n;
+}
+
 std::uint64_t VpnServer::fragments_expired() const {
   std::uint64_t n = 0;
   for (const auto& shard : shards_)
@@ -89,8 +105,24 @@ bool VpnServer::close_session(std::uint32_t session_id) {
   return true;
 }
 
+std::size_t VpnServer::restart() {
+  std::size_t closed = 0;
+  for (auto& shard : shards_)
+    shard->sessions.extract_all([&](std::uint32_t id, Session&&, sim::Time) {
+      fire_close_hook(id);
+      ++closed;
+    });
+  // The cached replies name sessions that no longer exist; drop them so
+  // a retransmitted init gets a fresh handshake, not a dead session id.
+  if (handshake_cache_)
+    handshake_cache_->extract_all([](std::uint64_t, CachedHandshake&&, sim::Time) {});
+  return closed;
+}
+
 Result<VpnServer::Event> VpnServer::handle(ByteView wire, sim::Time now) {
   expire_idle_sessions(now);
+  if (handshake_cache_)
+    handshake_cache_->expire_idle(now, [](std::uint64_t, CachedHandshake&&) {});
   auto msg = WireMessage::parse(wire);
   if (!msg.ok()) return err(msg.error());
   switch (msg->type) {
@@ -127,23 +159,42 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg,
     }
     std::uint16_t chosen_version = proposed_version;
 
+    // Duplicate suppression: a retransmitted or network-duplicated
+    // init (same bytes, same nonce) gets the same reply — no second
+    // session, no ledger double-entry downstream. The content hash is
+    // confirmed against the stored nonce so a collision falls through
+    // to a fresh handshake instead of handing out someone else's reply.
+    std::uint64_t dedupe_key = 0;
+    if (handshake_cache_) {
+      dedupe_key = hash_bytes(msg.body.data(), msg.body.size());
+      if (HandshakeCache::Entry* hit = handshake_cache_->find(dedupe_key);
+          hit && hit->value.nonce == client_nonce &&
+          has_session(hit->value.session_id)) {
+        ++handshakes_deduped_;
+        return Event{HandshakeDone{hit->value.session_id, hit->value.reply_wire}};
+      }
+    }
+
     // Session secret, encrypted to the enclave public key: only the
     // attested enclave can derive the data-channel keys.
     std::uint64_t seed = rng_.uniform(1, (1ULL << 48) - 1);
     Bytes server_nonce = rng_.bytes(16);
     Bytes encrypted_seed = crypto::rsa_encrypt(cert->subject_key, seed);
+    std::uint32_t session_id = next_session_id_++;
 
-    // Fixed-size transcript ([version:2][client_nonce:16]
+    // Fixed-size transcript ([version:2][session_id:4][client_nonce:16]
     // [server_nonce:16][encrypted_seed:8]) assembled on the stack —
-    // mirrors the enclave side, no per-handshake heap traffic.
-    std::array<std::uint8_t, 2 + 16 + 16 + 8> transcript;
+    // mirrors the enclave side, no per-handshake heap traffic. The
+    // session id is inside the signature, so flipping it in the wire
+    // header cannot bind the client to a different session.
+    std::array<std::uint8_t, 2 + 4 + 16 + 16 + 8> transcript;
     put_u16(transcript.data(), chosen_version);
-    std::memcpy(transcript.data() + 2, client_nonce.data(), 16);
-    std::memcpy(transcript.data() + 18, server_nonce.data(), 16);
-    std::memcpy(transcript.data() + 34, encrypted_seed.data(), 8);
+    put_u32(transcript.data() + 2, session_id);
+    std::memcpy(transcript.data() + 6, client_nonce.data(), 16);
+    std::memcpy(transcript.data() + 22, server_nonce.data(), 16);
+    std::memcpy(transcript.data() + 38, encrypted_seed.data(), 8);
     Bytes signature = crypto::rsa_sign(key_, transcript);
 
-    std::uint32_t session_id = next_session_id_++;
     SessionShard& shard = shard_of(session_id);
     Session session;
     session.keys = derive_vpn_keys(seed, client_nonce, server_nonce);
@@ -154,11 +205,19 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg,
     session.iv_rng = Rng(rng_.next_u64());
     session.reassembler.set_pool(&shard.pool);
     session.reassembler.set_horizon(config_.fragment_horizon);
-    if (!shard.sessions.insert(session_id, std::move(session), now)) {
+    SessionTable::Entry* entry =
+        shard.sessions.insert(session_id, std::move(session), now);
+    if (!entry) {
       // Shard at capacity: bounded enclave memory beats a connect storm.
+      // (With lru_eviction the table evicted an idle session instead and
+      // this only fires when every candidate was pinned mid-handshake.)
       ++handshakes_rejected_;
       return err("handshake: session shard at capacity");
     }
+    // Mid-handshake shield: not an LRU victim until the client's first
+    // authenticated frame (which unpins) or the grace lapses.
+    if (config_.lru_eviction && config_.handshake_pin > 0)
+      shard.sessions.pin(*entry, now + config_.handshake_pin);
 
     WireMessage reply;
     reply.type = MsgType::HandshakeReply;
@@ -169,7 +228,12 @@ Result<VpnServer::Event> VpnServer::handle_handshake(const WireMessage& msg,
     append(reply.body, server_nonce);
     append(reply.body, encrypted_seed);
     append(reply.body, signature);
-    return Event{HandshakeDone{session_id, reply.serialize()}};
+    Bytes reply_wire = reply.serialize();
+    if (handshake_cache_)
+      handshake_cache_->insert(
+          dedupe_key, CachedHandshake{client_nonce, reply_wire, session_id},
+          now);
+    return Event{HandshakeDone{session_id, std::move(reply_wire)}};
   } catch (const std::out_of_range&) {
     ++handshakes_rejected_;
     return err("handshake: truncated");
@@ -209,8 +273,10 @@ Result<VpnServer::Event> VpnServer::handle_data(const WireMessage& msg,
     ++shard.replays_rejected;
     return err("replayed packet");
   }
-  // Only authenticated, replay-fresh traffic refreshes the idle timer.
+  // Only authenticated, replay-fresh traffic refreshes the idle timer
+  // (and lifts the mid-handshake eviction shield).
   shard.sessions.touch(*entry, now);
+  shard.sessions.unpin(*entry);
   auto whole =
       session->reassembler.add(opened->frag, std::move(opened->payload), now);
   if (!whole) return Event{FragmentPending{msg.session_id}};
@@ -228,6 +294,7 @@ Result<VpnServer::Event> VpnServer::handle_ping(const WireMessage& msg,
     return err(info.error());
   }
   shard_of(msg.session_id).sessions.touch(*entry, now);
+  shard_of(msg.session_id).sessions.unpin(*entry);
   // Record the client's (authenticated) configuration version. A ping
   // cannot roll the version back: versions increase monotonically.
   if (info->config_version > session->config_version)
@@ -337,7 +404,10 @@ void VpnServer::open_shard_frames(SessionShard& shard,
     }
     // Touch = one relaxed timestamp store, so shard workers refresh
     // idle timers without ever taking the wheel (lazy reschedule).
+    // Unpin is the same relaxed store: the first authenticated frame
+    // lifts the mid-handshake eviction shield.
     shard.sessions.touch(entry, now);
+    shard.sessions.unpin(entry);
     out.opened_sessions.push_back(session_id);
     auto whole =
         session.reassembler.add(opened->frag, std::move(opened->payload), now);
@@ -510,6 +580,7 @@ void VpnServer::open_batch_reference(std::span<const Bytes> wires, sim::Time now
       continue;
     }
     shard.sessions.touch(*entry, now);
+    shard.sessions.unpin(*entry);
     out.opened_sessions.push_back(session_id);
     auto whole =
         session->reassembler.add(opened->frag, std::move(opened->payload), now);

@@ -61,6 +61,24 @@ struct VpnServerConfig {
   /// Reassembler::set_horizon for every session's reassembler. 0 keeps
   /// the count-based cap only.
   sim::Time fragment_horizon = 0;
+  /// Admission policy at shard capacity: false keeps reject-at-capacity
+  /// (the PR-6 behaviour); true evicts the idle-longest unpinned
+  /// session to admit the new handshake, so an admission storm recycles
+  /// stale state instead of locking out legitimate clients. Evictions
+  /// count in sessions_evicted_lru() and fire the close hook.
+  bool lru_eviction = false;
+  /// Eviction shield for freshly-admitted sessions: never an LRU victim
+  /// until this long after the handshake (or until the first
+  /// authenticated frame unpins it, whichever comes first), so a storm
+  /// cannot evict a session that is still mid-handshake.
+  sim::Time handshake_pin = 3 * sim::kSecond;
+  /// Duplicate-handshake suppression: an identical HandshakeInit seen
+  /// again within this horizon returns the cached reply instead of
+  /// minting a second session (the client reliability layer
+  /// retransmits inits; the network duplicates frames). 0 disables.
+  sim::Time handshake_dedupe_horizon = 10 * sim::kSecond;
+  /// Bound on the dedupe cache (oldest entries recycle beyond it).
+  std::size_t handshake_dedupe_capacity = 4096;
 };
 
 class VpnServer {
@@ -258,6 +276,13 @@ class VpnServer {
   /// replay window and pending fragments go at once, and the close
   /// hook fires. Returns false for unknown sessions.
   bool close_session(std::uint32_t session_id);
+  /// Simulates a server crash + restart: every session closes (hooks
+  /// fire, so dependent ledgers re-seed), the handshake dedupe cache
+  /// empties, and the signing key and session-id counter survive (the
+  /// operator restarts the same server). Clients notice through
+  /// keepalive loss / rejected traffic and re-handshake. Returns the
+  /// number of sessions closed.
+  std::size_t restart();
   /// Invoked with the session id whenever a session ends — explicit
   /// close or idle expiry — so state keyed by session id elsewhere
   /// (EndBoxServer's per-session routers and ledgers) is torn down in
@@ -281,6 +306,11 @@ class VpnServer {
   std::uint64_t sessions_expired() const;
   /// Handshakes refused because the target shard was at capacity.
   std::uint64_t sessions_rejected_full() const;
+  /// Sessions evicted by the LRU admission policy (capacity pressure —
+  /// the AdaptiveReshardController reads this as an overload signal).
+  std::uint64_t sessions_evicted_lru() const;
+  /// Duplicate HandshakeInits answered from the dedupe cache.
+  std::uint64_t handshakes_deduped() const { return handshakes_deduped_; }
   /// Fragment groups dropped by the per-session reassembly age horizon
   /// (live sessions only — a session's count goes with it when it ends).
   std::uint64_t fragments_expired() const;
@@ -341,9 +371,15 @@ class VpnServer {
   SessionShard& shard_of(std::uint32_t session_id) {
     return *shards_[shard_of_session(session_id)];
   }
-  std::unique_ptr<SessionShard> make_shard() const {
-    return std::make_unique<SessionShard>(SessionTable::Options{
-        config_.session_capacity_per_shard, config_.session_idle_timeout, {}});
+  std::unique_ptr<SessionShard> make_shard() {
+    SessionTable::Options options{
+        config_.session_capacity_per_shard, config_.session_idle_timeout, {}};
+    if (config_.lru_eviction) options.eviction = EvictionPolicy::EvictIdleLongest;
+    auto shard = std::make_unique<SessionShard>(options);
+    if (config_.lru_eviction)
+      shard->sessions.set_evict_hook(
+          [this](std::uint32_t id, Session&&) { fire_close_hook(id); });
+    return shard;
   }
   void fire_close_hook(std::uint32_t session_id) {
     if (session_close_hook_) session_close_hook_(session_id);
@@ -369,11 +405,21 @@ class VpnServer {
   std::size_t stage_seal_jobs(std::span<const SealJob> jobs,
                               std::vector<Bytes>& frames);
 
+  /// One cached handshake reply: answers retransmitted/duplicated
+  /// inits idempotently. The nonce disambiguates hash collisions.
+  struct CachedHandshake {
+    Bytes nonce;
+    Bytes reply_wire;
+    std::uint32_t session_id = 0;
+  };
+  using HandshakeCache = LifecycleTable<std::uint64_t, CachedHandshake>;
+
   Rng& rng_;
   crypto::RsaPublicKey ca_key_;
   VpnServerConfig config_;
   crypto::RsaKeyPair key_;
   std::vector<std::unique_ptr<SessionShard>> shards_;
+  std::optional<HandshakeCache> handshake_cache_;
   std::unique_ptr<click::ShardWorkerPool> pool_;  ///< absent for 1 shard
   std::vector<std::size_t> merge_heads_;          ///< merge scratch, reused
   std::vector<std::size_t> seal_bases_;           ///< seal_jobs slot bases
@@ -386,6 +432,7 @@ class VpnServer {
   bool grace_active_ = false;
 
   std::uint64_t handshakes_rejected_ = 0;
+  std::uint64_t handshakes_deduped_ = 0;
   std::function<void(std::uint32_t)> session_close_hook_;
 };
 

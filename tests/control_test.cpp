@@ -1,0 +1,286 @@
+// Tests for the client control plane: handshake retransmission with
+// exponential backoff, capped attempts, keepalive dead-peer detection
+// and the epoch-change (MAC-failure streak) re-key trigger. Hooks are
+// bound to plain fakes so every schedule decision is observable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vpn/control.hpp"
+
+namespace endbox::vpn {
+namespace {
+
+// A scripted endpoint: records every send, answers replies/pings on
+// demand. Frame kinds are distinguished by the real wire type byte so
+// ClientControlPlane::deliver routes them exactly as in production.
+struct FakeTransport {
+  std::vector<std::pair<Bytes, sim::Time>> sent;
+  std::uint64_t inits_made = 0;
+  std::uint64_t established_calls = 0;
+  std::uint64_t failed_calls = 0;
+  std::string last_failure;
+  bool reject_replies = false;
+
+  ClientControlPlane::Hooks hooks() {
+    ClientControlPlane::Hooks h;
+    h.make_init = [this]() -> Result<Bytes> {
+      ++inits_made;
+      // Distinct bytes per cycle: retransmits must resend the SAME
+      // cached wire, so any new byte pattern marks a re-key.
+      return Bytes{static_cast<std::uint8_t>(MsgType::HandshakeInit),
+                   static_cast<std::uint8_t>(inits_made)};
+    };
+    h.on_reply = [this](ByteView) -> Status {
+      if (reject_replies) return err("reply rejected");
+      return {};
+    };
+    h.make_ping = [](Bytes& frame) -> Status {
+      frame = {static_cast<std::uint8_t>(MsgType::Ping), 0};
+      return {};
+    };
+    h.send = [this](ByteView frame, sim::Time now) {
+      sent.emplace_back(Bytes(frame.begin(), frame.end()), now);
+    };
+    h.on_ping = [](ByteView, sim::Time) -> Status { return {}; };
+    h.on_established = [this](sim::Time) { ++established_calls; };
+    h.on_failed = [this](sim::Time, const std::string& why) {
+      ++failed_calls;
+      last_failure = why;
+    };
+    return h;
+  }
+
+  Bytes reply_wire() const {
+    return {static_cast<std::uint8_t>(MsgType::HandshakeReply), 0};
+  }
+};
+
+ControlPlaneConfig fast_config() {
+  ControlPlaneConfig config;
+  config.retry_initial = 100 * sim::kMillisecond;
+  config.retry_backoff = 2.0;
+  config.retry_max = sim::kSecond;
+  config.retry_jitter = 0;  // deterministic deadlines for these tests
+  config.max_attempts = 4;
+  config.keepalive_interval = 200 * sim::kMillisecond;
+  config.dead_after_intervals = 3;
+  config.rehandshake_auth_failures = 3;
+  return config;
+}
+
+void advance_to(ClientControlPlane& cp, sim::Time until,
+                sim::Time step = 10 * sim::kMillisecond) {
+  for (sim::Time t = 0; t <= until; t += step) cp.advance(t);
+}
+
+TEST(ControlPlane, StartSendsTheInitImmediately) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+  ASSERT_EQ(transport.sent.size(), 1u);
+  EXPECT_EQ(transport.sent[0].second, 0u);
+  EXPECT_EQ(cp.attempt(), 1u);
+}
+
+TEST(ControlPlane, RetransmitsTheSameBytesWithExponentialBackoff) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  advance_to(cp, 800 * sim::kMillisecond);
+  // Sends at 0, 100ms, 300ms (100+200), 700ms (300+400); the 5th
+  // attempt would exceed max_attempts so the cycle fails instead.
+  ASSERT_GE(transport.sent.size(), 4u);
+  EXPECT_EQ(transport.sent[1].second, 100 * sim::kMillisecond);
+  EXPECT_EQ(transport.sent[2].second, 300 * sim::kMillisecond);
+  EXPECT_EQ(transport.sent[3].second, 700 * sim::kMillisecond);
+  // Every retransmit carries the identical cached init wire.
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_EQ(transport.sent[i].first, transport.sent[0].first);
+  EXPECT_EQ(cp.handshake_retransmits(), 3u);
+}
+
+TEST(ControlPlane, BackoffDelayCapsAtRetryMax) {
+  ControlPlaneConfig config = fast_config();
+  config.max_attempts = 8;
+  FakeTransport transport;
+  ClientControlPlane cp(config, transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  advance_to(cp, 6 * sim::kSecond);
+  // Deltas: 100, 200, 400, 800, then capped at 1000 ms.
+  ASSERT_GE(transport.sent.size(), 7u);
+  sim::Time d5 = transport.sent[5].second - transport.sent[4].second;
+  sim::Time d6 = transport.sent[6].second - transport.sent[5].second;
+  EXPECT_EQ(d5, sim::kSecond);
+  EXPECT_EQ(d6, sim::kSecond);
+}
+
+TEST(ControlPlane, JitterStaysWithinTheConfiguredSwing) {
+  ControlPlaneConfig config = fast_config();
+  config.retry_jitter = 0.25;
+  config.max_attempts = 2;
+  FakeTransport transport;
+  ClientControlPlane cp(config, transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  advance_to(cp, sim::kSecond, sim::kMillisecond);
+  ASSERT_GE(transport.sent.size(), 2u);
+  sim::Time delay = transport.sent[1].second;
+  EXPECT_GE(delay, 75 * sim::kMillisecond);
+  EXPECT_LE(delay, 126 * sim::kMillisecond);  // 125ms + one 1ms tick
+}
+
+TEST(ControlPlane, ExhaustedRetriesFailTheCycle) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  advance_to(cp, 5 * sim::kSecond);
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Failed);
+  EXPECT_EQ(transport.sent.size(), 4u);  // max_attempts total sends
+  EXPECT_EQ(transport.failed_calls, 1u);
+  EXPECT_EQ(cp.connect_failures(), 1u);
+  EXPECT_NE(cp.last_error().find("retries exhausted"), std::string::npos);
+  // A failed plane can be restarted explicitly.
+  ASSERT_TRUE(cp.start(6 * sim::kSecond).ok());
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+}
+
+TEST(ControlPlane, ReplyEstablishesAndStopsRetransmits) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 50 * sim::kMillisecond).ok());
+  EXPECT_TRUE(cp.established());
+  EXPECT_EQ(transport.established_calls, 1u);
+  std::size_t sends_at_establish = transport.sent.size();
+  // The pending retry timer is orphaned: only keepalives flow now, and
+  // activity keeps the peer alive.
+  for (sim::Time t = 60 * sim::kMillisecond; t < sim::kSecond;
+       t += 10 * sim::kMillisecond) {
+    cp.advance(t);
+    cp.note_peer_activity(t);
+  }
+  EXPECT_EQ(cp.handshake_retransmits(), 0u);
+  EXPECT_GT(cp.pings_sent(), 0u);
+  for (std::size_t i = sends_at_establish; i < transport.sent.size(); ++i)
+    EXPECT_EQ(transport.sent[i].first[0],
+              static_cast<std::uint8_t>(MsgType::Ping));
+}
+
+TEST(ControlPlane, CorruptReplyLeavesTheCycleAlive) {
+  FakeTransport transport;
+  transport.reject_replies = true;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  EXPECT_FALSE(cp.deliver(transport.reply_wire(), 10 * sim::kMillisecond).ok());
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+  EXPECT_EQ(cp.replies_rejected(), 1u);
+  // The retry schedule is untouched: the next retransmit still fires.
+  transport.reject_replies = false;
+  advance_to(cp, 150 * sim::kMillisecond);
+  EXPECT_EQ(cp.handshake_retransmits(), 1u);
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 160 * sim::kMillisecond).ok());
+  EXPECT_TRUE(cp.established());
+}
+
+TEST(ControlPlane, DuplicateReplyIsIdempotent) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 10).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 20).ok());  // duplicated
+  EXPECT_TRUE(cp.established());
+  EXPECT_EQ(transport.established_calls, 1u);
+  EXPECT_EQ(cp.handshakes_started(), 1u);
+}
+
+TEST(ControlPlane, SilentPeerTriggersRekey) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 0).ok());
+  // No peer activity at all: 3 keepalive intervals (600ms) of silence
+  // declare the peer dead and start a fresh handshake cycle.
+  advance_to(cp, 2 * sim::kSecond);
+  EXPECT_EQ(cp.dead_peer_events(), 1u);
+  EXPECT_EQ(cp.rehandshakes(), 1u);
+  EXPECT_EQ(transport.inits_made, 2u);  // fresh init = fresh nonce/keys
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+}
+
+TEST(ControlPlane, ActivityHoldsOffDeadPeerDetection) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 0).ok());
+  for (sim::Time t = 0; t <= 3 * sim::kSecond; t += 100 * sim::kMillisecond) {
+    cp.advance(t);
+    cp.note_peer_activity(t);
+  }
+  EXPECT_EQ(cp.dead_peer_events(), 0u);
+  EXPECT_TRUE(cp.established());
+}
+
+TEST(ControlPlane, AuthFailureStreakRekeysImmediately) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 0).ok());
+  cp.note_auth_failure(10);
+  cp.note_auth_failure(20);
+  EXPECT_TRUE(cp.established());  // below the streak threshold
+  cp.note_auth_failure(30);       // third consecutive failure
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+  EXPECT_EQ(cp.rehandshakes(), 1u);
+  EXPECT_EQ(cp.dead_peer_events(), 1u);
+}
+
+TEST(ControlPlane, AuthenticatedTrafficResetsTheFailureStreak) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  ASSERT_TRUE(cp.deliver(transport.reply_wire(), 0).ok());
+  // Interleaved corruption noise never accumulates into a re-key.
+  for (int round = 0; round < 10; ++round) {
+    cp.note_auth_failure(round * 100);
+    cp.note_auth_failure(round * 100 + 1);
+    cp.note_peer_activity(round * 100 + 2);
+  }
+  EXPECT_TRUE(cp.established());
+  EXPECT_EQ(cp.rehandshakes(), 0u);
+}
+
+TEST(ControlPlane, AuthFailuresWhileConnectingAreIgnored) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  for (int i = 0; i < 10; ++i) cp.note_auth_failure(i);
+  // Straggler frames of the old epoch must not restart the cycle that
+  // is already re-keying.
+  EXPECT_EQ(cp.handshakes_started(), 1u);
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+}
+
+TEST(ControlPlane, FailedMakeInitFailsTheCycle) {
+  FakeTransport transport;
+  auto hooks = transport.hooks();
+  hooks.make_init = []() -> Result<Bytes> { return err("no certificate"); };
+  ClientControlPlane cp(fast_config(), std::move(hooks));
+  EXPECT_FALSE(cp.start(0).ok());
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Failed);
+  EXPECT_EQ(transport.failed_calls, 1u);
+}
+
+TEST(ControlPlane, NonControlFramesAreRejected) {
+  FakeTransport transport;
+  ClientControlPlane cp(fast_config(), transport.hooks());
+  ASSERT_TRUE(cp.start(0).ok());
+  EXPECT_FALSE(cp.deliver(Bytes{}, 0).ok());
+  Bytes data = {static_cast<std::uint8_t>(MsgType::Data), 1, 2, 3};
+  EXPECT_FALSE(cp.deliver(data, 0).ok());
+  EXPECT_EQ(cp.state(), ClientControlPlane::State::Connecting);
+}
+
+}  // namespace
+}  // namespace endbox::vpn

@@ -285,5 +285,140 @@ TEST(LifecycleTable, ChurnMatchesReferenceModelAtTickBoundaries) {
   }
 }
 
+// ---- LRU capacity eviction -------------------------------------------------
+
+Table::Options lru_options(std::size_t capacity) {
+  Table::Options options;
+  options.capacity = capacity;
+  options.eviction = EvictionPolicy::EvictIdleLongest;
+  return options;
+}
+
+TEST(LifecycleTable, RejectAtCapacityStaysTheDefault) {
+  Table table(make_options(2, 0));
+  ASSERT_NE(table.insert(1, "a", 0), nullptr);
+  ASSERT_NE(table.insert(2, "b", 0), nullptr);
+  EXPECT_EQ(table.insert(3, "c", 10), nullptr);
+  EXPECT_EQ(table.stats().rejected_full, 1u);
+  EXPECT_EQ(table.stats().evicted_lru, 0u);
+}
+
+TEST(LifecycleTable, EvictIdleLongestAdmitsByRecyclingTheStalest) {
+  Table table(lru_options(3));
+  table.insert(1, "a", 10);
+  table.insert(2, "b", 20);
+  table.insert(3, "c", 30);
+  Table::Entry* entry = table.insert(4, "d", 40);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_FALSE(table.contains(1));  // idle-longest victim
+  EXPECT_TRUE(table.contains(2));
+  EXPECT_TRUE(table.contains(4));
+  EXPECT_EQ(table.stats().evicted_lru, 1u);
+  EXPECT_EQ(table.stats().rejected_full, 0u);
+}
+
+TEST(LifecycleTable, TouchProtectsFromEviction) {
+  Table table(lru_options(2));
+  table.insert(1, "a", 10);
+  table.insert(2, "b", 20);
+  table.find_touch(1, 50);  // 1 is now the most recently active
+  table.insert(3, "c", 60);
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_FALSE(table.contains(2));
+}
+
+TEST(LifecycleTable, EvictHookFiresWithTheVictim) {
+  Table table(lru_options(1));
+  std::vector<std::pair<std::uint64_t, std::string>> victims;
+  table.set_evict_hook([&](std::uint64_t key, std::string&& value) {
+    victims.emplace_back(key, std::move(value));
+  });
+  table.insert(1, "a", 10);
+  table.insert(2, "b", 20);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].first, 1u);
+  EXPECT_EQ(victims[0].second, "a");
+}
+
+TEST(LifecycleTable, PinnedEntriesAreNeverVictims) {
+  Table table(lru_options(2));
+  Table::Entry* a = table.insert(1, "a", 10);
+  table.pin(*a, 1000);  // mid-handshake shield
+  table.insert(2, "b", 20);
+  // 1 is idle-longest but pinned: 2 is the victim instead.
+  ASSERT_NE(table.insert(3, "c", 30), nullptr);
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_FALSE(table.contains(2));
+}
+
+TEST(LifecycleTable, AllPinnedMeansRejectNotEvict) {
+  Table table(lru_options(2));
+  table.pin(*table.insert(1, "a", 10), 1000);
+  table.pin(*table.insert(2, "b", 20), 1000);
+  EXPECT_EQ(table.insert(3, "c", 30), nullptr);
+  EXPECT_EQ(table.stats().rejected_full, 1u);
+  EXPECT_EQ(table.stats().evicted_lru, 0u);
+}
+
+TEST(LifecycleTable, PinExpiresWithTime) {
+  Table table(lru_options(1));
+  Table::Entry* a = table.insert(1, "a", 10);
+  table.pin(*a, 100);
+  EXPECT_TRUE(table.pinned_at(*a, 50));
+  EXPECT_FALSE(table.pinned_at(*a, 100));  // shield lapsed
+  ASSERT_NE(table.insert(2, "b", 200), nullptr);
+  EXPECT_FALSE(table.contains(1));
+}
+
+TEST(LifecycleTable, RecycledSlotDoesNotInheritAPin) {
+  Table table(lru_options(1));
+  table.pin(*table.insert(1, "a", 10), 50);
+  ASSERT_TRUE(table.erase(1));
+  // The new entry reuses the freed slot; a stale pin there would
+  // shield a session that never asked for one.
+  Table::Entry* fresh = table.insert(2, "b", 20);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_FALSE(table.pinned_at(*fresh, 20));
+  ASSERT_NE(table.insert(3, "c", 30), nullptr);
+  EXPECT_FALSE(table.contains(2));
+}
+
+TEST(LifecycleTable, AbsorbStatsFoldsEvictions) {
+  Table a(lru_options(1)), b(lru_options(1));
+  a.insert(1, "x", 0);
+  a.insert(2, "y", 1);  // evicts 1
+  b.absorb_stats(a.stats());
+  EXPECT_EQ(b.stats().evicted_lru, 1u);
+}
+
+TEST(LifecycleTable, EvictionScanCyclesPastAPinnedCluster) {
+  // More pinned entries than one scan budget: the clock hand must
+  // still find the lone unpinned victim somewhere behind them.
+  Table::Options options = lru_options(8);
+  options.eviction_scan = 4;
+  Table table(options);
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    Table::Entry* entry = table.insert(key, "v", 10 + key);
+    if (key != 6) table.pin(*entry, 1'000'000);
+  }
+  ASSERT_NE(table.insert(100, "new", 500), nullptr);
+  EXPECT_FALSE(table.contains(6));
+  EXPECT_EQ(table.size(), 8u);
+}
+
+TEST(LifecycleTable, LruKeepsWorkingUnderChurn) {
+  // Sustained over-capacity insert stream: size stays bounded, every
+  // insert is admitted, and victims are plausibly stale (never the
+  // most recent key).
+  Table table(lru_options(16));
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    ASSERT_NE(table.insert(key, "v", key), nullptr);
+    ASSERT_LE(table.size(), 16u);
+    EXPECT_TRUE(table.contains(key));
+  }
+  EXPECT_EQ(table.stats().evicted_lru, 500u - 16u);
+}
+
 }  // namespace
 }  // namespace endbox

@@ -187,5 +187,167 @@ TEST(StarTopology, ResetClearsAllCounters) {
   EXPECT_EQ(topo.clients(), 1u);  // hosts survive, counters do not
 }
 
+// ---- Fault injection -------------------------------------------------------
+
+TEST(Fault, NoPlanDegradesToPlainTransmit) {
+  Link plain(1e9, sim::from_millis(1.0));
+  Link faulty(1e9, sim::from_millis(1.0));
+  faulty.set_fault_plan(FaultPlan{});  // disabled plan = no fault state
+  EXPECT_FALSE(faulty.fault_plan_enabled());
+  auto out = faulty.transmit_faulty(0, 1250);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at, plain.transmit(0, 1250));
+  EXPECT_FALSE(out[0].corrupted());
+}
+
+TEST(Fault, DropAlwaysDropsAndCounts) {
+  Link link(1e9, 0, "lossy");
+  FaultPlan plan;
+  plan.drop = 1.0;
+  link.set_fault_plan(plan);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(link.transmit_faulty(0, 100).dropped());
+  EXPECT_EQ(link.fault_stats().frames_offered, 10u);
+  EXPECT_EQ(link.fault_stats().frames_dropped, 10u);
+  EXPECT_EQ(link.fault_stats().bytes_dropped, 1000u);
+  EXPECT_EQ(link.fault_stats().frames_flap_dropped, 0u);
+  // Random drops serialise first (the bytes crossed the wire before
+  // the far end lost them), so the link byte counters still advance.
+  EXPECT_EQ(link.bytes(), 1000u);
+}
+
+TEST(Fault, DuplicateDeliversTwoCopies) {
+  Link link(1e9, 0, "dupey");
+  FaultPlan plan;
+  plan.duplicate = 1.0;
+  link.set_fault_plan(plan);
+  auto out = link.transmit_faulty(0, 100);
+  ASSERT_EQ(out.size(), 2u);
+  // The duplicate serialises behind the original.
+  EXPECT_GT(out[1].at, out[0].at);
+  EXPECT_EQ(link.fault_stats().frames_duplicated, 1u);
+}
+
+TEST(Fault, CorruptionAlwaysChangesTheBytes) {
+  Link link(1e9, 0, "noisy");
+  FaultPlan plan;
+  plan.corrupt = 1.0;
+  link.set_fault_plan(plan);
+  for (int i = 0; i < 32; ++i) {
+    auto out = link.transmit_faulty(0, 64);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_TRUE(out[0].corrupted());
+    std::vector<std::uint8_t> frame(64, 0xab);
+    out[0].apply(frame);
+    EXPECT_NE(frame, std::vector<std::uint8_t>(64, 0xab));
+  }
+  EXPECT_EQ(link.fault_stats().frames_corrupted, 32u);
+}
+
+TEST(Fault, ReorderHoldsTheCopyBack) {
+  Link link(1e9, 0, "jittery");
+  FaultPlan plan;
+  plan.reorder = 1.0;
+  plan.reorder_delay = sim::from_millis(5.0);
+  link.set_fault_plan(plan);
+  Link clean(1e9, 0);
+  auto out = link.transmit_faulty(0, 100);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].reordered);
+  EXPECT_EQ(out[0].at, clean.transmit(0, 100) + sim::from_millis(5.0));
+  EXPECT_EQ(link.fault_stats().frames_reordered, 1u);
+}
+
+TEST(Fault, DownWindowDropsWithoutSerialising) {
+  Link link(1e9, 0, "flappy");
+  FaultPlan plan;
+  plan.down.push_back({sim::kSecond, 2 * sim::kSecond});
+  link.set_fault_plan(plan);
+  EXPECT_FALSE(link.transmit_faulty(0, 100).dropped());          // before
+  EXPECT_TRUE(link.transmit_faulty(sim::kSecond, 100).dropped());  // inside
+  EXPECT_FALSE(link.transmit_faulty(2 * sim::kSecond, 100).dropped());  // after
+  EXPECT_EQ(link.fault_stats().frames_flap_dropped, 1u);
+  EXPECT_EQ(link.fault_stats().frames_dropped, 1u);
+  // A dead transmitter sends nothing: only the surviving frames count.
+  EXPECT_EQ(link.frames(), 2u);
+}
+
+TEST(Fault, SameSeedSameNameReproducesTheLossPattern) {
+  FaultPlan plan;
+  plan.drop = 0.3;
+  plan.corrupt = 0.2;
+  plan.duplicate = 0.1;
+  auto pattern = [&](const std::string& name) {
+    Link link(1e9, 0, name);
+    link.set_fault_plan(plan);
+    std::vector<std::size_t> copies;
+    for (int i = 0; i < 200; ++i) copies.push_back(link.transmit_faulty(0, 100).size());
+    return copies;
+  };
+  EXPECT_EQ(pattern("a"), pattern("a"));
+  EXPECT_NE(pattern("a"), pattern("b"));  // per-link independent streams
+}
+
+TEST(Fault, ResetRewindsTheFaultStream) {
+  FaultPlan plan;
+  plan.drop = 0.5;
+  Link link(1e9, 0, "rewind");
+  link.set_fault_plan(plan);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(link.transmit_faulty(0, 100).dropped());
+  link.reset();
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(link.transmit_faulty(0, 100).dropped(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Fault, PathChainsHopsAndAccumulatesCorruptions) {
+  Link a(1e9, 0, "hop-a");
+  Link b(1e9, 0, "hop-b");
+  FaultPlan plan;
+  plan.corrupt = 1.0;
+  a.set_fault_plan(plan);
+  b.set_fault_plan(plan);
+  Path path({&a, &b});
+  auto out = path.deliver_faulty(0, 64);
+  ASSERT_EQ(out.size(), 1u);
+  // Each hop adds one corruption to the surviving copy.
+  EXPECT_EQ(out[0].corruption_count, 2u);
+}
+
+TEST(Fault, PathDuplicationFansOutToTheCap) {
+  Link a(1e9, 0, "hop-a");
+  Link b(1e9, 0, "hop-b");
+  FaultPlan plan;
+  plan.duplicate = 1.0;
+  a.set_fault_plan(plan);
+  b.set_fault_plan(plan);
+  Path path({&a, &b});
+  auto out = path.deliver_faulty(0, 64);
+  EXPECT_EQ(out.size(), FaultOutcome::kMaxDeliveries);  // 2 x 2 copies
+}
+
+TEST(Fault, StarTopologyAppliesOnePlanEverywhere) {
+  sim::PerfModel model;
+  StarTopology topo(model);
+  topo.add_client("c1");
+  FaultPlan plan;
+  plan.drop = 1.0;
+  topo.set_fault_plan_all(plan);
+  EXPECT_TRUE(topo.uplink().fault_plan_enabled());
+  EXPECT_TRUE(topo.access_link(0).fault_plan_enabled());
+  EXPECT_TRUE(topo.deliver_to_server_faulty(0, 0, 100).dropped());
+  // Clients added after the plan inherit it.
+  topo.add_client("c2");
+  EXPECT_TRUE(topo.access_link(1).fault_plan_enabled());
+  EXPECT_TRUE(topo.deliver_to_client_faulty(1, 0, 100).dropped());
+}
+
+TEST(Fault, CorruptionApplyWrapsTheOffset) {
+  Delivery d;
+  d.add_corruption({100, 0x01});
+  std::vector<std::uint8_t> frame(7, 0);
+  d.apply(frame);
+  EXPECT_EQ(frame[100 % 7], 0x01);
+}
+
 }  // namespace
 }  // namespace endbox::netsim

@@ -921,5 +921,293 @@ TEST_F(TunnelFixture, SealBeforeHandshakeThrows) {
   EXPECT_THROW(client.create_ping(), std::logic_error);
 }
 
+// ---- Robustness: mutation fuzz, duplicate handshakes, re-key ---------------
+
+TEST_F(TunnelFixture, MutationFuzzDataFrameEveryByteRejectsCleanly) {
+  auto client = connect();
+  std::vector<Bytes> frames;
+  client.seal_packet_wire(to_bytes("fuzz-me-until-i-break"), frames);
+  ASSERT_EQ(frames.size(), 1u);
+  const Bytes valid = frames[0];
+  VpnServer::OpenBatch out;
+  std::vector<Bytes> train(1);
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      train[0] = valid;
+      train[0][i] ^= mask;
+      // Typed rejection, no throw, no state advanced.
+      server.open_batch(train, clock.now(), out);
+      EXPECT_EQ(out.complete, 0u) << "byte " << i << " mask " << int(mask);
+      EXPECT_EQ(out.rejected, 1u) << "byte " << i << " mask " << int(mask);
+    }
+  }
+  // Truncations of every length reject cleanly too.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    train[0].assign(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    server.open_batch(train, clock.now(), out);
+    EXPECT_EQ(out.complete, 0u) << "len " << len;
+  }
+  // No mutant advanced the replay window: the pristine frame, with the
+  // very packet id every mutant carried, still opens.
+  train[0] = valid;
+  server.open_batch(train, clock.now(), out);
+  ASSERT_EQ(out.complete, 1u);
+  EXPECT_EQ(Bytes(out.packets[0].ip_packet), to_bytes("fuzz-me-until-i-break"));
+}
+
+TEST_F(TunnelFixture, MutationFuzzHandshakeReplyEveryByteRejectsCleanly) {
+  auto client = make_client();
+  auto init = client.create_handshake_init();
+  auto event = server.handle(init.serialize(), clock.now());
+  ASSERT_TRUE(event.ok()) << event.error();
+  const Bytes valid = std::get<VpnServer::HandshakeDone>(*event).reply_wire;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      Bytes mutant = valid;
+      mutant[i] ^= mask;
+      auto parsed = WireMessage::parse(mutant);
+      if (!parsed.ok()) continue;  // typed parse error: also fine
+      auto status = client.process_handshake_reply(*parsed);
+      EXPECT_FALSE(status.ok()) << "byte " << i << " mask " << int(mask);
+      EXPECT_FALSE(client.established());
+    }
+    // Truncated replies reject without throwing (ByteReader bounds).
+    Bytes short_reply(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(i));
+    auto parsed = WireMessage::parse(short_reply);
+    if (parsed.ok()) {
+      EXPECT_FALSE(client.process_handshake_reply(*parsed).ok());
+    }
+  }
+  // The untouched reply still completes the handshake afterwards.
+  auto parsed = WireMessage::parse(valid);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(client.process_handshake_reply(*parsed).ok());
+  EXPECT_TRUE(client.established());
+}
+
+TEST_F(TunnelFixture, DuplicateHandshakeInitMintsNoSecondSession) {
+  auto client = make_client();
+  Bytes init = client.create_handshake_init().serialize();
+  auto first = server.handle(init, clock.now());
+  ASSERT_TRUE(first.ok()) << first.error();
+  auto& done1 = std::get<VpnServer::HandshakeDone>(*first);
+  // The network (or the retransmission layer) delivers the same init
+  // again: the dedupe cache answers with the SAME session and reply.
+  auto second = server.handle(init, clock.now());
+  ASSERT_TRUE(second.ok()) << second.error();
+  auto& done2 = std::get<VpnServer::HandshakeDone>(*second);
+  EXPECT_EQ(done1.session_id, done2.session_id);
+  EXPECT_EQ(done1.reply_wire, done2.reply_wire);
+  EXPECT_EQ(server.session_count(), 1u);
+  EXPECT_EQ(server.handshakes_deduped(), 1u);
+}
+
+TEST_F(TunnelFixture, DuplicateHandshakeReplyDoesNotResetTheSession) {
+  auto client = make_client();
+  auto event = server.handle(client.create_handshake_init().serialize(),
+                             clock.now());
+  ASSERT_TRUE(event.ok());
+  auto reply = WireMessage::parse(
+      std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(client.process_handshake_reply(*reply).ok());
+  // Send some data so the replay window has advanced past zero.
+  for (int i = 0; i < 3; ++i) {
+    auto sent = client.seal_packet(to_bytes("pkt"));
+    ASSERT_TRUE(server.handle(sent[0].serialize(), clock.now()).ok());
+  }
+  // The duplicated reply lands again: success with no state change —
+  // keys, session id and the replay window all survive.
+  ASSERT_TRUE(client.process_handshake_reply(*reply).ok());
+  auto sent = client.seal_packet(to_bytes("after-dup"));
+  auto opened = server.handle(sent[0].serialize(), clock.now());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*opened).ip_packet,
+            to_bytes("after-dup"));
+}
+
+TEST_F(TunnelFixture, StaleReplyCannotCompleteANewHandshakeCycle) {
+  auto client = make_client();
+  auto event = server.handle(client.create_handshake_init().serialize(),
+                             clock.now());
+  ASSERT_TRUE(event.ok());
+  auto old_reply = WireMessage::parse(
+      std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+  ASSERT_TRUE(old_reply.ok());
+  ASSERT_TRUE(client.process_handshake_reply(*old_reply).ok());
+  // The client re-keys (new nonce): a duplicate of the OLD reply must
+  // not falsely complete the NEW cycle — its signature binds the old
+  // client nonce.
+  client.create_handshake_init();
+  EXPECT_FALSE(client.established());
+  EXPECT_FALSE(client.process_handshake_reply(*old_reply).ok());
+  EXPECT_FALSE(client.established());
+}
+
+TEST_F(TunnelFixture, RekeyDropsPendingFragmentsOfTheOldSession) {
+  // Server-side MTU governs server->client fragmentation.
+  VpnServerConfig small_mtu;
+  small_mtu.mtu = 100;
+  VpnServer srv(rng, authority.public_key(), small_mtu);
+  auto client = connect_to(srv);
+  std::uint32_t old_session = client.session_id();
+  Rng data_rng(23);
+  Bytes old_packet = data_rng.bytes(250);
+  auto old_frags = srv.seal_packet(old_session, old_packet);
+  ASSERT_EQ(old_frags.size(), 3u);
+  // Two of three old-session fragments arrive, then the client re-keys.
+  ASSERT_TRUE(client.open_data(old_frags[0]).ok());
+  ASSERT_TRUE(client.open_data(old_frags[1]).ok());
+  auto init = client.create_handshake_init();
+  auto event = srv.handle(init.serialize(), clock.now());
+  ASSERT_TRUE(event.ok());
+  auto reply = WireMessage::parse(
+      std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+  ASSERT_TRUE(client.process_handshake_reply(*reply).ok());
+  // The straggler fragment of the old session fails the new keys' MAC
+  // — and, crucially, the half-built old group is gone, so nothing can
+  // ever complete from a mix of old and new fragments.
+  EXPECT_FALSE(client.open_data(old_frags[2]).ok());
+  Bytes new_packet = data_rng.bytes(250);
+  auto new_frags = srv.seal_packet(client.session_id(), new_packet);
+  ASSERT_EQ(new_frags.size(), 3u);
+  std::optional<Bytes> assembled;
+  for (const auto& frag : new_frags) {
+    auto opened = client.open_data(frag);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    if (opened->has_value()) assembled = std::move(**opened);
+  }
+  ASSERT_TRUE(assembled.has_value());
+  EXPECT_EQ(*assembled, new_packet);
+}
+
+TEST_F(TunnelFixture, CorruptFragmentNeverPoisonsReassembly) {
+  VpnClientConfig config;
+  config.mtu = 100;
+  auto client = connect(config);
+  Rng data_rng(29);
+  Bytes packet = data_rng.bytes(250);
+  auto frags = client.seal_packet(packet);
+  ASSERT_EQ(frags.size(), 3u);
+  // The middle fragment arrives corrupted, the rest intact and out of
+  // order. The corrupt copy is rejected before touching the group.
+  Bytes corrupt = frags[1].serialize();
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  ASSERT_TRUE(server.handle(frags[2].serialize(), clock.now()).ok());
+  EXPECT_FALSE(server.handle(corrupt, clock.now()).ok());
+  ASSERT_TRUE(server.handle(frags[0].serialize(), clock.now()).ok());
+  // A pristine retransmit of the middle fragment completes the packet.
+  auto done = server.handle(frags[1].serialize(), clock.now());
+  ASSERT_TRUE(done.ok()) << done.error();
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*done).ip_packet, packet);
+}
+
+TEST_F(TunnelFixture, DuplicatedFragmentAssemblesExactlyOnce) {
+  VpnClientConfig config;
+  config.mtu = 100;
+  auto client = connect(config);
+  Rng data_rng(31);
+  Bytes packet = data_rng.bytes(250);
+  auto frags = client.seal_packet(packet);
+  ASSERT_EQ(frags.size(), 3u);
+  ASSERT_TRUE(server.handle(frags[0].serialize(), clock.now()).ok());
+  // The network duplicates a fragment: the copy is a replay (each
+  // fragment carries its own packet id) and is rejected.
+  EXPECT_FALSE(server.handle(frags[0].serialize(), clock.now()).ok());
+  ASSERT_TRUE(server.handle(frags[1].serialize(), clock.now()).ok());
+  auto done = server.handle(frags[2].serialize(), clock.now());
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*done).ip_packet, packet);
+}
+
+TEST_F(TunnelFixture, ServerRestartClosesEverySessionAndInvalidatesTheEpoch) {
+  auto alice = connect();
+  auto bob = connect();
+  std::vector<std::uint32_t> closed;
+  server.set_session_close_hook(
+      [&](std::uint32_t id) { closed.push_back(id); });
+  EXPECT_EQ(server.restart(), 2u);
+  EXPECT_EQ(server.session_count(), 0u);
+  EXPECT_EQ(closed.size(), 2u);
+  // Old-epoch traffic bounces: the restarted server has no sessions.
+  auto stale = alice.seal_packet(to_bytes("stale"));
+  EXPECT_FALSE(server.handle(stale[0].serialize(), clock.now()).ok());
+  // Re-handshaking works, and the dedupe cache was emptied too: the
+  // same server mints fresh sessions for the new epoch.
+  auto event = server.handle(bob.create_handshake_init().serialize(),
+                             clock.now());
+  ASSERT_TRUE(event.ok()) << event.error();
+  auto reply = WireMessage::parse(
+      std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+  ASSERT_TRUE(bob.process_handshake_reply(*reply).ok());
+  auto fresh = bob.seal_packet(to_bytes("fresh"));
+  auto opened = server.handle(fresh[0].serialize(), clock.now());
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_EQ(std::get<VpnServer::PacketIn>(*opened).ip_packet,
+            to_bytes("fresh"));
+  EXPECT_EQ(server.handshakes_deduped(), 0u);
+}
+
+TEST_F(TunnelFixture, LruEvictionAdmitsAStormWithinTheCapacityBound) {
+  VpnServerConfig config;
+  config.session_capacity_per_shard = 4;
+  config.lru_eviction = true;
+  config.handshake_pin = 0;  // storm clients never speak again: evictable
+  VpnServer srv(rng, authority.public_key(), config);
+  sim::Time now = 0;
+  for (int i = 0; i < 16; ++i) {
+    now += sim::kMillisecond;
+    VpnClientSession client(rng, certificate, enclave_key, srv.public_key(),
+                            {});
+    auto event = srv.handle(client.create_handshake_init().serialize(), now);
+    ASSERT_TRUE(event.ok()) << event.error();
+    ASSERT_LE(srv.session_count(), 4u);
+  }
+  EXPECT_EQ(srv.sessions_evicted_lru(), 12u);
+  EXPECT_EQ(srv.sessions_rejected_full(), 0u);
+}
+
+TEST_F(TunnelFixture, HandshakePinShieldsMidHandshakeSessionsFromTheStorm) {
+  VpnServerConfig config;
+  config.session_capacity_per_shard = 4;
+  config.lru_eviction = true;
+  config.handshake_pin = 10 * sim::kSecond;
+  VpnServer srv(rng, authority.public_key(), config);
+  // Every admitted session is still inside its handshake grace: a
+  // storm cannot evict any of them, so the table rejects instead.
+  sim::Time now = 0;
+  std::vector<VpnClientSession> clients;
+  for (int i = 0; i < 8; ++i) {
+    now += sim::kMillisecond;
+    clients.emplace_back(rng, certificate, enclave_key, srv.public_key(),
+                         VpnClientConfig{});
+    auto event =
+        srv.handle(clients.back().create_handshake_init().serialize(), now);
+    if (i < 4) {
+      ASSERT_TRUE(event.ok()) << event.error();
+      auto reply = WireMessage::parse(
+          std::get<VpnServer::HandshakeDone>(*event).reply_wire);
+      ASSERT_TRUE(clients.back().process_handshake_reply(*reply).ok());
+    } else {
+      EXPECT_FALSE(event.ok());  // mid-handshake sessions never evicted
+    }
+  }
+  EXPECT_EQ(srv.session_count(), 4u);
+  EXPECT_EQ(srv.sessions_evicted_lru(), 0u);
+  EXPECT_GT(srv.sessions_rejected_full(), 0u);
+  // An authenticated data frame unpins its session, making it fair
+  // game: the next storm handshake evicts exactly that one.
+  auto sent = clients[0].seal_packet(to_bytes("hello"));
+  ASSERT_TRUE(srv.handle(sent[0].serialize(), now).ok());
+  std::uint32_t unpinned = clients[0].session_id();
+  now += sim::kMillisecond;
+  VpnClientSession late(rng, certificate, enclave_key, srv.public_key(), {});
+  auto event = srv.handle(late.create_handshake_init().serialize(), now);
+  ASSERT_TRUE(event.ok()) << event.error();
+  EXPECT_EQ(srv.sessions_evicted_lru(), 1u);
+  EXPECT_FALSE(srv.has_session(unpinned));
+  EXPECT_EQ(srv.session_count(), 4u);
+}
+
 }  // namespace
 }  // namespace endbox::vpn
