@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "click/router.hpp"
+#include "click/spsc_ring.hpp"
 #include "net/packet.hpp"
 
 namespace endbox::click {
@@ -142,8 +143,28 @@ class ShardedRouter {
   /// Partitions the burst by flow and pushes each shard's sub-burst
   /// into that shard's `name` element, running non-empty shards
   /// concurrently on the worker pool. The batch is consumed. Returns
-  /// false when the entry element does not exist.
+  /// false when the entry element does not exist. This is the staged
+  /// reference path; the steady-state data plane uses
+  /// push_batch_lanes.
   bool push_batch_to(const std::string& name, PacketBatch&& batch);
+
+  /// Run-to-completion lane entry: RSS-dispatches each packet into its
+  /// lane's SPSC ring, then every busy lane drains its own ring and
+  /// runs the graph to completion — no staging batch shared with the
+  /// caller and no cross-lane merge. One busy lane runs inline on the
+  /// calling thread. The batch is consumed. Returns false when the
+  /// entry element does not exist.
+  bool push_batch_lanes(const std::string& name, PacketBatch&& batch);
+
+  /// Producer-side high-water of lane `i`'s ring since the last
+  /// reset_lane_stats() — how deep that lane's backlog got, the
+  /// imbalance signal the reshard controller consumes.
+  std::uint64_t lane_ring_peak(std::size_t i) const {
+    return lane_rings_[i]->peak();
+  }
+  void reset_lane_stats() {
+    for (auto& ring : lane_rings_) ring->reset_peak();
+  }
 
   /// Hot-swaps every shard to a new configuration, transferring element
   /// state shard-for-shard via take_state (RouterManager semantics).
@@ -168,6 +189,9 @@ class ShardedRouter {
   std::string config_text_;
   std::vector<std::unique_ptr<Router>> shards_;
   std::vector<PacketBatch> partition_scratch_;  ///< per-shard sub-bursts
+  /// One SPSC ring per lane (unique_ptr: rings pin their cache-line
+  /// aligned counters, so they never move).
+  std::vector<std::unique_ptr<SpscRing<net::Packet>>> lane_rings_;
   std::unique_ptr<ShardWorkerPool> pool_;       ///< absent for 1 shard
   std::uint64_t reshard_count_ = 0;
 };

@@ -1,0 +1,111 @@
+// SpscRing: the lane hand-off primitive of the run-to-completion
+// pipeline — a lock-free bounded single-producer/single-consumer ring
+// (FastClick's thread-pinned push paths, NFOS data-plane cores).
+//
+// One producer (the lane dispatcher) and one consumer (the lane) and
+// nothing else: head_ is written by the producer only, tail_ by the
+// consumer only, and the release/acquire pair on each counter publishes
+// the slot contents across the hand-off. Positions are monotonic
+// 64-bit counters masked into a power-of-two slot array, so a slot is
+// reused every `capacity()` operations (its "generation") and
+// full/empty never need a separate flag: the ring is empty when
+// head == tail and full when head - tail == capacity.
+//
+// The ring reports its producer-side high-water mark (`peak()`): the
+// deepest the lane's backlog got since the last reset. Together with
+// per-lane busy time this is the imbalance signal the
+// AdaptiveReshardController uses to split a hot lane.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace endbox::click {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2). Growing
+  /// later via reserve() is a single-threaded operation.
+  explicit SpscRing(std::size_t capacity = 1024) { reserve(capacity); }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (the value is
+  /// left untouched so the caller can retry or fall back).
+  bool try_push(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[static_cast<std::size_t>(head) & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    const std::uint64_t depth = head + 1 - tail;
+    if (depth > peak_) peak_ = depth;
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = std::move(slots_[static_cast<std::size_t>(tail) & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous depth. Exact from either endpoint's own thread;
+  /// a racing snapshot from anywhere else.
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer-side high-water mark since the last reset_peak(): how
+  /// deep this lane's backlog got (the controller's hot-lane signal).
+  std::uint64_t peak() const { return peak_; }
+  void reset_peak() { peak_ = 0; }
+
+  /// Grows the slot array to at least `capacity` (power of two).
+  /// Single-threaded only — callers grow between bursts, never while
+  /// the consumer runs. Live entries are carried over.
+  void reserve(std::size_t capacity) {
+    std::size_t want = 2;
+    while (want < capacity) want *= 2;
+    if (want <= slots_.size()) return;
+    std::vector<T> grown(want);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t new_mask = want - 1;
+    for (std::uint64_t pos = tail; pos != head; ++pos)
+      grown[static_cast<std::size_t>(pos) & new_mask] =
+          std::move(slots_[static_cast<std::size_t>(pos) & mask_]);
+    slots_ = std::move(grown);
+    mask_ = new_mask;
+  }
+
+  /// Drops all queued entries (single-threaded only). Slot contents
+  /// stay in place until overwritten, so pooled buffers parked in a
+  /// cleared ring keep their capacity for the next burst.
+  void clear() {
+    tail_.store(head_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer-owned and consumer-owned counters on their own cache
+  /// lines so the SPSC hand-off never false-shares.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next push position
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next pop position
+  std::uint64_t peak_ = 0;  ///< producer-side backlog high-water
+};
+
+}  // namespace endbox::click

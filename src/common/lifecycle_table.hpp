@@ -83,8 +83,10 @@ class LifecycleTable {
     /// clock-hand cursor and victimises the idle-longest among them —
     /// bounded work per insert, approximate LRU (like FastClick's
     /// sampled flow eviction), exact enough that an idle-for-hours
-    /// session always loses to an active one.
-    std::size_t eviction_scan = 16;
+    /// session always loses to an active one. One sweep's runners-up
+    /// serve the following admissions, so a bigger sample both
+    /// sharpens the approximation and amortises the sweep further.
+    std::size_t eviction_scan = 64;
   };
 
   struct Stats {
@@ -110,6 +112,10 @@ class LifecycleTable {
     /// capacity-eviction victim (it can still idle-expire). RelaxedTime
     /// because shard workers unpin on the first authenticated frame.
     RelaxedTime pin_until{};
+    /// The entry's slot in index_ (kept current by index_insert and
+    /// rebuild_index; linear probing never relocates a live slot), so
+    /// eviction erases without re-probing the key it just looked at.
+    std::uint32_t index_pos = 0;
     std::uint32_t generation = 0;
     bool live = false;
   };
@@ -246,9 +252,7 @@ class LifecycleTable {
       }
       Key key = entry.key;  // keys are small (ids / flow tuples)
       Value value = std::move(entry.value);
-      std::size_t pos = 0;
-      std::uint32_t found = probe(key, pos);
-      erase_at(pos, found);
+      erase_at(entry.index_pos, idx);
       ++stats_.expired_idle;
       ++expired;
       on_expire(key, std::move(value));
@@ -283,6 +287,7 @@ class LifecycleTable {
     tombstones_ = 0;
     size_ = 0;
     evict_cursor_ = 0;
+    evict_cache_.clear();
     if (wheel_) wheel_.emplace(options_.wheel);
   }
 
@@ -291,39 +296,78 @@ class LifecycleTable {
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
   static constexpr std::uint32_t kTombstone = 0xfffffffeu;
 
+  /// A remembered eviction candidate from a previous clock-hand sweep.
+  /// Validated at use time: the generation catches erase/recycle, the
+  /// stamp catches touches, and the pin is re-checked against the
+  /// current time — a stale candidate is simply dropped.
+  struct EvictCandidate {
+    sim::Time stamp = 0;
+    std::uint32_t idx = 0;
+    std::uint32_t generation = 0;
+  };
+
   /// Victimises the idle-longest of up to eviction_scan unpinned
   /// entries met by a clock-hand sweep (at most one full cycle, so a
   /// fully-pinned table costs O(n) and rejects rather than wedging).
+  /// The sweep's runners-up are cached — still idle-longer than
+  /// anything admitted since — so an eviction churn pays one sweep per
+  /// ~eviction_scan admissions instead of per admission. The hand
+  /// itself persists across sweeps (evict_cursor_), so consecutive
+  /// sweeps cover fresh ground instead of rescanning one hot region.
   /// Returns false if no evictable entry exists.
   bool evict_one(sim::Time now) {
+    while (!evict_cache_.empty()) {
+      EvictCandidate candidate = evict_cache_.back();
+      evict_cache_.pop_back();
+      if (candidate.idx >= entries_.size()) continue;
+      Entry& entry = entries_[candidate.idx];
+      if (!entry.live || entry.generation != candidate.generation ||
+          pinned_at(entry, now) ||
+          entry.last_activity.load() != candidate.stamp)
+        continue;  // erased, recycled, pinned or touched since the sweep
+      evict_entry(candidate.idx);
+      return true;
+    }
+
     std::size_t n = entries_.size();
     if (n == 0) return false;
-    std::uint32_t victim = kNil;
-    sim::Time victim_stamp = 0;
+    std::size_t cursor = evict_cursor_;
     std::size_t candidates = 0;
     for (std::size_t step = 0;
          step < n && candidates < options_.eviction_scan; ++step) {
-      std::uint32_t idx = static_cast<std::uint32_t>(evict_cursor_);
-      evict_cursor_ = (evict_cursor_ + 1) % n;
+      if (cursor >= n) cursor = 0;
+      std::uint32_t idx = static_cast<std::uint32_t>(cursor++);
       Entry& entry = entries_[idx];
+      // Pinned runs (a handshake wave occupies contiguous recycled
+      // slots) cost one relaxed load each and never count against the
+      // candidate budget, so the hand skips them without shrinking the
+      // sample.
       if (!entry.live || pinned_at(entry, now)) continue;
       ++candidates;
-      sim::Time stamp = entry.last_activity.load();
-      if (victim == kNil || stamp < victim_stamp) {
-        victim = idx;
-        victim_stamp = stamp;
-      }
+      evict_cache_.push_back(
+          {entry.last_activity.load(), idx, entry.generation});
     }
-    if (victim == kNil) return false;
-    Entry& entry = entries_[victim];
+    evict_cursor_ = cursor;
+    if (evict_cache_.empty()) return false;
+    // Oldest last: back() serves this eviction, the runners-up stay
+    // cached for the next ones.
+    std::sort(evict_cache_.begin(), evict_cache_.end(),
+              [](const EvictCandidate& a, const EvictCandidate& b) {
+                return a.stamp > b.stamp;
+              });
+    std::uint32_t victim = evict_cache_.back().idx;
+    evict_cache_.pop_back();
+    evict_entry(victim);
+    return true;
+  }
+
+  void evict_entry(std::uint32_t idx) {
+    Entry& entry = entries_[idx];
     Key key = entry.key;
     Value value = std::move(entry.value);
-    std::size_t pos = 0;
-    std::uint32_t found = probe(key, pos);
-    erase_at(pos, found);
+    erase_at(entry.index_pos, idx);
     ++stats_.evicted_lru;
     if (evict_hook_) evict_hook_(key, std::move(value));
-    return true;
   }
 
   // Re-mix the user hash so probe order is independent of any structure
@@ -403,6 +447,7 @@ class LifecycleTable {
       p = (p + 1) & slot_mask_;
     if (index_[p] == kTombstone) --tombstones_;
     index_[p] = idx;
+    entries_[idx].index_pos = static_cast<std::uint32_t>(p);
   }
 
   /// Keeps (live + tombstones) under 3/4 of the slots so probes always
@@ -432,6 +477,7 @@ class LifecycleTable {
   Stats stats_;
   std::function<void(Key, Value&&)> evict_hook_;
   std::size_t evict_cursor_ = 0;
+  std::vector<EvictCandidate> evict_cache_;  ///< sweep runners-up, newest-first
   std::deque<Entry> entries_;
   std::vector<std::uint32_t> free_;
   std::vector<std::uint32_t> index_;

@@ -151,15 +151,16 @@ sim::Time EndBoxClient::charge_data_path_batch(sim::Time now,
 
   // Sharded burst, honest multi-core accounting: the single-threaded
   // part (tunnel crypto, boundary copies, the graph-entry call, the
-  // per-frame partition/merge staging) charges first, then every
-  // shard's slice of the pipeline runs as its own core's job. The
-  // burst completes at the critical path while *all* shards' cycles
-  // count as busy time — shard-count sweeps no longer get the work of
-  // N cores for the price of one.
-  // Staging (partition/merge) runs inside the batch ecall like the
-  // rest of the Click work, so it pays the EPC compute multiplier too.
+  // per-frame lane dispatch) charges first, then every lane's slice of
+  // the pipeline runs as its own core's job. The burst completes at
+  // the critical path while *all* lanes' cycles count as busy time —
+  // shard-count sweeps no longer get the work of N cores for the price
+  // of one.
+  // Lane dispatch (RSS hash + SPSC ring push; no partition append, no
+  // merge) runs inside the batch ecall like the rest of the Click
+  // work, so it pays the EPC compute multiplier too.
   cycles += model_.enclave_click_packet_cycles * compute_multiplier;
-  cycles += model_.shard_staging_cycles_per_frame * static_cast<double>(packets) *
+  cycles += model_.lane_dispatch_cycles_per_frame * static_cast<double>(packets) *
             compute_multiplier;
   pipeline_cycles_per_shard(*enclave_->router(), payload_bytes, packets, shards,
                             model_, shard_cycles_scratch_);

@@ -259,12 +259,30 @@ void EndBoxEnclave::merge_shard_results() {
   for (std::size_t s = 0; s < shards; ++s) shard_rigs_[s]->results.clear();
 }
 
+void EndBoxEnclave::collect_lane_results() {
+  for (std::size_t s = 0; s < sharded_->shard_count(); ++s) {
+    for (ClickOutcome& outcome : shard_rigs_[s]->results)
+      click_results_.push_back(std::move(outcome));
+    shard_rigs_[s]->results.clear();
+  }
+}
+
 bool EndBoxEnclave::run_click_burst(click::PacketBatch&& batch) {
   click_results_.clear();
   if (sharded_) {
+    // burst_tag still stamps the arrival index — the per-flow ordering
+    // witness consumers assert against (and the merge key of the
+    // reference path).
     std::uint32_t tag = 0;
     for (net::Packet& packet : batch) packet.burst_tag = tag++;
     for (auto& rig : shard_rigs_) rig->results.clear();
+    if (options_.lane_pipeline) {
+      if (!sharded_->push_batch_lanes("from_device", std::move(batch)))
+        return false;
+      collect_lane_results();
+      for (auto& rig : shard_rigs_) pool_.adopt_from(rig->pool);
+      return true;
+    }
     if (!sharded_->push_batch_to("from_device", std::move(batch))) return false;
     merge_shard_results();
     // Rejected packets recycled into the shard-local pools on the

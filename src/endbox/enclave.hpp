@@ -84,6 +84,13 @@ struct EnclaveOptions {
   /// multi-threaded via multiple TCSs). 1 keeps the single-core batched
   /// path, bit-identical to the pre-sharding enclave.
   std::size_t shards = 1;
+  /// Steady-state burst path. true (default): run-to-completion lanes —
+  /// SPSC ring dispatch, lane-local drains, results surface in
+  /// lane-concatenation order (per-flow order exact, global order a
+  /// function of the lane count). false: the staged reference path with
+  /// the global burst_tag arrival-order merge, kept callable as the
+  /// bit-exact pre-lane baseline.
+  bool lane_pipeline = true;
 };
 
 class EndBoxEnclave : public sgx::Enclave {
@@ -212,7 +219,12 @@ class EndBoxEnclave : public sgx::Enclave {
   bool run_click_burst(click::PacketBatch&& batch);
   /// K-way merge of the per-shard result lists back into arrival order
   /// (each list is burst_tag-sorted because partitioning keeps order).
+  /// Reference path only (options_.lane_pipeline == false).
   void merge_shard_results();
+  /// Lane-pipeline collection: concatenates the per-lane result lists
+  /// in lane order — per-flow order is exact (a flow lives in one
+  /// lane's FIFO), global order is deterministic per lane count.
+  void collect_lane_results();
   /// Creates shard rigs up to `count` (contexts wired to this enclave).
   void ensure_shard_rigs(std::size_t count);
   /// Factory building shard i's router from shard i's registry.

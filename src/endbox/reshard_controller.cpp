@@ -35,6 +35,10 @@ void AdaptiveReshardController::note_applied(std::size_t shards) {
   shards_ = std::clamp(shards, policy_.min_shards, policy_.max_shards);
 }
 
+double AdaptiveReshardController::hot_lane_utilisation() const {
+  return hot_ewma_ / policy_.shard_capacity;
+}
+
 std::size_t AdaptiveReshardController::observe(double offered_load,
                                                std::uint64_t evictions) {
   return observe(offered_load + policy_.eviction_pressure *
@@ -43,9 +47,31 @@ std::size_t AdaptiveReshardController::observe(double offered_load,
 
 std::size_t AdaptiveReshardController::observe(double offered_load) {
   if (offered_load < 0) offered_load = 0;
-  ewma_ = primed_ ? policy_.ewma_alpha * offered_load +
-                        (1.0 - policy_.ewma_alpha) * ewma_
-                  : offered_load;
+  // Scalar feed carries no imbalance information: assume the lanes are
+  // balanced, so the hottest lane carries an even share. Under that
+  // assumption every new guard in decide() reduces to the original
+  // behaviour (see the invariant notes there).
+  return decide(offered_load,
+                offered_load / static_cast<double>(shards_));
+}
+
+std::size_t AdaptiveReshardController::observe_lanes(
+    std::span<const double> lane_loads) {
+  double total = 0, hot = 0;
+  for (double load : lane_loads) {
+    if (load < 0) load = 0;
+    total += load;
+    hot = std::max(hot, load);
+  }
+  return decide(total, hot);
+}
+
+std::size_t AdaptiveReshardController::decide(double total, double hot) {
+  ewma_ = primed_ ? policy_.ewma_alpha * total + (1.0 - policy_.ewma_alpha) * ewma_
+                  : total;
+  hot_ewma_ = primed_
+                  ? policy_.ewma_alpha * hot + (1.0 - policy_.ewma_alpha) * hot_ewma_
+                  : hot;
   primed_ = true;
 
   if (cooldown_left_ > 0) {
@@ -54,11 +80,23 @@ std::size_t AdaptiveReshardController::observe(double offered_load) {
   }
 
   double u = utilisation_at(shards_);
-  if (u > policy_.grow_above && shards_ < policy_.max_shards) {
+  double hot_u = hot_lane_utilisation();
+  bool mean_grow = u > policy_.grow_above;
+  // Imbalance-driven split: one saturated lane justifies doubling even
+  // while the mean sits inside the hold band — a skewed flow hash
+  // starves that lane's flows long before the aggregate looks busy.
+  bool hot_grow = hot_u > policy_.grow_above;
+  if ((mean_grow || hot_grow) && shards_ < policy_.max_shards) {
     std::size_t target = std::min(shards_ * 2, policy_.max_shards);
     // Projection guard: growing must not land the smoothed load inside
-    // the shrink band, or the next quiet interval would flap back.
-    if (utilisation_at(target) >= policy_.shrink_below) {
+    // the shrink band, or the next quiet interval would flap back. A
+    // purely hot-driven grow projects the split hot lane instead (its
+    // two halves carry hot/2 each, above shrink_below whenever
+    // hot_u > grow_above >= 2 * shrink_below — never vetoed, so a
+    // saturated lane is never pinned).
+    bool safe = mean_grow ? utilisation_at(target) >= policy_.shrink_below
+                          : hot_u / 2 >= policy_.shrink_below;
+    if (safe) {
       shards_ = target;
       ++grows_;
       cooldown_left_ = policy_.cooldown_intervals;
@@ -66,8 +104,14 @@ std::size_t AdaptiveReshardController::observe(double offered_load) {
   } else if (u < policy_.shrink_below && shards_ > policy_.min_shards) {
     std::size_t target = std::max(shards_ / 2, policy_.min_shards);
     // Mirror guard: shrinking must not push utilisation into the grow
-    // band, or the next interval would double straight back.
-    if (utilisation_at(target) <= policy_.grow_above) {
+    // band, or the next interval would double straight back. Merging
+    // halves the lane count, so the hot lane's projected load doubles:
+    // hold the shrink while that projection would cross the grow
+    // threshold (for balanced lanes 2 * hot_u == 2 * u < 2 *
+    // shrink_below <= grow_above, so this never blocks the scalar
+    // path).
+    if (utilisation_at(target) <= policy_.grow_above &&
+        2 * hot_u <= policy_.grow_above) {
       shards_ = target;
       ++shrinks_;
       cooldown_left_ = policy_.cooldown_intervals;

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace endbox {
 
@@ -73,6 +74,16 @@ class AdaptiveReshardController {
   /// `eviction_pressure` units each before the EWMA.
   std::size_t observe(double offered_load, std::uint64_t evictions);
 
+  /// Imbalance-aware overload fed from the lane pipeline: one load
+  /// figure per lane (ring-depth peaks, per-lane core_busy_ns — any
+  /// monotone unit matching `shard_capacity`). Total load drives the
+  /// mean-utilisation machinery exactly like observe(); the hottest
+  /// lane feeds a second EWMA so the controller splits a hot lane
+  /// (grows) when one lane saturates even while the mean sits inside
+  /// the hold band, and refuses to shrink while merging lanes would
+  /// push the hot lane's projected load into the grow band.
+  std::size_t observe_lanes(std::span<const double> lane_loads);
+
   /// Re-anchors the controller on the data plane's actual shard count
   /// (e.g. when a reshard failed or something else changed it).
   void note_applied(std::size_t shards);
@@ -81,16 +92,26 @@ class AdaptiveReshardController {
   double load_ewma() const { return ewma_; }
   /// Smoothed per-shard utilisation: load_ewma / (shards * capacity).
   double utilisation() const;
+  /// Smoothed load of the hottest lane (observe_lanes feed; the scalar
+  /// observe() assumes balance and tracks load / shards here).
+  double hot_lane_ewma() const { return hot_ewma_; }
+  /// Smoothed utilisation of the hottest lane against one lane's
+  /// capacity — the signal that triggers an imbalance-driven split.
+  double hot_lane_utilisation() const;
   std::uint64_t grow_decisions() const { return grows_; }
   std::uint64_t shrink_decisions() const { return shrinks_; }
   const ReshardPolicy& policy() const { return policy_; }
 
  private:
   double utilisation_at(std::size_t shards) const;
+  /// Shared decision core: `total` is the interval's summed load,
+  /// `hot` the hottest single lane's share of it.
+  std::size_t decide(double total, double hot);
 
   ReshardPolicy policy_;
   std::size_t shards_;
   double ewma_ = 0;
+  double hot_ewma_ = 0;        ///< hottest lane's smoothed load
   bool primed_ = false;        ///< first sample seeds the EWMA directly
   unsigned cooldown_left_ = 0;
   std::uint64_t grows_ = 0;

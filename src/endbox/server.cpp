@@ -204,16 +204,16 @@ Result<EndBoxServer::BatchResult> EndBoxServer::handle_batch(
     charge_session(packet.session_id, cycles);
   }
 
-  // The batched drain runs on the VPN server's N session-shard workers
+  // The batched drain runs on the VPN server's N session-shard lanes
   // (one single thread at the default 1 shard — exactly what
-  // open_batch's implementation is): each shard's sessions serialise
-  // onto that shard's worker, so their cycles aggregate into one job
-  // per shard. The single-threaded staging pass (header parse,
-  // partition, merge) charges first, then the shard jobs run in
-  // parallel on the server's cores — completion is the burst's
-  // critical path, while every shard's cycles count as busy time. The
-  // per-frame handle_wire path keeps the per-client OpenVPN process
-  // model; this path models the one sharded server process.
+  // open_batch's implementation is): each lane's sessions serialise
+  // onto that lane's worker, so their cycles aggregate into one job
+  // per lane. The serial part shrank to lane dispatch (RSS hash + ring
+  // push per frame) — no partition append, no merge — then the lane
+  // jobs run in parallel on the server's cores; completion is the
+  // burst's critical path, while every lane's cycles count as busy
+  // time. The per-frame handle_wire path keeps the per-client OpenVPN
+  // process model; this path models the one sharded server process.
   std::size_t shards = vpn_.session_shard_count();
   shard_cycles_scratch_.assign(shards, 0.0);
   shard_earliest_scratch_.assign(shards, now);
@@ -235,7 +235,7 @@ Result<EndBoxServer::BatchResult> EndBoxServer::handle_batch(
     job_cycles_scratch_.push_back(shard_cycles_scratch_[s]);
     job_earliest_scratch_.push_back(shard_earliest_scratch_[s]);
   }
-  double staging = model_.shard_staging_cycles_per_frame *
+  double staging = model_.lane_dispatch_cycles_per_frame *
                    static_cast<double>(wires.size());
   job_done_scratch_.assign(job_cycles_scratch_.size(), 0);
   sim::Time done =

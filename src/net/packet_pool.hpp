@@ -60,23 +60,38 @@ class PacketPool {
   /// Moves pooled buffers out of `other` into this free list (until it
   /// is full). Shard-local pools collect buffers on their worker
   /// threads contention-free; the owner adopts them back into the main
-  /// pool between bursts so the circulation never starves.
+  /// pool between bursts so the circulation never starves. Adopted
+  /// buffers count in refills() — the visible trace of a starved lane
+  /// being topped up instead of allocating silently.
   void adopt_from(PacketPool& other) {
-    while (!other.free_.empty() && free_.size() < max_buffers_) {
+    adopt_from(other, other.free_.size());
+  }
+  /// Bounded variant: takes at most `max_take` buffers, so a pool
+  /// rebalance can split a donor instead of draining it.
+  void adopt_from(PacketPool& other, std::size_t max_take) {
+    while (max_take > 0 && !other.free_.empty() && free_.size() < max_buffers_) {
       free_.push_back(std::move(other.free_.back()));
       other.free_.pop_back();
+      ++refills_;
+      --max_take;
     }
   }
 
   std::size_t pooled() const { return free_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Acquires that found the free list empty and fell back to a heap
+  /// allocation — the lane-starvation signal (same events as misses()).
+  std::uint64_t starved() const { return misses_; }
+  /// Buffers this pool adopted from sibling pools (adopt_from).
+  std::uint64_t refills() const { return refills_; }
 
  private:
   std::vector<Bytes> free_;
   std::size_t max_buffers_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t refills_ = 0;
 };
 
 }  // namespace endbox::net

@@ -361,70 +361,89 @@ std::size_t VpnServer::seal_packet_wire_at(std::uint32_t session_id,
                         /*may_grow=*/true);
 }
 
+void VpnServer::open_frame_on_shard(SessionShard& shard, const Bytes& wire,
+                                    std::uint32_t idx, sim::Time now) {
+  OpenBatch& out = shard.scratch;
+  auto type = static_cast<MsgType>(wire[0]);
+  std::uint32_t session_id = get_u32(wire.data() + 1);
+  // On the lane path dispatch never looked the session up — the lane
+  // owns the table, so the unknown-session reject lives here. (The
+  // staged path stages known sessions only; sessions never leave
+  // mid-burst because expiry runs on the caller before dispatch.)
+  SessionTable::Entry* found = shard.sessions.find(session_id);
+  if (!found) {
+    ++out.rejected;
+    return;
+  }
+  SessionTable::Entry& entry = *found;
+  Session& session = entry.value;
+  bool encrypted = type == MsgType::Data;
+  if (!encrypted && !config_.allow_integrity_only) {
+    ++shard.auth_failures;
+    ++out.rejected;
+    return;
+  }
+  if (session.config_version < config_version_ && grace_active_ &&
+      now >= grace_deadline_) {
+    ++shard.stale_config_drops;
+    ++out.rejected;
+    return;
+  }
+  Bytes body = shard.pool.acquire_bytes();
+  body.assign(wire.begin() + kWireHeaderSize, wire.end());
+  auto opened = encrypted ? open_data_body(session.keys, std::move(body))
+                          : open_integrity_body(session.keys, std::move(body));
+  if (!opened.ok()) {
+    // Failed opens never consume the body (the move happens only on
+    // success), so the pooled buffer survives a bad-frame flood.
+    shard.pool.release_bytes(std::move(body));
+    ++shard.auth_failures;
+    ++out.rejected;
+    return;
+  }
+  if (!session.replay.accept(opened->frag.packet_id)) {
+    shard.pool.release_bytes(std::move(opened->payload));
+    ++shard.replays_rejected;
+    ++out.rejected;
+    return;
+  }
+  // Touch = one relaxed timestamp store, so shard workers refresh
+  // idle timers without ever taking the wheel (lazy reschedule).
+  // Unpin is the same relaxed store: the first authenticated frame
+  // lifts the mid-handshake eviction shield.
+  shard.sessions.touch(entry, now);
+  shard.sessions.unpin(entry);
+  out.opened_sessions.push_back(session_id);
+  auto whole =
+      session.reassembler.add(opened->frag, std::move(opened->payload), now);
+  if (!whole) {
+    ++out.pending;
+    return;
+  }
+  ++out.complete;
+  if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+  BatchPacket& slot = out.packets[out.packet_count++];
+  slot.session_id = session_id;
+  slot.burst_tag = idx;
+  slot.was_encrypted = encrypted;
+  // The slot's previous buffer cycles back into the shard's pool,
+  // where the next frame's body scratch picks it up.
+  shard.pool.release_bytes(std::move(slot.ip_packet));
+  slot.ip_packet = std::move(*whole);
+}
+
 void VpnServer::open_shard_frames(SessionShard& shard,
                                   std::span<const Bytes> wires, sim::Time now) {
-  OpenBatch& out = shard.scratch;
-  for (std::uint32_t idx : shard.frame_idx) {
-    const Bytes& wire = wires[idx];
-    auto type = static_cast<MsgType>(wire[0]);
-    std::uint32_t session_id = get_u32(wire.data() + 1);
-    // Staging guaranteed existence; sessions never leave mid-burst
-    // (expiry runs on the caller before staging, never during).
-    SessionTable::Entry& entry = *shard.sessions.find(session_id);
-    Session& session = entry.value;
-    bool encrypted = type == MsgType::Data;
-    if (!encrypted && !config_.allow_integrity_only) {
-      ++shard.auth_failures;
-      ++out.rejected;
-      continue;
-    }
-    if (session.config_version < config_version_ && grace_active_ &&
-        now >= grace_deadline_) {
-      ++shard.stale_config_drops;
-      ++out.rejected;
-      continue;
-    }
-    Bytes body = shard.pool.acquire_bytes();
-    body.assign(wire.begin() + kWireHeaderSize, wire.end());
-    auto opened = encrypted ? open_data_body(session.keys, std::move(body))
-                            : open_integrity_body(session.keys, std::move(body));
-    if (!opened.ok()) {
-      // Failed opens never consume the body (the move happens only on
-      // success), so the pooled buffer survives a bad-frame flood.
-      shard.pool.release_bytes(std::move(body));
-      ++shard.auth_failures;
-      ++out.rejected;
-      continue;
-    }
-    if (!session.replay.accept(opened->frag.packet_id)) {
-      shard.pool.release_bytes(std::move(opened->payload));
-      ++shard.replays_rejected;
-      ++out.rejected;
-      continue;
-    }
-    // Touch = one relaxed timestamp store, so shard workers refresh
-    // idle timers without ever taking the wheel (lazy reschedule).
-    // Unpin is the same relaxed store: the first authenticated frame
-    // lifts the mid-handshake eviction shield.
-    shard.sessions.touch(entry, now);
-    shard.sessions.unpin(entry);
-    out.opened_sessions.push_back(session_id);
-    auto whole =
-        session.reassembler.add(opened->frag, std::move(opened->payload), now);
-    if (!whole) {
-      ++out.pending;
-      continue;
-    }
-    ++out.complete;
-    if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
-    BatchPacket& slot = out.packets[out.packet_count++];
-    slot.session_id = session_id;
-    slot.burst_tag = idx;
-    slot.was_encrypted = encrypted;
-    // The slot's previous buffer cycles back into the shard's pool,
-    // where the next frame's body scratch picks it up.
-    shard.pool.release_bytes(std::move(slot.ip_packet));
-    slot.ip_packet = std::move(*whole);
+  for (std::uint32_t idx : shard.frame_idx)
+    open_frame_on_shard(shard, wires[idx], idx, now);
+}
+
+void VpnServer::open_lane_frames(SessionShard& shard,
+                                 std::span<const Bytes> wires, sim::Time now) {
+  std::uint32_t idx = 0;
+  while (shard.ring.try_pop(idx)) {
+    ++shard.lane_frames;
+    open_frame_on_shard(shard, wires[idx], idx, now);
   }
 }
 
@@ -457,8 +476,108 @@ void VpnServer::merge_opened(OpenBatch& out) {
   }
 }
 
+void VpnServer::collect_lanes(OpenBatch& out) {
+  for (const auto& shard : shards_) {
+    out.complete += shard->scratch.complete;
+    out.pending += shard->scratch.pending;
+    out.rejected += shard->scratch.rejected;
+    out.opened_sessions.insert(out.opened_sessions.end(),
+                               shard->scratch.opened_sessions.begin(),
+                               shard->scratch.opened_sessions.end());
+    for (std::size_t k = 0; k < shard->scratch.packet_count; ++k) {
+      BatchPacket& src = shard->scratch.packets[k];
+      if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+      BatchPacket& dst = out.packets[out.packet_count++];
+      // Swap, not move: the caller slot's previous buffer parks in the
+      // lane scratch slot, where the lane's next burst recycles it into
+      // its pool — the whole circulation stays allocation-free.
+      std::swap(dst.ip_packet, src.ip_packet);
+      dst.session_id = src.session_id;
+      dst.burst_tag = src.burst_tag;
+      dst.was_encrypted = src.was_encrypted;
+    }
+  }
+}
+
+void VpnServer::rebalance_lane_pools() {
+  if (shards_.size() <= 1) return;
+  for (auto& shard : shards_) {
+    std::uint64_t starved = shard->pool.starved();
+    if (starved == shard->starved_mark) continue;  // no new starvation
+    shard->starved_mark = starved;
+    // Adopt half of the richest sibling's buffers: the hot lane's next
+    // burst draws from the pool instead of the heap, and the donor —
+    // by construction the least pressed — keeps circulating.
+    SessionShard* donor = nullptr;
+    for (auto& other : shards_) {
+      if (other.get() == shard.get()) continue;
+      if (!donor || other->pool.pooled() > donor->pool.pooled())
+        donor = other.get();
+    }
+    if (donor && donor->pool.pooled() > 1)
+      shard->pool.adopt_from(donor->pool, donor->pool.pooled() / 2);
+  }
+}
+
 void VpnServer::open_batch(std::span<const Bytes> wires, sim::Time now,
                            OpenBatch& out) {
+  expire_idle_sessions(now);  // on the caller, before dispatch pins lanes
+  out.complete = out.pending = out.rejected = 0;
+  out.packet_count = 0;
+  out.opened_sessions.clear();
+  for (auto& shard : shards_) {
+    shard->ring.clear();
+    shard->ring.reserve(wires.size());
+    shard->scratch.complete = shard->scratch.pending = shard->scratch.rejected = 0;
+    shard->scratch.packet_count = 0;
+    shard->scratch.opened_sessions.clear();
+  }
+
+  // Lane dispatch — the pipeline's only serial section: size/type
+  // check, RSS hash, ring push. No session lookup, no partition
+  // vectors; everything else runs on the lane.
+  std::size_t busy_lanes = 0;
+  std::size_t last_busy = 0;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const Bytes& wire = wires[i];
+    if (wire.size() < kWireHeaderSize) {
+      ++out.rejected;
+      continue;
+    }
+    auto type = static_cast<MsgType>(wire[0]);
+    if (type != MsgType::Data && type != MsgType::DataIntegrityOnly) {
+      ++out.rejected;
+      continue;
+    }
+    std::size_t s = shard_of_session(get_u32(wire.data() + 1));
+    if (shards_[s]->ring.empty()) {
+      ++busy_lanes;
+      last_busy = s;
+    }
+    shards_[s]->ring.try_push(static_cast<std::uint32_t>(i));  // reserved above
+  }
+
+  // Run the lanes: concurrently when more than one has work (caller
+  // participates via the pool), inline otherwise — a single-lane
+  // server never touches a lock, keeping the 1-lane path within noise
+  // of the pre-sharding baseline.
+  if (busy_lanes == 1) {
+    open_lane_frames(*shards_[last_busy], wires, now);
+  } else if (busy_lanes > 1) {
+    pool_->run(shards_.size(), [&](std::size_t s) {
+      if (!shards_[s]->ring.empty()) open_lane_frames(*shards_[s], wires, now);
+    });
+  }
+
+  // Collect in lane order — no cross-lane merge barrier. Per-session
+  // order is exact (one FIFO lane per session); global order is not
+  // part of the contract.
+  collect_lanes(out);
+  rebalance_lane_pools();
+}
+
+void VpnServer::open_batch_staged(std::span<const Bytes> wires, sim::Time now,
+                                  OpenBatch& out) {
   expire_idle_sessions(now);  // on the caller, before staging pins sessions
   out.complete = out.pending = out.rejected = 0;
   out.packet_count = 0;
@@ -637,6 +756,45 @@ void VpnServer::open_batch_shard(std::size_t shard, std::span<const Bytes> wires
   }
 }
 
+void VpnServer::open_batch_lane(std::size_t lane, std::span<const Bytes> wires,
+                                sim::Time now, OpenBatch& out) {
+  out.complete = out.pending = out.rejected = 0;
+  out.packet_count = 0;
+  out.opened_sessions.clear();
+  SessionShard& target = *shards_.at(lane);
+  target.ring.clear();
+  target.ring.reserve(wires.size());
+  target.scratch.complete = target.scratch.pending = target.scratch.rejected = 0;
+  target.scratch.packet_count = 0;
+  target.scratch.opened_sessions.clear();
+  // The full lane dispatch runs (every frame is size-checked and
+  // hashed — that cost is real and serial), but only this lane's
+  // frames are pushed; timing this per lane and taking the max is the
+  // pipeline's honest critical path.
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const Bytes& wire = wires[i];
+    if (wire.size() < kWireHeaderSize) continue;
+    auto type = static_cast<MsgType>(wire[0]);
+    if (type != MsgType::Data && type != MsgType::DataIntegrityOnly) continue;
+    if (shard_of_session(get_u32(wire.data() + 1)) != lane) continue;
+    target.ring.try_push(static_cast<std::uint32_t>(i));  // reserved above
+  }
+  open_lane_frames(target, wires, now);
+  out.complete = target.scratch.complete;
+  out.pending = target.scratch.pending;
+  out.rejected = target.scratch.rejected;
+  out.opened_sessions = target.scratch.opened_sessions;
+  for (std::size_t k = 0; k < target.scratch.packet_count; ++k) {
+    BatchPacket& src = target.scratch.packets[k];
+    if (out.packets.size() <= out.packet_count) out.packets.emplace_back();
+    BatchPacket& dst = out.packets[out.packet_count++];
+    std::swap(dst.ip_packet, src.ip_packet);
+    dst.session_id = src.session_id;
+    dst.burst_tag = src.burst_tag;
+    dst.was_encrypted = src.was_encrypted;
+  }
+}
+
 void VpnServer::reset_replay_windows() {
   for (auto& shard : shards_)
     shard->sessions.for_each(
@@ -653,7 +811,10 @@ std::size_t VpnServer::seal_batch(std::uint32_t session_id,
 
 std::size_t VpnServer::stage_seal_jobs(std::span<const SealJob> jobs,
                                        std::vector<Bytes>& frames) {
-  for (auto& shard : shards_) shard->seal_idx.clear();
+  for (auto& shard : shards_) {
+    shard->ring.clear();
+    shard->ring.reserve(jobs.size());
+  }
   seal_bases_.resize(jobs.size());
   std::size_t total = 0;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -661,10 +822,12 @@ std::size_t VpnServer::stage_seal_jobs(std::span<const SealJob> jobs,
       throw std::logic_error("VpnServer: unknown session");
     seal_bases_[j] = total;
     total += fragment_count(jobs[j].ip_packet.size(), config_.mtu);
-    shard_of(jobs[j].session_id).seal_idx.push_back(static_cast<std::uint32_t>(j));
+    // Hand the job to its session's lane through the SPSC ring (the
+    // lane pipeline's hand-off; never full — reserved above).
+    shard_of(jobs[j].session_id).ring.try_push(static_cast<std::uint32_t>(j));
   }
   // Size the output once, up front: every job's slot range is disjoint,
-  // so shard workers write without ever touching the vector itself.
+  // so lane workers write without ever touching the vector itself.
   if (frames.size() < total) frames.resize(total);
   return total;
 }
@@ -672,25 +835,29 @@ std::size_t VpnServer::stage_seal_jobs(std::span<const SealJob> jobs,
 std::size_t VpnServer::seal_jobs(std::span<const SealJob> jobs,
                                  std::vector<Bytes>& frames) {
   std::size_t total = stage_seal_jobs(jobs, frames);
-  auto seal_shard = [&](SessionShard& shard) {
-    for (std::uint32_t j : shard.seal_idx) {
+  // Each lane drains its ring run-to-completion; output slots are
+  // disjoint and precomputed, so the frames are byte-identical at any
+  // lane count.
+  auto seal_lane = [&](SessionShard& shard) {
+    std::uint32_t j = 0;
+    while (shard.ring.try_pop(j)) {
       Session& session = shard.sessions.find(jobs[j].session_id)->value;
       seal_fragments(jobs[j].session_id, session, jobs[j].ip_packet, frames,
                      seal_bases_[j], /*may_grow=*/false);
     }
   };
-  std::size_t busy_shards = 0;
+  std::size_t busy_lanes = 0;
   std::size_t last_busy = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (shards_[s]->seal_idx.empty()) continue;
-    ++busy_shards;
+    if (shards_[s]->ring.empty()) continue;
+    ++busy_lanes;
     last_busy = s;
   }
-  if (busy_shards == 1) {
-    seal_shard(*shards_[last_busy]);
-  } else if (busy_shards > 1) {
+  if (busy_lanes == 1) {
+    seal_lane(*shards_[last_busy]);
+  } else if (busy_lanes > 1) {
     pool_->run(shards_.size(), [&](std::size_t s) {
-      if (!shards_[s]->seal_idx.empty()) seal_shard(*shards_[s]);
+      if (!shards_[s]->ring.empty()) seal_lane(*shards_[s]);
     });
   }
   return total;
@@ -701,7 +868,8 @@ std::size_t VpnServer::seal_jobs_shard(std::size_t shard,
                                        std::vector<Bytes>& frames) {
   std::size_t total = stage_seal_jobs(jobs, frames);
   SessionShard& target = *shards_.at(shard);
-  for (std::uint32_t j : target.seal_idx) {
+  std::uint32_t j = 0;
+  while (target.ring.try_pop(j)) {
     Session& session = target.sessions.find(jobs[j].session_id)->value;
     seal_fragments(jobs[j].session_id, session, jobs[j].ip_packet, frames,
                    seal_bases_[j], /*may_grow=*/false);

@@ -8,16 +8,22 @@
 //
 // The data plane is session-sharded (NFOS-style state partitioning,
 // mirroring the enclave's RSS flow sharding): sessions are pinned to
-// one of N shards by splitmix64(session_id) % N, each shard owns its
-// sessions, buffer pool and data-path statistics, and open_batch /
-// seal_jobs partition a wire burst by shard, run the shards on a
-// worker pool (caller participates; with one shard everything stays
-// inline on the caller, the pre-sharding baseline) and k-way merge the
-// results back into arrival order by burst_tag. No mutable state is
-// shared between shards, so per-session order needs no locks.
-// reshard_sessions() changes the shard count at runtime without losing
-// replay windows or pending fragment groups — the hook an adaptive
-// load controller drives.
+// one of N lanes by splitmix64(session_id) % N, and each lane owns its
+// sessions, buffer pool, SPSC hand-off ring and data-path statistics.
+// open_batch / seal_jobs run the lanes run-to-completion: the caller's
+// only serial work is lane dispatch (size/type check, RSS hash, ring
+// push); the lane itself looks the session up, decrypts, checks
+// replay, reassembles and emits — and results concatenate in lane
+// order with NO cross-lane merge. Ordering is therefore guaranteed
+// per session only (each session lives on exactly one FIFO lane), not
+// across the burst — the run-to-completion contract. The pre-PR
+// staged path (caller-side staging loop + k-way arrival-order merge
+// by burst_tag) stays callable as open_batch_staged, the reference
+// baseline. No mutable state is shared between lanes, so per-session
+// order needs no locks. reshard_sessions() changes the lane count at
+// runtime without losing replay windows or pending fragment groups —
+// the hook an adaptive load controller drives (fed per-lane ring
+// depth and busy imbalance so it can split a hot lane).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +37,7 @@
 
 #include "ca/certificate.hpp"
 #include "click/sharded_router.hpp"
+#include "click/spsc_ring.hpp"
 #include "common/hash.hpp"
 #include "common/lifecycle_table.hpp"
 #include "common/rng.hpp"
@@ -153,19 +160,32 @@ class VpnServer {
     std::vector<std::uint32_t> opened_sessions;
   };
 
-  /// Opens a burst of data frames, mirroring the enclave's ingress
-  /// batch: the caller stages the burst (header parse, shard lookup,
-  /// partition), each session shard opens its frames on its own worker
-  /// (bodies copied into shard-pooled scratch and decrypted in place,
-  /// replay windows advancing in arrival order), and the per-shard
-  /// results k-way merge back into arrival order by burst_tag, so
-  /// completed packets land in `out.packets[0..packet_count)` exactly
-  /// as a single-threaded pass would deliver them. Frames may belong
-  /// to different sessions. Unlike the enclave's hardened single-client
-  /// interface, a bad frame rejects that frame only — a shared server
-  /// keeps serving its other clients. Non-data frames (ping/handshake)
-  /// are rejected here; they belong on handle().
+  /// Opens a burst of data frames on the run-to-completion lane
+  /// pipeline: the caller's serial pass is lane dispatch only
+  /// (size/type check, RSS hash, SPSC ring push), then every frame
+  /// runs entirely on its session's lane — session lookup, decrypt,
+  /// replay check, reassembly — with lane-local pools, scratch and
+  /// stats, and the lanes' results concatenate in lane order with no
+  /// cross-lane merge. Completed packets land in
+  /// `out.packets[0..packet_count)` in per-session arrival order
+  /// (each session lives on one FIFO lane); the order ACROSS sessions
+  /// depends on the lane count — that is the per-flow ordering
+  /// contract. burst_tag still carries each packet's arrival index,
+  /// so callers needing the global order can sort (or call
+  /// open_batch_staged). Frames may belong to different sessions. A
+  /// bad frame rejects that frame only — a shared server keeps
+  /// serving its other clients. Non-data frames (ping/handshake) are
+  /// rejected here; they belong on handle().
   void open_batch(std::span<const Bytes> wires, sim::Time now, OpenBatch& out);
+
+  /// The pre-PR stage-and-barrier path, kept callable as the
+  /// reference/baseline: the caller stages the burst (header parse,
+  /// session-shard lookup, partition), the shards open their staged
+  /// frames on the worker pool, and the per-shard results k-way merge
+  /// back into global arrival order by burst_tag — exactly what
+  /// open_batch did before the lane pipeline.
+  void open_batch_staged(std::span<const Bytes> wires, sim::Time now,
+                         OpenBatch& out);
 
   /// The pre-sharding open_batch loop, kept callable so benches and
   /// equivalence tests compare the staged/sharded path against the
@@ -176,10 +196,20 @@ class VpnServer {
 
   /// Bench/test hook: stages `wires` and opens only the frames pinned
   /// to `shard`, inline on the calling thread — the exact per-shard
-  /// body open_batch runs on the worker pool, so per-shard serial
-  /// timing measures the real work (results in arrival order).
+  /// body open_batch_staged runs on the worker pool, so per-shard
+  /// serial timing measures the real work (results in arrival order).
   void open_batch_shard(std::size_t shard, std::span<const Bytes> wires,
                         sim::Time now, OpenBatch& out);
+
+  /// Bench/test hook for the lane pipeline: runs the full lane
+  /// dispatch over `wires` but pushes (and then drains,
+  /// run-to-completion, inline on the caller) only the frames whose
+  /// session is pinned to `lane` — so timing this per lane and taking
+  /// the max measures the pipeline's real critical path, dispatch
+  /// included. Unknown-session frames pinned to the lane reject (the
+  /// lane semantics); frames of other lanes are skipped silently.
+  void open_batch_lane(std::size_t lane, std::span<const Bytes> wires,
+                       sim::Time now, OpenBatch& out);
 
   /// Bench/test hook: forgets all replay history so an identical
   /// pre-sealed burst can be opened repeatedly for timing.
@@ -201,11 +231,13 @@ class VpnServer {
   /// Seals a burst of packets spanning any number of sessions: the
   /// caller computes every job's fragment count and output slot range
   /// up front (so `frames` is sized once and jobs never contend for
-  /// slots), partitions jobs by session shard, and the shards seal
-  /// concurrently on the worker pool — each job's frames land at its
-  /// precomputed `frames` range, preserving input order. Returns the
-  /// total frame count. Throws std::logic_error on unknown sessions
-  /// (like seal_packet_wire_at; validated before any worker starts).
+  /// slots), hands each job to its session's lane through the SPSC
+  /// ring, and the lanes seal run-to-completion on the worker pool —
+  /// each job's frames land at its precomputed `frames` range, so the
+  /// output is byte-identical at any lane count and preserves input
+  /// order. Returns the total frame count. Throws std::logic_error on
+  /// unknown sessions (validated on the caller before any lane
+  /// starts, as the disjoint-slot computation requires).
   std::size_t seal_jobs(std::span<const SealJob> jobs, std::vector<Bytes>& frames);
 
   /// Bench/test hook: seals only the jobs pinned to `shard`, inline on
@@ -229,6 +261,42 @@ class VpnServer {
   std::uint64_t reshard_count() const { return reshard_count_; }
   /// Worker threads backing the shard pool (0 = single-shard inline).
   std::size_t worker_threads() const { return pool_ ? pool_->worker_count() : 0; }
+
+  // ---- Lane introspection (the reshard controller's imbalance feed) --
+  /// High-water mark of `lane`'s SPSC ring since the last
+  /// reset_lane_stats(): the deepest backlog dispatch ever built on
+  /// that lane. A hot lane shows a peak near the burst size while its
+  /// siblings stay shallow.
+  std::uint64_t lane_ring_peak(std::size_t lane) const {
+    return shards_.at(lane)->ring.peak();
+  }
+  /// Frames this lane processed run-to-completion (open path) since
+  /// the last reset_lane_stats() — the lane's busy proxy.
+  std::uint64_t lane_frames(std::size_t lane) const {
+    return shards_.at(lane)->lane_frames;
+  }
+  /// Lane-local PacketPool starvation count: acquires that found the
+  /// pool empty and heap-allocated (cumulative; see PacketPool).
+  std::uint64_t pool_starved(std::size_t lane) const {
+    return shards_.at(lane)->pool.starved();
+  }
+  /// Buffers the lane's pool adopted from siblings (the
+  /// starvation-rebalance trace; cumulative).
+  std::uint64_t pool_refills(std::size_t lane) const {
+    return shards_.at(lane)->pool.refills();
+  }
+  /// Buffers currently pooled on `lane`.
+  std::size_t lane_pool_buffers(std::size_t lane) const {
+    return shards_.at(lane)->pool.pooled();
+  }
+  /// Zeroes every lane's ring peak and frame counter (one controller
+  /// observation interval ends, the next begins).
+  void reset_lane_stats() {
+    for (auto& shard : shards_) {
+      shard->ring.reset_peak();
+      shard->lane_frames = 0;
+    }
+  }
 
   /// Changes the session-shard count at runtime: every session moves
   /// wholesale to the shard its id now hashes to — keys, replay
@@ -342,10 +410,11 @@ class VpnServer {
   /// the shard's timer wheel (common/lifecycle_table.hpp).
   using SessionTable = LifecycleTable<std::uint32_t, Session>;
 
-  /// One session shard: sessions, buffer pool, data-path statistics
-  /// and per-burst scratch, owned exclusively by one worker during a
-  /// staged burst (the staging thread writes frame_idx/seal_idx before
-  /// the pool runs; the pool's hand-off orders everything else).
+  /// One session lane: sessions, buffer pool, SPSC hand-off ring,
+  /// data-path statistics and per-burst scratch, owned exclusively by
+  /// one worker during a burst (the dispatcher fills the ring before
+  /// the pool runs; the pool's hand-off — or the ring's own
+  /// release/acquire pair — orders everything else).
   struct SessionShard {
     explicit SessionShard(SessionTable::Options options)
         : sessions(options) {}
@@ -355,7 +424,9 @@ class VpnServer {
     std::uint64_t replays_rejected = 0;
     std::uint64_t stale_config_drops = 0;
     std::vector<std::uint32_t> frame_idx;  ///< staged arrival indices
-    std::vector<std::uint32_t> seal_idx;   ///< staged seal-job indices
+    click::SpscRing<std::uint32_t> ring{64};  ///< lane hand-off: frame/job indices
+    std::uint64_t lane_frames = 0;  ///< frames opened run-to-completion
+    std::uint64_t starved_mark = 0;  ///< pool.starved() at last rebalance
     OpenBatch scratch;                     ///< per-shard open results
   };
 
@@ -387,12 +458,31 @@ class VpnServer {
   /// (Re)creates the worker pool for the current shard count, reusing
   /// it when the count shrank (ShardWorkerPool hand-off protocol).
   void ensure_worker_pool();
+  /// Opens wires[idx] on its lane, end to end: session lookup, policy,
+  /// decrypt, replay, reassembly, emit. The run-to-completion body
+  /// shared by the lane worker (unknown sessions reject here — lane
+  /// dispatch no longer looks them up) and the staged worker (which
+  /// staged only known sessions, so the reject arm never fires there).
+  void open_frame_on_shard(SessionShard& shard, const Bytes& wire,
+                           std::uint32_t idx, sim::Time now);
   /// Opens the staged frames of `shard` in arrival order (the worker
-  /// body of open_batch; also run inline for single-shard bursts).
+  /// body of open_batch_staged; also run inline for one-shard bursts).
   void open_shard_frames(SessionShard& shard, std::span<const Bytes> wires,
                          sim::Time now);
-  /// K-way merges the shards' opened packets into `out` by burst_tag.
+  /// Drains `shard`'s ring run-to-completion (the lane worker body of
+  /// open_batch).
+  void open_lane_frames(SessionShard& shard, std::span<const Bytes> wires,
+                        sim::Time now);
+  /// K-way merges the shards' opened packets into `out` by burst_tag
+  /// (the staged path's global arrival-order barrier).
   void merge_opened(OpenBatch& out);
+  /// Appends the lanes' opened packets to `out` in lane order — no
+  /// merge, per-session order only (the lane path's collect step).
+  void collect_lanes(OpenBatch& out);
+  /// Tops up lanes that starved this burst from the richest sibling
+  /// pool, so a hot lane adopts circulating buffers instead of
+  /// allocating silently forever (runs single-threaded between bursts).
+  void rebalance_lane_pools();
   /// Seals one packet's fragments for `session` into frames[at..]; when
   /// `may_grow` is false the caller pre-sized `frames` and slots are
   /// written without touching the vector itself (worker-safe).

@@ -625,8 +625,13 @@ TEST_F(Fixture, RouterChainBatchMatchesPerPacket) {
   EXPECT_EQ(split(delivered, true), split(single_delivered, true));
   auto rejected_batched = split(delivered, false);
   auto rejected_single = split(single_delivered, false);
-  std::sort(rejected_batched.begin(), rejected_batched.end());
-  std::sort(rejected_single.begin(), rejected_single.end());
+  // Explicit comparator: GCC 12's range analysis miscomputes the memcmp
+  // bound for vector<Bytes>'s synthesized operator< under -Werror.
+  auto by_bytes = [](const Bytes& a, const Bytes& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  };
+  std::sort(rejected_batched.begin(), rejected_batched.end(), by_bytes);
+  std::sort(rejected_single.begin(), rejected_single.end(), by_bytes);
   EXPECT_GT(rejected_single.size(), 0u);
   EXPECT_EQ(rejected_batched, rejected_single);
 }

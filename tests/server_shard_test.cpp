@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <span>
 #include <utility>
@@ -109,6 +110,61 @@ void expect_batches_equal(const VpnServer::OpenBatch& a,
   }
 }
 
+/// Asserts the per-session burst_tag sequence is strictly increasing —
+/// the run-to-completion lane pipeline's ordering contract: within one
+/// flow/session arrival order is preserved, globally packets surface in
+/// lane-concatenation order.
+void expect_per_session_order(const VpnServer::OpenBatch& batch,
+                              const char* what) {
+  std::map<std::uint32_t, std::uint32_t> last_tag;
+  for (std::size_t i = 0; i < batch.packet_count; ++i) {
+    const auto& packet = batch.packets[i];
+    auto it = last_tag.find(packet.session_id);
+    if (it != last_tag.end()) {
+      EXPECT_LT(it->second, packet.burst_tag)
+          << what << ": session " << packet.session_id << " reordered at #" << i;
+    }
+    last_tag[packet.session_id] = packet.burst_tag;
+  }
+}
+
+/// Lane-pipeline equivalence: same counters and the same packets (keyed
+/// by burst_tag — the arrival index, unique per burst), but packets may
+/// surface in a different global order when the lane counts differ.
+/// Per-session order must hold in both batches.
+void expect_batches_equivalent(const VpnServer::OpenBatch& a,
+                               const VpnServer::OpenBatch& b,
+                               const char* what) {
+  EXPECT_EQ(a.complete, b.complete) << what;
+  EXPECT_EQ(a.pending, b.pending) << what;
+  EXPECT_EQ(a.rejected, b.rejected) << what;
+  std::vector<std::uint32_t> opened_a = a.opened_sessions;
+  std::vector<std::uint32_t> opened_b = b.opened_sessions;
+  std::sort(opened_a.begin(), opened_a.end());
+  std::sort(opened_b.begin(), opened_b.end());
+  EXPECT_EQ(opened_a, opened_b) << what;
+  ASSERT_EQ(a.packet_count, b.packet_count) << what;
+  auto by_tag = [](const VpnServer::OpenBatch& batch) {
+    std::vector<std::size_t> order(batch.packet_count);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return batch.packets[x].burst_tag < batch.packets[y].burst_tag;
+    });
+    return order;
+  };
+  std::vector<std::size_t> order_a = by_tag(a), order_b = by_tag(b);
+  for (std::size_t i = 0; i < a.packet_count; ++i) {
+    const auto& pa = a.packets[order_a[i]];
+    const auto& pb = b.packets[order_b[i]];
+    EXPECT_EQ(pa.burst_tag, pb.burst_tag) << what << " #" << i;
+    EXPECT_EQ(pa.session_id, pb.session_id) << what << " #" << i;
+    EXPECT_EQ(pa.was_encrypted, pb.was_encrypted) << what << " #" << i;
+    EXPECT_EQ(pa.ip_packet, pb.ip_packet) << what << " #" << i;
+  }
+  expect_per_session_order(a, what);
+  expect_per_session_order(b, what);
+}
+
 TEST(ServerShard, SessionsPinToShardsAndBalance) {
   Pki pki;
   ServerRig rig(pki, 4, 32);
@@ -133,8 +189,11 @@ TEST(ServerShard, SessionsPinToShardsAndBalance) {
 
 // The tentpole property: a mixed-session burst (in-order data, MTU
 // fragmentation, corrupt frames, replays, garbage, unknown sessions)
-// opens byte- and order-identically at 1 shard, at 4 shards, and
-// through the pre-sharding reference loop.
+// opens byte-identically at 1 lane, at 4 lanes, through the staged
+// reference path, and through the pre-sharding reference loop. One
+// lane and the staged path preserve exact arrival order; four lanes
+// surface the same packets in lane-concatenation order with per-session
+// order intact (the run-to-completion contract).
 TEST(ServerShard, OpenBatchEquivalentAcrossShardCountsProperty) {
   Pki pki;
   VpnServerConfig config;
@@ -142,16 +201,19 @@ TEST(ServerShard, OpenBatchEquivalentAcrossShardCountsProperty) {
   constexpr std::size_t kSessions = 12;
   ServerRig one(pki, 1, kSessions, 0xabc123, config);
   ServerRig four(pki, 4, kSessions, 0xabc123, config);
+  ServerRig staged(pki, 4, kSessions, 0xabc123, config);
   ServerRig ref(pki, 1, kSessions, 0xabc123, config);
 
   Rng gen(0x900df00d);
-  VpnServer::OpenBatch out_one, out_four, out_ref;
-  std::vector<Bytes> frames_one, frames_four, frames_ref;
-  Bytes replay_frame_one, replay_frame_four, replay_frame_ref;
+  VpnServer::OpenBatch out_one, out_four, out_staged, out_ref;
+  std::vector<Bytes> frames_one, frames_four, frames_staged, frames_ref;
+  Bytes replay_frame_one, replay_frame_four, replay_frame_staged,
+      replay_frame_ref;
 
   for (int round = 0; round < 12; ++round) {
     frames_one.clear();
     frames_four.clear();
+    frames_staged.clear();
     frames_ref.clear();
     std::size_t packets = 3 + gen.uniform(0, 8);
     for (std::size_t p = 0; p < packets; ++p) {
@@ -161,13 +223,17 @@ TEST(ServerShard, OpenBatchEquivalentAcrossShardCountsProperty) {
           payload, frames_one, frames_one.size());
       std::size_t n4 = four.clients[k].seal_packet_wire_at(
           payload, frames_four, frames_four.size());
+      std::size_t ns = staged.clients[k].seal_packet_wire_at(
+          payload, frames_staged, frames_staged.size());
       std::size_t nr = ref.clients[k].seal_packet_wire_at(
           payload, frames_ref, frames_ref.size());
       ASSERT_EQ(n1, n4);
+      ASSERT_EQ(n1, ns);
       ASSERT_EQ(n1, nr);
       // Twin clients must produce byte-identical wire frames — the
       // precondition for comparing the servers at all.
       ASSERT_EQ(frames_one.back(), frames_four.back());
+      ASSERT_EQ(frames_one.back(), frames_staged.back());
       ASSERT_EQ(frames_one.back(), frames_ref.back());
     }
     // Adversarial frames: corrupt a MAC, replay an old frame, inject
@@ -176,32 +242,46 @@ TEST(ServerShard, OpenBatchEquivalentAcrossShardCountsProperty) {
       std::size_t corrupt = gen.uniform(0, frames_one.size() - 1);
       frames_one[corrupt].back() ^= 0x01;
       frames_four[corrupt].back() ^= 0x01;
+      frames_staged[corrupt].back() ^= 0x01;
       frames_ref[corrupt].back() ^= 0x01;
       frames_one.push_back(replay_frame_one);
       frames_four.push_back(replay_frame_four);
+      frames_staged.push_back(replay_frame_staged);
       frames_ref.push_back(replay_frame_ref);
       Bytes junk = gen.bytes(gen.uniform(0, 40));
       frames_one.push_back(junk);
       frames_four.push_back(junk);
+      frames_staged.push_back(junk);
       frames_ref.push_back(junk);
       Bytes unknown = frames_one[0];
       put_u32(unknown.data() + 1, 0xdeadbeef);
       frames_one.push_back(unknown);
       frames_four.push_back(unknown);
+      frames_staged.push_back(unknown);
       frames_ref.push_back(unknown);
     }
     replay_frame_one = frames_one[0];
     replay_frame_four = frames_four[0];
+    replay_frame_staged = frames_staged[0];
     replay_frame_ref = frames_ref[0];
 
     one.server.open_batch(frames_one, 0, out_one);
     four.server.open_batch(frames_four, 0, out_four);
+    staged.server.open_batch_staged(frames_staged, 0, out_staged);
     ref.server.open_batch_reference(frames_ref, 0, out_ref);
-    expect_batches_equal(out_one, out_four, "1-shard vs 4-shard");
-    expect_batches_equal(out_one, out_ref, "staged vs reference");
+    // One lane = one FIFO ring: exact arrival order, identical to the
+    // pre-sharding reference loop.
+    expect_batches_equal(out_one, out_ref, "1-lane vs reference");
+    // The staged path still merges by burst_tag, so even at 4 shards it
+    // reproduces exact arrival order.
+    expect_batches_equal(out_staged, out_ref, "staged-4 vs reference");
+    // Four lanes: same packets, lane-concatenation order, per-session
+    // order intact.
+    expect_batches_equivalent(out_one, out_four, "1-lane vs 4-lane");
     EXPECT_EQ(one.server.auth_failures(), four.server.auth_failures());
     EXPECT_EQ(one.server.replays_rejected(), four.server.replays_rejected());
     EXPECT_EQ(one.server.auth_failures(), ref.server.auth_failures());
+    EXPECT_EQ(one.server.auth_failures(), staged.server.auth_failures());
   }
   EXPECT_GT(one.server.replays_rejected(), 0u);
   EXPECT_GT(one.server.auth_failures(), 0u);
@@ -418,10 +498,16 @@ TEST(ServerShard, OpenBatchShardHookCoversTheWholeBurst) {
         to_bytes("hook-2"), twin_frames, twin_frames.size());
   twin.server.open_batch(twin_frames, 0, twin_out);
   ASSERT_EQ(twin_out.packet_count, tagged.size());
-  for (std::size_t i = 0; i < tagged.size(); ++i) {
-    EXPECT_EQ(tagged[i].first, twin_out.packets[i].burst_tag);
-    EXPECT_EQ(tagged[i].second, twin_out.packets[i].session_id);
-  }
+  // The lane pipeline surfaces packets in lane-concatenation order, so
+  // the union compares as a sorted (tag, session) multiset; within each
+  // session arrival order must hold.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> twin_tagged;
+  for (std::size_t i = 0; i < twin_out.packet_count; ++i)
+    twin_tagged.emplace_back(twin_out.packets[i].burst_tag,
+                             twin_out.packets[i].session_id);
+  std::sort(twin_tagged.begin(), twin_tagged.end());
+  EXPECT_EQ(tagged, twin_tagged);
+  expect_per_session_order(twin_out, "shard-hook twin");
 
   // reset_replay_windows makes the identical burst fresh again — the
   // contract the bench relies on for repeatable timing.
