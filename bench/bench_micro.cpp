@@ -18,7 +18,7 @@
 // open+seal critical path at 1/2/4/8 lanes against the staged path,
 // SPSC-ring hand-off against a mutex-protected deque).
 // Running with `--json [path]` skips google-benchmark and instead
-// writes a before/after summary (default BENCH_pr8.json) that CI diffs
+// writes a before/after summary (default BENCH_pr9.json) that CI diffs
 // against the checked-in baselines. Note on refreshing baselines: the
 // JSON mode always emits every row (that is what CI's bench-current
 // run needs), but each checked-in BENCH_prN.json should keep only the
@@ -1231,6 +1231,50 @@ int run_json_mode(const std::string& path) {
     mutex_pp_ns = time_ns_per_op([&] { ping.round_trip(); });
   }
 
+  // PR-9: stream-aware inspection. One op scans the whole kPayload
+  // stream delivered as split-byte segments against the 377-rule
+  // community set: new = the resumable walk (automaton state and
+  // content hits persist across segments, so straddled patterns are
+  // caught), ref = the per-packet rescan it replaces (every segment
+  // walked from the root — less bookkeeping, blind to split
+  // patterns). The small-split rows price the per-segment overhead of
+  // carrying state; at wire-typical segments the two converge.
+  Rng stream_rng(4);
+  auto stream_rules = idps::generate_community_ruleset(377, stream_rng);
+  net::Packet stream_probe = net::Packet::udp(
+      net::Ipv4(10, 8, 0, 2), net::Ipv4(10, 0, 0, 1), 1, 2, {});
+  auto stream_pair = [&](std::size_t split, double& ns_resume,
+                         double& ns_rescan) {
+    idps::IdpsEngine resume_engine(stream_rules);
+    idps::IdpsEngine rescan_engine(stream_rules);
+    idps::IdpsEngine::InspectScratch scratch;
+    idps::StreamMatchState state;
+    auto [r, p] = time_pair_ns_per_op(
+        [&] {
+          state = idps::StreamMatchState{};
+          for (std::size_t pos = 0; pos < text.size(); pos += split) {
+            std::size_t len = std::min(split, text.size() - pos);
+            resume_engine.inspect_stream(
+                stream_probe, ByteView(text.data() + pos, len), state, scratch);
+          }
+        },
+        [&] {
+          for (std::size_t pos = 0; pos < text.size(); pos += split) {
+            std::size_t len = std::min(split, text.size() - pos);
+            rescan_engine.inspect(stream_probe,
+                                  ByteView(text.data() + pos, len), scratch);
+          }
+        });
+    ns_resume = r;
+    ns_rescan = p;
+  };
+  double stream2_resume = 0, stream2_rescan = 0;
+  double stream8_resume = 0, stream8_rescan = 0;
+  double stream64_resume = 0, stream64_rescan = 0;
+  stream_pair(2, stream2_resume, stream2_rescan);
+  stream_pair(8, stream8_resume, stream8_rescan);
+  stream_pair(64, stream64_resume, stream64_rescan);
+
   Comparison comparisons[] = {
       {"seal_data_1500B", seal_new, seal_ref},
       {"open_data_1500B", open_new, open_ref},
@@ -1289,6 +1333,13 @@ int run_json_mode(const std::string& path) {
       // playing both ends), ref = the same hand-off through
       // mutex-protected deques.
       {"spsc_ring_ping_pong", spsc_pp_ns, mutex_pp_ns},
+      // new = resumable stream scan of one 1500B stream in split-byte
+      // segments, ref = per-packet rescan of the same segments.
+      // Speedup near 1.0 means cross-segment correctness is close to
+      // free; the ref path cannot see straddled patterns at all.
+      {"stream_scan_resume_2B_split", stream2_resume, stream2_rescan},
+      {"stream_scan_resume_8B_split", stream8_resume, stream8_rescan},
+      {"stream_scan_resume_64B_split", stream64_resume, stream64_rescan},
   };
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -1296,7 +1347,7 @@ int run_json_mode(const std::string& path) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"pr\": 8,\n  \"payload_bytes\": %zu,\n", kPayload);
+  std::fprintf(f, "{\n  \"pr\": 9,\n  \"payload_bytes\": %zu,\n", kPayload);
   std::fprintf(f,
                "  \"note\": \"ref = pre-PR implementation kept callable "
                "in-tree; click_chain rows are ns/packet for 64-packet bursts "
@@ -1320,7 +1371,10 @@ int run_json_mode(const std::string& path) {
                "round trip through a pair of SPSC rings vs mutex-protected "
                "deques, one thread playing both ends so the row times the "
                "primitive, not the scheduler (mb_per_s is meaningless for "
-               "that row)\",\n");
+               "that row); stream_scan_resume rows scan one 1500B stream "
+               "delivered as N-byte segments, resumable Aho-Corasick walk "
+               "(state persists across segments, straddles caught) vs the "
+               "per-packet rescan it replaces (blind to split patterns)\",\n");
   std::fprintf(f, "  \"results\": {\n");
   for (std::size_t i = 0; i < std::size(comparisons); ++i) {
     const Comparison& c = comparisons[i];
@@ -1348,7 +1402,7 @@ int run_json_mode(const std::string& path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      std::string path = "BENCH_pr8.json";
+      std::string path = "BENCH_pr9.json";
       if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
       return run_json_mode(path);
     }

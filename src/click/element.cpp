@@ -21,6 +21,9 @@ void Element::take_state(Element& /*old_element*/) {}
 
 void Element::absorb_state(Element& /*old_element*/) {}
 
+void Element::migrate_flows(
+    const std::function<Element*(const net::FlowKey&)>& /*target_for*/) {}
+
 void Element::connect_output(int port, Element* target, int target_port) {
   if (port < 0) throw std::invalid_argument("negative output port");
   if (outputs_.size() <= static_cast<std::size_t>(port))

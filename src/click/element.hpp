@@ -8,6 +8,7 @@
 // RoundRobinSwitch, IDSMatcher, splitters — are all push elements).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +52,17 @@ class Element {
   /// implementations add counters, append queue contents and union flow
   /// tables instead of overwriting. Default: nothing.
   virtual void absorb_state(Element& old_element);
+
+  /// Reshard hook for *flow-keyed* state. absorb_state folds old shard
+  /// o into new shard o % n — correct for counters, wrong for per-flow
+  /// state: after the reshard a flow's packets arrive at
+  /// shard_of(key, new_n), which is generally a different shard. The
+  /// router calls migrate_flows on every old element first;
+  /// implementations move each flow's state to
+  /// `target_for(key)` (the same-named element on the flow's new
+  /// shard, possibly this element itself). Default: nothing.
+  virtual void migrate_flows(
+      const std::function<Element*(const net::FlowKey&)>& target_for);
 
   /// Number of output ports this element may use (for wiring checks).
   virtual int n_outputs() const { return 1; }

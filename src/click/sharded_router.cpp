@@ -211,6 +211,25 @@ Status ShardedRouter::reshard(std::size_t new_shards) {
     }
   }
 
+  // Flow-keyed state next: a flow's packets arrive at
+  // shard_of(key, new_shards) after the switch, which is generally NOT
+  // o % new_shards — folding a stream context to the wrong shard would
+  // orphan it (its flow never touches that lane again) while the right
+  // lane starts the flow from scratch, losing mid-stream scan state.
+  // migrate_flows re-homes each flow's state to the same-named element
+  // on the shard its key hashes to under the new count.
+  for (const auto& old_shard : shards_) {
+    for (Element* old_element : old_shard->elements()) {
+      old_element->migrate_flows([&](const net::FlowKey& key) -> Element* {
+        std::size_t target = shard_of(key, new_shards);
+        Element* fresh = (*built)[target]->find(old_element->name());
+        if (!fresh || fresh->class_name() != old_element->class_name())
+          return nullptr;
+        return fresh;
+      });
+    }
+  }
+
   // Everything else merges additively: old shard o folds into new shard
   // o % new_shards, so each old shard contributes exactly once and
   // aggregate totals (Counter packets/bytes, IDPS matches, drop tallies)

@@ -1,8 +1,10 @@
 #include "elements/context.hpp"
 
+#include "elements/ctx_manager.hpp"
 #include "elements/device.hpp"
 #include "elements/ids_matcher.hpp"
 #include "elements/splitters.hpp"
+#include "elements/tcp_stream.hpp"
 #include "elements/tls_decrypt.hpp"
 
 namespace endbox::elements {
@@ -22,6 +24,9 @@ void register_endbox_elements(click::ElementRegistry& registry,
   });
   registry.register_class("TLSDecrypt",
                           [&context] { return std::make_unique<TLSDecrypt>(context); });
+  registry.register_class("CTXManager", [] { return std::make_unique<CTXManager>(); });
+  registry.register_class("TCPIn", [] { return std::make_unique<TCPIn>(); });
+  registry.register_class("TCPOut", [] { return std::make_unique<TCPOut>(); });
 }
 
 click::ElementRegistry make_endbox_registry(ElementContext& context) {

@@ -8,6 +8,7 @@ namespace endbox::elements {
 Status IDSMatcher::configure(const std::vector<std::string>& args) {
   std::string ruleset_name;
   drop_mode_ = false;
+  mask_mode_ = false;
   for (const auto& arg : args) {
     std::istringstream in(arg);
     std::string key;
@@ -16,6 +17,8 @@ Status IDSMatcher::configure(const std::vector<std::string>& args) {
       if (!(in >> ruleset_name)) return err("IDSMatcher: RULESET needs a name");
     } else if (key == "DROP") {
       drop_mode_ = true;
+    } else if (key == "MASK") {
+      mask_mode_ = true;
     } else {
       return err("IDSMatcher: unknown argument '" + arg + "'");
     }
@@ -28,7 +31,55 @@ Status IDSMatcher::configure(const std::vector<std::string>& args) {
   return {};
 }
 
+idps::IdpsVerdict IDSMatcher::inspect_stream_one(net::Packet& packet) {
+  FlowContext& ctx = *packet.flow_ctx;
+  ++stream_chunks_;
+  bytes_scanned_ += packet.stream_len;
+  ByteView chunk(packet.payload.data() + packet.stream_off, packet.stream_len);
+  std::span<std::uint8_t> mask;
+  if (mask_mode_ && packet.stream_len > 0)
+    mask = {packet.payload.data() + packet.stream_off, packet.stream_len};
+  std::uint64_t before = ctx.match.cross_segment_matches;
+  auto verdict =
+      engine_->inspect_stream(packet, chunk, ctx.match, scratch_.rules, mask);
+  stream_evasions_ += ctx.match.cross_segment_matches - before;
+  return verdict;
+}
+
+bool IDSMatcher::apply_stream_verdict(net::Packet& packet,
+                                      const idps::IdpsVerdict& verdict) {
+  FlowContext& ctx = *packet.flow_ctx;
+  if (verdict.matched) ++matches_;
+  bool kill = verdict.drop || (drop_mode_ && verdict.matched);
+  if (kill && !ctx.match.drop_flow) {
+    ctx.match.drop_flow = true;
+    ++flows_killed_;
+  }
+  // A flow killed by an earlier segment stays dead: every later packet
+  // of it is dropped whether or not this chunk matched anything.
+  if (kill || ctx.match.drop_flow) {
+    packet.dropped = true;
+    // Dropped packets exit via output 1 and bypass TCPOut's scrub, so
+    // the lane-local context pointer must be cleared here.
+    packet.flow_ctx = nullptr;
+    packet.stream_scan = false;
+    return false;
+  }
+  return true;
+}
+
 void IDSMatcher::push(int /*port*/, net::Packet&& packet) {
+  if (stream_packet(packet)) {
+    idps::IdpsVerdict verdict;
+    if (!packet.flow_ctx->match.drop_flow)
+      verdict = inspect_stream_one(packet);
+    if (!apply_stream_verdict(packet, verdict)) {
+      output(1, std::move(packet));
+      return;
+    }
+    output(0, std::move(packet));
+    return;
+  }
   // Deliberately unchanged (probe copy, allocating inspect): this is
   // the per-packet baseline the batch benches compare against.
   const Bytes& data =
@@ -48,29 +99,93 @@ void IDSMatcher::push(int /*port*/, net::Packet&& packet) {
 }
 
 void IDSMatcher::push_batch(int /*port*/, click::PacketBatch&& batch) {
-  // Burst inspection: all payloads are scanned with the interleaved
-  // multi-stream Aho-Corasick walk (the latency-hiding win batching
-  // exists for), without the per-packet probe copies; verdicts are
-  // bit-identical to the per-packet path.
+  // Burst inspection: the burst splits into the stream subset (packets
+  // with a CTX context — resumable interleaved walk, flows chained in
+  // arrival order) and the per-packet subset (everything else — the
+  // existing interleaved walk). Both run without per-packet probe
+  // copies; verdicts land back at each packet's original burst
+  // position, so ordering and statistics match the per-packet paths.
+  constexpr std::size_t kMax = click::PacketBatch::kMaxBurst;
   std::size_t n = batch.size();
   if (n == 0) return;
-  std::array<const net::Packet*, click::PacketBatch::kMaxBurst> packets;
-  std::array<ByteView, click::PacketBatch::kMaxBurst> payloads;
+  std::array<idps::IdpsVerdict, kMax> verdicts{};  // default: no match
+
+  std::array<const net::Packet*, kMax> packets;
+  std::array<ByteView, kMax> payloads;
+  std::array<std::uint32_t, kMax> back;  // subset pos -> burst pos
+  std::size_t m = 0;
+  std::array<const net::Packet*, kMax> s_packets;
+  std::array<ByteView, kMax> s_chunks;
+  std::array<idps::StreamMatchState*, kMax> s_states;
+  std::array<std::span<std::uint8_t>, kMax> s_masks;
+  std::array<std::uint32_t, kMax> s_back;
+  std::size_t s = 0;
+
   for (std::size_t i = 0; i < n; ++i) {
-    const net::Packet& packet = batch[i];
-    const Bytes& data = packet.decrypted_payload.empty() ? packet.payload
-                                                         : packet.decrypted_payload;
+    net::Packet& packet = batch[i];
+    if (stream_packet(packet)) {
+      // Flows already killed by an earlier burst are not rescanned;
+      // apply_stream_verdict drops their packets below.
+      if (packet.flow_ctx->match.drop_flow) continue;
+      ++stream_chunks_;
+      bytes_scanned_ += packet.stream_len;
+      s_packets[s] = &packet;
+      s_chunks[s] = {packet.payload.data() + packet.stream_off,
+                     packet.stream_len};
+      s_masks[s] = mask_mode_ && packet.stream_len > 0
+                       ? std::span<std::uint8_t>{packet.payload.data() +
+                                                     packet.stream_off,
+                                                 packet.stream_len}
+                       : std::span<std::uint8_t>{};
+      s_states[s] = &packet.flow_ctx->match;
+      s_back[s] = static_cast<std::uint32_t>(i);
+      ++s;
+      continue;
+    }
+    const Bytes& data = packet.decrypted_payload.empty()
+                            ? packet.payload
+                            : packet.decrypted_payload;
     bytes_scanned_ += data.size();
-    packets[i] = &packet;
-    payloads[i] = data;
+    packets[m] = &packet;
+    payloads[m] = data;
+    back[m] = static_cast<std::uint32_t>(i);
+    ++m;
   }
-  std::array<idps::IdpsVerdict, click::PacketBatch::kMaxBurst> verdicts;
-  engine_->inspect_batch({packets.data(), n}, {payloads.data(), n}, scratch_,
-                         verdicts.data());
+
+  std::array<idps::IdpsVerdict, kMax> sub;
+  if (m > 0) {
+    engine_->inspect_batch({packets.data(), m}, {payloads.data(), m}, scratch_,
+                           sub.data());
+    for (std::size_t k = 0; k < m; ++k) verdicts[back[k]] = sub[k];
+  }
+  if (s > 0) {
+    // Evasion accounting: counters live per flow, and one flow can
+    // appear several times in the burst — sum each distinct state once.
+    std::uint64_t before = 0;
+    for (std::size_t k = 0; k < s; ++k) {
+      bool seen = false;
+      for (std::size_t j = 0; j < k && !seen; ++j)
+        seen = s_states[j] == s_states[k];
+      if (!seen) before += s_states[k]->cross_segment_matches;
+    }
+    engine_->inspect_stream_batch({s_packets.data(), s}, {s_chunks.data(), s},
+                                  {s_states.data(), s}, scratch_, sub.data(),
+                                  {s_masks.data(), s});
+    std::uint64_t after = 0;
+    for (std::size_t k = 0; k < s; ++k) {
+      bool seen = false;
+      for (std::size_t j = 0; j < k && !seen; ++j)
+        seen = s_states[j] == s_states[k];
+      if (!seen) after += s_states[k]->cross_segment_matches;
+    }
+    stream_evasions_ += after - before;
+    for (std::size_t k = 0; k < s; ++k) verdicts[s_back[k]] = sub[k];
+  }
 
   std::size_t index = 0;
   click::partition_batch(batch, drop_scratch_, [&](net::Packet& packet) {
     const idps::IdpsVerdict& verdict = verdicts[index++];
+    if (stream_packet(packet)) return apply_stream_verdict(packet, verdict);
     if (verdict.matched) ++matches_;
     if (verdict.drop || (drop_mode_ && verdict.matched)) {
       packet.dropped = true;
@@ -87,6 +202,9 @@ void IDSMatcher::take_state(Element& old_element) {
   auto& old = static_cast<IDSMatcher&>(old_element);
   bytes_scanned_ = old.bytes_scanned_;
   matches_ = old.matches_;
+  stream_chunks_ = old.stream_chunks_;
+  stream_evasions_ = old.stream_evasions_;
+  flows_killed_ = old.flows_killed_;
 }
 
 void IDSMatcher::absorb_state(Element& old_element) {
@@ -96,6 +214,9 @@ void IDSMatcher::absorb_state(Element& old_element) {
   auto& old = static_cast<IDSMatcher&>(old_element);
   bytes_scanned_ += old.bytes_scanned_;
   matches_ += old.matches_;
+  stream_chunks_ += old.stream_chunks_;
+  stream_evasions_ += old.stream_evasions_;
+  flows_killed_ += old.flows_killed_;
 }
 
 }  // namespace endbox::elements

@@ -1,0 +1,78 @@
+// TCPIn / TCPOut: the stream-reassembly ends of the CTX chain
+// (MiddleClick's TCPIn/TCPOut pair, FastClick bytestreammaintainer in
+// spirit). TCPIn maintains each direction's reassembly cursor and
+// annotates every packet with its *stream window* — the run of new
+// in-order payload bytes it contributes — without copying segment
+// payloads into a reassembly buffer: in-order segments pass straight
+// through with a window annotation; out-of-order segments are parked
+// (whole packet, bounded count/bytes/age) and released, windows set,
+// when the hole fills. Downstream, IDSMatcher feeds the windows to the
+// resumable scanner in stream order, which is exactly reassembly as
+// far as pattern matching is concerned.
+//
+// TCPIn output 1 carries parked-cap overflow: segments a hostile flow
+// tried to buffer beyond its StreamLimits are dropped *unscanned but
+// also unforwarded* — forwarding bytes the IDS never saw is the
+// evasion this chain exists to close.
+//
+// TCPOut clears the context annotation (contexts are lane-local and
+// can expire between bursts; a pointer must never leave the graph) and
+// tallies delivered stream bytes.
+#pragma once
+
+#include "click/element.hpp"
+#include "elements/flow_context.hpp"
+
+namespace endbox::elements {
+
+class TCPIn : public click::Element {
+ public:
+  std::string_view class_name() const override { return "TCPIn"; }
+  void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
+  void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
+  int n_outputs() const override { return 2; }
+
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t in_order_bytes() const { return in_order_bytes_; }
+
+ private:
+  void process(net::Packet&& packet);
+  /// Forwards one packet: directly in per-packet mode, via the member
+  /// bursts in batch mode (flushed when full — parked releases can
+  /// emit more packets than arrived).
+  void emit(int port, net::Packet&& packet);
+  /// Drops parked segments older than park_age lane packets.
+  void expire_parked(FlowContext& ctx);
+  /// Parks an out-of-order segment (or drops it at the caps).
+  void park(FlowContext& ctx, net::Packet&& packet);
+  /// Releases every parked segment the cursor has caught up to.
+  void release_parked(FlowContext& ctx);
+
+  bool batching_ = false;
+  click::PacketBatch out_batch_;
+  click::PacketBatch drop_batch_;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t in_order_bytes_ = 0;
+};
+
+class TCPOut : public click::Element {
+ public:
+  std::string_view class_name() const override { return "TCPOut"; }
+  void push(int port, net::Packet&& packet) override;
+  void push_batch(int port, click::PacketBatch&& batch) override;
+  void take_state(Element& old_element) override;
+  void absorb_state(Element& old_element) override;
+
+  std::uint64_t packets_out() const { return packets_out_; }
+  std::uint64_t stream_bytes_out() const { return stream_bytes_out_; }
+
+ private:
+  void scrub(net::Packet& packet);
+
+  std::uint64_t packets_out_ = 0;
+  std::uint64_t stream_bytes_out_ = 0;
+};
+
+}  // namespace endbox::elements

@@ -12,6 +12,7 @@ const char* use_case_name(UseCase use_case) {
     case UseCase::Idps: return "IDPS";
     case UseCase::Ddos: return "DDoS";
     case UseCase::TlsIdps: return "TLS+IDPS";
+    case UseCase::StreamIdps: return "STREAM+IDPS";
   }
   return "?";
 }
@@ -70,6 +71,18 @@ std::string use_case_config(UseCase use_case, bool trusted_time) {
       os << "dec :: TLSDecrypt;\n";
       os << "ids :: IDSMatcher(RULESET community, DROP);\n";
       os << "from_device -> dec -> ids -> to_device;\n";
+      os << "ids[1] -> [1]to_device;\n";
+      break;
+    case UseCase::StreamIdps:
+      // The CTX chain: classify -> reassemble -> resumable scan ->
+      // scrub. TCPIn[1] carries parked-cap overflow, ids[1] matched
+      // drops; both exit as rejects.
+      os << "ctx :: CTXManager(CAPACITY 4096, IDLE_PKTS 8192);\n";
+      os << "tcp_in :: TCPIn;\n";
+      os << "ids :: IDSMatcher(RULESET community, DROP);\n";
+      os << "tcp_out :: TCPOut;\n";
+      os << "from_device -> ctx -> tcp_in -> ids -> tcp_out -> to_device;\n";
+      os << "tcp_in[1] -> [1]to_device;\n";
       os << "ids[1] -> [1]to_device;\n";
       break;
   }

@@ -16,6 +16,8 @@ enum class UseCase {
   Idps,    ///< IDSMatcher with the 377-rule community subset
   Ddos,    ///< IDSMatcher + TrustedSplitter rate limiting
   TlsIdps, ///< TLSDecrypt + IDSMatcher (encrypted traffic analysis)
+  StreamIdps, ///< CTX chain: CTXManager -> TCPIn -> IDSMatcher -> TCPOut
+              ///< (stream reassembly + resumable scan, DROP mode)
 };
 
 const char* use_case_name(UseCase use_case);

@@ -1,5 +1,10 @@
 #include "endbox/enclave.hpp"
 
+#include <algorithm>
+
+#include "elements/ctx_manager.hpp"
+#include "elements/ids_matcher.hpp"
+
 namespace endbox {
 
 EndBoxEnclave::EndBoxEnclave(sgx::SgxPlatform& platform, sgx::SgxMode mode,
@@ -512,6 +517,38 @@ void EndBoxEnclave::ecall_add_ruleset(const std::string& name,
   // state); rigs created later copy from context_ at creation.
   for (auto& rig : shard_rigs_) rig->context.rulesets[name] = rules;
   context_.rulesets[name] = std::move(rules);
+}
+
+EndBoxEnclave::StreamStatsSnapshot EndBoxEnclave::stream_stats() const {
+  StreamStatsSnapshot snapshot;
+  auto scan_router = [&](const click::Router& router) {
+    for (const click::Element* element : router.elements()) {
+      if (auto* ctx = dynamic_cast<const elements::CTXManager*>(element)) {
+        const elements::StreamStats& stats = ctx->stream_stats();
+        snapshot.flows_tracked += ctx->flows_tracked();
+        snapshot.flows_classified += stats.flows_classified;
+        snapshot.flows_expired += stats.flows_expired;
+        snapshot.flows_rejected_full += ctx->table_stats().rejected_full;
+        snapshot.bytes_buffered += stats.bytes_buffered;
+        snapshot.bytes_buffered_peak =
+            std::max(snapshot.bytes_buffered_peak, stats.bytes_buffered_peak);
+        snapshot.segments_parked += stats.segments_parked;
+        snapshot.segments_dropped_overflow += stats.segments_dropped_overflow;
+        snapshot.segments_expired_age += stats.segments_expired_age;
+      } else if (auto* ids = dynamic_cast<const elements::IDSMatcher*>(element)) {
+        snapshot.stream_chunks += ids->stream_chunks();
+        snapshot.evasions_caught += ids->stream_evasions();
+        snapshot.flows_killed += ids->flows_killed();
+      }
+    }
+  };
+  if (sharded_) {
+    for (std::size_t i = 0; i < sharded_->shard_count(); ++i)
+      scan_router(sharded_->shard(i));
+  } else if (const click::Router* router = routers_.current()) {
+    scan_router(*router);
+  }
+  return snapshot;
 }
 
 }  // namespace endbox

@@ -183,6 +183,27 @@ class EndBoxEnclave : public sgx::Enclave {
                          std::vector<idps::SnortRule> rules);
 
   // ---- Introspection ----------------------------------------------------
+  /// Aggregated CTX-chain (stream inspection) state across every lane:
+  /// how many flows each lane tracks, how much memory out-of-order
+  /// segments pin, and how many split-payload evasions the resumable
+  /// scanner caught. Counters sum over lanes; bytes_buffered_peak is
+  /// the max any single lane reached (the per-lane bound that matters).
+  struct StreamStatsSnapshot {
+    std::size_t flows_tracked = 0;       ///< live contexts, all lanes
+    std::uint64_t flows_classified = 0;
+    std::uint64_t flows_expired = 0;
+    std::uint64_t flows_rejected_full = 0;  ///< CTX table at capacity
+    std::uint64_t bytes_buffered = 0;       ///< parked payload bytes now
+    std::uint64_t bytes_buffered_peak = 0;  ///< max over lanes
+    std::uint64_t segments_parked = 0;
+    std::uint64_t segments_dropped_overflow = 0;
+    std::uint64_t segments_expired_age = 0;
+    std::uint64_t stream_chunks = 0;     ///< stream windows scanned
+    std::uint64_t evasions_caught = 0;   ///< cross-segment matches
+    std::uint64_t flows_killed = 0;      ///< flows put into drop-flow
+  };
+  StreamStatsSnapshot stream_stats() const;
+
   const elements::ElementContext& element_context() const { return context_; }
   const vpn::VpnClientSession* session() const {
     return session_ ? &*session_ : nullptr;

@@ -55,6 +55,28 @@ class AhoCorasick {
       std::span<const ByteView> texts,
       const std::function<bool(std::size_t, const AcMatch&)>& on_match) const;
 
+  /// Resumable walk for stream scanning: starts from `*state` (0 = the
+  /// root, i.e. the start of a fresh stream) and leaves the final
+  /// automaton state in `*state`, so the next chunk of the same stream
+  /// continues exactly where this one stopped — a pattern straddling
+  /// the chunk boundary is reported as if the chunks were one buffer.
+  /// Match end_offsets are relative to this chunk's start (an offset
+  /// smaller than the pattern length means the match began in an
+  /// earlier chunk). Matches and their order over the concatenation of
+  /// all chunks are identical to one match() over the whole stream.
+  std::size_t match_resume(
+      ByteView text, std::uint32_t* state,
+      const std::function<bool(const AcMatch&)>& on_match) const;
+
+  /// Interleaved resumable walks: the stream-scan analogue of
+  /// match_multi. Walks up to 16 *distinct* streams' pending chunks in
+  /// lockstep (states[i] is stream i's in/out resume state), so the
+  /// dependent transition loads of many flows overlap in the memory
+  /// system. Per-stream matches equal match_resume on each chunk.
+  std::size_t match_multi_resume(
+      std::span<const ByteView> texts, std::uint32_t* states,
+      const std::function<bool(std::size_t, const AcMatch&)>& on_match) const;
+
   /// True when any pattern occurs (early exit on first hit).
   bool contains_any(ByteView text) const;
 

@@ -1,5 +1,6 @@
 #include "idps/engine.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <stdexcept>
 
@@ -159,6 +160,210 @@ void IdpsEngine::inspect_batch(std::span<const net::Packet* const> packets,
       record_hit(scratch.rules, m.pattern_id);
     verdicts[i] =
         evaluate_hits(*packets[i], scratch.rules, !scratch.matches[i].empty());
+  }
+}
+
+void IdpsEngine::load_stream_hits(const StreamMatchState& state,
+                                  InspectScratch& scratch) const {
+  for (const auto& [rule, bits] : state.hits) {
+    scratch.content_hits[rule] = bits;
+    scratch.touched.push_back(rule);
+  }
+}
+
+void IdpsEngine::persist_stream_hits(StreamMatchState& state,
+                                     const InspectScratch& scratch) const {
+  state.hits.clear();
+  for (std::uint32_t rule : scratch.touched) {
+    if (std::uint64_t bits = scratch.content_hits[rule]; bits != 0)
+      state.hits.emplace_back(rule, bits);
+  }
+}
+
+IdpsVerdict IdpsEngine::evaluate_stream(const net::Packet& packet,
+                                        StreamMatchState& state,
+                                        InspectScratch& scratch, bool new_hit) {
+  IdpsVerdict verdict;
+  // A rule can only newly complete when this chunk produced a hit.
+  if (!new_hit) return verdict;
+  // Ascending rule-index order preserves the per-packet path's
+  // first-sid determinism (evaluate_hits walks all rules in order;
+  // untouched rules cannot match, so sorted-touched is equivalent).
+  std::sort(scratch.touched.begin(), scratch.touched.end());
+  for (std::uint32_t r : scratch.touched) {
+    const SnortRule& rule = rules_[r];
+    if (rule.contents.empty()) continue;
+    std::uint64_t want =
+        rule.contents.size() >= 64 ? ~0ull : (1ull << rule.contents.size()) - 1;
+    if ((scratch.content_hits[r] & want) != want) continue;
+    if (std::find(state.completed.begin(), state.completed.end(), r) !=
+        state.completed.end())
+      continue;
+    // Record completion even when the header check fails: header
+    // constraints are flow-constant, so the rule can never fire later
+    // in this flow and need not be re-evaluated per segment.
+    state.completed.push_back(r);
+    if (!header_matches(rule, packet)) continue;
+    if (!verdict.matched) {
+      verdict.matched = true;
+      verdict.sid = rule.sid;
+    }
+    if (rule.action == RuleAction::Drop) verdict.drop = true;
+    if (rule.action == RuleAction::Alert) ++alerts_;
+  }
+  if (verdict.drop) ++drops_;
+  // Flow-kill policy (state.drop_flow) belongs to the caller: the
+  // element also kills flows on DROP-mode alert matches, and owns the
+  // once-per-flow kill accounting.
+  return verdict;
+}
+
+IdpsVerdict IdpsEngine::inspect_stream(const net::Packet& packet, ByteView chunk,
+                                       StreamMatchState& state,
+                                       InspectScratch& scratch,
+                                       std::span<std::uint8_t> mask) {
+  ++packets_inspected_;
+  reset_hits(scratch);
+  load_stream_hits(state, scratch);
+
+  bool run_ci = ci_automaton_.pattern_count() > 0;
+  // Lower before any masking mutates the payload, so the nocase scan
+  // sees the same bytes the case-sensitive scan saw (the per-packet
+  // path scans both automatons over one unmodified input).
+  if (run_ci) to_lower_into(chunk, scratch.lowered);
+
+  // Single-pointer capture keeps the callback inside std::function's
+  // small-object buffer — no allocation per scan.
+  struct RecordCtx {
+    IdpsEngine* self;
+    InspectScratch* scratch;
+    StreamMatchState* state;
+    std::uint8_t* mask_data;
+    std::size_t mask_size;
+    bool new_hit = false;
+  } ctx{this, &scratch, &state, mask.data(), mask.size()};
+  auto record = [&ctx](const AcMatch& m) {
+    record_hit(*ctx.scratch, m.pattern_id);
+    ctx.new_hit = true;
+    std::size_t plen = ctx.self->content_length(m.pattern_id);
+    // An end offset inside the pattern means the match began in an
+    // earlier segment — the split delivery per-packet scanning misses.
+    if (m.end_offset < plen) ++ctx.state->cross_segment_matches;
+    if (ctx.mask_size != 0) {
+      std::size_t end = m.end_offset;
+      std::size_t start = end > plen ? end - plen : 0;
+      for (std::size_t j = start; j < end; ++j) ctx.mask_data[j] = 'X';
+      ctx.state->bytes_masked += end - start;
+    }
+    return true;
+  };
+  cs_automaton_.match_resume(chunk, &state.cs_state, record);
+  if (run_ci) ci_automaton_.match_resume(scratch.lowered, &state.ci_state, record);
+  state.bytes_scanned += chunk.size();
+
+  IdpsVerdict verdict = evaluate_stream(packet, state, scratch, ctx.new_hit);
+  persist_stream_hits(state, scratch);
+  return verdict;
+}
+
+void IdpsEngine::inspect_stream_batch(
+    std::span<const net::Packet* const> packets, std::span<const ByteView> chunks,
+    std::span<StreamMatchState* const> states, BatchScratch& scratch,
+    IdpsVerdict* verdicts, std::span<const std::span<std::uint8_t>> masks) {
+  std::size_t n = packets.size();
+  packets_inspected_ += n;
+  if (scratch.matches.size() < n) scratch.matches.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch.matches[i].clear();
+
+  bool run_ci = ci_automaton_.pattern_count() > 0;
+  if (run_ci) {
+    // All lowered copies up front, before masking mutates any payload.
+    if (scratch.lowered.size() < n) scratch.lowered.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      to_lower_into(chunks[i], scratch.lowered[i]);
+  }
+
+  // Two chunks of the same flow must not walk in the same interleave
+  // round — the second continues from the state the first produces. So
+  // packets are grouped into rounds: round k holds every flow's
+  // (k+1)-th chunk of the burst; within a round all streams are
+  // distinct and the 16-lane resumable walk applies. Bursts are small
+  // (<= 64), so the quadratic grouping scan is noise.
+  if (scratch.rounds.size() < n) scratch.rounds.resize(n);
+  std::uint32_t max_round = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t r = 0;
+    for (std::size_t j = 0; j < i; ++j)
+      if (states[j] == states[i]) ++r;
+    scratch.rounds[i] = r;
+    max_round = std::max(max_round, r);
+  }
+
+  struct RecordCtx {
+    IdpsEngine* self;
+    BatchScratch* scratch;
+    StreamMatchState* const* states;
+    const std::span<std::uint8_t>* masks;
+  } ctx{this, &scratch, states.data(), masks.empty() ? nullptr : masks.data()};
+  auto record = [&ctx](std::size_t stream, const AcMatch& m) {
+    std::size_t i = ctx.scratch->order[stream];
+    ctx.scratch->matches[i].push_back(m);
+    std::size_t plen = ctx.self->content_length(m.pattern_id);
+    StreamMatchState& st = *ctx.states[i];
+    if (m.end_offset < plen) ++st.cross_segment_matches;
+    if (ctx.masks != nullptr && !ctx.masks[i].empty()) {
+      std::span<std::uint8_t> mask = ctx.masks[i];
+      std::size_t end = m.end_offset;
+      std::size_t start = end > plen ? end - plen : 0;
+      for (std::size_t j = start; j < end; ++j) mask[j] = 'X';
+      st.bytes_masked += end - start;
+    }
+    return true;
+  };
+
+  for (std::uint32_t round = 0; round <= max_round; ++round) {
+    scratch.order.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (scratch.rounds[i] == round)
+        scratch.order.push_back(static_cast<std::uint32_t>(i));
+    std::size_t m = scratch.order.size();
+    if (scratch.views.size() < m) scratch.views.resize(m);
+    if (scratch.ac_states.size() < m) scratch.ac_states.resize(m);
+
+    for (std::size_t k = 0; k < m; ++k) {
+      scratch.views[k] = chunks[scratch.order[k]];
+      scratch.ac_states[k] = states[scratch.order[k]]->cs_state;
+    }
+    cs_automaton_.match_multi_resume({scratch.views.data(), m},
+                                     scratch.ac_states.data(), record);
+    for (std::size_t k = 0; k < m; ++k)
+      states[scratch.order[k]]->cs_state = scratch.ac_states[k];
+
+    if (run_ci) {
+      for (std::size_t k = 0; k < m; ++k) {
+        scratch.views[k] = scratch.lowered[scratch.order[k]];
+        scratch.ac_states[k] = states[scratch.order[k]]->ci_state;
+      }
+      ci_automaton_.match_multi_resume({scratch.views.data(), m},
+                                       scratch.ac_states.data(), record);
+      for (std::size_t k = 0; k < m; ++k)
+        states[scratch.order[k]]->ci_state = scratch.ac_states[k];
+    }
+  }
+
+  // Evaluation replays per packet in burst order, so persisted hits
+  // from an earlier same-flow packet are visible to the later one —
+  // verdicts equal sequential inspect_stream calls.
+  for (std::size_t i = 0; i < n; ++i) {
+    StreamMatchState& st = *states[i];
+    st.bytes_scanned += chunks[i].size();
+    reset_hits(scratch.rules);
+    load_stream_hits(st, scratch.rules);
+    for (const AcMatch& m : scratch.matches[i])
+      record_hit(scratch.rules, m.pattern_id);
+    verdicts[i] = evaluate_stream(*packets[i], st, scratch.rules,
+                                  !scratch.matches[i].empty());
+    persist_stream_hits(st, scratch.rules);
   }
 }
 

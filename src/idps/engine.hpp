@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "idps/aho_corasick.hpp"
@@ -18,6 +19,27 @@ struct IdpsVerdict {
   bool matched = false;   ///< some rule fired
   bool drop = false;      ///< a drop rule fired
   std::uint32_t sid = 0;  ///< first firing rule's sid
+};
+
+/// Persistent per-flow stream inspection state (lives in the flow's
+/// CTX context, lane-local): the resume states of both Aho-Corasick
+/// automatons, the content-hit bits accumulated over the life of the
+/// flow (sparse — hits are rare), and the rules that already fired so
+/// a completed rule alerts once per flow, not once per subsequent
+/// segment. Cheap when idle: two ints and two empty vectors.
+struct StreamMatchState {
+  std::uint32_t cs_state = 0;  ///< case-sensitive automaton resume state
+  std::uint32_t ci_state = 0;  ///< nocase automaton resume state
+  bool drop_flow = false;      ///< a drop verdict fired; rest of flow dies
+  std::uint64_t bytes_scanned = 0;
+  /// Matches whose pattern began in an earlier segment — each one is a
+  /// split-payload delivery the per-packet matcher would have missed.
+  std::uint64_t cross_segment_matches = 0;
+  std::uint64_t bytes_masked = 0;
+  /// rule index -> content-hit bitmask, only rules with at least one hit.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> hits;
+  /// Rules that already completed (fired or were header-rejected once).
+  std::vector<std::uint32_t> completed;
 };
 
 class IdpsEngine {
@@ -43,6 +65,11 @@ class IdpsEngine {
     std::vector<Bytes> lowered;                 ///< per stream (nocase scan)
     std::vector<ByteView> views;                ///< span storage for lowered
     InspectScratch rules;
+    // inspect_stream_batch round scheduling (two chunks of one flow
+    // must walk sequentially, not in the same interleave round).
+    std::vector<std::uint32_t> rounds;     ///< per packet: interleave round
+    std::vector<std::uint32_t> order;      ///< packet ids of the current round
+    std::vector<std::uint32_t> ac_states;  ///< gathered resume states
   };
 
   /// Evaluates one packet; also tallies alert/drop statistics.
@@ -64,6 +91,33 @@ class IdpsEngine {
                      std::span<const ByteView> payloads, BatchScratch& scratch,
                      IdpsVerdict* verdicts);
 
+  /// Stream-resume inspection: scans `chunk` (the flow's next run of
+  /// in-order stream bytes) continuing from `state`, so content split
+  /// across TCP segments matches exactly as if delivered in one
+  /// segment. Multi-content rules complete across segments (hit bits
+  /// persist in `state`); a rule fires once per flow, on the packet
+  /// whose chunk completes it, with the same verdict/sid the
+  /// single-segment per-packet path produces. When `mask` is non-empty
+  /// it must alias the chunk's bytes in the packet payload: every
+  /// content occurrence is overwritten with 'X' (best effort — the
+  /// part of a straddling match already forwarded in an earlier
+  /// segment cannot be rewritten).
+  IdpsVerdict inspect_stream(const net::Packet& packet, ByteView chunk,
+                             StreamMatchState& state, InspectScratch& scratch,
+                             std::span<std::uint8_t> mask = {});
+
+  /// Burst variant of inspect_stream: walks many flows' pending chunks
+  /// with the interleaved resumable multi-stream walk. Chunks of the
+  /// same flow within one burst (states[i] pointers equal) are chained
+  /// in arrival order across interleave rounds, so verdicts are
+  /// identical to calling inspect_stream per packet in burst order.
+  /// `masks` is either empty or one (possibly empty) span per packet.
+  void inspect_stream_batch(std::span<const net::Packet* const> packets,
+                            std::span<const ByteView> chunks,
+                            std::span<StreamMatchState* const> states,
+                            BatchScratch& scratch, IdpsVerdict* verdicts,
+                            std::span<const std::span<std::uint8_t>> masks = {});
+
   std::size_t rule_count() const { return rules_.size(); }
   std::uint64_t packets_inspected() const { return packets_inspected_; }
   std::uint64_t alerts() const { return alerts_; }
@@ -82,6 +136,24 @@ class IdpsEngine {
   /// alert/drop statistics.
   IdpsVerdict evaluate_hits(const net::Packet& packet,
                             const InspectScratch& scratch, bool any_hit);
+  /// Stream variant: evaluates only the touched rules (sorted to keep
+  /// the per-packet path's first-sid rule-index order), fires each rule
+  /// at most once per flow, and records completions in `state`.
+  IdpsVerdict evaluate_stream(const net::Packet& packet,
+                              StreamMatchState& state, InspectScratch& scratch,
+                              bool new_hit);
+  /// Seeds the sparse hit table from the flow's persisted hits (call
+  /// right after reset_hits).
+  void load_stream_hits(const StreamMatchState& state,
+                        InspectScratch& scratch) const;
+  /// Writes the combined hit table back into the flow state.
+  void persist_stream_hits(StreamMatchState& state,
+                           const InspectScratch& scratch) const;
+  std::size_t content_length(int pattern_id) const {
+    return rules_[static_cast<std::size_t>(pattern_id) >> 8]
+        .contents[static_cast<std::size_t>(pattern_id) & 0xff]
+        .bytes.size();
+  }
 
   std::vector<SnortRule> rules_;
   // Pattern ids encode (rule index << 8 | content index within rule).

@@ -105,6 +105,9 @@ Status Packet::parse_into(ByteView wire, Packet& p) {
   p.flow_hint = 0;
   p.burst_tag = 0;
   p.decrypted_payload.clear();
+  p.flow_ctx = nullptr;
+  p.stream_off = p.stream_len = 0;
+  p.stream_scan = false;
 
   p.tos = wire[1];
   std::uint16_t total_len = get_u16(wire.data() + 2);

@@ -20,6 +20,10 @@
 #include "common/result.hpp"
 #include "net/ip.hpp"
 
+namespace endbox::elements {
+struct FlowContext;  // per-flow stream state (elements/flow_context.hpp)
+}
+
 namespace endbox::net {
 
 inline constexpr std::size_t kIpv4HeaderSize = 20;
@@ -63,6 +67,20 @@ struct Packet {
                                     ///< results back into arrival order by it
   Bytes decrypted_payload;          ///< plaintext attached by TLSDecrypt for
                                     ///< downstream inspection (never sent)
+  /// Per-flow stream context, set by CTXManager for classified TCP
+  /// flows and cleared by TCPOut before the packet leaves the graph.
+  /// Valid only within one burst (contexts are lane-local and can
+  /// idle-expire between bursts); never dereferenced outside it.
+  elements::FlowContext* flow_ctx = nullptr;
+  /// Stream window annotation, set by TCPIn: payload[stream_off,
+  /// stream_off+stream_len) is the run of *new in-order stream bytes*
+  /// this packet contributes (retransmitted/overlapping prefixes
+  /// excluded). stream_scan marks that TCPIn processed the packet, so
+  /// a zero-length window means "nothing new to scan" rather than "no
+  /// stream path present".
+  std::uint32_t stream_off = 0;
+  std::uint32_t stream_len = 0;
+  bool stream_scan = false;
 
   std::size_t l4_header_size() const;
   /// Total serialised length (IP header + L4 header + payload).
