@@ -205,6 +205,11 @@ void IDSMatcher::take_state(Element& old_element) {
   stream_chunks_ = old.stream_chunks_;
   stream_evasions_ = old.stream_evasions_;
   flows_killed_ = old.flows_killed_;
+  // This element's engine is freshly built (configure), so the old
+  // element's running totals become this one's base.
+  base_prefilter_.prefiltered_bytes = old.prefiltered_bytes();
+  base_prefilter_.confirmed_windows = old.confirmed_windows();
+  base_prefilter_.fallback_scans = old.fallback_scans();
 }
 
 void IDSMatcher::absorb_state(Element& old_element) {
@@ -217,6 +222,9 @@ void IDSMatcher::absorb_state(Element& old_element) {
   stream_chunks_ += old.stream_chunks_;
   stream_evasions_ += old.stream_evasions_;
   flows_killed_ += old.flows_killed_;
+  base_prefilter_.prefiltered_bytes += old.prefiltered_bytes();
+  base_prefilter_.confirmed_windows += old.confirmed_windows();
+  base_prefilter_.fallback_scans += old.fallback_scans();
 }
 
 }  // namespace endbox::elements

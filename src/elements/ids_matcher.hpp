@@ -51,6 +51,21 @@ class IDSMatcher : public click::Element {
   /// per-packet matcher would have missed (evasions caught).
   std::uint64_t stream_evasions() const { return stream_evasions_; }
   std::uint64_t flows_killed() const { return flows_killed_; }
+  /// Two-tier scanning stats: live engine counters plus the totals
+  /// inherited from hot-swap predecessors (the engine is rebuilt per
+  /// configure, so swap continuity lives in base_prefilter_).
+  std::uint64_t prefiltered_bytes() const {
+    return base_prefilter_.prefiltered_bytes +
+           (engine_ ? engine_->prefilter_stats().prefiltered_bytes : 0);
+  }
+  std::uint64_t confirmed_windows() const {
+    return base_prefilter_.confirmed_windows +
+           (engine_ ? engine_->prefilter_stats().confirmed_windows : 0);
+  }
+  std::uint64_t fallback_scans() const {
+    return base_prefilter_.fallback_scans +
+           (engine_ ? engine_->prefilter_stats().fallback_scans : 0);
+  }
 
  private:
   /// True when the packet must take the resumable stream path.
@@ -72,6 +87,7 @@ class IDSMatcher : public click::Element {
   std::uint64_t stream_chunks_ = 0;    ///< stream windows scanned
   std::uint64_t stream_evasions_ = 0;  ///< cross-segment matches seen
   std::uint64_t flows_killed_ = 0;     ///< flows put into drop_flow
+  idps::PrefilterStats base_prefilter_;  ///< totals from swapped-out elements
   idps::IdpsEngine::BatchScratch scratch_;    ///< reused across bursts
   click::PacketBatch drop_scratch_;           ///< reused matched burst for output 1
 };

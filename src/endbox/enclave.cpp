@@ -539,6 +539,9 @@ EndBoxEnclave::StreamStatsSnapshot EndBoxEnclave::stream_stats() const {
         snapshot.stream_chunks += ids->stream_chunks();
         snapshot.evasions_caught += ids->stream_evasions();
         snapshot.flows_killed += ids->flows_killed();
+        snapshot.prefiltered_bytes += ids->prefiltered_bytes();
+        snapshot.confirmed_windows += ids->confirmed_windows();
+        snapshot.fallback_scans += ids->fallback_scans();
       }
     }
   };

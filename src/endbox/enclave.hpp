@@ -201,6 +201,12 @@ class EndBoxEnclave : public sgx::Enclave {
     std::uint64_t stream_chunks = 0;     ///< stream windows scanned
     std::uint64_t evasions_caught = 0;   ///< cross-segment matches
     std::uint64_t flows_killed = 0;      ///< flows put into drop-flow
+    // Two-tier scanning: how much traffic tier 1 (the literal
+    // prefilter) screened, how many candidate windows tier 2 had to
+    // confirm, and how many scans fell back to the full walk.
+    std::uint64_t prefiltered_bytes = 0;
+    std::uint64_t confirmed_windows = 0;
+    std::uint64_t fallback_scans = 0;
   };
   StreamStatsSnapshot stream_stats() const;
 

@@ -21,10 +21,12 @@ void AhoCorasick::add_pattern(ByteView pattern, int pattern_id) {
   std::int32_t index = static_cast<std::int32_t>(pattern_ids_.size());
   pattern_ids_.push_back(pattern_id);
   pattern_lengths_.push_back(pattern.size());
+  pattern_bytes_.emplace_back(pattern.begin(), pattern.end());
+  max_pattern_length_ = std::max(max_pattern_length_, pattern.size());
   nodes_[static_cast<std::size_t>(state)].outputs.push_back(index);
 }
 
-void AhoCorasick::build() {
+void AhoCorasick::build(bool prefilter_case_insensitive) {
   if (built_) return;
   // BFS order (root first): output links point at strictly shallower
   // states, so a single pass in this order can resolve the CSR output
@@ -105,6 +107,13 @@ void AhoCorasick::build() {
   }
   out_start_[nodes_.size()] = static_cast<std::uint32_t>(ordered.size());
   out_patterns_ = std::move(ordered);
+
+  // First tier: the literal prefilter, compiled from the same pattern
+  // set. The retained pattern bytes exist only for this step.
+  std::vector<ByteView> views(pattern_bytes_.begin(), pattern_bytes_.end());
+  prefilter_.build(views, prefilter_case_insensitive);
+  pattern_bytes_.clear();
+  pattern_bytes_.shrink_to_fit();
   built_ = true;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "idps/literal_prefilter.hpp"
 
 namespace endbox::idps {
 
@@ -31,9 +32,13 @@ class AhoCorasick {
   /// build(); empty patterns are ignored.
   void add_pattern(ByteView pattern, int pattern_id);
 
-  /// Computes failure/output links and compiles the flat transition
-  /// table. Idempotent.
-  void build();
+  /// Computes failure/output links, compiles the flat transition
+  /// table, and builds the Teddy-style literal prefilter from the
+  /// pattern set (pattern bytes are retained only until this point).
+  /// `prefilter_case_insensitive` marks the pattern set as lower-cased
+  /// nocase literals whose prefilter must admit both cases (it then
+  /// scans raw text; only confirm slices are lowered). Idempotent.
+  void build(bool prefilter_case_insensitive = false);
 
   /// Finds all pattern occurrences in `text` (overlaps included).
   std::vector<AcMatch> match(ByteView text) const;
@@ -89,6 +94,12 @@ class AhoCorasick {
   std::size_t pattern_count() const { return pattern_lengths_.size(); }
   std::size_t node_count() const { return nodes_.size(); }
   bool built() const { return built_; }
+  std::size_t max_pattern_length() const { return max_pattern_length_; }
+  /// The literal prefilter compiled by build(). usable() is false when
+  /// some pattern is too short for a fragment — the caller must then
+  /// run the full walk over every byte.
+  const LiteralPrefilter& prefilter() const { return prefilter_; }
+  LiteralPrefilter& prefilter() { return prefilter_; }
 
  private:
   struct Node {
@@ -105,6 +116,11 @@ class AhoCorasick {
   std::vector<Node> nodes_{1};
   std::vector<int> pattern_ids_;
   std::vector<std::size_t> pattern_lengths_;
+  /// Pattern bytes, retained only between add_pattern and build() so
+  /// build() can select prefilter fragments; cleared after compiling.
+  std::vector<Bytes> pattern_bytes_;
+  std::size_t max_pattern_length_ = 0;
+  LiteralPrefilter prefilter_;
   bool built_ = false;
 
   // Flat automaton (filled by build()): transitions_[state*256 + byte]

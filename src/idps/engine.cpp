@@ -36,7 +36,18 @@ IdpsEngine::IdpsEngine(std::vector<SnortRule> rules) : rules_(std::move(rules)) 
     }
   }
   cs_automaton_.build();
-  ci_automaton_.build();
+  // The nocase automaton's prefilter admits both cases of every
+  // fragment byte so tier 1 scans the raw text; only confirm slices
+  // pay for lowering.
+  ci_automaton_.build(/*prefilter_case_insensitive=*/true);
+  // One literal shorter than the fragment width anywhere in the rule
+  // set disables the prefilter for the whole engine: a 1-byte content
+  // has no fragment, and a bucket miss would silently skip it.
+  prefilter_enabled_ = cs_automaton_.prefilter().usable() &&
+                       ci_automaton_.prefilter().usable();
+  std::size_t max_len = std::max(cs_automaton_.max_pattern_length(),
+                                 ci_automaton_.max_pattern_length());
+  stream_tail_len_ = max_len > 0 ? max_len - 1 : 0;
 }
 
 bool IdpsEngine::header_matches(const SnortRule& rule,
@@ -104,10 +115,53 @@ IdpsVerdict IdpsEngine::inspect(const net::Packet& packet) {
 
 IdpsVerdict IdpsEngine::inspect(const net::Packet& packet, ByteView payload,
                                 InspectScratch& scratch) {
+  if (!prefilter_enabled_) {
+    ++prefilter_stats_.fallback_scans;
+    return inspect_reference(packet, payload, scratch);
+  }
   ++packets_inspected_;
+  prefilter_stats_.prefiltered_bytes += payload.size();
   reset_hits(scratch);
   // Single-pointer capture keeps the callback inside std::function's
   // small-object buffer — no allocation per scan.
+  struct RecordCtx {
+    InspectScratch* scratch;
+    bool any_hit = false;
+  } ctx{&scratch};
+  auto record = [&ctx](const AcMatch& m) {
+    record_hit(*ctx.scratch, m.pattern_id);
+    ctx.any_hit = true;
+    return true;
+  };
+  // Tier 1 screens the payload; tier 2 confirms only candidate runs,
+  // each walked from the root (a run contains every match it
+  // witnesses whole, so no cross-run automaton state is needed). Rule
+  // evaluation only consumes the hit set, so slice-relative offsets
+  // need no rebasing here.
+  scratch.runs.clear();
+  cs_automaton_.prefilter().find_runs(payload, scratch.runs);
+  prefilter_stats_.confirmed_windows += scratch.runs.size();
+  for (const CandidateRun& run : scratch.runs)
+    cs_automaton_.match(payload.subspan(run.begin, run.end - run.begin),
+                        record);
+  if (ci_automaton_.pattern_count() > 0) {
+    scratch.runs.clear();
+    ci_automaton_.prefilter().find_runs(payload, scratch.runs);
+    prefilter_stats_.confirmed_windows += scratch.runs.size();
+    for (const CandidateRun& run : scratch.runs) {
+      to_lower_into(payload.subspan(run.begin, run.end - run.begin),
+                    scratch.lowered);
+      ci_automaton_.match(scratch.lowered, record);
+    }
+  }
+  return evaluate_hits(packet, scratch, ctx.any_hit);
+}
+
+IdpsVerdict IdpsEngine::inspect_reference(const net::Packet& packet,
+                                          ByteView payload,
+                                          InspectScratch& scratch) {
+  ++packets_inspected_;
+  reset_hits(scratch);
   struct RecordCtx {
     InspectScratch* scratch;
     bool any_hit = false;
@@ -128,6 +182,78 @@ IdpsVerdict IdpsEngine::inspect(const net::Packet& packet, ByteView payload,
 void IdpsEngine::inspect_batch(std::span<const net::Packet* const> packets,
                                std::span<const ByteView> payloads,
                                BatchScratch& scratch, IdpsVerdict* verdicts) {
+  std::size_t n = packets.size();
+  if (!prefilter_enabled_) {
+    prefilter_stats_.fallback_scans += n;
+    inspect_batch_reference(packets, payloads, scratch, verdicts);
+    return;
+  }
+  packets_inspected_ += n;
+  if (scratch.matches.size() < n) scratch.matches.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch.matches[i].clear();
+
+  // Tier 1 screens each payload sequentially (the prefilter kernel is
+  // data-parallel within one buffer, not latency-bound like the
+  // automaton walk); the surviving candidate slices of the whole burst
+  // are then confirmed with one interleaved multi-stream walk, each
+  // slice attributed back to its packet.
+  struct RecordCtx {
+    BatchScratch* scratch;
+  } ctx{&scratch};
+  auto record = [&ctx](std::size_t stream, const AcMatch& m) {
+    ctx.scratch->matches[ctx.scratch->owner[stream]].push_back(m);
+    return true;
+  };
+  scratch.views.clear();
+  scratch.owner.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    prefilter_stats_.prefiltered_bytes += payloads[i].size();
+    scratch.rules.runs.clear();
+    cs_automaton_.prefilter().find_runs(payloads[i], scratch.rules.runs);
+    prefilter_stats_.confirmed_windows += scratch.rules.runs.size();
+    for (const CandidateRun& run : scratch.rules.runs) {
+      scratch.views.push_back(
+          payloads[i].subspan(run.begin, run.end - run.begin));
+      scratch.owner.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  cs_automaton_.match_multi({scratch.views.data(), scratch.views.size()},
+                            record);
+
+  if (ci_automaton_.pattern_count() > 0) {
+    scratch.views.clear();
+    scratch.owner.clear();
+    std::size_t slice = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.rules.runs.clear();
+      ci_automaton_.prefilter().find_runs(payloads[i], scratch.rules.runs);
+      prefilter_stats_.confirmed_windows += scratch.rules.runs.size();
+      for (const CandidateRun& run : scratch.rules.runs) {
+        if (scratch.lowered.size() <= slice) scratch.lowered.resize(slice + 1);
+        to_lower_into(payloads[i].subspan(run.begin, run.end - run.begin),
+                      scratch.lowered[slice]);
+        scratch.views.push_back(scratch.lowered[slice]);
+        scratch.owner.push_back(static_cast<std::uint32_t>(i));
+        ++slice;
+      }
+    }
+    ci_automaton_.match_multi({scratch.views.data(), scratch.views.size()},
+                              record);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    reset_hits(scratch.rules);
+    for (const AcMatch& m : scratch.matches[i])
+      record_hit(scratch.rules, m.pattern_id);
+    verdicts[i] =
+        evaluate_hits(*packets[i], scratch.rules, !scratch.matches[i].empty());
+  }
+}
+
+void IdpsEngine::inspect_batch_reference(
+    std::span<const net::Packet* const> packets,
+    std::span<const ByteView> payloads, BatchScratch& scratch,
+    IdpsVerdict* verdicts) {
   std::size_t n = packets.size();
   packets_inspected_ += n;
   if (scratch.matches.size() < n) scratch.matches.resize(n);
@@ -222,6 +348,89 @@ IdpsVerdict IdpsEngine::inspect_stream(const net::Packet& packet, ByteView chunk
                                        StreamMatchState& state,
                                        InspectScratch& scratch,
                                        std::span<std::uint8_t> mask) {
+  if (!prefilter_enabled_) {
+    ++prefilter_stats_.fallback_scans;
+    return inspect_stream_reference(packet, chunk, state, scratch, mask);
+  }
+  ++packets_inspected_;
+  prefilter_stats_.prefiltered_bytes += chunk.size();
+  reset_hits(scratch);
+  load_stream_hits(state, scratch);
+
+  // Tail carry: scanning tail+chunk guarantees any match ending in
+  // this chunk — its length is at most maxlen, so it starts no more
+  // than maxlen-1 bytes before the chunk — lies wholly inside the
+  // combined buffer, boundary-straddling literals included. Matches
+  // ending inside the tail (combined end <= tail_len) were reported by
+  // the chunk that delivered those bytes and are suppressed.
+  const std::size_t tail_len = state.prefilter_tail.size();
+  scratch.combined.assign(state.prefilter_tail.begin(),
+                          state.prefilter_tail.end());
+  scratch.combined.insert(scratch.combined.end(), chunk.begin(), chunk.end());
+  ByteView combined = scratch.combined;
+
+  struct RecordCtx {
+    IdpsEngine* self;
+    InspectScratch* scratch;
+    StreamMatchState* state;
+    std::uint8_t* mask_data;
+    std::size_t mask_size;
+    std::size_t tail_len;
+    std::size_t bias = 0;  ///< current run's offset within `combined`
+    bool new_hit = false;
+  } ctx{this, &scratch, &state, mask.data(), mask.size(), tail_len};
+  auto record = [&ctx](const AcMatch& m) {
+    std::size_t combined_end = m.end_offset + ctx.bias;
+    if (combined_end <= ctx.tail_len) return true;  // earlier chunk's match
+    std::size_t end = combined_end - ctx.tail_len;  // chunk-relative
+    record_hit(*ctx.scratch, m.pattern_id);
+    ctx.new_hit = true;
+    std::size_t plen = ctx.self->content_length(m.pattern_id);
+    // An end offset inside the pattern means the match began in an
+    // earlier segment — the split delivery per-packet scanning misses.
+    if (end < plen) ++ctx.state->cross_segment_matches;
+    if (ctx.mask_size != 0) {
+      std::size_t start = end > plen ? end - plen : 0;
+      for (std::size_t j = start; j < end; ++j) ctx.mask_data[j] = 'X';
+      ctx.state->bytes_masked += end - start;
+    }
+    return true;
+  };
+  scratch.runs.clear();
+  cs_automaton_.prefilter().find_runs(combined, scratch.runs);
+  prefilter_stats_.confirmed_windows += scratch.runs.size();
+  for (const CandidateRun& run : scratch.runs) {
+    ctx.bias = run.begin;
+    cs_automaton_.match(combined.subspan(run.begin, run.end - run.begin),
+                        record);
+  }
+  if (ci_automaton_.pattern_count() > 0) {
+    scratch.runs.clear();
+    ci_automaton_.prefilter().find_runs(combined, scratch.runs);
+    prefilter_stats_.confirmed_windows += scratch.runs.size();
+    for (const CandidateRun& run : scratch.runs) {
+      ctx.bias = run.begin;
+      to_lower_into(combined.subspan(run.begin, run.end - run.begin),
+                    scratch.lowered);
+      ci_automaton_.match(scratch.lowered, record);
+    }
+  }
+  state.bytes_scanned += chunk.size();
+  std::size_t keep = std::min(scratch.combined.size(), stream_tail_len_);
+  state.prefilter_tail.assign(scratch.combined.end() -
+                                  static_cast<std::ptrdiff_t>(keep),
+                              scratch.combined.end());
+
+  IdpsVerdict verdict = evaluate_stream(packet, state, scratch, ctx.new_hit);
+  persist_stream_hits(state, scratch);
+  return verdict;
+}
+
+IdpsVerdict IdpsEngine::inspect_stream_reference(const net::Packet& packet,
+                                                 ByteView chunk,
+                                                 StreamMatchState& state,
+                                                 InspectScratch& scratch,
+                                                 std::span<std::uint8_t> mask) {
   ++packets_inspected_;
   reset_hits(scratch);
   load_stream_hits(state, scratch);
@@ -267,6 +476,29 @@ IdpsVerdict IdpsEngine::inspect_stream(const net::Packet& packet, ByteView chunk
 }
 
 void IdpsEngine::inspect_stream_batch(
+    std::span<const net::Packet* const> packets, std::span<const ByteView> chunks,
+    std::span<StreamMatchState* const> states, BatchScratch& scratch,
+    IdpsVerdict* verdicts, std::span<const std::span<std::uint8_t>> masks) {
+  if (!prefilter_enabled_) {
+    prefilter_stats_.fallback_scans += packets.size();
+    inspect_stream_batch_reference(packets, chunks, states, scratch, verdicts,
+                                   masks);
+    return;
+  }
+  // Prefilter mode runs the burst sequentially in arrival order: each
+  // chunk's combined buffer needs the tail its same-flow predecessor
+  // leaves behind, and clean chunks (the common case) do no automaton
+  // work, so there is no transition-load latency left for the
+  // interleaved walk to hide. Verdicts trivially equal per-packet
+  // inspect_stream in burst order.
+  for (std::size_t i = 0; i < packets.size(); ++i)
+    verdicts[i] = inspect_stream(*packets[i], chunks[i], *states[i],
+                                 scratch.rules,
+                                 masks.empty() ? std::span<std::uint8_t>{}
+                                               : masks[i]);
+}
+
+void IdpsEngine::inspect_stream_batch_reference(
     std::span<const net::Packet* const> packets, std::span<const ByteView> chunks,
     std::span<StreamMatchState* const> states, BatchScratch& scratch,
     IdpsVerdict* verdicts, std::span<const std::span<std::uint8_t>> masks) {

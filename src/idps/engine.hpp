@@ -3,6 +3,19 @@
 // packets. A rule fires when its header constraints match AND all of
 // its content patterns occur in the payload. Drop rules mark the
 // packet; alert rules record an event.
+//
+// Scanning is two-tier: each automaton's Teddy-style literal
+// prefilter (built at AhoCorasick::build() time) reports candidate
+// windows — positions where some pattern's rarest fragment may start,
+// rewound by maxlen-W and extended by maxlen so any real match lies
+// wholly inside — and the flat automaton walks only those merged
+// slices from its root. Clean payloads (the common case) never enter
+// the automaton. The prefilter is sound (no false negatives), so
+// verdicts, offsets, MASK bytes and once-per-flow firing are
+// bit-identical to the full walk, which stays callable as the
+// inspect*_reference family. Rule sets containing a content literal
+// shorter than the fragment width (1-byte contents) disable the
+// prefilter engine-wide and every scan takes the full walk.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +43,13 @@ struct IdpsVerdict {
 struct StreamMatchState {
   std::uint32_t cs_state = 0;  ///< case-sensitive automaton resume state
   std::uint32_t ci_state = 0;  ///< nocase automaton resume state
+  /// Prefilter tail carry: the last maxlen-1 stream bytes, prepended
+  /// to the next chunk so a literal straddling the chunk boundary
+  /// still lands inside one scanned buffer. Only the prefilter path
+  /// maintains it (the reference path resumes cs_state/ci_state
+  /// instead); matches ending inside the tail were already reported by
+  /// the chunk that delivered them and are suppressed.
+  Bytes prefilter_tail;
   bool drop_flow = false;      ///< a drop verdict fired; rest of flow dies
   std::uint64_t bytes_scanned = 0;
   /// Matches whose pattern began in an earlier segment — each one is a
@@ -40,6 +60,16 @@ struct StreamMatchState {
   std::vector<std::pair<std::uint32_t, std::uint64_t>> hits;
   /// Rules that already completed (fired or were header-rejected once).
   std::vector<std::uint32_t> completed;
+};
+
+/// Two-tier scanning statistics: how much traffic the prefilter
+/// cleared without automaton work, how many candidate windows needed
+/// confirming, and how many scans fell back to the full walk (rule
+/// sets with sub-fragment-width literals).
+struct PrefilterStats {
+  std::uint64_t prefiltered_bytes = 0;   ///< bytes screened by tier 1
+  std::uint64_t confirmed_windows = 0;   ///< candidate runs walked by tier 2
+  std::uint64_t fallback_scans = 0;      ///< full walks (prefilter unusable)
 };
 
 class IdpsEngine {
@@ -56,6 +86,8 @@ class IdpsEngine {
     std::vector<std::uint64_t> content_hits;
     std::vector<std::uint32_t> touched;  ///< rules with non-zero bits
     Bytes lowered;
+    std::vector<CandidateRun> runs;  ///< prefilter candidate windows
+    Bytes combined;                  ///< stream path: tail + chunk
   };
 
   /// Working memory for inspect_batch: per-stream match lists and
@@ -64,6 +96,7 @@ class IdpsEngine {
     std::vector<std::vector<AcMatch>> matches;  ///< per stream
     std::vector<Bytes> lowered;                 ///< per stream (nocase scan)
     std::vector<ByteView> views;                ///< span storage for lowered
+    std::vector<std::uint32_t> owner;  ///< prefilter: slice -> packet index
     InspectScratch rules;
     // inspect_stream_batch round scheduling (two chunks of one flow
     // must walk sequentially, not in the same interleave round).
@@ -78,8 +111,17 @@ class IdpsEngine {
   /// Scratch-reusing variant: headers come from `packet`, content is
   /// scanned from `payload` (the decrypted payload when TLSDecrypt ran
   /// upstream), so callers need neither a probe copy nor fresh buffers.
+  /// Two-tier: the prefilter screens the payload and only candidate
+  /// windows reach the automaton; verdict-identical to
+  /// inspect_reference.
   IdpsVerdict inspect(const net::Packet& packet, ByteView payload,
                       InspectScratch& scratch);
+
+  /// The full-walk path (both automatons over every byte), kept
+  /// callable as the equivalence baseline for the prefiltered inspect
+  /// and for benches pricing the tier-1 skip rate.
+  IdpsVerdict inspect_reference(const net::Packet& packet, ByteView payload,
+                                InspectScratch& scratch);
 
   /// Burst variant: scans all payloads with the interleaved multi-
   /// stream Aho-Corasick walk (independent transition chains overlap in
@@ -90,6 +132,11 @@ class IdpsEngine {
   void inspect_batch(std::span<const net::Packet* const> packets,
                      std::span<const ByteView> payloads, BatchScratch& scratch,
                      IdpsVerdict* verdicts);
+
+  /// Full-walk burst baseline (pre-prefilter inspect_batch).
+  void inspect_batch_reference(std::span<const net::Packet* const> packets,
+                               std::span<const ByteView> payloads,
+                               BatchScratch& scratch, IdpsVerdict* verdicts);
 
   /// Stream-resume inspection: scans `chunk` (the flow's next run of
   /// in-order stream bytes) continuing from `state`, so content split
@@ -102,21 +149,46 @@ class IdpsEngine {
   /// content occurrence is overwritten with 'X' (best effort — the
   /// part of a straddling match already forwarded in an earlier
   /// segment cannot be rewritten).
+  /// Two-tier stream path: the prefilter scans the flow's carried tail
+  /// (last maxlen-1 stream bytes) + chunk so boundary-straddling
+  /// literals are caught without resuming automaton state; matches
+  /// ending inside the tail were reported by an earlier chunk and are
+  /// suppressed. Verdicts, cross-segment counts and MASK bytes are
+  /// identical to inspect_stream_reference.
   IdpsVerdict inspect_stream(const net::Packet& packet, ByteView chunk,
                              StreamMatchState& state, InspectScratch& scratch,
                              std::span<std::uint8_t> mask = {});
 
-  /// Burst variant of inspect_stream: walks many flows' pending chunks
-  /// with the interleaved resumable multi-stream walk. Chunks of the
-  /// same flow within one burst (states[i] pointers equal) are chained
-  /// in arrival order across interleave rounds, so verdicts are
-  /// identical to calling inspect_stream per packet in burst order.
-  /// `masks` is either empty or one (possibly empty) span per packet.
+  /// Full-walk stream baseline: resumes cs_state/ci_state across
+  /// chunks (the pre-prefilter inspect_stream). A flow must stay on
+  /// one path for its lifetime — the two paths persist different
+  /// resume state.
+  IdpsVerdict inspect_stream_reference(const net::Packet& packet,
+                                       ByteView chunk, StreamMatchState& state,
+                                       InspectScratch& scratch,
+                                       std::span<std::uint8_t> mask = {});
+
+  /// Burst variant of inspect_stream: verdict-identical to calling
+  /// inspect_stream per packet in burst order. In prefilter mode the
+  /// burst runs sequentially — each chunk's scan needs the tail its
+  /// same-flow predecessor produces, and clean chunks have no
+  /// automaton walk left to interleave; the fallback path keeps the
+  /// interleaved round-scheduled resumable walk. `masks` is either
+  /// empty or one (possibly empty) span per packet.
   void inspect_stream_batch(std::span<const net::Packet* const> packets,
                             std::span<const ByteView> chunks,
                             std::span<StreamMatchState* const> states,
                             BatchScratch& scratch, IdpsVerdict* verdicts,
                             std::span<const std::span<std::uint8_t>> masks = {});
+
+  /// Full-walk burst stream baseline (round-scheduled interleaved
+  /// resumable walk; the pre-prefilter inspect_stream_batch).
+  void inspect_stream_batch_reference(
+      std::span<const net::Packet* const> packets,
+      std::span<const ByteView> chunks,
+      std::span<StreamMatchState* const> states, BatchScratch& scratch,
+      IdpsVerdict* verdicts,
+      std::span<const std::span<std::uint8_t>> masks = {});
 
   std::size_t rule_count() const { return rules_.size(); }
   std::uint64_t packets_inspected() const { return packets_inspected_; }
@@ -125,6 +197,12 @@ class IdpsEngine {
   std::size_t automaton_nodes() const {
     return cs_automaton_.node_count() + ci_automaton_.node_count();
   }
+  /// True when both automatons compiled usable prefilters (every
+  /// content literal is at least fragment-width bytes).
+  bool prefilter_enabled() const { return prefilter_enabled_; }
+  const PrefilterStats& prefilter_stats() const { return prefilter_stats_; }
+  const AhoCorasick& cs_automaton() const { return cs_automaton_; }
+  const AhoCorasick& ci_automaton() const { return ci_automaton_; }
 
  private:
   bool header_matches(const SnortRule& rule, const net::Packet& packet) const;
@@ -159,6 +237,12 @@ class IdpsEngine {
   // Pattern ids encode (rule index << 8 | content index within rule).
   AhoCorasick cs_automaton_;  ///< case-sensitive patterns
   AhoCorasick ci_automaton_;  ///< nocase patterns, stored lower-cased
+  bool prefilter_enabled_ = false;
+  /// Stream tail carry length: max pattern length over both automatons
+  /// minus one — the longest prefix of a match that can live in
+  /// earlier chunks.
+  std::size_t stream_tail_len_ = 0;
+  PrefilterStats prefilter_stats_;
   std::uint64_t packets_inspected_ = 0;
   std::uint64_t alerts_ = 0;
   std::uint64_t drops_ = 0;
